@@ -1,0 +1,50 @@
+// Ablation: history window length k (paper default 144 frames = 24 h at a
+// 10-minute cadence; the compact config uses 16 frames at 30 minutes).
+// Longer histories give the attention stack more context at higher cost.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "rl/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mirage;
+  const auto cli = util::Config::from_args(argc, argv);
+  util::set_log_level(util::LogLevel::kWarn);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const auto preset = trace::preset_by_name(cli.get_string("cluster", "a100"));
+
+  std::printf("Ablation: history window length k (offline regression loss + timing)\n\n");
+  std::printf("%-8s %12s %12s %14s %12s\n", "k", "samples", "final loss", "pretrain(s)",
+              "decide(ms)");
+
+  for (std::size_t k : {4, 8, 16, 32}) {
+    auto cfg = core::PipelineConfig::compact(preset, 1, seed);
+    cfg.episode.history_len = k;
+    cfg.net.history_len = k;
+    cfg.collector.anchors = 24;
+    core::MiragePipeline pipe(cfg);
+    pipe.prepare();
+    pipe.collect_offline();
+    const auto& samples = pipe.offline_dataset().nn_samples;
+
+    rl::DqnConfig dc;
+    dc.foundation = nn::FoundationType::kMoE;
+    dc.net = cfg.net;
+    rl::DqnAgent agent(dc, seed);
+    const double t0 = util::wall_seconds();
+    const auto losses = rl::pretrain_foundation(agent, samples, cfg.pretrain);
+    const double pretrain_s = util::wall_seconds() - t0;
+
+    std::vector<float> obs(cfg.net.input_dim(), 0.1f);
+    const double t1 = util::wall_seconds();
+    int decisions = 0;
+    for (int i = 0; i < 50; ++i) decisions += agent.act_greedy(obs);
+    const double decide_ms = (util::wall_seconds() - t1) * 1000.0 / 50.0;
+    (void)decisions;
+
+    std::printf("%-8zu %12zu %12.3f %14.2f %12.3f\n", k, samples.size(), losses.back(),
+                pretrain_s, decide_ms);
+  }
+  std::printf("\npaper default: k=144 (24 h of 10-minute snapshots)\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Shared driver for the figure-reproduction benches: trains all eight
+// methods on a cluster preset and prints the per-load interruption /
+// overlap rows behind the paper's Figures 8-10.
+//
+// Every bench accepts "key=value" CLI overrides (seed=, episodes=,
+// anchors=, online_episodes=, clusters=v100,rtx,a100) so the compact
+// defaults can be scaled up toward paper-scale runs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "util/config.hpp"
+#include "util/logging.hpp"
+
+namespace mirage::bench {
+
+struct FigureRun {
+  trace::ClusterPreset preset;
+  std::vector<core::MethodEval> evals;
+  double train_seconds = 0.0;
+  double eval_seconds = 0.0;
+};
+
+inline core::PipelineConfig configure(const trace::ClusterPreset& preset, std::int32_t job_nodes,
+                                      const util::Config& cli) {
+  auto cfg = core::PipelineConfig::compact(
+      preset, job_nodes, static_cast<std::uint64_t>(cli.get_int("seed", 42)));
+  cfg.eval.episodes = static_cast<std::size_t>(cli.get_int("episodes", 48));
+  cfg.collector.anchors = static_cast<std::size_t>(cli.get_int("anchors", 48));
+  cfg.online.episodes = static_cast<std::size_t>(cli.get_int("online_episodes", 64));
+  return cfg;
+}
+
+inline std::vector<std::string> cluster_list(const util::Config& cli) {
+  const std::string arg = cli.get_string("clusters", "v100,rtx,a100");
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= arg.size()) {
+    auto comma = arg.find(',', pos);
+    if (comma == std::string::npos) comma = arg.size();
+    if (comma > pos) out.push_back(arg.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Train all methods and evaluate on the validation range.
+inline FigureRun run_all_methods(const std::string& cluster, std::int32_t job_nodes,
+                                 const util::Config& cli) {
+  FigureRun run;
+  run.preset = trace::preset_by_name(cluster);
+  auto cfg = configure(run.preset, job_nodes, cli);
+  core::MiragePipeline pipe(cfg);
+  const double t0 = util::wall_seconds();
+  pipe.prepare();
+  pipe.collect_offline();
+  pipe.train_all(core::all_methods());
+  run.train_seconds = util::wall_seconds() - t0;
+  const double t1 = util::wall_seconds();
+  run.evals = pipe.evaluate(core::all_methods());
+  run.eval_seconds = util::wall_seconds() - t1;
+  return run;
+}
+
+inline const core::LoadAggregate& agg_of(const FigureRun& run, const std::string& method,
+                                         core::LoadClass load) {
+  for (const auto& e : run.evals) {
+    if (e.method == method) return e.at(load);
+  }
+  static const core::LoadAggregate empty;
+  return empty;
+}
+
+/// Print one figure panel: per-method mean interruption (or overlap) under
+/// one load class, with the reduction vs the reactive baseline.
+inline void print_panel(const FigureRun& run, core::LoadClass load, bool overlap_metric) {
+  const char* metric = overlap_metric ? "overlap" : "interruption";
+  std::printf("-- %s cluster, %s load: avg %s (h) over %zu episodes --\n",
+              run.preset.name.c_str(), core::load_class_name(load),
+              metric, agg_of(run, "reactive", load).episodes);
+  const double baseline = overlap_metric
+                              ? agg_of(run, "reactive", load).overlap_hours.mean()
+                              : agg_of(run, "reactive", load).interruption_hours.mean();
+  for (const auto& e : run.evals) {
+    const auto& agg = e.at(load);
+    if (agg.episodes == 0) {
+      std::printf("  %-16s      (no episodes in this load class)\n", e.method.c_str());
+      continue;
+    }
+    const double value =
+        overlap_metric ? agg.overlap_hours.mean() : agg.interruption_hours.mean();
+    if (!overlap_metric && baseline > 0) {
+      std::printf("  %-16s %8.2f   zero-int %3.0f%%   reduction vs reactive %6.1f%%\n",
+                  e.method.c_str(), value, 100.0 * agg.zero_interruption_fraction(),
+                  100.0 * (1.0 - value / baseline));
+    } else {
+      std::printf("  %-16s %8.2f   zero-int %3.0f%%\n", e.method.c_str(), value,
+                  100.0 * agg.zero_interruption_fraction());
+    }
+  }
+}
+
+}  // namespace mirage::bench

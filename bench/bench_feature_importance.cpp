@@ -1,0 +1,53 @@
+// Analysis bench: which state features actually predict the successor's
+// queue wait? Gain-based importance of the Random Forest / XGBoost
+// baselines over the §4.1 summary features — an interpretability
+// counterpart to the attention-based foundation model's implicit feature
+// selection (§4.6).
+#include <cstdio>
+
+#include "core/pipeline.hpp"
+#include "util/config.hpp"
+#include "util/logging.hpp"
+
+namespace {
+const char* kFeatureNames[] = {
+    "queue_len",       "q_size_mean",     "q_size_p50",     "q_size_max",    "q_age_mean",
+    "q_age_max",       "q_limit_mean",    "queued_backlog", "running_count", "free_nodes",
+    "run_size_mean",   "run_elapsed_mean", "committed_work", "run_limit_mean", "pred_nodes",
+    "pred_limit",      "pred_wait",       "pred_elapsed",   "pred_remaining", "succ_nodes",
+    "succ_limit"};
+}
+
+int main(int argc, char** argv) {
+  using namespace mirage;
+  const auto cli = util::Config::from_args(argc, argv);
+  util::set_log_level(util::LogLevel::kWarn);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const auto preset = trace::preset_by_name(cli.get_string("cluster", "v100"));
+
+  auto cfg = core::PipelineConfig::compact(preset, 1, seed);
+  core::MiragePipeline pipe(cfg);
+  pipe.prepare();
+  pipe.collect_offline();
+
+  const auto& data = pipe.offline_dataset().tabular;
+  std::printf("Feature importance for wait prediction on %s (%zu samples)\n\n",
+              preset.name.c_str(), data.size());
+
+  ml::RandomForest forest;
+  forest.fit(data, cfg.forest);
+  ml::Gbdt gbdt;
+  gbdt.fit(data, cfg.gbdt);
+  const auto rf_imp = forest.feature_importance(data.num_features());
+  const auto gb_imp = gbdt.feature_importance(data.num_features());
+
+  std::printf("%-18s %14s %14s\n", "feature", "RF gain %", "XGB gain %");
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    std::printf("%-18s %13.1f%% %13.1f%%\n",
+                f < std::size(kFeatureNames) ? kFeatureNames[f] : "?", 100.0 * rf_imp[f],
+                100.0 * gb_imp[f]);
+  }
+  std::printf("\nexpected shape: queue pressure (backlog, queue length, ages) and committed\n"
+              "running work dominate; static job attributes contribute little\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 1: average queue wait time per month on the V100 and RTX clusters
+// (schedule assigned by replaying the workload through the fast simulator).
+#include <cstdio>
+
+#include "sim/simulator.hpp"
+#include "trace/analysis.hpp"
+#include "trace/generator.hpp"
+#include "util/config.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mirage;
+  const auto cli = util::Config::from_args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+
+  std::printf("Figure 1: Average Queue Wait Time per month (hours)\n");
+  std::printf("paper reference peaks: up to ~40 h on V100 (2021-02), double-digit on RTX\n\n");
+
+  for (const auto* name : {"v100", "rtx"}) {
+    const auto preset = trace::preset_by_name(name);
+    trace::GeneratorOptions opt;
+    opt.seed = seed;
+    trace::SyntheticTraceGenerator gen(preset, opt);
+    const auto sched = sim::replay_trace(gen.generate(), preset.node_count);
+    const auto waits = trace::monthly_average_wait_hours(sched);
+    std::printf("%-5s:", preset.name.c_str());
+    for (double w : waits) std::printf(" %5.1f", w);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 8: average interruption of a pair of 48-hour single-node jobs on
+// the V100, RTX and A100 clusters under (a) heavy and (b) medium load, for
+// all eight methods. Also prints the §6 summary statistics (interruption
+// reduction vs reactive, zero-interruption job fraction).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mirage;
+  const auto cli = util::Config::from_args(argc, argv);
+  util::set_log_level(util::LogLevel::kWarn);
+
+  std::printf("Figure 8: Average Interruption, pair of 48-hour SINGLE-NODE jobs\n\n");
+  for (const auto& cluster : bench::cluster_list(cli)) {
+    const auto run = bench::run_all_methods(cluster, /*job_nodes=*/1, cli);
+    std::printf("(a) heavy load\n");
+    bench::print_panel(run, core::LoadClass::kHeavy, /*overlap_metric=*/false);
+    std::printf("(b) medium load\n");
+    bench::print_panel(run, core::LoadClass::kMedium, /*overlap_metric=*/false);
+    std::printf("[timing] train %.1fs, eval %.1fs\n\n", run.train_seconds, run.eval_seconds);
+  }
+  std::printf("paper reference: learned methods cut heavy-load interruption by 44.1%% / 33.7%% / "
+              "84.7%% on V100/RTX/A100 vs reactive; Mirage safeguards 23-76%% of jobs with zero "
+              "interruption\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 9: average interruption of a pair of 48-hour EIGHT-NODE jobs on
+// the three clusters under heavy and medium load (the multi-node
+// evaluation of §6.2).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mirage;
+  const auto cli = util::Config::from_args(argc, argv);
+  util::set_log_level(util::LogLevel::kWarn);
+
+  std::printf("Figure 9: Average Interruption, pair of 48-hour EIGHT-NODE jobs\n\n");
+  for (const auto& cluster : bench::cluster_list(cli)) {
+    const auto run = bench::run_all_methods(cluster, /*job_nodes=*/8, cli);
+    std::printf("(a) heavy load\n");
+    bench::print_panel(run, core::LoadClass::kHeavy, /*overlap_metric=*/false);
+    std::printf("(b) medium load\n");
+    bench::print_panel(run, core::LoadClass::kMedium, /*overlap_metric=*/false);
+    std::printf("[timing] train %.1fs, eval %.1fs\n\n", run.train_seconds, run.eval_seconds);
+  }
+  std::printf("paper reference (heavy, 8-node): XGBoost/RF reduce interruption 37.5/40.0/82.5%%; "
+              "MoE+DQN 32.2/28.2/77.5%%; transformer+PG 43.9/34.9/90.1%% on V100/RTX/A100\n");
+  return 0;
+}

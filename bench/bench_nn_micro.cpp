@@ -1,0 +1,110 @@
+// Micro-benchmarks (google-benchmark) for the substrates' hot paths:
+// GEMM, attention forward/backward, foundation forward, DQN serving and
+// simulator event throughput. These back the Figure 5/6 architecture cost
+// discussion and the §5.2 "low-overhead simulator" claim.
+#include <benchmark/benchmark.h>
+
+#include "nn/dual_head.hpp"
+#include "rl/dqn.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generator.hpp"
+
+namespace {
+
+using namespace mirage;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  nn::Tensor a(n, n), b(n, n), c;
+  for (float& v : a.flat()) v = static_cast<float>(rng.normal());
+  for (float& v : b.flat()) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    nn::matmul(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+nn::FoundationConfig bench_net(std::size_t k) {
+  nn::FoundationConfig cfg;
+  cfg.history_len = k;
+  cfg.state_dim = 41;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.num_layers = 2;
+  cfg.ffn_hidden = 64;
+  cfg.moe_experts = 4;
+  return cfg;
+}
+
+void BM_AttentionForward(benchmark::State& state) {
+  const auto seq = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  nn::MultiHeadSelfAttention attn(seq, 32, 2, rng);
+  nn::Tensor x(seq * 4, 32);  // batch of 4
+  for (float& v : x.flat()) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    auto y = attn.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(48)->Arg(144);
+
+void BM_FoundationForwardBackward(benchmark::State& state) {
+  const auto cfg = bench_net(static_cast<std::size_t>(state.range(0)));
+  nn::TransformerFoundation f(cfg, 3);
+  util::Rng rng(3);
+  nn::Tensor x(8, cfg.input_dim());
+  for (float& v : x.flat()) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    auto y = f.forward(x, true);
+    auto dx = f.backward(y);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_FoundationForwardBackward)->Arg(16)->Arg(48);
+
+void BM_MoEForward(benchmark::State& state) {
+  auto cfg = bench_net(16);
+  cfg.moe_experts = static_cast<std::size_t>(state.range(0));
+  nn::MoEFoundation f(cfg, 4);
+  util::Rng rng(4);
+  nn::Tensor x(4, cfg.input_dim());
+  for (float& v : x.flat()) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    auto y = f.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_MoEForward)->Arg(2)->Arg(4)->Arg(10);
+
+void BM_DqnServingDecision(benchmark::State& state) {
+  rl::DqnConfig cfg;
+  cfg.net = bench_net(static_cast<std::size_t>(state.range(0)));
+  rl::DqnAgent agent(cfg, 5);
+  std::vector<float> obs(cfg.net.input_dim(), 0.1f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.act_greedy(obs));
+  }
+}
+BENCHMARK(BM_DqnServingDecision)->Arg(16)->Arg(144);
+
+void BM_SimulatorMonthReplay(benchmark::State& state) {
+  trace::GeneratorOptions opt;
+  opt.seed = 6;
+  const auto preset = trace::a100_preset();
+  trace::SyntheticTraceGenerator gen(preset, opt);
+  const auto month = gen.generate_months(2, 3);  // the heavy month
+  for (auto _ : state) {
+    auto sched = sim::replay_trace(month, preset.node_count);
+    benchmark::DoNotOptimize(sched.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(month.size()));
+}
+BENCHMARK(BM_SimulatorMonthReplay)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

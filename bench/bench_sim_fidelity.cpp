@@ -1,0 +1,76 @@
+// §5.2 simulator fidelity study: replay 5 randomly sampled weeks through
+// the fast (EASY-backfill) simulator and the reference (conservative-
+// backfill) simulator; report makespan difference, JCT geometric-mean
+// difference, and the relative overhead — the paper reports <2.5%, <15%
+// and 3-26x respectively, plus "one month simulated within one minute".
+#include <cstdio>
+
+#include "sim/fidelity.hpp"
+#include "sim/reference_simulator.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generator.hpp"
+#include "util/config.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mirage;
+  const auto cli = util::Config::from_args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const int weeks = static_cast<int>(cli.get_int("weeks", 5));
+
+  const auto preset = trace::preset_by_name(cli.get_string("cluster", "v100"));
+  trace::GeneratorOptions opt;
+  opt.seed = seed;
+  trace::SyntheticTraceGenerator gen(preset, opt);
+  const auto full = gen.generate();
+
+  util::Rng rng(seed ^ 0xf1de);
+  std::vector<trace::Trace> samples;
+  for (int w = 0; w < weeks; ++w) {
+    const auto start = static_cast<util::SimTime>(
+        rng.uniform(0.0, static_cast<double>(preset.months) * util::kMonth - util::kWeek));
+    trace::Trace week;
+    for (const auto& j : full) {
+      if (j.submit_time >= start && j.submit_time < start + util::kWeek) week.push_back(j);
+    }
+    samples.push_back(std::move(week));
+  }
+
+  std::printf("Simulator fidelity (%d sampled weeks, %s cluster) vs the reference\n"
+              "conservative-backfill simulator, across reservation depths\n"
+              "(depth 1 = classic EASY; the pipeline default is 8; 16 is the\n"
+              "fidelity-oriented configuration)\n\n",
+              weeks, preset.name.c_str());
+  std::printf("%-8s %14s %14s %10s %12s %16s\n", "depth", "worst mkspanΔ", "worst JCT-gm",
+              "fast(s)", "ref/fast", "months/minute");
+
+  for (int depth : {1, 4, 8, 16}) {
+    sim::SchedulerConfig cfg;
+    cfg.reservation_depth = depth;
+    double worst_makespan = 0.0, worst_jct = 1.0, total_fast = 0.0, total_ref = 0.0;
+    double simulated_seconds = 0.0;
+    for (const auto& week : samples) {
+      const double t0 = util::wall_seconds();
+      const auto fast = sim::replay_trace(week, preset.node_count, cfg);
+      const double t1 = util::wall_seconds();
+      const auto ref = sim::reference_replay(week, preset.node_count);
+      const double t2 = util::wall_seconds();
+      const auto rep = sim::compare_schedules(fast, ref);
+      worst_makespan = std::max(worst_makespan, rep.makespan_rel_diff);
+      worst_jct = std::max(worst_jct, rep.jct_geomean_ratio);
+      total_fast += (t1 - t0);
+      total_ref += (t2 - t1);
+      simulated_seconds += rep.makespan_a;
+    }
+    std::printf("%-8d %13.2f%% %14.3f %10.3f %11.1fx %16.0f\n", depth, 100.0 * worst_makespan,
+                worst_jct, total_fast, total_ref / std::max(total_fast, 1e-9),
+                simulated_seconds / static_cast<double>(util::kMonth) / (total_fast / 60.0));
+  }
+
+  std::printf("\npaper §5.2 reference: makespan diff < 2.5%%, JCT geomean diff < 15%%, 3-26x\n"
+              "lower overhead than the standard Slurm simulator, ~1 simulated month per\n"
+              "minute. (Our reference simulator is itself lightweight C++, so the overhead\n"
+              "ratio is structurally smaller than against the ubccr simulator, which runs\n"
+              "real Slurm code.)\n");
+  return 0;
+}

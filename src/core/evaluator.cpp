@@ -1,0 +1,127 @@
+#include "core/evaluator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/thread_pool.hpp"
+
+namespace mirage::core {
+
+using util::SimTime;
+
+LoadClass classify_load(SimTime reactive_wait) {
+  if (reactive_wait > 12 * util::kHour) return LoadClass::kHeavy;
+  if (reactive_wait >= 2 * util::kHour) return LoadClass::kMedium;
+  return LoadClass::kLight;
+}
+
+namespace {
+void accumulate(LoadAggregate& agg, const rl::EpisodeOutcome& outcome) {
+  agg.interruption_hours.add(util::to_hours(outcome.interruption));
+  agg.overlap_hours.add(util::to_hours(outcome.overlap));
+  if (outcome.zero_interruption()) ++agg.zero_interruption;
+  ++agg.episodes;
+}
+}  // namespace
+
+Evaluator::Evaluator(const trace::Trace& full, std::int32_t cluster_nodes,
+                     rl::EpisodeConfig episode_config, EvalConfig eval_config)
+    : full_(full), nodes_(cluster_nodes), episode_config_(episode_config), config_(eval_config) {}
+
+void Evaluator::prepare(SimTime range_begin, SimTime range_end) {
+  anchors_.clear();
+  reactive_eval_ = MethodEval{};
+  reactive_eval_.method = "reactive";
+
+  util::Rng rng(config_.seed);
+  const SimTime lo = range_begin + episode_config_.warmup;
+  const SimTime hi = std::max(lo + 1, range_end - episode_config_.max_horizon);
+  anchors_.resize(config_.episodes);
+  for (auto& a : anchors_) {
+    a.t0 = lo + static_cast<SimTime>(rng.uniform() * static_cast<double>(hi - lo));
+  }
+
+  std::vector<rl::EpisodeOutcome> outcomes(anchors_.size());
+  auto run_one = [&](std::size_t i) {
+    const trace::Trace window = slice_for_episode(full_, anchors_[i].t0, episode_config_);
+    rl::ProvisionEnv env(window, nodes_, episode_config_, anchors_[i].t0);
+    ReactiveProvisioner reactive;
+    util::Rng episode_rng(config_.seed ^ (0x517cc1b7ull * (i + 1)));
+    drive_episode(reactive, env, episode_rng);
+    anchors_[i].reactive_wait = env.successor_wait();
+    anchors_[i].load = classify_load(env.successor_wait());
+    outcomes[i] = env.outcome();
+  };
+  if (config_.parallel) {
+    util::ThreadPool::global().parallel_for(anchors_.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < anchors_.size(); ++i) run_one(i);
+  }
+  for (std::size_t i = 0; i < anchors_.size(); ++i) {
+    accumulate(reactive_eval_.by_load[static_cast<std::size_t>(anchors_[i].load)], outcomes[i]);
+    accumulate(reactive_eval_.overall, outcomes[i]);
+  }
+}
+
+MethodEval Evaluator::evaluate(const std::string& name, const ProvisionerFactory& factory) const {
+  MethodEval eval;
+  eval.method = name;
+  if (name == "reactive") return reactive_eval_;
+
+  std::vector<rl::EpisodeOutcome> outcomes(anchors_.size());
+  auto run_one = [&](std::size_t i) {
+    const trace::Trace window = slice_for_episode(full_, anchors_[i].t0, episode_config_);
+    rl::ProvisionEnv env(window, nodes_, episode_config_, anchors_[i].t0);
+    auto provisioner = factory();
+    util::Rng episode_rng(config_.seed ^ (0x2545f491ull * (i + 1)));
+    drive_episode(*provisioner, env, episode_rng);
+    outcomes[i] = env.outcome();
+  };
+  if (config_.parallel) {
+    util::ThreadPool::global().parallel_for(anchors_.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < anchors_.size(); ++i) run_one(i);
+  }
+  for (std::size_t i = 0; i < anchors_.size(); ++i) {
+    accumulate(eval.by_load[static_cast<std::size_t>(anchors_[i].load)], outcomes[i]);
+    accumulate(eval.overall, outcomes[i]);
+  }
+  return eval;
+}
+
+std::array<std::size_t, 3> Evaluator::load_histogram() const {
+  std::array<std::size_t, 3> h{};
+  for (const auto& a : anchors_) ++h[static_cast<std::size_t>(a.load)];
+  return h;
+}
+
+std::string format_eval_table(const std::vector<MethodEval>& evals) {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-18s %28s %28s %28s\n", "method",
+                "heavy (int/ovl h, zero%)", "medium (int/ovl h, zero%)",
+                "light (int/ovl h, zero%)");
+  out << line;
+  for (const auto& e : evals) {
+    std::string cells[3];
+    for (std::size_t c = 0; c < 3; ++c) {
+      const auto& agg = e.by_load[c];
+      char cell[64];
+      if (agg.episodes == 0) {
+        std::snprintf(cell, sizeof(cell), "-");
+      } else {
+        std::snprintf(cell, sizeof(cell), "%6.2f /%6.2f  %3.0f%% (n=%zu)",
+                      agg.interruption_hours.mean(), agg.overlap_hours.mean(),
+                      100.0 * agg.zero_interruption_fraction(), agg.episodes);
+      }
+      cells[c] = cell;
+    }
+    std::snprintf(line, sizeof(line), "%-18s %28s %28s %28s\n", e.method.c_str(),
+                  cells[0].c_str(), cells[1].c_str(), cells[2].c_str());
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace mirage::core

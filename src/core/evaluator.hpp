@@ -1,0 +1,93 @@
+// Evaluation harness (paper §6): sample anchor times in a validation
+// range, classify each anchor's load level by the *reactive* baseline's
+// queue wait (heavy > 12 h, medium 2-12 h, light < 2 h), then run every
+// method on the same anchors and aggregate interruption / overlap /
+// zero-interruption statistics per load class.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/provisioner.hpp"
+#include "util/stats.hpp"
+
+namespace mirage::core {
+
+enum class LoadClass : std::size_t { kHeavy = 0, kMedium = 1, kLight = 2 };
+
+inline const char* load_class_name(LoadClass c) {
+  switch (c) {
+    case LoadClass::kHeavy: return "heavy";
+    case LoadClass::kMedium: return "medium";
+    case LoadClass::kLight: return "light";
+  }
+  return "?";
+}
+
+/// Paper's busyness categories from the reactive queue wait.
+LoadClass classify_load(util::SimTime reactive_wait);
+
+struct LoadAggregate {
+  util::RunningStats interruption_hours;
+  util::RunningStats overlap_hours;
+  std::size_t zero_interruption = 0;
+  std::size_t episodes = 0;
+
+  double zero_interruption_fraction() const {
+    return episodes ? static_cast<double>(zero_interruption) / static_cast<double>(episodes) : 0.0;
+  }
+};
+
+struct MethodEval {
+  std::string method;
+  std::array<LoadAggregate, 3> by_load;  ///< indexed by LoadClass
+  LoadAggregate overall;
+
+  const LoadAggregate& at(LoadClass c) const { return by_load[static_cast<std::size_t>(c)]; }
+};
+
+struct EvalConfig {
+  std::size_t episodes = 48;  ///< anchors sampled in the range
+  std::uint64_t seed = 97;
+  bool parallel = true;
+};
+
+class Evaluator {
+ public:
+  Evaluator(const trace::Trace& full, std::int32_t cluster_nodes,
+            rl::EpisodeConfig episode_config, EvalConfig eval_config);
+
+  /// Sample anchors in [begin, end) and run the reactive baseline on each
+  /// (also produces the load classification reused by evaluate()).
+  void prepare(util::SimTime range_begin, util::SimTime range_end);
+
+  /// Evaluate one method on the prepared anchors.
+  MethodEval evaluate(const std::string& name, const ProvisionerFactory& factory) const;
+
+  /// The reactive baseline's own evaluation (from prepare()).
+  const MethodEval& reactive() const { return reactive_eval_; }
+  /// Number of anchors per load class.
+  std::array<std::size_t, 3> load_histogram() const;
+
+ private:
+  struct Anchor {
+    util::SimTime t0 = 0;
+    util::SimTime reactive_wait = 0;
+    LoadClass load = LoadClass::kLight;
+  };
+
+  const trace::Trace& full_;
+  std::int32_t nodes_;
+  rl::EpisodeConfig episode_config_;
+  EvalConfig config_;
+  std::vector<Anchor> anchors_;
+  MethodEval reactive_eval_;
+};
+
+/// Render a set of method evaluations as an aligned text table (one row
+/// per method), reporting avg interruption and overlap per load class —
+/// the quantities behind the paper's Figures 8-10.
+std::string format_eval_table(const std::vector<MethodEval>& evals);
+
+}  // namespace mirage::core

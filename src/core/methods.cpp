@@ -1,0 +1,34 @@
+#include "core/methods.hpp"
+
+namespace mirage::core {
+
+std::string method_name(Method m) {
+  switch (m) {
+    case Method::kReactive: return "reactive";
+    case Method::kAvg: return "avg";
+    case Method::kRandomForest: return "random_forest";
+    case Method::kXgboost: return "xgboost";
+    case Method::kTransformerDqn: return "transformer+DQN";
+    case Method::kTransformerPg: return "transformer+PG";
+    case Method::kMoeDqn: return "MoE+DQN";
+    case Method::kMoePg: return "MoE+PG";
+  }
+  return "?";
+}
+
+std::vector<Method> all_methods() {
+  return {Method::kReactive,       Method::kAvg,           Method::kRandomForest,
+          Method::kXgboost,        Method::kTransformerDqn, Method::kTransformerPg,
+          Method::kMoeDqn,         Method::kMoePg};
+}
+
+bool is_rl_method(Method m) {
+  return m == Method::kTransformerDqn || m == Method::kTransformerPg || m == Method::kMoeDqn ||
+         m == Method::kMoePg;
+}
+
+bool is_statistical_method(Method m) {
+  return m == Method::kRandomForest || m == Method::kXgboost;
+}
+
+}  // namespace mirage::core

@@ -1,0 +1,27 @@
+// The eight methods the paper compares (§6): two heuristics, two ensemble
+// learners, and the four {transformer, MoE} x {DQN, PG} RL combinations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mirage::core {
+
+enum class Method {
+  kReactive,
+  kAvg,
+  kRandomForest,
+  kXgboost,
+  kTransformerDqn,
+  kTransformerPg,
+  kMoeDqn,   ///< Mirage's default model (§6.3)
+  kMoePg,
+};
+
+std::string method_name(Method m);
+/// All eight methods in the paper's presentation order.
+std::vector<Method> all_methods();
+bool is_rl_method(Method m);
+bool is_statistical_method(Method m);
+
+}  // namespace mirage::core

@@ -1,0 +1,201 @@
+#include "core/pipeline.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace mirage::core {
+
+using util::SimTime;
+
+PipelineConfig PipelineConfig::compact(const trace::ClusterPreset& preset, std::int32_t job_nodes,
+                                       std::uint64_t seed) {
+  PipelineConfig cfg;
+  cfg.preset = preset;
+  cfg.seed = seed;
+  cfg.generator.seed = seed;
+
+  cfg.episode.job_nodes = job_nodes;
+  cfg.episode.decision_interval = 30 * util::kMinute;  // 10 min at paper scale
+  cfg.episode.history_len = 16;                        // 144 at paper scale
+
+  cfg.net.history_len = cfg.episode.history_len;
+  cfg.net.state_dim = rl::kFrameDim;
+  cfg.net.d_model = 16;
+  cfg.net.num_heads = 2;
+  cfg.net.num_layers = 1;
+  cfg.net.ffn_hidden = 32;
+  cfg.net.moe_experts = 3;
+
+  cfg.collector.anchors = 64;
+  cfg.collector.probes = 7;
+  cfg.collector.no_submit_samples = 4;
+  cfg.collector.seed = seed ^ 0xc0111ec7;
+
+  cfg.pretrain.epochs = 24;
+  cfg.pretrain.seed = seed ^ 0x97e77a17;
+
+  cfg.online.episodes = 96;
+  cfg.online.episodes_per_round = 8;
+  cfg.online.seed = seed ^ 0x0711e0a1;
+
+  cfg.forest.num_trees = 48;
+  cfg.forest.seed = seed ^ 0xf07e57;
+  cfg.gbdt.num_rounds = 120;
+  cfg.gbdt.seed = seed ^ 0x9bd7;
+
+  cfg.eval.episodes = 48;
+  cfg.eval.seed = seed ^ 0xe5a1;
+  return cfg;
+}
+
+MiragePipeline::MiragePipeline(PipelineConfig config) : config_(std::move(config)) {}
+
+void MiragePipeline::prepare() {
+  trace::SyntheticTraceGenerator generator(config_.preset, config_.generator);
+  workload_ = generator.generate();
+  train_begin_ = trace::trace_begin(workload_);
+  const SimTime span = static_cast<SimTime>(config_.preset.months) * util::kMonth;
+  train_end_ = train_begin_ + static_cast<SimTime>(config_.train_fraction *
+                                                   static_cast<double>(span));
+  validation_end_ = train_begin_ + span;
+  util::log_info("pipeline[", config_.preset.name, "]: ", workload_.size(), " jobs, train ",
+                 util::format_duration(train_end_ - train_begin_), ", validation ",
+                 util::format_duration(validation_end_ - train_end_));
+}
+
+void MiragePipeline::collect_offline() {
+  assert(!workload_.empty() && "call prepare() first");
+  rl::OfflineCollector collector(workload_, config_.preset.node_count, config_.episode,
+                                 config_.collector);
+  offline_ = collector.collect(train_begin_ + config_.episode.warmup,
+                               train_end_ - config_.episode.max_horizon);
+  offline_collected_ = true;
+  util::log_info("offline dataset: ", offline_.nn_samples.size(), " NN samples, ",
+                 offline_.tabular.size(), " tabular samples");
+}
+
+void MiragePipeline::train(Method method) {
+  if (method == Method::kReactive || method == Method::kAvg) return;
+  if (!offline_collected_) {
+    throw std::logic_error("collect_offline() must run before training " + method_name(method));
+  }
+
+  switch (method) {
+    case Method::kRandomForest:
+      forest_.fit(offline_.tabular, config_.forest);
+      return;
+    case Method::kXgboost:
+      gbdt_.fit(offline_.tabular, config_.gbdt);
+      return;
+    case Method::kTransformerDqn:
+    case Method::kMoeDqn: {
+      rl::DqnConfig dc;
+      dc.foundation = (method == Method::kMoeDqn) ? nn::FoundationType::kMoE
+                                                  : nn::FoundationType::kTransformer;
+      dc.net = config_.net;
+      auto agent = std::make_unique<rl::DqnAgent>(dc, config_.seed ^ 0xd92);
+      pretrain_foundation(*agent, offline_.nn_samples, config_.pretrain);
+      train_dqn_online(*agent, workload_, config_.preset.node_count, config_.episode,
+                       train_begin_, train_end_, config_.online, offline_.nn_samples);
+      dqn_agents_[method] = std::move(agent);
+      return;
+    }
+    case Method::kTransformerPg:
+    case Method::kMoePg: {
+      rl::PgConfig pc;
+      pc.foundation = (method == Method::kMoePg) ? nn::FoundationType::kMoE
+                                                 : nn::FoundationType::kTransformer;
+      pc.net = config_.net;
+      auto agent = std::make_unique<rl::PgAgent>(pc, config_.seed ^ 0x99);
+      // Pre-train the shared foundation through a throwaway DQN wrapper
+      // (the V-head regression of §4.9.1b), then copy the foundation in.
+      {
+        rl::DqnConfig warm;
+        warm.foundation = pc.foundation;
+        warm.net = pc.net;
+        rl::DqnAgent warm_agent(warm, config_.seed ^ 0x99);
+        pretrain_foundation(warm_agent, offline_.nn_samples, config_.pretrain);
+        agent->model().copy_params_from(warm_agent.model());
+      }
+      train_pg_online(*agent, workload_, config_.preset.node_count, config_.episode, train_begin_,
+                      train_end_, config_.online);
+      pg_agents_[method] = std::move(agent);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void MiragePipeline::train_all(const std::vector<Method>& methods) {
+  for (Method m : methods) {
+    util::log_info("training ", method_name(m));
+    train(m);
+  }
+}
+
+ProvisionerFactory MiragePipeline::factory(Method method) const {
+  switch (method) {
+    case Method::kReactive:
+      return [] { return std::make_unique<ReactiveProvisioner>(); };
+    case Method::kAvg:
+      return [] { return std::make_unique<AvgWaitProvisioner>(); };
+    case Method::kRandomForest: {
+      const ml::RandomForest* model = &forest_;
+      if (!model->trained()) throw std::logic_error("random_forest is not trained");
+      return [model] {
+        return std::make_unique<WaitPredictionProvisioner>(
+            "random_forest", [model](std::span<const float> f) { return model->predict(f); });
+      };
+    }
+    case Method::kXgboost: {
+      const ml::Gbdt* model = &gbdt_;
+      if (!model->trained()) throw std::logic_error("xgboost is not trained");
+      return [model] {
+        return std::make_unique<WaitPredictionProvisioner>(
+            "xgboost", [model](std::span<const float> f) { return model->predict(f); });
+      };
+    }
+    case Method::kTransformerDqn:
+    case Method::kMoeDqn: {
+      const auto it = dqn_agents_.find(method);
+      if (it == dqn_agents_.end()) throw std::logic_error(method_name(method) + " is not trained");
+      return make_dqn_factory(method_name(method), *it->second);
+    }
+    case Method::kTransformerPg:
+    case Method::kMoePg: {
+      const auto it = pg_agents_.find(method);
+      if (it == pg_agents_.end()) throw std::logic_error(method_name(method) + " is not trained");
+      return make_pg_factory(method_name(method), *it->second);
+    }
+  }
+  throw std::logic_error("unknown method");
+}
+
+std::vector<MethodEval> MiragePipeline::evaluate(const std::vector<Method>& methods) {
+  Evaluator evaluator(workload_, config_.preset.node_count, config_.episode, config_.eval);
+  evaluator.prepare(train_end_, validation_end_);
+  const auto hist = evaluator.load_histogram();
+  util::log_info("validation anchors by load: heavy=", hist[0], " medium=", hist[1],
+                 " light=", hist[2]);
+  std::vector<MethodEval> out;
+  out.reserve(methods.size());
+  for (Method m : methods) {
+    out.push_back(evaluator.evaluate(method_name(m), factory(m)));
+  }
+  return out;
+}
+
+const rl::DqnAgent* MiragePipeline::dqn_agent(Method m) const {
+  const auto it = dqn_agents_.find(m);
+  return it == dqn_agents_.end() ? nullptr : it->second.get();
+}
+
+const rl::PgAgent* MiragePipeline::pg_agent(Method m) const {
+  const auto it = pg_agents_.find(m);
+  return it == pg_agents_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace mirage::core

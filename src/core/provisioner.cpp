@@ -1,0 +1,30 @@
+#include "core/provisioner.hpp"
+
+namespace mirage::core {
+
+int AvgWaitProvisioner::decide(const rl::ProvisionEnv& env, util::Rng&) {
+  const double t_avg = env.recent_average_wait(window_);
+  return static_cast<double>(env.predecessor_remaining()) <= t_avg ? 1 : 0;
+}
+
+int WaitPredictionProvisioner::decide(const rl::ProvisionEnv& env, util::Rng&) {
+  const auto features = env.features();
+  const double predicted_wait_seconds =
+      std::max(0.0, static_cast<double>(predictor_(features))) * 3600.0;
+  return static_cast<double>(env.predecessor_remaining()) <= predicted_wait_seconds ? 1 : 0;
+}
+
+void drive_episode(Provisioner& provisioner, rl::ProvisionEnv& env, util::Rng& rng) {
+  provisioner.reset();
+  for (;;) {
+    const int action = provisioner.decide(env, rng);
+    if (action == 1) {
+      env.step(1);
+      break;
+    }
+    if (!env.step(0)) break;
+  }
+  if (!env.done()) env.finish();
+}
+
+}  // namespace mirage::core

@@ -1,0 +1,70 @@
+// Provisioner interface and the two heuristic baselines (paper §6):
+//   reactive — submit the successor when the predecessor completes (the
+//              common practice the paper improves upon);
+//   avg      — monitor the average queue wait T_avg and submit T_avg
+//              before the predecessor finishes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "rl/env.hpp"
+#include "util/rng.hpp"
+
+namespace mirage::core {
+
+/// A provisioning policy: one decision per 10-minute instant.
+class Provisioner {
+ public:
+  virtual ~Provisioner() = default;
+  virtual std::string name() const = 0;
+  /// Called once per episode before the first decision.
+  virtual void reset() {}
+  /// 1 = submit the successor now, 0 = wait one interval.
+  virtual int decide(const rl::ProvisionEnv& env, util::Rng& rng) = 0;
+};
+
+/// Factory so evaluation workers can build thread-local instances.
+using ProvisionerFactory = std::function<std::unique_ptr<Provisioner>()>;
+
+class ReactiveProvisioner : public Provisioner {
+ public:
+  std::string name() const override { return "reactive"; }
+  int decide(const rl::ProvisionEnv&, util::Rng&) override { return 0; }
+};
+
+class AvgWaitProvisioner : public Provisioner {
+ public:
+  /// `window` is the look-back over which T_avg is measured.
+  explicit AvgWaitProvisioner(util::SimTime window = util::kDay) : window_(window) {}
+  std::string name() const override { return "avg"; }
+  int decide(const rl::ProvisionEnv& env, util::Rng&) override;
+
+ private:
+  util::SimTime window_;
+};
+
+/// Generic wait-prediction provisioner: submit once the predicted successor
+/// queue wait is at least the predecessor's remaining runtime. The Random
+/// Forest / XGBoost baselines plug in as predictors.
+class WaitPredictionProvisioner : public Provisioner {
+ public:
+  using Predictor = std::function<float(std::span<const float>)>;  ///< features -> wait hours
+
+  WaitPredictionProvisioner(std::string name, Predictor predictor)
+      : name_(std::move(name)), predictor_(std::move(predictor)) {}
+  std::string name() const override { return name_; }
+  int decide(const rl::ProvisionEnv& env, util::Rng&) override;
+
+ private:
+  std::string name_;
+  Predictor predictor_;
+};
+
+/// Run one full episode under a provisioner. The env must be freshly
+/// constructed; returns when the outcome is known.
+void drive_episode(Provisioner& provisioner, rl::ProvisionEnv& env, util::Rng& rng);
+
+}  // namespace mirage::core

@@ -1,0 +1,21 @@
+#include "core/rl_provisioners.hpp"
+
+namespace mirage::core {
+
+ProvisionerFactory make_dqn_factory(std::string name, const rl::DqnAgent& trained) {
+  return [name, &trained]() -> std::unique_ptr<Provisioner> {
+    auto agent = std::make_unique<rl::DqnAgent>(trained.config(), /*seed=*/1);
+    agent->model().copy_params_from(const_cast<rl::DqnAgent&>(trained).model());
+    return std::make_unique<DqnProvisioner>(name, std::move(agent));
+  };
+}
+
+ProvisionerFactory make_pg_factory(std::string name, const rl::PgAgent& trained) {
+  return [name, &trained]() -> std::unique_ptr<Provisioner> {
+    auto agent = std::make_unique<rl::PgAgent>(trained.config(), /*seed=*/1);
+    agent->model().copy_params_from(const_cast<rl::PgAgent&>(trained).model());
+    return std::make_unique<PgProvisioner>(name, std::move(agent));
+  };
+}
+
+}  // namespace mirage::core

@@ -1,0 +1,47 @@
+// Provisioner adapters for the trained RL agents (§4.4 policy serving):
+// DQN serves deterministically (argmax Q); PG serves stochastically
+// (samples the output distribution).
+#pragma once
+
+#include <memory>
+
+#include "core/provisioner.hpp"
+#include "rl/dqn.hpp"
+#include "rl/policy_gradient.hpp"
+
+namespace mirage::core {
+
+class DqnProvisioner : public Provisioner {
+ public:
+  DqnProvisioner(std::string name, std::unique_ptr<rl::DqnAgent> agent)
+      : name_(std::move(name)), agent_(std::move(agent)) {}
+  std::string name() const override { return name_; }
+  int decide(const rl::ProvisionEnv& env, util::Rng&) override {
+    return agent_->act_greedy(env.observation(0.0f));
+  }
+
+ private:
+  std::string name_;
+  std::unique_ptr<rl::DqnAgent> agent_;
+};
+
+class PgProvisioner : public Provisioner {
+ public:
+  PgProvisioner(std::string name, std::unique_ptr<rl::PgAgent> agent)
+      : name_(std::move(name)), agent_(std::move(agent)) {}
+  std::string name() const override { return name_; }
+  int decide(const rl::ProvisionEnv& env, util::Rng& rng) override {
+    return agent_->act_sample(env.observation(0.0f), rng);
+  }
+
+ private:
+  std::string name_;
+  std::unique_ptr<rl::PgAgent> agent_;
+};
+
+/// Factory that clones a trained DQN agent per evaluation worker.
+ProvisionerFactory make_dqn_factory(std::string name, const rl::DqnAgent& trained);
+/// Factory that clones a trained PG agent per evaluation worker.
+ProvisionerFactory make_pg_factory(std::string name, const rl::PgAgent& trained);
+
+}  // namespace mirage::core

@@ -1,0 +1,96 @@
+#include "core/tuner.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "nn/loss.hpp"
+
+namespace mirage::core {
+
+namespace {
+/// Mean Huber loss of the agent's Q predictions on a sample set.
+float evaluate_loss(rl::DqnAgent& agent, std::span<const rl::Experience*> samples) {
+  if (samples.empty()) return 0.0f;
+  const std::size_t k = agent.config().net.history_len;
+  nn::Tensor x(samples.size(), samples.front()->observation.size());
+  nn::Tensor target(samples.size(), 1);
+  std::vector<float> obs;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    obs = samples[i]->observation;
+    rl::set_action_channel(obs, k, samples[i]->action == 1 ? 1.0f : -1.0f);
+    std::copy(obs.begin(), obs.end(), x.row(i));
+    target.at(i, 0) = samples[i]->reward;
+  }
+  auto pred = agent.model().forward_q(x, /*train=*/false);
+  return nn::huber_loss(pred, target, agent.config().huber_delta).first;
+}
+}  // namespace
+
+std::vector<TunerResult> grid_search(std::span<const rl::Experience> samples,
+                                     const std::vector<TunerCandidate>& candidates,
+                                     const TunerOptions& options) {
+  std::vector<TunerResult> results;
+  if (samples.empty()) return results;
+
+  // Deterministic shuffled split shared by every candidate.
+  util::Rng rng(options.seed);
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  const auto holdout =
+      static_cast<std::size_t>(options.holdout_fraction * static_cast<double>(samples.size()));
+  std::vector<rl::Experience> train_set;
+  std::vector<const rl::Experience*> val_set;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (i < holdout) {
+      val_set.push_back(&samples[order[i]]);
+    } else {
+      train_set.push_back(samples[order[i]]);
+    }
+  }
+
+  for (const auto& candidate : candidates) {
+    rl::DqnConfig dc;
+    dc.foundation = candidate.type;
+    dc.net = candidate.net;
+    rl::DqnAgent agent(dc, options.seed ^ 0x717e);
+    const auto losses = rl::pretrain_foundation(agent, train_set, options.pretrain);
+    TunerResult r;
+    r.candidate = candidate;
+    r.train_loss = losses.empty() ? 0.0f : losses.back();
+    std::vector<const rl::Experience*> train_ptrs;
+    r.validation_loss = evaluate_loss(agent, val_set);
+    results.push_back(std::move(r));
+  }
+  std::sort(results.begin(), results.end(), [](const TunerResult& a, const TunerResult& b) {
+    return a.validation_loss < b.validation_loss;
+  });
+  return results;
+}
+
+std::vector<TunerCandidate> default_grid(const nn::FoundationConfig& base) {
+  std::vector<TunerCandidate> out;
+  for (std::size_t d_model : {8u, 16u, 32u}) {
+    for (std::size_t layers : {1u, 2u}) {
+      TunerCandidate c;
+      c.net = base;
+      c.net.d_model = d_model;
+      c.net.num_layers = layers;
+      c.net.ffn_hidden = 2 * d_model;
+      c.type = nn::FoundationType::kTransformer;
+      c.label = "tf d" + std::to_string(d_model) + " L" + std::to_string(layers);
+      out.push_back(c);
+    }
+  }
+  for (std::size_t experts : {2u, 4u}) {
+    TunerCandidate c;
+    c.net = base;
+    c.net.moe_experts = experts;
+    c.type = nn::FoundationType::kMoE;
+    c.label = "moe E" + std::to_string(experts);
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace mirage::core

@@ -1,0 +1,44 @@
+// Hyper-parameter grid search — the offline stand-in for the paper's
+// RayTune usage (§4.6 "Hyperparameter tuning"). Candidates are scored by
+// held-out regression loss of the pre-trained foundation on the offline
+// dataset (a cheap, well-correlated proxy for provisioning quality that
+// avoids a full online-RL run per candidate).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rl/trainer.hpp"
+
+namespace mirage::core {
+
+struct TunerCandidate {
+  nn::FoundationConfig net;
+  nn::FoundationType type = nn::FoundationType::kMoE;
+  std::string label;
+};
+
+struct TunerResult {
+  TunerCandidate candidate;
+  float train_loss = 0.0f;
+  float validation_loss = 0.0f;
+};
+
+struct TunerOptions {
+  rl::PretrainConfig pretrain;
+  double holdout_fraction = 0.25;
+  std::uint64_t seed = 31;
+};
+
+/// Evaluate all candidates on the offline samples; results are sorted by
+/// validation loss (best first).
+std::vector<TunerResult> grid_search(std::span<const rl::Experience> samples,
+                                     const std::vector<TunerCandidate>& candidates,
+                                     const TunerOptions& options);
+
+/// The default grid: d_model x layers x heads x experts around the compact
+/// configuration.
+std::vector<TunerCandidate> default_grid(const nn::FoundationConfig& base);
+
+}  // namespace mirage::core

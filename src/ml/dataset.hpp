@@ -1,0 +1,36 @@
+// Flat dataset container shared by the tree-based learners.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mirage::ml {
+
+/// Row-major feature matrix with a regression target per row.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::size_t num_features) : num_features_(num_features) {}
+
+  void add_row(std::span<const float> features, float target) {
+    assert(features.size() == num_features_);
+    x_.insert(x_.end(), features.begin(), features.end());
+    y_.push_back(target);
+  }
+
+  std::size_t size() const { return y_.size(); }
+  std::size_t num_features() const { return num_features_; }
+  const float* row(std::size_t i) const { return x_.data() + i * num_features_; }
+  float target(std::size_t i) const { return y_[i]; }
+  float& mutable_target(std::size_t i) { return y_[i]; }
+  const std::vector<float>& targets() const { return y_; }
+
+ private:
+  std::size_t num_features_ = 0;
+  std::vector<float> x_;
+  std::vector<float> y_;
+};
+
+}  // namespace mirage::ml

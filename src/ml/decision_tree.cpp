@@ -1,0 +1,165 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mirage::ml {
+
+namespace {
+/// Weighted mean of targets over an index range.
+double weighted_mean(const Dataset& data, std::span<const std::size_t> idx,
+                     std::span<const float> w) {
+  double sum = 0.0, wsum = 0.0;
+  for (std::size_t i : idx) {
+    const double wi = w.empty() ? 1.0 : w[i];
+    sum += wi * data.target(i);
+    wsum += wi;
+  }
+  return wsum > 0 ? sum / wsum : 0.0;
+}
+}  // namespace
+
+void DecisionTree::fit(const Dataset& data, const TreeParams& params, util::Rng& rng,
+                       std::span<const std::size_t> indices, std::span<const float> sample_weight) {
+  nodes_.clear();
+  std::vector<std::size_t> idx;
+  if (indices.empty()) {
+    idx.resize(data.size());
+    std::iota(idx.begin(), idx.end(), 0);
+  } else {
+    idx.assign(indices.begin(), indices.end());
+  }
+  if (idx.empty()) {
+    nodes_.push_back(Node{});
+    return;
+  }
+  build(data, params, rng, idx, 0, idx.size(), sample_weight, 0);
+}
+
+std::int32_t DecisionTree::build(const Dataset& data, const TreeParams& params, util::Rng& rng,
+                                 std::vector<std::size_t>& indices, std::size_t begin,
+                                 std::size_t end, std::span<const float> w, std::int32_t depth) {
+  const std::int32_t id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  const std::span<const std::size_t> range(indices.data() + begin, end - begin);
+  nodes_[static_cast<std::size_t>(id)].value = static_cast<float>(weighted_mean(data, range, w));
+
+  if (depth >= params.max_depth || range.size() < 2 * params.min_samples_leaf) return id;
+
+  const SplitResult split = best_split(data, params, rng, range, w);
+  if (split.feature < 0 || split.gain <= 1e-12) return id;
+
+  // Partition [begin,end) in place around the threshold.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t i) {
+        return data.row(i)[static_cast<std::size_t>(split.feature)] <= split.threshold;
+      });
+  const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid - begin < params.min_samples_leaf || end - mid < params.min_samples_leaf) return id;
+
+  nodes_[static_cast<std::size_t>(id)].feature = split.feature;
+  nodes_[static_cast<std::size_t>(id)].threshold = split.threshold;
+  nodes_[static_cast<std::size_t>(id)].gain = static_cast<float>(split.gain);
+  const std::int32_t left = build(data, params, rng, indices, begin, mid, w, depth + 1);
+  const std::int32_t right = build(data, params, rng, indices, mid, end, w, depth + 1);
+  nodes_[static_cast<std::size_t>(id)].left = left;
+  nodes_[static_cast<std::size_t>(id)].right = right;
+  return id;
+}
+
+DecisionTree::SplitResult DecisionTree::best_split(const Dataset& data, const TreeParams& params,
+                                                   util::Rng& rng,
+                                                   std::span<const std::size_t> indices,
+                                                   std::span<const float> w) const {
+  const std::size_t nf = data.num_features();
+  std::vector<std::size_t> features(nf);
+  std::iota(features.begin(), features.end(), 0);
+  std::size_t to_try = params.max_features == 0 ? nf : std::min(params.max_features, nf);
+  if (to_try < nf) rng.shuffle(features);
+
+  SplitResult best;
+  // Scratch: (feature value, weighted target, weight) sorted per feature.
+  struct Entry {
+    float x;
+    double wy;
+    double wt;
+  };
+  std::vector<Entry> entries(indices.size());
+
+  for (std::size_t f_i = 0; f_i < to_try; ++f_i) {
+    const std::size_t f = features[f_i];
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      const std::size_t i = indices[j];
+      const double wi = w.empty() ? 1.0 : w[i];
+      entries[j] = {data.row(i)[f], wi * data.target(i), wi};
+    }
+    std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) { return a.x < b.x; });
+
+    double total_wy = 0.0, total_w = 0.0;
+    for (const auto& e : entries) {
+      total_wy += e.wy;
+      total_w += e.wt;
+    }
+    if (total_w <= 0) continue;
+
+    // Variance reduction == maximizing sum of (S^2/W) over children.
+    double left_wy = 0.0, left_w = 0.0;
+    for (std::size_t j = 0; j + 1 < entries.size(); ++j) {
+      left_wy += entries[j].wy;
+      left_w += entries[j].wt;
+      if (entries[j].x == entries[j + 1].x) continue;  // no valid threshold here
+      if (j + 1 < params.min_samples_leaf || entries.size() - j - 1 < params.min_samples_leaf) {
+        continue;
+      }
+      const double right_wy = total_wy - left_wy;
+      const double right_w = total_w - left_w;
+      if (left_w <= 0 || right_w <= 0) continue;
+      const double gain = left_wy * left_wy / left_w + right_wy * right_wy / right_w -
+                          total_wy * total_wy / total_w;
+      if (gain > best.gain) {
+        best.gain = gain;
+        best.feature = static_cast<std::int32_t>(f);
+        best.threshold = 0.5f * (entries[j].x + entries[j + 1].x);
+      }
+    }
+  }
+  return best;
+}
+
+float DecisionTree::predict(std::span<const float> features) const {
+  if (nodes_.empty()) return 0.0f;
+  std::int32_t cur = 0;
+  for (;;) {
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    if (n.feature < 0 || n.left < 0) return n.value;
+    cur = features[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+  }
+}
+
+void DecisionTree::accumulate_importance(std::vector<double>& importance) const {
+  for (const auto& n : nodes_) {
+    if (n.feature >= 0 && n.left >= 0) {
+      importance[static_cast<std::size_t>(n.feature)] += n.gain;
+    }
+  }
+}
+
+std::int32_t DecisionTree::depth() const {
+  // Iterative depth computation over the implicit tree.
+  if (nodes_.empty()) return 0;
+  std::int32_t max_depth = 0;
+  std::vector<std::pair<std::int32_t, std::int32_t>> stack{{0, 1}};
+  while (!stack.empty()) {
+    const auto [id, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const Node& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.left >= 0) stack.push_back({n.left, d + 1});
+    if (n.right >= 0) stack.push_back({n.right, d + 1});
+  }
+  return max_depth;
+}
+
+}  // namespace mirage::ml

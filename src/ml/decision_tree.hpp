@@ -1,0 +1,66 @@
+// CART regression tree with variance-reduction splits. Building block for
+// both the Random Forest and the gradient-boosting baselines (paper §6
+// compares Mirage's RL agents against Random Forest and XGBoost).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace mirage::ml {
+
+struct TreeParams {
+  std::int32_t max_depth = 8;
+  std::size_t min_samples_leaf = 5;
+  /// Features examined per split; 0 = all (forest uses sqrt subsampling).
+  std::size_t max_features = 0;
+};
+
+class DecisionTree {
+ public:
+  /// Fit on the rows of `data` selected by `indices` (all rows when empty).
+  /// `sample_weight` (optional, aligned with data rows) supports boosting.
+  void fit(const Dataset& data, const TreeParams& params, util::Rng& rng,
+           std::span<const std::size_t> indices = {},
+           std::span<const float> sample_weight = {});
+
+  float predict(std::span<const float> features) const;
+  bool trained() const { return !nodes_.empty(); }
+  std::size_t node_count() const { return nodes_.size(); }
+  std::int32_t depth() const;
+
+  /// Add each split's variance-reduction gain to `importance[feature]`
+  /// (vector must be sized to the feature count).
+  void accumulate_importance(std::vector<double>& importance) const;
+
+ private:
+  struct Node {
+    // Leaf when feature < 0.
+    std::int32_t feature = -1;
+    float threshold = 0.0f;
+    float value = 0.0f;        ///< leaf prediction
+    float gain = 0.0f;         ///< split gain (0 for leaves)
+    std::int32_t left = -1;    ///< index into nodes_
+    std::int32_t right = -1;
+  };
+
+  struct SplitResult {
+    std::int32_t feature = -1;
+    float threshold = 0.0f;
+    double gain = 0.0;
+  };
+
+  std::int32_t build(const Dataset& data, const TreeParams& params, util::Rng& rng,
+                     std::vector<std::size_t>& indices, std::size_t begin, std::size_t end,
+                     std::span<const float> w, std::int32_t depth);
+  SplitResult best_split(const Dataset& data, const TreeParams& params, util::Rng& rng,
+                         std::span<const std::size_t> indices, std::span<const float> w) const;
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace mirage::ml

@@ -1,0 +1,175 @@
+#include "ml/gbdt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mirage::ml {
+
+namespace {
+struct SplitResult {
+  std::int32_t feature = -1;
+  float threshold = 0.0f;
+  double gain = 0.0;
+};
+
+double leaf_weight(double g, double h, double lambda) { return -g / (h + lambda); }
+
+double score(double g, double h, double lambda) { return g * g / (h + lambda); }
+}  // namespace
+
+void Gbdt::fit(const Dataset& data, const GbdtParams& params) {
+  trees_.clear();
+  rmse_history_.clear();
+  learning_rate_ = params.learning_rate;
+  if (data.size() == 0) {
+    base_score_ = 0.0f;
+    return;
+  }
+
+  // Base score: target mean (one Newton step from 0 with L2 off).
+  double mean = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) mean += data.target(i);
+  mean /= static_cast<double>(data.size());
+  base_score_ = static_cast<float>(mean);
+
+  std::vector<double> pred(data.size(), mean);
+  std::vector<double> grad(data.size()), hess(data.size(), 1.0);
+  util::Rng rng(params.seed);
+
+  for (std::size_t round = 0; round < params.num_rounds; ++round) {
+    double se = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const double r = pred[i] - data.target(i);
+      grad[i] = r;  // d/dpred 0.5*(pred-y)^2
+      se += r * r;
+    }
+    rmse_history_.push_back(std::sqrt(se / static_cast<double>(data.size())));
+
+    // Row subsample for this round.
+    std::vector<std::size_t> idx;
+    idx.reserve(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (params.subsample >= 1.0 || rng.bernoulli(params.subsample)) idx.push_back(i);
+    }
+    if (idx.empty()) continue;
+
+    Tree tree;
+    build(tree, data, params, idx, 0, idx.size(), grad, hess, 0);
+    // Update predictions on all rows with shrinkage.
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      pred[i] += params.learning_rate * predict_tree(tree, {data.row(i), data.num_features()});
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::int32_t Gbdt::build(Tree& tree, const Dataset& data, const GbdtParams& params,
+                         std::vector<std::size_t>& indices, std::size_t begin, std::size_t end,
+                         std::span<const double> grad, std::span<const double> hess,
+                         std::int32_t depth) {
+  const auto id = static_cast<std::int32_t>(tree.size());
+  tree.push_back(Node{});
+
+  double g_sum = 0.0, h_sum = 0.0;
+  for (std::size_t j = begin; j < end; ++j) {
+    g_sum += grad[indices[j]];
+    h_sum += hess[indices[j]];
+  }
+  tree[static_cast<std::size_t>(id)].weight =
+      static_cast<float>(leaf_weight(g_sum, h_sum, params.lambda));
+
+  if (depth >= params.max_depth ||
+      end - begin < 2 * params.min_child_weight) {
+    return id;
+  }
+
+  // Exact greedy split search over all features.
+  SplitResult best;
+  struct Entry {
+    float x;
+    double g;
+    double h;
+  };
+  std::vector<Entry> entries(end - begin);
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    for (std::size_t j = begin; j < end; ++j) {
+      const std::size_t i = indices[j];
+      entries[j - begin] = {data.row(i)[f], grad[i], hess[i]};
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.x < b.x; });
+    double gl = 0.0, hl = 0.0;
+    for (std::size_t j = 0; j + 1 < entries.size(); ++j) {
+      gl += entries[j].g;
+      hl += entries[j].h;
+      if (entries[j].x == entries[j + 1].x) continue;
+      const double hr = h_sum - hl;
+      if (hl < static_cast<double>(params.min_child_weight) ||
+          hr < static_cast<double>(params.min_child_weight)) {
+        continue;
+      }
+      const double gr = g_sum - gl;
+      const double gain = 0.5 * (score(gl, hl, params.lambda) + score(gr, hr, params.lambda) -
+                                 score(g_sum, h_sum, params.lambda)) -
+                          params.gamma;
+      if (gain > best.gain) {
+        best = {static_cast<std::int32_t>(f), 0.5f * (entries[j].x + entries[j + 1].x), gain};
+      }
+    }
+  }
+  if (best.feature < 0 || best.gain <= 0.0) return id;
+
+  const auto mid_it =
+      std::partition(indices.begin() + static_cast<std::ptrdiff_t>(begin),
+                     indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t i) {
+                       return data.row(i)[static_cast<std::size_t>(best.feature)] <=
+                              best.threshold;
+                     });
+  const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return id;
+
+  tree[static_cast<std::size_t>(id)].feature = best.feature;
+  tree[static_cast<std::size_t>(id)].threshold = best.threshold;
+  tree[static_cast<std::size_t>(id)].gain = static_cast<float>(best.gain);
+  const std::int32_t left = build(tree, data, params, indices, begin, mid, grad, hess, depth + 1);
+  const std::int32_t right = build(tree, data, params, indices, mid, end, grad, hess, depth + 1);
+  tree[static_cast<std::size_t>(id)].left = left;
+  tree[static_cast<std::size_t>(id)].right = right;
+  return id;
+}
+
+float Gbdt::predict_tree(const Tree& tree, std::span<const float> features) {
+  if (tree.empty()) return 0.0f;
+  std::int32_t cur = 0;
+  for (;;) {
+    const Node& n = tree[static_cast<std::size_t>(cur)];
+    if (n.feature < 0 || n.left < 0) return n.weight;
+    cur = features[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+  }
+}
+
+std::vector<double> Gbdt::feature_importance(std::size_t num_features) const {
+  std::vector<double> importance(num_features, 0.0);
+  for (const auto& tree : trees_) {
+    for (const auto& n : tree) {
+      if (n.feature >= 0 && n.left >= 0) {
+        importance[static_cast<std::size_t>(n.feature)] += n.gain;
+      }
+    }
+  }
+  double total = 0.0;
+  for (double v : importance) total += v;
+  if (total > 0) {
+    for (double& v : importance) v /= total;
+  }
+  return importance;
+}
+
+float Gbdt::predict(std::span<const float> features) const {
+  double out = base_score_;
+  for (const auto& t : trees_) out += learning_rate_ * predict_tree(t, features);
+  return static_cast<float>(out);
+}
+
+}  // namespace mirage::ml

@@ -1,0 +1,64 @@
+// XGBoost-style gradient-boosted regression trees (Chen & Guestrin 2016):
+// second-order Newton boosting with L2 leaf regularization (lambda),
+// minimum-gain pruning (gamma), shrinkage and row subsampling. Squared
+// error objective (g = pred - y, h = 1), which is what the paper's wait-
+// time regression baseline needs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace mirage::ml {
+
+struct GbdtParams {
+  std::size_t num_rounds = 100;
+  std::int32_t max_depth = 5;
+  double learning_rate = 0.1;
+  double lambda = 1.0;          ///< L2 on leaf weights
+  double gamma = 0.0;           ///< min split gain
+  double subsample = 0.8;       ///< row sampling per round
+  std::size_t min_child_weight = 5;  ///< min hessian sum (== samples for L2 loss)
+  std::uint64_t seed = 4321;
+};
+
+class Gbdt {
+ public:
+  void fit(const Dataset& data, const GbdtParams& params);
+  float predict(std::span<const float> features) const;
+  std::size_t round_count() const { return trees_.size(); }
+  bool trained() const { return !trees_.empty() || base_score_ != 0.0f; }
+  /// Gain-based feature importance, normalized to sum to 1.
+  std::vector<double> feature_importance(std::size_t num_features) const;
+
+  /// Training loss (RMSE) after each round — exposed so tests can assert
+  /// monotone-ish convergence.
+  const std::vector<double>& train_rmse_history() const { return rmse_history_; }
+
+ private:
+  struct Node {
+    std::int32_t feature = -1;
+    float threshold = 0.0f;
+    float weight = 0.0f;  ///< leaf output
+    float gain = 0.0f;    ///< split gain (0 for leaves)
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+  using Tree = std::vector<Node>;
+
+  std::int32_t build(Tree& tree, const Dataset& data, const GbdtParams& params,
+                     std::vector<std::size_t>& indices, std::size_t begin, std::size_t end,
+                     std::span<const double> grad, std::span<const double> hess,
+                     std::int32_t depth);
+  static float predict_tree(const Tree& tree, std::span<const float> features);
+
+  float base_score_ = 0.0f;
+  std::vector<Tree> trees_;
+  double learning_rate_ = 0.1;
+  std::vector<double> rmse_history_;
+};
+
+}  // namespace mirage::ml

@@ -1,0 +1,56 @@
+#include "ml/random_forest.hpp"
+
+#include <cmath>
+
+#include "util/thread_pool.hpp"
+
+namespace mirage::ml {
+
+void RandomForest::fit(const Dataset& data, const ForestParams& params) {
+  trees_.assign(params.num_trees, DecisionTree{});
+  if (data.size() == 0) return;
+
+  TreeParams tp = params.tree;
+  if (tp.max_features == 0) {
+    tp.max_features = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::sqrt(static_cast<double>(data.num_features()))));
+  }
+  const auto n_sample =
+      std::max<std::size_t>(1, static_cast<std::size_t>(params.subsample *
+                                                        static_cast<double>(data.size())));
+
+  auto train_one = [&](std::size_t t) {
+    util::Rng rng(params.seed + 0x9e37 * (t + 1));
+    std::vector<std::size_t> boot(n_sample);
+    for (auto& i : boot) {
+      i = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(data.size()) - 1));
+    }
+    trees_[t].fit(data, tp, rng, boot);
+  };
+
+  if (params.parallel) {
+    util::ThreadPool::global().parallel_for(params.num_trees, train_one);
+  } else {
+    for (std::size_t t = 0; t < params.num_trees; ++t) train_one(t);
+  }
+}
+
+std::vector<double> RandomForest::feature_importance(std::size_t num_features) const {
+  std::vector<double> importance(num_features, 0.0);
+  for (const auto& t : trees_) t.accumulate_importance(importance);
+  double total = 0.0;
+  for (double v : importance) total += v;
+  if (total > 0) {
+    for (double& v : importance) v /= total;
+  }
+  return importance;
+}
+
+float RandomForest::predict(std::span<const float> features) const {
+  if (trees_.empty()) return 0.0f;
+  double sum = 0.0;
+  for (const auto& t : trees_) sum += t.predict(features);
+  return static_cast<float>(sum / static_cast<double>(trees_.size()));
+}
+
+}  // namespace mirage::ml

@@ -1,0 +1,37 @@
+// Bagged random-forest regressor (Breiman 2001), one of the paper's two
+// ensemble baselines. Trees train in parallel on bootstrap resamples with
+// sqrt-feature subsampling.
+#pragma once
+
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace mirage::ml {
+
+struct ForestParams {
+  std::size_t num_trees = 64;
+  TreeParams tree;
+  /// Bootstrap sample fraction of the training set.
+  double subsample = 1.0;
+  std::uint64_t seed = 1234;
+  /// Train trees on the shared thread pool.
+  bool parallel = true;
+};
+
+class RandomForest {
+ public:
+  void fit(const Dataset& data, const ForestParams& params);
+  float predict(std::span<const float> features) const;
+  std::size_t tree_count() const { return trees_.size(); }
+  bool trained() const { return !trees_.empty(); }
+
+  /// Gain-based feature importance, normalized to sum to 1 (all-zero when
+  /// no split used a feature).
+  std::vector<double> feature_importance(std::size_t num_features) const;
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace mirage::ml

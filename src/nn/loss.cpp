@@ -1,0 +1,71 @@
+#include "nn/loss.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mirage::nn {
+
+std::pair<float, Tensor> mse_loss(const Tensor& pred, const Tensor& target) {
+  assert(pred.size() == target.size());
+  Tensor grad(pred.rows(), pred.cols());
+  const float inv_n = 1.0f / static_cast<float>(pred.size());
+  float loss = 0.0f;
+  const auto p = pred.flat();
+  const auto t = target.flat();
+  auto g = grad.flat();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const float d = p[i] - t[i];
+    loss += d * d;
+    g[i] = 2.0f * d * inv_n;
+  }
+  return {loss * inv_n, std::move(grad)};
+}
+
+std::pair<float, Tensor> huber_loss(const Tensor& pred, const Tensor& target, float delta) {
+  assert(pred.size() == target.size());
+  Tensor grad(pred.rows(), pred.cols());
+  const float inv_n = 1.0f / static_cast<float>(pred.size());
+  float loss = 0.0f;
+  const auto p = pred.flat();
+  const auto t = target.flat();
+  auto g = grad.flat();
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const float d = p[i] - t[i];
+    if (std::abs(d) <= delta) {
+      loss += 0.5f * d * d;
+      g[i] = d * inv_n;
+    } else {
+      loss += delta * (std::abs(d) - 0.5f * delta);
+      g[i] = (d > 0 ? delta : -delta) * inv_n;
+    }
+  }
+  return {loss * inv_n, std::move(grad)};
+}
+
+std::pair<float, Tensor> cross_entropy_from_probs(const Tensor& probs,
+                                                  const std::vector<int>& labels,
+                                                  const std::vector<float>& sample_weights) {
+  assert(probs.rows() == labels.size());
+  Tensor grad(probs.rows(), probs.cols());
+  const float inv_b = 1.0f / static_cast<float>(probs.rows());
+  float loss = 0.0f;
+  for (std::size_t b = 0; b < probs.rows(); ++b) {
+    const float w = sample_weights.empty() ? 1.0f : sample_weights[b];
+    const auto label = static_cast<std::size_t>(labels[b]);
+    const float p = std::max(probs.at(b, label), 1e-12f);
+    loss += -w * std::log(p);
+    float* g = grad.row(b);
+    for (std::size_t c = 0; c < probs.cols(); ++c) {
+      g[c] = w * (probs.at(b, c) - (c == label ? 1.0f : 0.0f)) * inv_b;
+    }
+  }
+  return {loss * inv_b, std::move(grad)};
+}
+
+std::pair<float, Tensor> policy_gradient_loss(const Tensor& probs, const std::vector<int>& actions,
+                                              const std::vector<float>& advantages) {
+  assert(actions.size() == advantages.size());
+  return cross_entropy_from_probs(probs, actions, advantages);
+}
+
+}  // namespace mirage::nn

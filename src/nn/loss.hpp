@@ -1,0 +1,31 @@
+// Loss functions returning (scalar loss, gradient w.r.t. prediction).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace mirage::nn {
+
+/// Mean squared error over all elements; grad is 2*(pred-target)/N.
+std::pair<float, Tensor> mse_loss(const Tensor& pred, const Tensor& target);
+
+/// Huber (smooth-L1) loss with threshold delta — standard for DQN targets
+/// whose magnitudes are heavy-tailed.
+std::pair<float, Tensor> huber_loss(const Tensor& pred, const Tensor& target, float delta = 1.0f);
+
+/// Cross-entropy on probabilities `probs` [B, C] (already softmaxed) versus
+/// integer labels, weighted per sample. Returns (mean loss, grad w.r.t. the
+/// *logits*, using the softmax-CE shortcut grad = probs - onehot).
+std::pair<float, Tensor> cross_entropy_from_probs(const Tensor& probs,
+                                                  const std::vector<int>& labels,
+                                                  const std::vector<float>& sample_weights = {});
+
+/// REINFORCE surrogate: loss = -mean_b( advantage_b * log probs[b, action_b] ).
+/// Returns (loss, grad w.r.t. logits) — identical shortcut with the
+/// advantage folded into the sample weight.
+std::pair<float, Tensor> policy_gradient_loss(const Tensor& probs, const std::vector<int>& actions,
+                                              const std::vector<float>& advantages);
+
+}  // namespace mirage::nn

@@ -1,0 +1,28 @@
+#include "nn/module.hpp"
+
+#include <cmath>
+
+namespace mirage::nn {
+
+float clip_grad_norm(const std::vector<Parameter*>& params, float max_norm) {
+  float total = 0.0f;
+  for (auto* p : params) total += p->grad.squared_norm();
+  const float norm = std::sqrt(total);
+  if (norm > max_norm && norm > 0.0f) {
+    const float s = max_norm / norm;
+    for (auto* p : params) p->grad.scale(s);
+  }
+  return norm;
+}
+
+void init_xavier_uniform(Tensor& w, std::size_t fan_in, std::size_t fan_out, util::Rng& rng) {
+  const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  for (float& v : w.flat()) v = static_cast<float>(rng.uniform(-limit, limit));
+}
+
+void init_he_uniform(Tensor& w, std::size_t fan_in, util::Rng& rng) {
+  const float limit = std::sqrt(6.0f / static_cast<float>(fan_in));
+  for (float& v : w.flat()) v = static_cast<float>(rng.uniform(-limit, limit));
+}
+
+}  // namespace mirage::nn

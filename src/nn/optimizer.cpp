@@ -1,0 +1,73 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace mirage::nn {
+
+SGD::SGD(std::vector<Parameter*> params, float lr_in, float momentum, float weight_decay)
+    : Optimizer(std::move(params)), momentum_(momentum), weight_decay_(weight_decay) {
+  lr = lr_in;
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (auto* p : params_) velocity_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void SGD::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto* p = params_[i];
+    auto val = p->value.flat();
+    auto g = p->grad.flat();
+    if (momentum_ > 0.0f) {
+      auto vel = velocity_[i].flat();
+      for (std::size_t j = 0; j < val.size(); ++j) {
+        const float grad = g[j] + weight_decay_ * val[j];
+        vel[j] = momentum_ * vel[j] + grad;
+        val[j] -= lr * vel[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < val.size(); ++j) {
+        val[j] -= lr * (g[j] + weight_decay_ * val[j]);
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr_in, float beta1, float beta2, float eps,
+           float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  lr = lr_in;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto* p = params_[i];
+    auto val = p->value.flat();
+    auto g = p->grad.flat();
+    auto m = m_[i].flat();
+    auto v = v_[i].flat();
+    for (std::size_t j = 0; j < val.size(); ++j) {
+      const float grad = g[j] + weight_decay_ * val[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad * grad;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      val[j] -= lr * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace mirage::nn

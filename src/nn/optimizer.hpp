@@ -1,0 +1,52 @@
+// First-order optimizers. Both operate on a fixed parameter list captured
+// at construction (pointer stability is the caller's responsibility).
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace mirage::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad() { zero_grads(params_); }
+  const std::vector<Parameter*>& params() const { return params_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+/// SGD with optional momentum and L2 weight decay.
+class SGD : public Optimizer {
+ public:
+  SGD(std::vector<Parameter*> params, float lr, float momentum = 0.0f, float weight_decay = 0.0f);
+  void step() override;
+
+  float lr = 0.01f;
+
+ private:
+  float momentum_, weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (paper §4.9 uses Adam for foundation pre-training).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f, float weight_decay = 0.0f);
+  void step() override;
+
+  float lr = 1e-3f;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace mirage::nn

@@ -1,0 +1,136 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mirage::nn {
+
+Tensor Tensor::row_vector(std::span<const float> values) {
+  Tensor t(1, values.size());
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+Tensor& Tensor::add(const Tensor& other) {
+  assert(size() == other.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::add_scaled(const Tensor& other, float s) {
+  assert(size() == other.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::mul(const Tensor& other) {
+  assert(size() == other.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::scale(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+float Tensor::squared_norm() const {
+  float acc = 0.0f;
+  for (float v : data_) acc += v * v;
+  return acc;
+}
+
+namespace {
+/// ikj-order GEMM: streams B rows, vectorizes the inner j loop.
+void gemm_ikj(const float* a, const float* b, float* out, std::size_t m, std::size_t k,
+              std::size_t n, bool accumulate) {
+  if (!accumulate) std::fill(out, out + m * n, 0.0f);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+}  // namespace
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
+  assert(a.cols() == b.rows());
+  if (out.rows() != a.rows() || out.cols() != b.cols()) {
+    assert(!accumulate);
+    out = Tensor(a.rows(), b.cols());
+  }
+  gemm_ikj(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.cols(), accumulate);
+}
+
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
+  // out[MxN] = A^T * B where A is [KxM], B is [KxN].
+  assert(a.rows() == b.rows());
+  const std::size_t m = a.cols(), k = a.rows(), n = b.cols();
+  if (out.rows() != m || out.cols() != n) {
+    assert(!accumulate);
+    out = Tensor(m, n);
+  }
+  if (!accumulate) out.zero();
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a.row(p);
+    const float* brow = b.row(p);
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out.row(i);
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
+  // out[MxN] = A * B^T where A is [MxK], B is [NxK].
+  assert(a.cols() == b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  if (out.rows() != m || out.cols() != n) {
+    assert(!accumulate);
+    out = Tensor(m, n);
+  }
+  if (!accumulate) out.zero();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      orow[j] += acc;
+    }
+  }
+}
+
+void add_bias_rows(Tensor& x, const Tensor& bias) {
+  assert(bias.rows() == 1 && bias.cols() == x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    float* row = x.row(r);
+    const float* b = bias.data();
+    for (std::size_t c = 0; c < x.cols(); ++c) row[c] += b[c];
+  }
+}
+
+void softmax_rows(Tensor& x) {
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    float* row = x.row(r);
+    float mx = row[0];
+    for (std::size_t c = 1; c < x.cols(); ++c) mx = std::max(mx, row[c]);
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      row[c] = std::exp(row[c] - mx);
+      sum += row[c];
+    }
+    const float inv = 1.0f / sum;
+    for (std::size_t c = 0; c < x.cols(); ++c) row[c] *= inv;
+  }
+}
+
+}  // namespace mirage::nn

@@ -1,0 +1,64 @@
+#include "rl/chain.hpp"
+
+namespace mirage::rl {
+
+using util::SimTime;
+
+SimTime ChainResult::total_interruption() const {
+  SimTime total = 0;
+  for (const auto& l : links) total += l.outcome.interruption;
+  return total;
+}
+
+SimTime ChainResult::total_overlap() const {
+  SimTime total = 0;
+  for (const auto& l : links) total += l.outcome.overlap;
+  return total;
+}
+
+std::size_t ChainResult::zero_interruption_links() const {
+  std::size_t n = 0;
+  for (const auto& l : links) n += l.outcome.zero_interruption();
+  return n;
+}
+
+double ChainResult::downtime_fraction(SimTime sub_job_runtime) const {
+  if (links.empty() || sub_job_runtime <= 0) return 0.0;
+  const double ideal = static_cast<double>(sub_job_runtime) * static_cast<double>(links.size());
+  return static_cast<double>(total_interruption()) / (ideal + static_cast<double>(total_interruption()));
+}
+
+ChainResult run_chain(const trace::Trace& background_full, std::int32_t cluster_nodes,
+                      const EpisodeConfig& episode_config, SimTime t0, std::size_t links,
+                      const ChainPolicy& policy) {
+  ChainResult result;
+  result.links.reserve(links);
+  SimTime anchor = t0;
+  for (std::size_t i = 0; i < links; ++i) {
+    const trace::Trace window = slice_for_episode(background_full, anchor, episode_config);
+    ProvisionEnv env(window, cluster_nodes, episode_config, anchor);
+    for (;;) {
+      const int action = policy(env);
+      if (action == 1) {
+        env.step(1);
+        break;
+      }
+      if (!env.step(0)) break;
+    }
+    if (!env.done()) env.finish();
+
+    ChainLinkResult link;
+    link.outcome = env.outcome();
+    link.reward = env.reward();
+    link.submit_offset = env.submit_offset();
+    link.successor_wait = env.successor_wait();
+    result.links.push_back(link);
+
+    // The successor becomes the next predecessor: the service resumes one
+    // sub-job lifetime later, delayed by whatever interruption occurred.
+    anchor += episode_config.job_runtime + link.outcome.interruption;
+  }
+  return result;
+}
+
+}  // namespace mirage::rl

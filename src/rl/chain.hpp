@@ -1,0 +1,47 @@
+// Chained sub-job execution (§4.1): a user job J partitioned into n
+// sub-jobs J1..Jn forms a rolling predecessor/successor chain — when J2 is
+// submitted per the model's decision it becomes the predecessor and J3 the
+// successor, and so on. This walks a whole chain under one provisioning
+// policy and accumulates the service-level outcome.
+//
+// Each link runs as an independent episode window anchored where the
+// previous link left the service (anchor advances by the sub-job runtime
+// plus any interruption). This window-per-link approximation keeps links
+// O(window) instead of simulating the full multi-week span, and is exact
+// whenever consecutive windows overlap the same background backlog.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "rl/env.hpp"
+
+namespace mirage::rl {
+
+/// Decision callback: given the env at a decision instant, return 1 to
+/// submit the successor now. (core::Provisioner adapts onto this.)
+using ChainPolicy = std::function<int(const ProvisionEnv&)>;
+
+struct ChainLinkResult {
+  EpisodeOutcome outcome;
+  double reward = 0.0;
+  util::SimTime submit_offset = 0;   ///< successor submit time - link anchor
+  util::SimTime successor_wait = 0;
+};
+
+struct ChainResult {
+  std::vector<ChainLinkResult> links;
+
+  util::SimTime total_interruption() const;
+  util::SimTime total_overlap() const;
+  std::size_t zero_interruption_links() const;
+  /// Fraction of the chain's ideal span lost to interruptions.
+  double downtime_fraction(util::SimTime sub_job_runtime) const;
+};
+
+/// Walk a chain of `links` sub-jobs starting at `t0`.
+ChainResult run_chain(const trace::Trace& background_full, std::int32_t cluster_nodes,
+                      const EpisodeConfig& episode_config, util::SimTime t0, std::size_t links,
+                      const ChainPolicy& policy);
+
+}  // namespace mirage::rl

@@ -1,0 +1,67 @@
+// Deep Q-Network agent (paper §2.2, §4.9). The Q function is the dual-head
+// model's V-head over a transformer or MoE foundation; the action ordinal
+// (+1 submit / -1 no-submit) is part of the input, so serving evaluates
+// both actions with a 2-row batch and picks the argmax (§4.4, deterministic
+// policy). Training regresses Q(s, a) onto the Eq.-8 terminal reward
+// (Monte-Carlo targets — the paper credits every action in the episode with
+// the observed outcome, so no next-state bootstrap/target network is
+// needed). Exploration is epsilon-greedy (§4.9.2), which also guarantees
+// episodes terminate.
+#pragma once
+
+#include <memory>
+
+#include "nn/dual_head.hpp"
+#include "nn/optimizer.hpp"
+#include "rl/replay_buffer.hpp"
+
+namespace mirage::rl {
+
+struct DqnConfig {
+  nn::FoundationType foundation = nn::FoundationType::kMoE;  ///< Mirage default (§6.3)
+  nn::FoundationConfig net;
+  float lr = 2e-3f;
+  std::size_t batch_size = 32;
+  float grad_clip = 5.0f;
+  float huber_delta = 5.0f;
+  // Epsilon-greedy schedule (linear decay per episode).
+  float eps_start = 0.5f;
+  float eps_end = 0.05f;
+  std::size_t eps_decay_episodes = 100;
+};
+
+class DqnAgent {
+ public:
+  DqnAgent(DqnConfig config, std::uint64_t seed);
+
+  /// Greedy action for the flattened observation (action channel ignored /
+  /// overwritten): 1 iff Q(s, submit) > Q(s, no-submit).
+  int act_greedy(std::vector<float> observation);
+
+  /// Epsilon-greedy action using the schedule at `episode_index`.
+  int act_epsilon_greedy(std::vector<float> observation, std::size_t episode_index,
+                         util::Rng& rng);
+
+  /// Q-values {q_no_submit, q_submit} for an observation.
+  std::pair<float, float> q_pair(std::vector<float> observation);
+
+  /// One optimizer step on a replay mini-batch; returns the Huber loss.
+  float train_batch(const ReplayBuffer& buffer, util::Rng& rng);
+
+  /// Supervised pre-training step on (obs, action, reward) samples
+  /// (offline phase, §4.9.1); returns the loss.
+  float pretrain_batch(const std::vector<const Experience*>& batch);
+
+  nn::DualHeadModel& model() { return model_; }
+  const DqnConfig& config() const { return config_; }
+  float epsilon(std::size_t episode_index) const;
+
+ private:
+  float train_on(const std::vector<const Experience*>& batch);
+
+  DqnConfig config_;
+  nn::DualHeadModel model_;
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace mirage::rl

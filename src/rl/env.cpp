@@ -1,0 +1,154 @@
+#include "rl/env.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mirage::rl {
+
+using util::SimTime;
+
+trace::Trace slice_for_episode(const trace::Trace& full, SimTime t0, const EpisodeConfig& config) {
+  // Jobs submitted well before the window can still be queued or running at
+  // t0; a 7-day lookback covers the 48 h limit plus heavy-month queue waits.
+  const SimTime lookback = config.warmup + 7 * util::kDay;
+  const SimTime begin = t0 - lookback;
+  const SimTime end = t0 + config.max_horizon + config.job_limit;
+  trace::Trace out;
+  for (const auto& j : full) {
+    if (j.submit_time >= begin && j.submit_time <= end) {
+      trace::JobRecord copy = j;
+      copy.start_time = trace::kUnsetTime;  // replay reassigns
+      copy.end_time = trace::kUnsetTime;
+      out.push_back(std::move(copy));
+    }
+  }
+  return out;
+}
+
+ProvisionEnv::ProvisionEnv(const trace::Trace& background, std::int32_t cluster_nodes,
+                           const EpisodeConfig& config, SimTime t0, sim::SchedulerConfig sched)
+    : config_(config), sim_(cluster_nodes, sched), encoder_(config.history_len), t0_(t0) {
+  sim_.load_workload(background);
+
+  // Warm up the cluster, then record exactly k frames of pre-episode
+  // history at the decision cadence.
+  const SimTime history_span =
+      static_cast<SimTime>(config_.history_len) * config_.decision_interval;
+  sim_.run_until(t0 - history_span);
+  while (sim_.now() < t0) {
+    sim_.step(config_.decision_interval);
+    record_frame();
+  }
+
+  trace::JobRecord pred;
+  pred.job_id = -1;
+  pred.job_name = "mirage_predecessor";
+  pred.user_id = -1;
+  pred.num_nodes = config_.job_nodes;
+  pred.actual_runtime = config_.job_runtime;
+  pred.time_limit = config_.job_limit;
+  pred_id_ = sim_.submit(pred);
+  record_frame();
+}
+
+JobPairContext ProvisionEnv::context() const {
+  JobPairContext ctx;
+  ctx.succ_nodes = config_.job_nodes;
+  ctx.succ_limit = config_.job_limit;
+  if (pred_id_ < 0) return ctx;  // pre-episode frames: successor info only
+  ctx.pred_nodes = config_.job_nodes;
+  ctx.pred_limit = config_.job_limit;
+  const auto status = sim_.status(pred_id_);
+  const auto& pred = sim_.job(pred_id_);
+  if (status == sim::JobStatus::kPending) {
+    ctx.pred_wait = sim_.now() - pred.submit_time;
+  } else if (status != sim::JobStatus::kFuture) {
+    ctx.pred_wait = sim_.start_time(pred_id_) - pred.submit_time;
+    ctx.pred_elapsed = std::min(sim_.now(), sim_.start_time(pred_id_) + config_.job_runtime) -
+                       sim_.start_time(pred_id_);
+  }
+  return ctx;
+}
+
+void ProvisionEnv::record_frame() { encoder_.push(sim_.sample(), context()); }
+
+std::vector<float> ProvisionEnv::features() const {
+  return summary_features(sim_.sample(), context());
+}
+
+SimTime ProvisionEnv::predecessor_end_estimate() const {
+  if (pred_id_ < 0) return t0_ + config_.job_limit;
+  const auto status = sim_.status(pred_id_);
+  if (status == sim::JobStatus::kCompleted) return sim_.end_time(pred_id_);
+  if (status == sim::JobStatus::kRunning) {
+    return sim_.start_time(pred_id_) + std::min(config_.job_runtime, config_.job_limit);
+  }
+  return trace::kUnsetTime;  // still queued: unknown
+}
+
+SimTime ProvisionEnv::predecessor_remaining() const {
+  const SimTime end = predecessor_end_estimate();
+  if (end == trace::kUnsetTime) return config_.job_limit;  // not started: full job ahead
+  return std::max<SimTime>(0, end - sim_.now());
+}
+
+void ProvisionEnv::submit_successor() {
+  assert(!successor_submitted_);
+  trace::JobRecord succ;
+  succ.job_id = -2;
+  succ.job_name = "mirage_successor";
+  succ.user_id = -1;
+  succ.num_nodes = config_.job_nodes;
+  succ.actual_runtime = config_.job_runtime;
+  succ.time_limit = config_.job_limit;
+  succ_id_ = sim_.submit(succ);
+  successor_submitted_ = true;
+  submit_offset_ = sim_.now() - t0_;
+}
+
+bool ProvisionEnv::step(int action) {
+  if (done_) return false;
+  ++decisions_;
+
+  if (action == 1 && !successor_submitted_) {
+    submit_successor();
+    finish();
+    return false;
+  }
+
+  // Reactive fallback: if the predecessor finishes within the next
+  // interval, submit the successor exactly at the completion instant.
+  const SimTime pred_end = predecessor_end_estimate();
+  if (pred_end != trace::kUnsetTime && pred_end <= sim_.now() + config_.decision_interval) {
+    sim_.run_until(pred_end);
+    if (!successor_submitted_) submit_successor();
+    finish();
+    return false;
+  }
+  // Safety valve against runaway episodes.
+  if (sim_.now() - t0_ > config_.max_horizon) {
+    if (!successor_submitted_) submit_successor();
+    finish();
+    return false;
+  }
+
+  sim_.step(config_.decision_interval);
+  record_frame();
+  return true;
+}
+
+void ProvisionEnv::finish() {
+  assert(successor_submitted_);
+  if (done_) return;
+  sim_.run_until_started(succ_id_);
+  sim_.run_until_complete(pred_id_);
+  const SimTime pred_end = sim_.end_time(pred_id_);
+  const SimTime succ_start = sim_.start_time(succ_id_);
+  assert(pred_end != trace::kUnsetTime && succ_start != trace::kUnsetTime);
+  successor_wait_ = succ_start - sim_.job(succ_id_).submit_time;
+  outcome_ = make_outcome(pred_end, succ_start, config_.job_runtime);
+  reward_ = shaped_reward(outcome_, config_.reward);
+  done_ = true;
+}
+
+}  // namespace mirage::rl

@@ -1,0 +1,121 @@
+// Provisioning episode environment (paper §5.1): wraps the Slurm simulator
+// in the agent-facing sample()/step()/submit() loop for one
+// predecessor/successor pair.
+//
+// Timeline of an episode anchored at trace time t0:
+//   [t0 - warmup, t0)   background-only warm-up; state frames are recorded
+//                       every decision interval so the history window is
+//                       populated before the first decision;
+//   t0                  the predecessor sub-job is submitted;
+//   t0 + i*interval     decision instants: the agent chooses submit /
+//                       no-submit for the successor;
+//   pred end            if the successor was never submitted it is
+//                       submitted now (reactive fallback), ending the
+//                       decision phase;
+//   succ start          outcome (interruption or overlap) is revealed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "rl/reward.hpp"
+#include "rl/state_encoder.hpp"
+#include "sim/simulator.hpp"
+
+namespace mirage::rl {
+
+struct EpisodeConfig {
+  /// Sub-job shape: the paper evaluates 48 h x {1, 8} node pairs.
+  util::SimTime job_runtime = 48 * util::kHour;
+  util::SimTime job_limit = 48 * util::kHour;
+  std::int32_t job_nodes = 1;
+
+  util::SimTime decision_interval = 10 * util::kMinute;  ///< paper default
+  util::SimTime warmup = 2 * util::kDay;                 ///< paper §4.9.1
+  std::size_t history_len = 24;                          ///< k frames
+
+  RewardConfig reward;
+
+  /// Safety valve: force-submit this long after the predecessor ends if an
+  /// agent somehow still hasn't (episodes always terminate).
+  util::SimTime max_horizon = 14 * util::kDay;
+};
+
+/// One provisioning episode over a trace window.
+class ProvisionEnv {
+ public:
+  /// `background` must cover [t0 - warmup - history, t0 + horizon]; jobs
+  /// outside the window are fine (they are simply replayed too) but cost
+  /// simulation time — callers should pre-slice long traces.
+  ProvisionEnv(const trace::Trace& background, std::int32_t cluster_nodes,
+               const EpisodeConfig& config, util::SimTime t0,
+               sim::SchedulerConfig sched = {});
+
+  /// True once the successor has been submitted (no more decisions).
+  bool decision_phase_over() const { return successor_submitted_; }
+  /// True once the outcome is known.
+  bool done() const { return done_; }
+
+  /// Current flattened model input with the given action-channel value.
+  std::vector<float> observation(float action_value) const {
+    return encoder_.flatten(action_value);
+  }
+  /// Compact features for the tree-based provisioners.
+  std::vector<float> features() const;
+
+  /// Apply one decision: action 1 = submit the successor now, 0 = wait one
+  /// interval. Returns true while more decisions are pending.
+  bool step(int action);
+
+  /// Run the remainder of the episode (after submission) to the outcome.
+  void finish();
+
+  /// Number of decisions taken so far.
+  std::size_t decisions() const { return decisions_; }
+  /// Simulated time now.
+  util::SimTime now() const { return sim_.now(); }
+  /// Predecessor end time (known once it started: start + runtime).
+  util::SimTime predecessor_end_estimate() const;
+  /// Remaining predecessor runtime from now (by its limit; >=0).
+  util::SimTime predecessor_remaining() const;
+  /// Average wait of recently started jobs (for the "avg" heuristic).
+  double recent_average_wait(util::SimTime window = util::kDay) const {
+    return sim_.recent_average_wait(window);
+  }
+
+  /// Outcome and reward; valid after done().
+  const EpisodeOutcome& outcome() const { return outcome_; }
+  double reward() const { return reward_; }
+  /// Successor queue wait (succ start - succ submit); valid after done().
+  util::SimTime successor_wait() const { return successor_wait_; }
+  /// When the successor was submitted, relative to t0.
+  util::SimTime submit_offset() const { return submit_offset_; }
+
+  const EpisodeConfig& config() const { return config_; }
+
+ private:
+  void record_frame();
+  JobPairContext context() const;
+  void submit_successor();
+
+  EpisodeConfig config_;
+  sim::Simulator sim_;
+  StateEncoder encoder_;
+  util::SimTime t0_;
+  sim::JobId pred_id_ = -1;
+  sim::JobId succ_id_ = -1;
+  bool successor_submitted_ = false;
+  bool done_ = false;
+  std::size_t decisions_ = 0;
+  EpisodeOutcome outcome_;
+  double reward_ = 0.0;
+  util::SimTime successor_wait_ = 0;
+  util::SimTime submit_offset_ = 0;
+};
+
+/// Slice `full` to the window an episode at t0 needs (plus margin for jobs
+/// submitted earlier that still run into the window).
+trace::Trace slice_for_episode(const trace::Trace& full, util::SimTime t0,
+                               const EpisodeConfig& config);
+
+}  // namespace mirage::rl

@@ -1,0 +1,106 @@
+#include "rl/offline_collector.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/thread_pool.hpp"
+
+namespace mirage::rl {
+
+using util::SimTime;
+
+OfflineCollector::OfflineCollector(const trace::Trace& full, std::int32_t cluster_nodes,
+                                   EpisodeConfig episode_config, CollectorConfig collector_config)
+    : full_(full), nodes_(cluster_nodes), episode_config_(episode_config),
+      config_(collector_config) {}
+
+OfflineCollector::AnchorResult OfflineCollector::collect_anchor(SimTime t0, util::Rng rng) const {
+  AnchorResult result;
+  const trace::Trace window = slice_for_episode(full_, t0, episode_config_);
+
+  // Reactive probe first: reveals the predecessor's end (and hence the
+  // probe offsets) for this anchor.
+  SimTime pred_span;
+  {
+    ProvisionEnv env(window, nodes_, episode_config_, t0);
+    while (env.step(0)) {
+    }
+    env.finish();
+    pred_span = std::max<SimTime>(env.config().decision_interval,
+                                  env.predecessor_end_estimate() - t0);
+    // The reactive probe itself is a (submit at pred end) sample.
+    Experience e;
+    e.observation = env.observation(0.0f);
+    e.action = 1;
+    e.reward = static_cast<float>(env.reward());
+    result.nn.push_back(std::move(e));
+    result.tabular.emplace_back(env.features(), static_cast<float>(util::to_hours(env.successor_wait())));
+  }
+
+  for (std::size_t p = 0; p + 1 < config_.probes; ++p) {
+    // Fractions (p+1)/probes of the predecessor span; the reactive probe
+    // above covers fraction 1.
+    const double frac = static_cast<double>(p + 1) / static_cast<double>(config_.probes);
+    const SimTime target = t0 + static_cast<SimTime>(frac * static_cast<double>(pred_span));
+
+    ProvisionEnv env(window, nodes_, episode_config_, t0);
+    std::vector<std::pair<std::vector<float>, std::vector<float>>> no_submit_states;
+    while (!env.decision_phase_over() && env.now() < target) {
+      // Reservoir-free subsample of intermediate states.
+      if (rng.bernoulli(0.15) && no_submit_states.size() < config_.no_submit_samples * 3) {
+        no_submit_states.emplace_back(env.observation(0.0f), env.features());
+      }
+      if (!env.step(0)) break;
+    }
+    std::vector<float> submit_obs;
+    std::vector<float> submit_features;
+    if (!env.decision_phase_over()) {
+      submit_obs = env.observation(0.0f);
+      submit_features = env.features();
+      env.step(1);
+    }
+    if (!env.done()) env.finish();
+    const auto reward = static_cast<float>(env.reward());
+
+    if (!submit_obs.empty()) {
+      result.nn.push_back(Experience{std::move(submit_obs), 1, reward});
+      result.tabular.emplace_back(std::move(submit_features),
+                                  static_cast<float>(util::to_hours(env.successor_wait())));
+    }
+    rng.shuffle(no_submit_states);
+    const std::size_t take = std::min(no_submit_states.size(), config_.no_submit_samples);
+    for (std::size_t i = 0; i < take; ++i) {
+      result.nn.push_back(Experience{std::move(no_submit_states[i].first), 0, reward});
+    }
+  }
+  return result;
+}
+
+OfflineDataset OfflineCollector::collect(SimTime range_begin, SimTime range_end) const {
+  OfflineDataset dataset;
+  util::Rng seeder(config_.seed);
+  std::vector<SimTime> anchors(config_.anchors);
+  std::vector<util::Rng> rngs;
+  rngs.reserve(config_.anchors);
+  for (auto& t0 : anchors) {
+    t0 = range_begin +
+         static_cast<SimTime>(seeder.uniform() * static_cast<double>(range_end - range_begin));
+    rngs.push_back(seeder.split());
+  }
+
+  std::vector<AnchorResult> results(anchors.size());
+  auto run_one = [&](std::size_t i) { results[i] = collect_anchor(anchors[i], rngs[i]); };
+  if (config_.parallel) {
+    util::ThreadPool::global().parallel_for(anchors.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < anchors.size(); ++i) run_one(i);
+  }
+
+  for (auto& r : results) {
+    for (auto& e : r.nn) dataset.nn_samples.push_back(std::move(e));
+    for (auto& [features, wait] : r.tabular) dataset.tabular.add_row(features, wait);
+  }
+  return dataset;
+}
+
+}  // namespace mirage::rl

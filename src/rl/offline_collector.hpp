@@ -1,0 +1,53 @@
+// Offline sample collection (paper §4.9.1): for each sampled anchor time
+// t0 an experimentation episode submits the predecessor at t0 and probes
+// successor submission at evenly split points between t0 and the
+// predecessor's end; each probe yields
+//   * (state-at-submit, submit, reward)      NN samples,
+//   * (state-at-step, no-submit, reward)     NN samples at a few
+//     intermediate decision instants (Eq. 8 credits the whole sequence),
+//   * (summary-features-at-submit, observed successor wait)  tabular
+//     samples for the Random Forest / XGBoost baselines.
+// Anchors are processed in parallel; each probe runs its own simulator.
+#pragma once
+
+#include "ml/dataset.hpp"
+#include "rl/env.hpp"
+#include "rl/replay_buffer.hpp"
+
+namespace mirage::rl {
+
+struct CollectorConfig {
+  std::size_t anchors = 40;
+  std::size_t probes = 7;                 ///< paper: 7 split points
+  std::size_t no_submit_samples = 3;      ///< intermediate samples per probe
+  std::uint64_t seed = 7;
+  bool parallel = true;
+};
+
+struct OfflineDataset {
+  std::vector<Experience> nn_samples;
+  ml::Dataset tabular{summary_feature_count()};  ///< target: wait in hours
+};
+
+class OfflineCollector {
+ public:
+  OfflineCollector(const trace::Trace& full, std::int32_t cluster_nodes,
+                   EpisodeConfig episode_config, CollectorConfig collector_config);
+
+  /// Collect from anchors uniform in [range_begin, range_end).
+  OfflineDataset collect(util::SimTime range_begin, util::SimTime range_end) const;
+
+ private:
+  struct AnchorResult {
+    std::vector<Experience> nn;
+    std::vector<std::pair<std::vector<float>, float>> tabular;
+  };
+  AnchorResult collect_anchor(util::SimTime t0, util::Rng rng) const;
+
+  const trace::Trace& full_;
+  std::int32_t nodes_;
+  EpisodeConfig episode_config_;
+  CollectorConfig config_;
+};
+
+}  // namespace mirage::rl

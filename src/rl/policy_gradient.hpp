@@ -1,0 +1,69 @@
+// Policy-gradient (REINFORCE) agent (paper §2.3, §4.9). The P-head outputs
+// submit/no-submit probabilities from the state-only input (action channel
+// = 0); serving samples from that distribution (§4.4, non-deterministic
+// policy). Training uses the Monte-Carlo policy-gradient estimator of
+// Eq. 6 with a running-mean baseline to cut variance and a small entropy
+// bonus to delay premature determinism.
+#pragma once
+
+#include <memory>
+
+#include "nn/dual_head.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace mirage::rl {
+
+struct PgConfig {
+  nn::FoundationType foundation = nn::FoundationType::kTransformer;
+  nn::FoundationConfig net;
+  float lr = 2e-3f;
+  float grad_clip = 5.0f;
+  float entropy_bonus = 0.02f;
+  /// EMA factor for the reward baseline.
+  float baseline_decay = 0.9f;
+  /// Cap on decision steps trained per episode (uniform subsample when an
+  /// episode is longer) — bounds the cost of pathological episodes.
+  std::size_t max_steps_per_episode = 128;
+  /// Initial submit-logit bias: exp(bias) odds of submitting per step. A
+  /// value around -3 makes a fresh policy submit ~5% of the time per
+  /// decision, so rollouts spread over the episode instead of all ending
+  /// at the first step.
+  float initial_submit_bias = -3.0f;
+};
+
+/// One rollout's training payload.
+struct PgEpisode {
+  std::vector<std::vector<float>> observations;  ///< action channel zeroed
+  std::vector<int> actions;
+  float reward = 0.0f;  ///< terminal shaped reward (credited to all steps)
+};
+
+class PgAgent {
+ public:
+  PgAgent(PgConfig config, std::uint64_t seed);
+
+  /// P(submit) for an observation.
+  float submit_probability(std::vector<float> observation);
+  /// Sample an action from the policy.
+  int act_sample(std::vector<float> observation, util::Rng& rng);
+  /// Mode of the policy (used when serving deterministically).
+  int act_greedy(std::vector<float> observation);
+
+  /// One optimizer step over a batch of episodes; returns the surrogate
+  /// loss. Updates the reward baseline.
+  float update(const std::vector<PgEpisode>& episodes);
+
+  nn::DualHeadModel& model() { return model_; }
+  const PgConfig& config() const { return config_; }
+  float baseline() const { return baseline_; }
+
+ private:
+  PgConfig config_;
+  nn::DualHeadModel model_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  float baseline_ = 0.0f;
+  bool baseline_init_ = false;
+};
+
+}  // namespace mirage::rl

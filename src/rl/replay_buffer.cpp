@@ -1,0 +1,37 @@
+#include "rl/replay_buffer.hpp"
+
+#include <cassert>
+
+#include "rl/state_encoder.hpp"
+
+namespace mirage::rl {
+
+void ReplayBuffer::add(Experience e) {
+  if (items_.size() < capacity_) {
+    items_.push_back(std::move(e));
+  } else {
+    items_[next_] = std::move(e);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<const Experience*> ReplayBuffer::sample(std::size_t n, util::Rng& rng) const {
+  assert(!items_.empty());
+  std::vector<const Experience*> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto idx =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(items_.size()) - 1));
+    out.push_back(&items_[idx]);
+  }
+  return out;
+}
+
+void set_action_channel(std::vector<float>& observation, std::size_t history_len, float value) {
+  assert(observation.size() == history_len * kFrameDim);
+  for (std::size_t i = 0; i < history_len; ++i) {
+    observation[i * kFrameDim + kStateVars] = value;
+  }
+}
+
+}  // namespace mirage::rl

@@ -1,0 +1,47 @@
+// Experience replay (paper §4.8): a shuffled cross-episode memory pool of
+// (state, action, terminal reward) samples. Terminal-reward credit
+// assignment follows Eq. 8 — every action in an episode is labeled with
+// the episode's outcome reward — so samples are self-contained and no
+// next-state bootstrap is required.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mirage::rl {
+
+struct Experience {
+  /// Flattened k*(m+1) observation with the action channel zeroed; the
+  /// trainer writes the action ordinal in before the forward pass.
+  std::vector<float> observation;
+  int action = 0;      ///< 0 = no-submit, 1 = submit
+  float reward = 0.0f; ///< shaped episode reward (Eq. 8)
+};
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  void add(Experience e);
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return items_.empty(); }
+
+  /// Uniform random mini-batch (with replacement when n > size).
+  std::vector<const Experience*> sample(std::size_t n, util::Rng& rng) const;
+
+  const Experience& at(std::size_t i) const { return items_[i]; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;  ///< ring cursor once full
+  std::vector<Experience> items_;
+};
+
+/// Write the action-channel value into a flattened observation in place
+/// (every frame's last slot).
+void set_action_channel(std::vector<float>& observation, std::size_t history_len, float value);
+
+}  // namespace mirage::rl

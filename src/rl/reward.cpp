@@ -1,0 +1,25 @@
+#include "rl/reward.hpp"
+
+#include <algorithm>
+
+namespace mirage::rl {
+
+double shaped_reward(const EpisodeOutcome& outcome, const RewardConfig& config) {
+  if (outcome.interruption > 0) {
+    return -config.e_interrupt * util::to_hours(outcome.interruption);
+  }
+  return -config.e_overlap * util::to_hours(outcome.overlap);
+}
+
+EpisodeOutcome make_outcome(util::SimTime pred_end, util::SimTime succ_start,
+                            util::SimTime succ_runtime) {
+  EpisodeOutcome o;
+  if (succ_start >= pred_end) {
+    o.interruption = succ_start - pred_end;
+  } else {
+    o.overlap = std::min(pred_end - succ_start, succ_runtime);
+  }
+  return o;
+}
+
+}  // namespace mirage::rl

@@ -1,0 +1,35 @@
+// Reward shaping (paper §4.5, Eq. 8). Rewards are negative penalties:
+// zero is the best outcome; an interruption of r_I hours costs e_I * r_I
+// and an overlap of r_O hours costs e_O * r_O. Every action in the episode
+// receives the episode's terminal reward (the paper credits the whole
+// decision sequence for the outcome).
+#pragma once
+
+#include "util/time_utils.hpp"
+
+namespace mirage::rl {
+
+struct RewardConfig {
+  /// Interruption penalty per hour (performance-sensitive users raise it).
+  double e_interrupt = 1.0;
+  /// Overlap penalty per hour (resource-waste-averse users raise it).
+  double e_overlap = 0.5;
+};
+
+struct EpisodeOutcome {
+  util::SimTime interruption = 0;  ///< max(0, succ_start - pred_end)
+  util::SimTime overlap = 0;       ///< max(0, pred_end - succ_start)
+
+  bool zero_interruption() const { return interruption <= 0; }
+};
+
+/// Eq. 8: reward of an outcome (<= 0; 0 is perfect).
+double shaped_reward(const EpisodeOutcome& outcome, const RewardConfig& config);
+
+/// Derive the outcome from the two timestamps; exactly one of
+/// interruption/overlap is nonzero. Overlap is capped at the successor's
+/// runtime (it cannot overlap longer than it exists).
+EpisodeOutcome make_outcome(util::SimTime pred_end, util::SimTime succ_start,
+                            util::SimTime succ_runtime);
+
+}  // namespace mirage::rl

@@ -1,0 +1,142 @@
+#include "rl/state_encoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace mirage::rl {
+
+namespace {
+constexpr float kLimitScale = 48.0f * 3600.0f;  ///< normalize times by 48 h
+
+float norm_time(double seconds) { return static_cast<float>(seconds / kLimitScale); }
+float norm_count(double n) { return static_cast<float>(std::log1p(n) / 8.0); }
+
+void push_summary(std::vector<float>& out, const std::vector<double>& values, bool time_scale) {
+  const auto s = util::five_number_summary(values);
+  for (double v : s) out.push_back(time_scale ? norm_time(v) : static_cast<float>(v));
+}
+}  // namespace
+
+std::vector<float> encode_frame(const sim::StateSample& sample, const JobPairContext& ctx) {
+  std::vector<float> f;
+  f.reserve(kStateVars);
+  const float inv_nodes = 1.0f / static_cast<float>(std::max(1, sample.total_nodes));
+
+  // --- Queue state (16 vars) ---
+  f.push_back(norm_count(static_cast<double>(sample.queue_length())));         // var 1
+  {
+    std::vector<float> sizes;                                                  // var 2-6
+    const auto s = util::five_number_summary(sample.queued_sizes);
+    for (double v : s) sizes.push_back(static_cast<float>(v) * inv_nodes);
+    f.insert(f.end(), sizes.begin(), sizes.end());
+  }
+  push_summary(f, sample.queued_ages, /*time_scale=*/true);                    // var 7-11
+  push_summary(f, sample.queued_limits, /*time_scale=*/true);                  // var 12-16
+
+  // --- Server state (18 vars) ---
+  f.push_back(norm_count(static_cast<double>(sample.running_count())));        // var 17
+  {
+    // var 18-24: five-number + mean + total of running sizes (7 stats).
+    const auto s = util::five_number_summary(sample.running_sizes);
+    for (double v : s) f.push_back(static_cast<float>(v) * inv_nodes);
+    f.push_back(static_cast<float>(util::mean(sample.running_sizes)) * inv_nodes);
+    double total = 0.0;
+    for (double v : sample.running_sizes) total += v;
+    f.push_back(static_cast<float>(total) * inv_nodes);  // == busy fraction
+  }
+  push_summary(f, sample.running_elapsed, /*time_scale=*/true);                // var 25-29
+  push_summary(f, sample.running_limits, /*time_scale=*/true);                 // var 30-34
+
+  // --- Predecessor (4 vars) + successor (2 vars) ---
+  f.push_back(static_cast<float>(ctx.pred_nodes) * inv_nodes);                 // var 35
+  f.push_back(norm_time(static_cast<double>(ctx.pred_limit)));                 // var 36
+  f.push_back(norm_time(static_cast<double>(ctx.pred_wait)));                  // var 37
+  f.push_back(norm_time(static_cast<double>(ctx.pred_elapsed)));               // var 38
+  f.push_back(static_cast<float>(ctx.succ_nodes) * inv_nodes);                 // var 39
+  f.push_back(norm_time(static_cast<double>(ctx.succ_limit)));                 // var 40
+
+  return f;
+}
+
+std::vector<float> summary_features(const sim::StateSample& sample, const JobPairContext& ctx) {
+  std::vector<float> f;
+  f.reserve(summary_feature_count());
+  const float inv_nodes = 1.0f / static_cast<float>(std::max(1, sample.total_nodes));
+
+  f.push_back(norm_count(static_cast<double>(sample.queue_length())));
+  f.push_back(static_cast<float>(util::mean(sample.queued_sizes)) * inv_nodes);
+  f.push_back(static_cast<float>(util::percentile(sample.queued_sizes, 50.0)) * inv_nodes);
+  f.push_back(static_cast<float>(util::percentile(sample.queued_sizes, 100.0)) * inv_nodes);
+  f.push_back(norm_time(util::mean(sample.queued_ages)));
+  f.push_back(norm_time(util::percentile(sample.queued_ages, 100.0)));
+  f.push_back(norm_time(util::mean(sample.queued_limits)));
+  // Queued backlog: node-seconds of demand sitting in the queue.
+  double backlog = 0.0;
+  for (std::size_t i = 0; i < sample.queued_sizes.size(); ++i) {
+    backlog += sample.queued_sizes[i] * sample.queued_limits[i];
+  }
+  f.push_back(norm_time(backlog * inv_nodes));
+
+  f.push_back(norm_count(static_cast<double>(sample.running_count())));
+  f.push_back(static_cast<float>(sample.free_nodes) * inv_nodes);
+  f.push_back(static_cast<float>(util::mean(sample.running_sizes)) * inv_nodes);
+  f.push_back(norm_time(util::mean(sample.running_elapsed)));
+  // Remaining committed node-seconds of running jobs (by limit).
+  double committed = 0.0;
+  for (std::size_t i = 0; i < sample.running_sizes.size(); ++i) {
+    committed += sample.running_sizes[i] *
+                 std::max(0.0, sample.running_limits[i] - sample.running_elapsed[i]);
+  }
+  f.push_back(norm_time(committed * inv_nodes));
+  f.push_back(norm_time(util::mean(sample.running_limits)));
+
+  f.push_back(static_cast<float>(ctx.pred_nodes) * inv_nodes);
+  f.push_back(norm_time(static_cast<double>(ctx.pred_limit)));
+  f.push_back(norm_time(static_cast<double>(ctx.pred_wait)));
+  f.push_back(norm_time(static_cast<double>(ctx.pred_elapsed)));
+  f.push_back(norm_time(static_cast<double>(std::max<util::SimTime>(
+      0, ctx.pred_limit - ctx.pred_elapsed))));  // remaining predecessor time
+  f.push_back(static_cast<float>(ctx.succ_nodes) * inv_nodes);
+  f.push_back(norm_time(static_cast<double>(ctx.succ_limit)));
+
+  return f;
+}
+
+std::size_t summary_feature_count() { return 21; }
+
+StateEncoder::StateEncoder(std::size_t history_len) : k_(history_len) {}
+
+void StateEncoder::reset() {
+  frames_.clear();
+  frames_seen_ = 0;
+}
+
+void StateEncoder::push(const sim::StateSample& sample, const JobPairContext& ctx) {
+  frames_.push_back(encode_frame(sample, ctx));
+  ++frames_seen_;
+  while (frames_.size() > k_) frames_.pop_front();
+}
+
+std::vector<float> StateEncoder::flatten(float action_value) const {
+  std::vector<float> out(k_ * kFrameDim, 0.0f);
+  // Right-align history: the newest frame occupies the last slot; missing
+  // history at the start of an episode stays zero.
+  const std::size_t have = frames_.size();
+  const std::size_t offset = k_ - have;
+  for (std::size_t i = 0; i < have; ++i) {
+    float* dst = out.data() + (offset + i) * kFrameDim;
+    const auto& frame = frames_[i];
+    std::copy(frame.begin(), frame.end(), dst);
+    dst[kStateVars] = action_value;
+  }
+  // Action channel also set on padding frames so the Q-head sees the query
+  // action even before history fills.
+  for (std::size_t i = 0; i < offset; ++i) {
+    out[i * kFrameDim + kStateVars] = action_value;
+  }
+  return out;
+}
+
+}  // namespace mirage::rl

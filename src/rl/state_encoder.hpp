@@ -1,0 +1,68 @@
+// State encoding (paper §4.1-4.3).
+//
+// Each 10-minute snapshot is a 40-variable frame:
+//   queue state   (var 1-16): count + five-number summaries of queued
+//                  sizes, ages and runtime limits;
+//   server state  (var 17-34): running count + 7-stat summary of sizes
+//                  (five-number + mean + total) and five-number summaries
+//                  of elapsed runtime and limits;
+//   predecessor   (var 35-38): size, limit, queue wait, elapsed runtime;
+//   successor     (var 39-40): size, limit.
+// A history of k frames plus a per-frame ordinal action channel (+1
+// submit / -1 no-submit for the Q-head, 0 for the P-head) flattens to the
+// k*(40+1) model input.
+//
+// All variables are normalized to O(1): node counts by cluster size, times
+// by the 48 h wall limit, counts by log1p/8.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace mirage::rl {
+
+inline constexpr std::size_t kStateVars = 40;
+inline constexpr std::size_t kFrameDim = kStateVars + 1;  ///< + action channel
+
+/// Predecessor/successor job context for a provisioning episode (§4.1 c,d).
+struct JobPairContext {
+  std::int32_t pred_nodes = 1;
+  util::SimTime pred_limit = 48 * util::kHour;
+  util::SimTime pred_wait = 0;      ///< queue wait so far (or final)
+  util::SimTime pred_elapsed = 0;   ///< elapsed runtime (0 while pending)
+  std::int32_t succ_nodes = 1;
+  util::SimTime succ_limit = 48 * util::kHour;
+};
+
+/// Compute one normalized 40-var frame.
+std::vector<float> encode_frame(const sim::StateSample& sample, const JobPairContext& ctx);
+
+/// Compact summary features for the tree-based baselines (~22 dims):
+/// the decision-relevant aggregates of the same state.
+std::vector<float> summary_features(const sim::StateSample& sample, const JobPairContext& ctx);
+std::size_t summary_feature_count();
+
+/// Ring buffer of the last k frames; zero-padded until k frames are seen.
+class StateEncoder {
+ public:
+  explicit StateEncoder(std::size_t history_len);
+
+  void reset();
+  void push(const sim::StateSample& sample, const JobPairContext& ctx);
+
+  std::size_t history_len() const { return k_; }
+  std::size_t frames_seen() const { return frames_seen_; }
+
+  /// Flatten to [k * kFrameDim] with the given action channel value
+  /// written into every frame (oldest frame first).
+  std::vector<float> flatten(float action_value) const;
+
+ private:
+  std::size_t k_;
+  std::size_t frames_seen_ = 0;
+  std::deque<std::vector<float>> frames_;  ///< newest at back, size <= k
+};
+
+}  // namespace mirage::rl

@@ -1,0 +1,62 @@
+// Two-phase training (paper §4.9): offline foundation pre-training on
+// collected samples, then online on-policy training against the simulator.
+// Online rollouts fan out over the thread pool with per-worker policy
+// snapshots; gradient updates happen on the caller's thread.
+#pragma once
+
+#include <span>
+
+#include "rl/dqn.hpp"
+#include "rl/offline_collector.hpp"
+#include "rl/policy_gradient.hpp"
+
+namespace mirage::rl {
+
+struct PretrainConfig {
+  std::size_t epochs = 8;
+  std::size_t batch_size = 32;
+  std::uint64_t seed = 11;
+};
+
+/// Supervised pre-training of the foundation + V-head: regress Q(s, a)
+/// onto the observed Eq.-8 reward (§4.9.1b). Works for both agents — the
+/// PG agent's P-head is trained online on top of the pre-trained
+/// foundation. Returns per-epoch mean losses.
+std::vector<float> pretrain_foundation(DqnAgent& agent, std::span<const Experience> samples,
+                                       const PretrainConfig& config);
+
+struct OnlineTrainConfig {
+  std::size_t episodes = 96;
+  /// Rollouts per update round (PG batch size; DQN rollout fan-out).
+  std::size_t episodes_per_round = 8;
+  /// DQN gradient steps per round.
+  std::size_t train_steps_per_round = 16;
+  std::size_t replay_capacity = 8192;
+  /// Per-episode cap on stored no-submit experiences (DQN).
+  std::size_t max_no_submit_per_episode = 16;
+  std::uint64_t seed = 13;
+  bool parallel = true;
+};
+
+struct OnlineTrainReport {
+  std::size_t episodes = 0;
+  double mean_reward_first_quarter = 0.0;
+  double mean_reward_last_quarter = 0.0;
+  std::vector<float> losses;  ///< one entry per update round
+};
+
+/// Online epsilon-greedy DQN training (§4.9.2a). `seed_samples` (typically
+/// the offline dataset) pre-populates the replay memory.
+OnlineTrainReport train_dqn_online(DqnAgent& agent, const trace::Trace& full,
+                                   std::int32_t cluster_nodes, const EpisodeConfig& episode_config,
+                                   util::SimTime range_begin, util::SimTime range_end,
+                                   const OnlineTrainConfig& config,
+                                   std::span<const Experience> seed_samples = {});
+
+/// Online REINFORCE training (§4.9.2b).
+OnlineTrainReport train_pg_online(PgAgent& agent, const trace::Trace& full,
+                                  std::int32_t cluster_nodes, const EpisodeConfig& episode_config,
+                                  util::SimTime range_begin, util::SimTime range_end,
+                                  const OnlineTrainConfig& config);
+
+}  // namespace mirage::rl

@@ -1,0 +1,90 @@
+// Stepwise node-availability profile over [now, +inf) — the planning
+// structure behind backfill scheduling. Shared by the fast simulator
+// (capped-depth reservations) and the reference simulator (a reservation
+// for every queued job, i.e. textbook conservative backfill).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/time_utils.hpp"
+
+namespace mirage::sim {
+
+class AvailabilityProfile {
+ public:
+  static constexpr util::SimTime kFar = std::numeric_limits<util::SimTime>::max() / 4;
+
+  AvailabilityProfile(util::SimTime now, std::int32_t free_now) {
+    steps_.push_back({now, free_now});
+  }
+
+  /// `nodes` become free at time t (a running job's limit-based release).
+  void add_release(util::SimTime t, std::int32_t nodes) { adjust(t, kFar, nodes); }
+
+  /// Earliest start >= `from` such that free >= req over [start, start+len).
+  util::SimTime earliest_fit(util::SimTime from, std::int32_t req, util::SimTime len) const {
+    for (std::size_t i = 0; i < steps_.size(); ++i) {
+      const util::SimTime candidate = std::max(from, steps_[i].time);
+      if (i + 1 < steps_.size() && candidate >= steps_[i + 1].time) continue;
+      if (window_fits(candidate, req, len)) return candidate;
+    }
+    return kFar;  // unreachable for requests within cluster capacity
+  }
+
+  /// Subtract req nodes over [start, start+len) (a reservation or a start).
+  void reserve(util::SimTime start, util::SimTime len, std::int32_t req) {
+    adjust(start, len >= kFar ? kFar : start + len, -req);
+  }
+
+ private:
+  struct Step {
+    util::SimTime time;
+    std::int32_t free;
+  };
+
+  bool window_fits(util::SimTime start, std::int32_t req, util::SimTime len) const {
+    const util::SimTime end = (len >= kFar) ? kFar : start + len;
+    if (free_at(start) < req) return false;
+    for (const auto& s : steps_) {
+      if (s.time <= start) continue;
+      if (s.time >= end) break;
+      if (s.free < req) return false;
+    }
+    return true;
+  }
+
+  std::int32_t free_at(util::SimTime t) const {
+    std::int32_t free = steps_.front().free;
+    for (const auto& s : steps_) {
+      if (s.time > t) break;
+      free = s.free;
+    }
+    return free;
+  }
+
+  void adjust(util::SimTime from, util::SimTime to, std::int32_t delta) {
+    ensure_step(from);
+    if (to < kFar) ensure_step(to);
+    for (auto& s : steps_) {
+      if (s.time >= from && s.time < to) s.free += delta;
+    }
+  }
+
+  void ensure_step(util::SimTime t) {
+    for (std::size_t i = 0; i < steps_.size(); ++i) {
+      if (steps_[i].time == t) return;
+      if (steps_[i].time > t) {
+        const std::int32_t inherited = (i == 0) ? steps_[0].free : steps_[i - 1].free;
+        steps_.insert(steps_.begin() + static_cast<std::ptrdiff_t>(i), {t, inherited});
+        return;
+      }
+    }
+    steps_.push_back({t, steps_.back().free});
+  }
+
+  std::vector<Step> steps_;
+};
+
+}  // namespace mirage::sim

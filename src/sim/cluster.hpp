@@ -1,0 +1,39 @@
+// Homogeneous-node cluster abstraction. The paper's clusters allocate whole
+// nodes to jobs (4x V100 / 4x RTX / 3x A100 GPUs per node), so capacity is
+// a single node counter; topology is out of scope for queueing behavior.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace mirage::sim {
+
+class Cluster {
+ public:
+  explicit Cluster(std::int32_t total_nodes) : total_(total_nodes), free_(total_nodes) {
+    assert(total_nodes > 0);
+  }
+
+  std::int32_t total_nodes() const { return total_; }
+  std::int32_t free_nodes() const { return free_; }
+  std::int32_t busy_nodes() const { return total_ - free_; }
+  double utilization() const { return static_cast<double>(busy_nodes()) / total_; }
+
+  bool can_allocate(std::int32_t nodes) const { return nodes <= free_; }
+
+  void allocate(std::int32_t nodes) {
+    assert(can_allocate(nodes));
+    free_ -= nodes;
+  }
+
+  void release(std::int32_t nodes) {
+    free_ += nodes;
+    assert(free_ <= total_);
+  }
+
+ private:
+  std::int32_t total_;
+  std::int32_t free_;
+};
+
+}  // namespace mirage::sim

@@ -1,0 +1,39 @@
+#include "sim/fidelity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace mirage::sim {
+
+FidelityReport compare_schedules(const trace::Trace& a, const trace::Trace& b) {
+  FidelityReport rep;
+  const auto makespan = [](const trace::Trace& t) {
+    return static_cast<double>(trace::trace_end(t) - trace::trace_begin(t));
+  };
+  rep.makespan_a = makespan(a);
+  rep.makespan_b = makespan(b);
+  const double mmax = std::max(rep.makespan_a, rep.makespan_b);
+  rep.makespan_rel_diff = mmax > 0 ? std::abs(rep.makespan_a - rep.makespan_b) / mmax : 0.0;
+
+  // JCT = end - submit. Ratio folded to >= 1 so over- and under-estimates
+  // cannot cancel in the geometric mean.
+  std::vector<double> ratios;
+  const std::size_t n = std::min(a.size(), b.size());
+  ratios.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!a[i].scheduled() || !b[i].scheduled()) continue;
+    const double jct_a = static_cast<double>(a[i].end_time - a[i].submit_time);
+    const double jct_b = static_cast<double>(b[i].end_time - b[i].submit_time);
+    if (jct_a <= 0 || jct_b <= 0) continue;
+    const double r = jct_a / jct_b;
+    ratios.push_back(std::max(r, 1.0 / r));
+  }
+  rep.compared_jobs = ratios.size();
+  rep.jct_geomean_ratio = ratios.empty() ? 1.0 : util::geometric_mean(ratios);
+  return rep;
+}
+
+}  // namespace mirage::sim

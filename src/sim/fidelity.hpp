@@ -1,0 +1,24 @@
+// Fidelity metrics comparing two schedules of the same workload
+// (paper §5.2: makespan difference < 2.5%, JCT geometric-mean difference
+// < 15%, 3-26x overhead reduction).
+#pragma once
+
+#include <cstddef>
+
+#include "trace/job.hpp"
+
+namespace mirage::sim {
+
+struct FidelityReport {
+  double makespan_a = 0.0;          ///< seconds (first submit -> last end)
+  double makespan_b = 0.0;
+  double makespan_rel_diff = 0.0;   ///< |a-b| / max(a,b)
+  double jct_geomean_ratio = 0.0;   ///< geomean over jobs of max(r,1/r), r = JCT_a/JCT_b
+  std::size_t compared_jobs = 0;
+};
+
+/// Compare schedules a and b (same workload, same job order). Jobs
+/// unscheduled in either are skipped.
+FidelityReport compare_schedules(const trace::Trace& a, const trace::Trace& b);
+
+}  // namespace mirage::sim

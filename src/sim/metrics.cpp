@@ -1,0 +1,72 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace mirage::sim {
+
+using util::SimTime;
+
+ScheduleMetrics compute_schedule_metrics(const trace::Trace& schedule, std::int32_t total_nodes) {
+  ScheduleMetrics m;
+  if (schedule.empty() || total_nodes <= 0) return m;
+
+  SimTime begin = 0, end = 0;
+  bool first = true;
+  double busy_node_seconds = 0.0;
+  std::vector<double> waits;
+  waits.reserve(schedule.size());
+  for (const auto& j : schedule) {
+    if (!j.scheduled()) continue;
+    if (first) {
+      begin = j.submit_time;
+      end = j.end_time;
+      first = false;
+    } else {
+      begin = std::min(begin, j.submit_time);
+      end = std::max(end, j.end_time);
+    }
+    busy_node_seconds += static_cast<double>(j.runtime()) * j.num_nodes;
+    waits.push_back(util::to_hours(j.wait_time()));
+    ++m.scheduled_jobs;
+  }
+  if (m.scheduled_jobs == 0) return m;
+
+  const double makespan_seconds = static_cast<double>(end - begin);
+  m.makespan_hours = makespan_seconds / 3600.0;
+  if (makespan_seconds > 0) {
+    m.average_utilization = busy_node_seconds / (makespan_seconds * total_nodes);
+    m.jobs_per_day =
+        static_cast<double>(m.scheduled_jobs) / (makespan_seconds / util::kDay);
+  }
+  m.mean_wait_hours = util::mean(waits);
+  m.p95_wait_hours = util::percentile(waits, 95.0);
+  m.max_wait_hours = util::percentile(waits, 100.0);
+  return m;
+}
+
+std::vector<double> monthly_utilization(const trace::Trace& schedule, std::int32_t total_nodes) {
+  if (schedule.empty() || total_nodes <= 0) return {};
+  const SimTime origin = trace::trace_begin(schedule);
+  std::vector<double> busy;  // node-seconds per month
+  for (const auto& j : schedule) {
+    if (!j.scheduled()) continue;
+    // Spread the job's node-seconds over the months it spans.
+    SimTime t = j.start_time;
+    while (t < j.end_time) {
+      const auto month = static_cast<std::size_t>(std::max<SimTime>(0, t - origin) / util::kMonth);
+      const SimTime month_end = origin + static_cast<SimTime>(month + 1) * util::kMonth;
+      const SimTime chunk_end = std::min(j.end_time, month_end);
+      if (month >= busy.size()) busy.resize(month + 1, 0.0);
+      busy[month] += static_cast<double>(chunk_end - t) * j.num_nodes;
+      t = chunk_end;
+    }
+  }
+  const double capacity = static_cast<double>(total_nodes) * util::kMonth;
+  std::vector<double> out(busy.size());
+  for (std::size_t i = 0; i < busy.size(); ++i) out[i] = busy[i] / capacity;
+  return out;
+}
+
+}  // namespace mirage::sim

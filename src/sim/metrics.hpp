@@ -1,0 +1,33 @@
+// Schedule-level cluster metrics: utilization, throughput, wait statistics.
+// Used by the trace analysis benches and the capacity ablations; the
+// paper's load-level definitions (§6) are wait-based, and these metrics
+// connect them back to offered utilization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/job.hpp"
+
+namespace mirage::sim {
+
+struct ScheduleMetrics {
+  double makespan_hours = 0.0;
+  /// Busy node-hours / (total nodes * makespan).
+  double average_utilization = 0.0;
+  double jobs_per_day = 0.0;
+  double mean_wait_hours = 0.0;
+  double p95_wait_hours = 0.0;
+  double max_wait_hours = 0.0;
+  std::size_t scheduled_jobs = 0;
+};
+
+/// Compute metrics over a scheduled trace (unscheduled rows are skipped).
+ScheduleMetrics compute_schedule_metrics(const trace::Trace& schedule,
+                                         std::int32_t total_nodes);
+
+/// Per-month average utilization (busy node-seconds within each 30-day
+/// month / capacity). Months are indexed from the first submit time.
+std::vector<double> monthly_utilization(const trace::Trace& schedule, std::int32_t total_nodes);
+
+}  // namespace mirage::sim

@@ -1,0 +1,28 @@
+// Reference Slurm simulator used to validate the fast simulator's fidelity
+// (paper §5.2 compares against the "standard" Slurm simulator [3,44]).
+//
+// Same event engine semantics, but an intentionally different — and more
+// expensive — scheduling algorithm: *conservative* backfill. Every queued
+// job gets a reservation on a time/node availability profile in priority
+// order, and a job starts now only when its earliest reservation is the
+// current instant. This is the textbook-exact policy; the fast simulator's
+// EASY backfill (single reservation) approximates it at a fraction of the
+// cost, which is precisely the trade-off the paper's fidelity study
+// quantifies.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/scheduler_config.hpp"
+#include "trace/job.hpp"
+
+namespace mirage::sim {
+
+/// Replay a workload under conservative backfill; returns the trace with
+/// start/end times assigned. `scheduler_passes` (optional out) counts
+/// scheduling passes for overhead accounting.
+trace::Trace reference_replay(const trace::Trace& workload, std::int32_t total_nodes,
+                              SchedulerConfig config = {},
+                              std::uint64_t* scheduler_passes = nullptr);
+
+}  // namespace mirage::sim

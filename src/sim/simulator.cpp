@@ -1,0 +1,257 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace mirage::sim {
+
+Simulator::Simulator(std::int32_t total_nodes, SchedulerConfig config)
+    : cluster_(total_nodes), config_(config) {}
+
+void Simulator::load_workload(const Trace& workload) {
+  jobs_.reserve(jobs_.size() + workload.size());
+  for (const auto& r : workload) {
+    const JobId id = static_cast<JobId>(jobs_.size());
+    SimJob j;
+    j.record = r;
+    if (r.num_nodes > cluster_.total_nodes()) {
+      throw std::invalid_argument("job requests more nodes than the cluster has");
+    }
+    jobs_.push_back(std::move(j));
+    push_event(std::max(r.submit_time, now_), EventType::kArrival, id);
+  }
+}
+
+JobId Simulator::submit(const JobRecord& job) {
+  if (job.num_nodes > cluster_.total_nodes()) {
+    throw std::invalid_argument("job requests more nodes than the cluster has");
+  }
+  const JobId id = static_cast<JobId>(jobs_.size());
+  SimJob j;
+  j.record = job;
+  j.record.submit_time = now_;  // injected at the current instant
+  j.status = JobStatus::kPending;
+  jobs_.push_back(std::move(j));
+  pending_.push_back(id);
+  needs_schedule_ = true;
+  schedule_pass();
+  return id;
+}
+
+void Simulator::push_event(SimTime t, EventType type, JobId job) {
+  events_.push(Event{t, event_seq_++, type, job});
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!events_.empty() && events_.top().time <= t) {
+    // Drain all events at the next timestamp, then run one scheduler pass —
+    // this batches simultaneous arrivals/finishes like Slurm's event loop.
+    const SimTime batch_time = events_.top().time;
+    now_ = batch_time;
+    while (!events_.empty() && events_.top().time == batch_time) {
+      const Event e = events_.top();
+      events_.pop();
+      process_event(e);
+    }
+    if (needs_schedule_) schedule_pass();
+  }
+  now_ = std::max(now_, t);
+}
+
+void Simulator::run_to_completion() {
+  // Drain event by event so now() ends at the last event time rather than
+  // warping to an arbitrary horizon.
+  while (!events_.empty()) run_until(events_.top().time);
+}
+
+void Simulator::run_until_complete(JobId id) {
+  while (status(id) != JobStatus::kCompleted && !events_.empty()) {
+    run_until(events_.top().time);
+  }
+}
+
+void Simulator::run_until_started(JobId id) {
+  while (status(id) == JobStatus::kPending || status(id) == JobStatus::kFuture) {
+    if (events_.empty()) return;
+    run_until(events_.top().time);
+  }
+}
+
+void Simulator::process_event(const Event& e) {
+  auto& j = jobs_[static_cast<std::size_t>(e.job)];
+  switch (e.type) {
+    case EventType::kArrival:
+      if (j.status != JobStatus::kFuture) return;  // already injected
+      j.status = JobStatus::kPending;
+      pending_.push_back(e.job);
+      needs_schedule_ = true;
+      break;
+    case EventType::kFinish:
+      assert(j.status == JobStatus::kRunning);
+      j.status = JobStatus::kCompleted;
+      j.end = now_;
+      j.record.end_time = now_;
+      cluster_.release(j.record.num_nodes);
+      running_.erase(std::find(running_.begin(), running_.end(), e.job));
+      needs_schedule_ = true;
+      break;
+  }
+}
+
+double Simulator::priority(const SimJob& j) const {
+  const SimTime age = std::min(now_ - j.record.submit_time, config_.age_cap);
+  const double age_part =
+      config_.age_weight * static_cast<double>(age) / static_cast<double>(config_.age_cap);
+  const double size_part = config_.size_weight * static_cast<double>(j.record.num_nodes) /
+                           static_cast<double>(cluster_.total_nodes());
+  return age_part + size_part;
+}
+
+void Simulator::start_job(JobId id) {
+  auto& j = jobs_[static_cast<std::size_t>(id)];
+  cluster_.allocate(j.record.num_nodes);
+  j.status = JobStatus::kRunning;
+  j.start = now_;
+  j.record.start_time = now_;
+  running_.push_back(id);
+  start_log_.emplace_back(now_, now_ - j.record.submit_time);
+  push_event(now_ + j.duration(), EventType::kFinish, id);
+}
+
+double Simulator::recent_average_wait(SimTime window) const {
+  // start_log_ is append-ordered by start time; scan the recent suffix.
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (auto it = start_log_.rbegin(); it != start_log_.rend(); ++it) {
+    if (it->first < now_ - window) break;
+    sum += static_cast<double>(it->second);
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+void Simulator::schedule_pass() {
+  needs_schedule_ = false;
+  ++scheduler_passes_;
+  if (pending_.empty()) return;
+
+  // Highest priority first; FIFO (earlier submit, then lower id) tie-break.
+  std::sort(pending_.begin(), pending_.end(), [this](JobId a, JobId b) {
+    const auto& ja = jobs_[static_cast<std::size_t>(a)];
+    const auto& jb = jobs_[static_cast<std::size_t>(b)];
+    const double pa = priority(ja), pb = priority(jb);
+    if (pa != pb) return pa > pb;
+    if (ja.record.submit_time != jb.record.submit_time) {
+      return ja.record.submit_time < jb.record.submit_time;
+    }
+    return a < b;
+  });
+
+  std::vector<JobId> still_pending;
+  still_pending.reserve(pending_.size());
+
+  if (!config_.backfill) {
+    // Pure priority scheduling: start strictly in order until one job does
+    // not fit; everything after it waits.
+    std::size_t i = 0;
+    for (; i < pending_.size(); ++i) {
+      const JobId id = pending_[i];
+      const auto& j = jobs_[static_cast<std::size_t>(id)];
+      if (!cluster_.can_allocate(j.record.num_nodes)) break;
+      start_job(id);
+    }
+    still_pending.assign(pending_.begin() + static_cast<std::ptrdiff_t>(i), pending_.end());
+    pending_ = std::move(still_pending);
+    return;
+  }
+
+  // Backfill with capped-depth reservations (Slurm bf_max_job_test style):
+  // walk the queue in priority order over a limit-based availability
+  // profile. A job starts iff it fits *now* without delaying any
+  // higher-priority reservation; the first `reservation_depth` blocked
+  // jobs pin forward reservations that later candidates must respect.
+  AvailabilityProfile profile(now_, cluster_.free_nodes());
+  for (JobId rid : running_) {
+    const auto& rj = jobs_[static_cast<std::size_t>(rid)];
+    profile.add_release(rj.start + rj.record.time_limit, rj.record.num_nodes);
+  }
+
+  std::int32_t reservations = 0;
+  std::int32_t scanned_past_blocked = 0;
+  bool any_blocked = false;
+  for (std::size_t k = 0; k < pending_.size(); ++k) {
+    const JobId id = pending_[k];
+    const auto& j = jobs_[static_cast<std::size_t>(id)];
+    if (any_blocked && ++scanned_past_blocked > config_.max_backfill_candidates) {
+      still_pending.push_back(id);
+      continue;
+    }
+    const SimTime start = profile.earliest_fit(now_, j.record.num_nodes, j.record.time_limit);
+    if (start == now_) {
+      start_job(id);
+      profile.reserve(now_, j.record.time_limit, j.record.num_nodes);
+      continue;
+    }
+    any_blocked = true;
+    if (reservations < config_.reservation_depth) {
+      profile.reserve(start, j.record.time_limit, j.record.num_nodes);
+      ++reservations;
+    }
+    still_pending.push_back(id);
+  }
+  pending_ = std::move(still_pending);
+}
+
+StateSample Simulator::sample() const {
+  StateSample s;
+  s.now = now_;
+  s.total_nodes = cluster_.total_nodes();
+  s.free_nodes = cluster_.free_nodes();
+  s.queued_sizes.reserve(pending_.size());
+  s.queued_ages.reserve(pending_.size());
+  s.queued_limits.reserve(pending_.size());
+  for (JobId id : pending_) {
+    const auto& j = jobs_[static_cast<std::size_t>(id)];
+    s.queued_sizes.push_back(static_cast<double>(j.record.num_nodes));
+    s.queued_ages.push_back(static_cast<double>(now_ - j.record.submit_time));
+    s.queued_limits.push_back(static_cast<double>(j.record.time_limit));
+  }
+  s.running_sizes.reserve(running_.size());
+  s.running_elapsed.reserve(running_.size());
+  s.running_limits.reserve(running_.size());
+  for (JobId id : running_) {
+    const auto& j = jobs_[static_cast<std::size_t>(id)];
+    s.running_sizes.push_back(static_cast<double>(j.record.num_nodes));
+    s.running_elapsed.push_back(static_cast<double>(now_ - j.start));
+    s.running_limits.push_back(static_cast<double>(j.record.time_limit));
+  }
+  return s;
+}
+
+JobStatus Simulator::status(JobId id) const {
+  return jobs_.at(static_cast<std::size_t>(id)).status;
+}
+
+SimTime Simulator::start_time(JobId id) const {
+  return jobs_.at(static_cast<std::size_t>(id)).start;
+}
+
+SimTime Simulator::end_time(JobId id) const { return jobs_.at(static_cast<std::size_t>(id)).end; }
+
+Trace Simulator::export_schedule() const {
+  Trace out;
+  out.reserve(jobs_.size());
+  for (const auto& j : jobs_) out.push_back(j.record);
+  return out;
+}
+
+Trace replay_trace(const Trace& workload, std::int32_t total_nodes, SchedulerConfig config) {
+  Simulator sim(total_nodes, config);
+  sim.load_workload(workload);
+  sim.run_to_completion();
+  return sim.export_schedule();
+}
+
+}  // namespace mirage::sim

@@ -1,0 +1,149 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace mirage::trace {
+
+using util::kHour;
+using util::kMonth;
+using util::SimTime;
+
+namespace {
+std::size_t month_index(SimTime t, SimTime origin) {
+  if (t < origin) return 0;
+  return static_cast<std::size_t>((t - origin) / kMonth);
+}
+
+std::size_t node_bucket(std::int32_t nodes) {
+  if (nodes <= 1) return 0;
+  if (nodes == 2) return 1;
+  if (nodes <= 4) return 2;
+  if (nodes <= 8) return 3;
+  return 4;
+}
+
+std::size_t wait_bucket(SimTime wait) {
+  if (wait < 2 * kHour) return 0;
+  if (wait < 12 * kHour) return 1;
+  if (wait < 24 * kHour) return 2;
+  if (wait < 36 * kHour) return 3;
+  return 4;
+}
+}  // namespace
+
+TraceStats compute_stats(const Trace& trace, const std::string& cluster_name,
+                         std::int32_t node_count) {
+  TraceStats s;
+  s.cluster = cluster_name;
+  s.node_count = node_count;
+  s.job_count = trace.size();
+  if (trace.empty()) return s;
+
+  s.span = trace_end(trace) - trace_begin(trace);
+
+  const auto counts = monthly_job_counts(trace);
+  util::RunningStats month_stats;
+  for (auto c : counts) month_stats.add(static_cast<double>(c));
+  s.jobs_per_month_mean = month_stats.mean();
+  s.jobs_per_month_std = month_stats.stddev();
+
+  double node_sum = 0.0;
+  double total_node_seconds = 0.0;
+  double multi_node_seconds = 0.0;
+  std::size_t multi_jobs = 0;
+  for (const auto& j : trace) {
+    node_sum += j.num_nodes;
+    if (j.actual_runtime < 30) ++s.short_job_count;
+    // Use actual_runtime (always known) rather than recorded runtime so the
+    // breakdown works on unscheduled workloads too.
+    const double ns = static_cast<double>(j.actual_runtime) * j.num_nodes;
+    total_node_seconds += ns;
+    if (j.num_nodes > 1) {
+      multi_node_seconds += ns;
+      ++multi_jobs;
+    }
+  }
+  s.mean_nodes_per_job = node_sum / static_cast<double>(trace.size());
+  s.multi_node_job_fraction = static_cast<double>(multi_jobs) / static_cast<double>(trace.size());
+  s.multi_node_node_hour_fraction =
+      total_node_seconds > 0 ? multi_node_seconds / total_node_seconds : 0.0;
+  return s;
+}
+
+std::vector<std::size_t> monthly_job_counts(const Trace& trace) {
+  if (trace.empty()) return {};
+  const SimTime origin = trace_begin(trace);
+  std::vector<std::size_t> counts;
+  for (const auto& j : trace) {
+    const std::size_t m = month_index(j.submit_time, origin);
+    if (m >= counts.size()) counts.resize(m + 1, 0);
+    ++counts[m];
+  }
+  return counts;
+}
+
+std::vector<double> monthly_average_wait_hours(const Trace& trace) {
+  if (trace.empty()) return {};
+  const SimTime origin = trace_begin(trace);
+  std::vector<util::RunningStats> acc;
+  for (const auto& j : trace) {
+    if (!j.scheduled()) continue;
+    const std::size_t m = month_index(j.submit_time, origin);
+    if (m >= acc.size()) acc.resize(m + 1);
+    acc[m].add(util::to_hours(j.wait_time()));
+  }
+  std::vector<double> out(acc.size(), 0.0);
+  for (std::size_t i = 0; i < acc.size(); ++i) out[i] = acc[i].mean();
+  return out;
+}
+
+NodeHourBreakdown node_hour_breakdown(const Trace& trace) {
+  NodeHourBreakdown b;
+  double total_ns = 0.0;
+  std::array<double, 5> ns{};
+  std::array<double, 5> count{};
+  for (const auto& j : trace) {
+    const std::size_t bucket = node_bucket(j.num_nodes);
+    const double s = static_cast<double>(j.actual_runtime) * j.num_nodes;
+    ns[bucket] += s;
+    count[bucket] += 1.0;
+    total_ns += s;
+  }
+  const double total_jobs = static_cast<double>(trace.size());
+  for (std::size_t i = 0; i < 5; ++i) {
+    b.node_hour_fraction[i] = total_ns > 0 ? ns[i] / total_ns : 0.0;
+    b.job_fraction[i] = total_jobs > 0 ? count[i] / total_jobs : 0.0;
+  }
+  return b;
+}
+
+WaitDistribution wait_distribution(const Trace& trace) {
+  WaitDistribution d;
+  if (trace.empty()) return d;
+  const SimTime origin = trace_begin(trace);
+  std::vector<std::array<std::size_t, 5>> counts;
+  std::vector<std::size_t> totals;
+  for (const auto& j : trace) {
+    if (!j.scheduled()) continue;
+    const std::size_t m = month_index(j.submit_time, origin);
+    if (m >= counts.size()) {
+      counts.resize(m + 1, std::array<std::size_t, 5>{});
+      totals.resize(m + 1, 0);
+    }
+    ++counts[m][wait_bucket(j.wait_time())];
+    ++totals[m];
+  }
+  d.monthly_fractions.resize(counts.size());
+  for (std::size_t m = 0; m < counts.size(); ++m) {
+    for (std::size_t b = 0; b < 5; ++b) {
+      d.monthly_fractions[m][b] =
+          totals[m] ? static_cast<double>(counts[m][b]) / static_cast<double>(totals[m]) : 0.0;
+    }
+  }
+  return d;
+}
+
+}  // namespace mirage::trace

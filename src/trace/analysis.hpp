@@ -1,0 +1,54 @@
+// Trace analytics backing Table 1 and Figures 1-4 of the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/job.hpp"
+
+namespace mirage::trace {
+
+/// Table 1 row: headline trace statistics.
+struct TraceStats {
+  std::string cluster;
+  std::int32_t node_count = 0;
+  std::size_t job_count = 0;
+  util::SimTime span = 0;                 ///< last end - first submit
+  double jobs_per_month_mean = 0.0;       ///< Fig 2 summary
+  double jobs_per_month_std = 0.0;
+  double mean_nodes_per_job = 0.0;        ///< §3.1
+  std::size_t short_job_count = 0;        ///< jobs < 30 s (RTX noise)
+  double multi_node_job_fraction = 0.0;
+  double multi_node_node_hour_fraction = 0.0;  ///< Fig 3 summary
+};
+
+TraceStats compute_stats(const Trace& trace, const std::string& cluster_name,
+                         std::int32_t node_count);
+
+/// Fig 2: job count per 30-day month (index 0 = first month of the trace).
+std::vector<std::size_t> monthly_job_counts(const Trace& trace);
+
+/// Fig 1: average queue wait (hours) per month; requires a scheduled trace
+/// (start times set). Unscheduled jobs are ignored.
+std::vector<double> monthly_average_wait_hours(const Trace& trace);
+
+/// Fig 3: node-hour share by node-count bucket {1, 2, 3-4, 5-8, >8}.
+struct NodeHourBreakdown {
+  static constexpr std::array<const char*, 5> kBucketNames = {"1", "2", "3-4", "5-8", ">8"};
+  std::array<double, 5> node_hour_fraction{};  ///< sums to 1 (0 when empty)
+  std::array<double, 5> job_fraction{};
+};
+NodeHourBreakdown node_hour_breakdown(const Trace& trace);
+
+/// Fig 4: per-month queue-wait distribution over the paper's buckets
+/// {<2 h, 2-12 h, 12-24 h, 24-36 h, >36 h} as fractions per month.
+struct WaitDistribution {
+  static constexpr std::array<const char*, 5> kBucketNames = {"<2h", "2-12h", "12-24h", "24-36h",
+                                                              ">36h"};
+  std::vector<std::array<double, 5>> monthly_fractions;
+};
+WaitDistribution wait_distribution(const Trace& trace);
+
+}  // namespace mirage::trace

@@ -1,0 +1,84 @@
+#include "trace/cleaning.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+namespace mirage::trace {
+
+bool parse_subjob_suffix(std::string_view name, std::string& prefix, std::int64_t& index) {
+  const auto pos = name.rfind(".sub");
+  if (pos == std::string_view::npos) return false;
+  const std::string_view digits = name.substr(pos + 4);
+  if (digits.empty()) return false;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+  }
+  prefix = std::string(name.substr(0, pos));
+  index = std::strtoll(std::string(digits).c_str(), nullptr, 10);
+  return true;
+}
+
+Trace clean_trace(const Trace& input, std::int32_t cluster_nodes, CleaningReport* report) {
+  CleaningReport local;
+  local.input_jobs = input.size();
+
+  // Key sub-job groups by (user, name prefix): the paper merges rows that
+  // share an identical prefix followed by the sub-job id.
+  struct MergedGroup {
+    JobRecord combined;
+    bool initialized = false;
+  };
+  std::map<std::pair<std::int32_t, std::string>, MergedGroup> groups;
+  Trace out;
+  out.reserve(input.size());
+
+  for (const auto& j : input) {
+    if (j.num_nodes > cluster_nodes) {
+      ++local.oversize_dropped;
+      continue;
+    }
+    std::string prefix;
+    std::int64_t sub_index = 0;
+    if (parse_subjob_suffix(j.job_name, prefix, sub_index)) {
+      auto& g = groups[{j.user_id, prefix}];
+      if (!g.initialized) {
+        g.combined = j;
+        g.combined.job_name = prefix;
+        g.initialized = true;
+      } else {
+        ++local.subjobs_merged;
+        auto& c = g.combined;
+        c.submit_time = std::min(c.submit_time, j.submit_time);
+        if (j.start_time != kUnsetTime) {
+          c.start_time = (c.start_time == kUnsetTime) ? j.start_time
+                                                      : std::min(c.start_time, j.start_time);
+        }
+        if (j.end_time != kUnsetTime) {
+          c.end_time = (c.end_time == kUnsetTime) ? j.end_time : std::max(c.end_time, j.end_time);
+        }
+        c.num_nodes = std::max(c.num_nodes, j.num_nodes);
+        c.time_limit = std::max(c.time_limit, j.time_limit);
+      }
+      continue;
+    }
+    out.push_back(j);
+  }
+
+  for (auto& [_, g] : groups) {
+    if (!g.initialized) continue;
+    // Recompute the merged duration from the recorded span so replay uses
+    // the combined footprint.
+    if (g.combined.start_time != kUnsetTime && g.combined.end_time != kUnsetTime) {
+      g.combined.actual_runtime = g.combined.end_time - g.combined.start_time;
+    }
+    out.push_back(g.combined);
+  }
+
+  sort_by_submit_time(out);
+  local.output_jobs = out.size();
+  if (report) *report = local;
+  return out;
+}
+
+}  // namespace mirage::trace

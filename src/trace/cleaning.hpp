@@ -1,0 +1,34 @@
+// Trace cleaning per paper §3.2:
+//   1. drop jobs requesting more nodes than the partition has;
+//   2. merge "sub-jobs" recorded inside one Slurm job (identical name
+//      prefix + ".sub<k>" suffix) into a single job spanning first start
+//      to last end;
+//   3. jobs with dependencies are kept as independent submissions (the
+//      trace does not record the dependency edge), i.e. a documented no-op;
+//   4. machine downtime appears as blank ranges and is likewise kept as-is.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "trace/job.hpp"
+
+namespace mirage::trace {
+
+struct CleaningReport {
+  std::size_t input_jobs = 0;
+  std::size_t oversize_dropped = 0;
+  std::size_t subjobs_merged = 0;   ///< rows folded into an existing job
+  std::size_t output_jobs = 0;
+};
+
+/// Split "train.sub3" into {"train", 3}; returns false when the name has no
+/// ".sub<k>" suffix.
+bool parse_subjob_suffix(std::string_view name, std::string& prefix, std::int64_t& index);
+
+/// Apply all cleaning rules. `cluster_nodes` is the partition size used by
+/// the oversize filter. Output is sorted by submit time.
+Trace clean_trace(const Trace& input, std::int32_t cluster_nodes, CleaningReport* report = nullptr);
+
+}  // namespace mirage::trace

@@ -1,0 +1,154 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace mirage::trace {
+
+using util::kDay;
+using util::kHour;
+using util::kMonth;
+using util::Rng;
+using util::SimTime;
+
+SyntheticTraceGenerator::SyntheticTraceGenerator(ClusterPreset preset, GeneratorOptions options)
+    : preset_(std::move(preset)), options_(options) {
+  node_weights_.reserve(preset_.node_distribution.size());
+  for (const auto& b : preset_.node_distribution) node_weights_.push_back(b.weight);
+}
+
+Trace SyntheticTraceGenerator::generate() { return generate_months(0, preset_.months); }
+
+double SyntheticTraceGenerator::rate_modulation(SimTime t) const {
+  // Diurnal peak mid-afternoon (hour 15 of the day).
+  const double hour = static_cast<double>(t % kDay) / kHour;
+  const double diurnal =
+      1.0 + preset_.diurnal_amplitude * std::sin(2.0 * std::numbers::pi * (hour - 9.0) / 24.0);
+  // Days 5,6 of each week are the weekend (epoch starts on a Monday).
+  const std::int64_t day_of_week = (t / kDay) % 7;
+  const double weekly = (day_of_week >= 5) ? preset_.weekend_factor : 1.0;
+  return diurnal * weekly;
+}
+
+SimTime SyntheticTraceGenerator::sample_runtime(Rng& rng) const {
+  const double r = rng.lognormal(preset_.runtime_log_mu, preset_.runtime_log_sigma);
+  const auto runtime = static_cast<SimTime>(r);
+  return std::clamp<SimTime>(runtime, preset_.min_runtime, preset_.wall_limit);
+}
+
+std::int32_t SyntheticTraceGenerator::sample_nodes(Rng& rng) const {
+  const std::size_t i = rng.categorical(node_weights_);
+  return preset_.node_distribution[i].nodes;
+}
+
+SimTime SyntheticTraceGenerator::round_up_limit(SimTime runtime, Rng& rng) const {
+  // Users over-request: runtime * U[1.1, 2.2] rounded up to a queue limit.
+  static constexpr SimTime kLimits[] = {2 * kHour,  4 * kHour,  8 * kHour,
+                                        12 * kHour, 24 * kHour, 48 * kHour};
+  const auto padded = static_cast<SimTime>(static_cast<double>(runtime) * rng.uniform(1.1, 2.2));
+  for (SimTime l : kLimits) {
+    if (padded <= l) return std::min(l, preset_.wall_limit);
+  }
+  return preset_.wall_limit;
+}
+
+Trace SyntheticTraceGenerator::generate_months(std::int32_t first_month, std::int32_t last_month) {
+  first_month = std::clamp(first_month, 0, preset_.months);
+  last_month = std::clamp(last_month, first_month, preset_.months);
+
+  Rng rng(options_.seed ^ (static_cast<std::uint64_t>(first_month) << 32) ^
+          static_cast<std::uint64_t>(last_month));
+  Trace trace;
+  std::int64_t next_id = 1;
+
+  const double mean_node_hours_per_job =
+      preset_.mean_nodes() * preset_.mean_runtime_seconds() / 3600.0;
+
+  for (std::int32_t m = first_month; m < last_month; ++m) {
+    const SimTime month_begin = static_cast<SimTime>(m) * kMonth;
+    const double util =
+        preset_.monthly_utilization[static_cast<std::size_t>(m)] * options_.utilization_scale;
+    const double offered_node_hours = util * preset_.monthly_capacity_node_hours();
+    // job_count_scale > 1 trades per-job size for count at fixed load.
+    const double expected_jobs =
+        offered_node_hours / mean_node_hours_per_job * options_.job_count_scale;
+    const auto n_real = static_cast<std::size_t>(std::max<std::int64_t>(
+        0, rng.poisson(expected_jobs)));
+
+    // Arrival times by thinning against the modulation envelope.
+    const double max_mod = (1.0 + preset_.diurnal_amplitude);
+    for (std::size_t i = 0; i < n_real; ++i) {
+      SimTime t;
+      do {
+        t = month_begin + static_cast<SimTime>(rng.uniform() * static_cast<double>(kMonth));
+      } while (rng.uniform() * max_mod > rate_modulation(t));
+
+      JobRecord j;
+      j.job_id = next_id++;
+      j.user_id = static_cast<std::int32_t>(rng.zipf(preset_.user_pool, 1.1));
+      j.job_name = "job_u" + std::to_string(j.user_id);
+      j.submit_time = t;
+      j.num_nodes = sample_nodes(rng);
+      // job_count_scale trades per-job size for count at fixed offered
+      // load; the result is still clamped to the physical wall limit.
+      j.actual_runtime =
+          static_cast<SimTime>(static_cast<double>(sample_runtime(rng)) / options_.job_count_scale);
+      j.actual_runtime =
+          std::clamp<SimTime>(j.actual_runtime, preset_.min_runtime, preset_.wall_limit);
+      j.time_limit = round_up_limit(j.actual_runtime, rng);
+      trace.push_back(std::move(j));
+    }
+
+    // Noise stream: <30 s jobs (RTX). Uniform over the month; single node.
+    const auto n_noise = static_cast<std::size_t>(std::max<std::int64_t>(
+        0, rng.poisson(preset_.noise_jobs_per_month * options_.job_count_scale)));
+    for (std::size_t i = 0; i < n_noise; ++i) {
+      JobRecord j;
+      j.job_id = next_id++;
+      j.user_id = static_cast<std::int32_t>(rng.zipf(preset_.user_pool, 1.1));
+      j.job_name = "noise_u" + std::to_string(j.user_id);
+      j.submit_time =
+          month_begin + static_cast<SimTime>(rng.uniform() * static_cast<double>(kMonth));
+      j.num_nodes = 1;
+      j.actual_runtime = rng.uniform_int(5, 29);
+      j.time_limit = 2 * kHour;  // users still request hours for 30 s jobs
+      trace.push_back(std::move(j));
+    }
+
+    if (options_.inject_cleanable_rows) {
+      // A handful of oversize requests and sub-job fragments per month so
+      // the §3.2 cleaning pipeline has real work to do.
+      for (int i = 0; i < 3; ++i) {
+        JobRecord j;
+        j.job_id = next_id++;
+        j.user_id = 9000 + i;
+        j.job_name = "oversize";
+        j.submit_time =
+            month_begin + static_cast<SimTime>(rng.uniform() * static_cast<double>(kMonth));
+        j.num_nodes = preset_.node_count + 1 + static_cast<std::int32_t>(rng.uniform_int(0, 64));
+        j.actual_runtime = kHour;
+        j.time_limit = 2 * kHour;
+        trace.push_back(std::move(j));
+      }
+      const SimTime base =
+          month_begin + static_cast<SimTime>(rng.uniform() * static_cast<double>(kMonth) / 2);
+      for (int k = 0; k < 4; ++k) {
+        JobRecord j;
+        j.job_id = next_id++;
+        j.user_id = 9100;
+        j.job_name = "frag_m" + std::to_string(m) + ".sub" + std::to_string(k);
+        j.submit_time = base + k * kHour;
+        j.num_nodes = 1;
+        j.actual_runtime = kHour / 2;
+        j.time_limit = kHour;
+        trace.push_back(std::move(j));
+      }
+    }
+  }
+
+  sort_by_submit_time(trace);
+  return trace;
+}
+
+}  // namespace mirage::trace

@@ -1,0 +1,63 @@
+// Synthetic workload generator. Produces a submit-time-ordered Trace whose
+// queueing process matches the published characteristics of the paper's
+// three clusters (see cluster_presets.hpp). Start/end times are left unset;
+// a scheduler replay (sim::replay_trace) assigns them.
+//
+// Model:
+//  * per month, the expected "real" job count is offered-node-hours /
+//    mean-node-hours-per-job; arrivals follow a non-homogeneous Poisson
+//    process with diurnal + weekend modulation (thinning);
+//  * node counts and runtimes are drawn from the preset distributions;
+//    time limits are the runtime rounded up to a common queue limit with
+//    user over-estimation slack;
+//  * an optional independent stream of <30 s noise jobs (RTX);
+//  * user ids are Zipf-distributed over the preset's user pool.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/cluster_presets.hpp"
+#include "trace/job.hpp"
+#include "util/rng.hpp"
+
+namespace mirage::trace {
+
+struct GeneratorOptions {
+  std::uint64_t seed = 42;
+  /// Scale all monthly offered utilizations (sensitivity experiments).
+  double utilization_scale = 1.0;
+  /// Scale job count (and shrink per-job node-hours to keep load fixed) —
+  /// used by tests to build small but statistically similar traces.
+  double job_count_scale = 1.0;
+  /// When true, also emit rows the cleaner should remove/merge (oversize
+  /// requests and ".sub<k>" fragments) to exercise the §3.2 pipeline.
+  bool inject_cleanable_rows = false;
+};
+
+class SyntheticTraceGenerator {
+ public:
+  SyntheticTraceGenerator(ClusterPreset preset, GeneratorOptions options);
+
+  /// Generate the full multi-month workload (submit-ordered, start/end
+  /// unset). Deterministic for a fixed (preset, options).
+  Trace generate();
+
+  /// Generate only months [first_month, last_month) — e.g. a train or
+  /// validation slice.
+  Trace generate_months(std::int32_t first_month, std::int32_t last_month);
+
+  const ClusterPreset& preset() const { return preset_; }
+
+ private:
+  /// Instantaneous arrival-rate multiplier (diurnal * weekend), mean ~1.
+  double rate_modulation(util::SimTime t) const;
+  util::SimTime sample_runtime(util::Rng& rng) const;
+  std::int32_t sample_nodes(util::Rng& rng) const;
+  util::SimTime round_up_limit(util::SimTime runtime, util::Rng& rng) const;
+
+  ClusterPreset preset_;
+  GeneratorOptions options_;
+  std::vector<double> node_weights_;
+};
+
+}  // namespace mirage::trace

@@ -1,0 +1,32 @@
+#include "trace/job.hpp"
+
+#include <algorithm>
+
+namespace mirage::trace {
+
+void sort_by_submit_time(Trace& trace) {
+  std::stable_sort(trace.begin(), trace.end(), [](const JobRecord& a, const JobRecord& b) {
+    return a.submit_time < b.submit_time;
+  });
+}
+
+SimTime trace_begin(const Trace& trace) {
+  SimTime t = 0;
+  bool first = true;
+  for (const auto& j : trace) {
+    if (first || j.submit_time < t) t = j.submit_time;
+    first = false;
+  }
+  return t;
+}
+
+SimTime trace_end(const Trace& trace) {
+  SimTime t = 0;
+  for (const auto& j : trace) {
+    const SimTime e = (j.end_time != kUnsetTime) ? j.end_time : j.submit_time;
+    t = std::max(t, e);
+  }
+  return t;
+}
+
+}  // namespace mirage::trace

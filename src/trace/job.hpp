@@ -1,0 +1,58 @@
+// Job trace data model. Field set mirrors the Slurm accounting fields the
+// paper collects (§3): JobID, JobName, UserID, SubmitTime, StartTime,
+// EndTime, Timelimit, NumNodes. `actual_runtime` carries the job's true
+// duration so a scheduler replay can decide completion independently of
+// the recorded start/end (which the replay overwrites).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time_utils.hpp"
+
+namespace mirage::trace {
+
+using util::SimTime;
+
+inline constexpr SimTime kUnsetTime = -1;
+
+struct JobRecord {
+  std::int64_t job_id = 0;
+  std::string job_name;
+  std::int32_t user_id = 0;
+  SimTime submit_time = kUnsetTime;
+  SimTime start_time = kUnsetTime;   ///< kUnsetTime until scheduled
+  SimTime end_time = kUnsetTime;     ///< kUnsetTime until completed
+  SimTime time_limit = 48 * util::kHour;
+  SimTime actual_runtime = 0;        ///< true duration (<= time_limit)
+  std::int32_t num_nodes = 1;
+
+  /// Queue wait: start - submit; 0 when either side is unset.
+  SimTime wait_time() const {
+    if (submit_time == kUnsetTime || start_time == kUnsetTime) return 0;
+    return start_time - submit_time;
+  }
+  /// Recorded runtime: end - start; 0 when unscheduled.
+  SimTime runtime() const {
+    if (start_time == kUnsetTime || end_time == kUnsetTime) return 0;
+    return end_time - start_time;
+  }
+  /// Node-seconds consumed as recorded.
+  double node_seconds() const {
+    return static_cast<double>(runtime()) * static_cast<double>(num_nodes);
+  }
+  bool scheduled() const { return start_time != kUnsetTime; }
+};
+
+using Trace = std::vector<JobRecord>;
+
+/// Sort in place by submit time (stable so equal-time order is kept).
+void sort_by_submit_time(Trace& trace);
+
+/// Earliest submit time in the trace (0 when empty).
+SimTime trace_begin(const Trace& trace);
+/// Latest end (or submit, when unscheduled) time in the trace (0 when empty).
+SimTime trace_end(const Trace& trace);
+
+}  // namespace mirage::trace

@@ -1,0 +1,76 @@
+#include "trace/sampler.hpp"
+
+#include <algorithm>
+
+namespace mirage::trace {
+
+using util::SimTime;
+
+Trace window(const Trace& full, SimTime begin, SimTime end, bool rebase) {
+  Trace out;
+  for (const auto& j : full) {
+    if (j.submit_time < begin || j.submit_time >= end) continue;
+    JobRecord copy = j;
+    copy.start_time = kUnsetTime;
+    copy.end_time = kUnsetTime;
+    if (rebase) copy.submit_time -= begin;
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+Trace random_window(const Trace& full, SimTime length, util::Rng& rng, bool rebase) {
+  if (full.empty()) return {};
+  const SimTime begin = trace_begin(full);
+  const SimTime end = trace_end(full);
+  if (end - begin <= length) return {};
+  const SimTime start =
+      begin + static_cast<SimTime>(rng.uniform(0.0, static_cast<double>(end - begin - length)));
+  return window(full, start, start + length, rebase);
+}
+
+Trace bootstrap(const Trace& full, std::size_t n, util::Rng& rng) {
+  Trace out;
+  if (full.empty()) return out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto idx =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(full.size()) - 1));
+    JobRecord copy = full[idx];
+    copy.job_id = static_cast<std::int64_t>(i + 1);
+    copy.start_time = kUnsetTime;
+    copy.end_time = kUnsetTime;
+    out.push_back(std::move(copy));
+  }
+  sort_by_submit_time(out);
+  return out;
+}
+
+Trace scale_load(const Trace& full, double keep, util::Rng& rng, SimTime jitter) {
+  Trace out;
+  std::int64_t next_id = 1;
+  for (const auto& j : full) {
+    double remaining = keep;
+    bool is_duplicate = false;
+    while (remaining > 0.0) {
+      const bool take = remaining >= 1.0 || rng.bernoulli(remaining);
+      remaining -= 1.0;
+      if (!take) continue;
+      JobRecord copy = j;
+      copy.job_id = next_id++;
+      copy.start_time = kUnsetTime;
+      copy.end_time = kUnsetTime;
+      // Duplicates (load amplification) get jittered arrivals so they do
+      // not stack at the exact same instant.
+      if (is_duplicate) {
+        copy.submit_time += static_cast<SimTime>(rng.uniform(0.0, static_cast<double>(jitter)));
+      }
+      is_duplicate = true;
+      out.push_back(std::move(copy));
+    }
+  }
+  sort_by_submit_time(out);
+  return out;
+}
+
+}  // namespace mirage::trace

@@ -1,0 +1,30 @@
+// Trace sampling and replay utilities — the paper lists "job trace
+// sampling and replaying with low overhead" as a simulator contribution.
+// These build sub-workloads for training (random windows), fidelity
+// studies (sampled weeks) and sensitivity sweeps (load-scaled resamples).
+#pragma once
+
+#include "trace/job.hpp"
+#include "util/rng.hpp"
+
+namespace mirage::trace {
+
+/// Jobs submitted in [begin, end), re-based so the window starts at 0 when
+/// `rebase` is set. Start/end times are cleared for replay.
+Trace window(const Trace& full, util::SimTime begin, util::SimTime end, bool rebase = false);
+
+/// A uniformly random window of the given length. Returns an empty trace
+/// when the trace is shorter than the window.
+Trace random_window(const Trace& full, util::SimTime length, util::Rng& rng, bool rebase = false);
+
+/// Bootstrap resample of n jobs (submit order preserved by re-sorting);
+/// job ids are renumbered to stay unique.
+Trace bootstrap(const Trace& full, std::size_t n, util::Rng& rng);
+
+/// Thin or amplify load: keep each job with probability `keep`, and when
+/// keep > 1 duplicate jobs (with jittered submit times) to raise offered
+/// load — a cheap sensitivity knob the §6 load-level study uses.
+Trace scale_load(const Trace& full, double keep, util::Rng& rng,
+                 util::SimTime jitter = util::kHour);
+
+}  // namespace mirage::trace

@@ -1,0 +1,93 @@
+#include "trace/trace_io.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace mirage::trace {
+
+namespace {
+const char* kHeader =
+    "JobID,JobName,UserID,SubmitTime,StartTime,EndTime,Timelimit,NumNodes,ActualRuntime";
+
+bool parse_i64(const std::string& s, std::int64_t& out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (!end || *end != '\0' || end == s.c_str()) return false;
+  out = v;
+  return true;
+}
+}  // namespace
+
+std::string to_csv(const Trace& trace) {
+  std::ostringstream out;
+  out << kHeader << '\n';
+  util::CsvWriter writer(out);
+  for (const auto& j : trace) {
+    writer.write_row({std::to_string(j.job_id), j.job_name, std::to_string(j.user_id),
+                      std::to_string(j.submit_time), std::to_string(j.start_time),
+                      std::to_string(j.end_time), std::to_string(j.time_limit),
+                      std::to_string(j.num_nodes), std::to_string(j.actual_runtime)});
+  }
+  return out.str();
+}
+
+std::optional<Trace> from_csv(const std::string& text) {
+  const auto table = util::CsvTable::parse(text, /*has_header=*/true);
+  const int c_id = table.column("JobID");
+  const int c_name = table.column("JobName");
+  const int c_user = table.column("UserID");
+  const int c_submit = table.column("SubmitTime");
+  const int c_start = table.column("StartTime");
+  const int c_end = table.column("EndTime");
+  const int c_limit = table.column("Timelimit");
+  const int c_nodes = table.column("NumNodes");
+  const int c_runtime = table.column("ActualRuntime");  // optional column
+  if (c_id < 0 || c_submit < 0 || c_nodes < 0 || c_limit < 0) return std::nullopt;
+
+  Trace trace;
+  trace.reserve(table.row_count());
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    const auto& row = table.row(r);
+    const auto field = [&](int c) -> std::string {
+      return (c >= 0 && static_cast<std::size_t>(c) < row.size()) ? row[static_cast<std::size_t>(c)]
+                                                                  : std::string();
+    };
+    JobRecord j;
+    std::int64_t v = 0;
+    if (!parse_i64(field(c_id), j.job_id)) continue;
+    j.job_name = field(c_name);
+    if (parse_i64(field(c_user), v)) j.user_id = static_cast<std::int32_t>(v);
+    if (!parse_i64(field(c_submit), j.submit_time)) continue;
+    if (parse_i64(field(c_start), v)) j.start_time = v;
+    if (parse_i64(field(c_end), v)) j.end_time = v;
+    if (!parse_i64(field(c_limit), j.time_limit)) continue;
+    if (parse_i64(field(c_nodes), v)) j.num_nodes = static_cast<std::int32_t>(v);
+    if (c_runtime >= 0 && parse_i64(field(c_runtime), v)) {
+      j.actual_runtime = v;
+    } else if (j.start_time != kUnsetTime && j.end_time != kUnsetTime) {
+      j.actual_runtime = j.end_time - j.start_time;
+    }
+    trace.push_back(std::move(j));
+  }
+  return trace;
+}
+
+bool save_csv(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_csv(trace);
+  return static_cast<bool>(out);
+}
+
+std::optional<Trace> load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return from_csv(buf.str());
+}
+
+}  // namespace mirage::trace

@@ -1,0 +1,25 @@
+// CSV (de)serialization of job traces in the accounting-export layout the
+// paper collects. Header:
+//   JobID,JobName,UserID,SubmitTime,StartTime,EndTime,Timelimit,NumNodes,ActualRuntime
+// Times are integer seconds since the trace epoch; unset start/end are -1.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "trace/job.hpp"
+
+namespace mirage::trace {
+
+/// Serialize a trace to CSV text (with header).
+std::string to_csv(const Trace& trace);
+
+/// Parse a trace from CSV text. Rows with unparsable numeric fields are
+/// skipped; returns nullopt only when the header is missing/invalid.
+std::optional<Trace> from_csv(const std::string& text);
+
+/// Convenience file wrappers.
+bool save_csv(const Trace& trace, const std::string& path);
+std::optional<Trace> load_csv(const std::string& path);
+
+}  // namespace mirage::trace

@@ -1,0 +1,85 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace mirage::util {
+
+namespace {
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+}  // namespace
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) continue;
+    cfg.set(trim(arg.substr(0, eq)), trim(arg.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+Config Config::from_text(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    cfg.set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) { values_[key] = value; }
+
+bool Config::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Config::get_string(const std::string& key, const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  return (end && *end == '\0') ? v : def;
+}
+
+double Config::get_double(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end && *end == '\0') ? v : def;
+}
+
+bool Config::get_bool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return def;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace mirage::util

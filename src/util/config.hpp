@@ -1,0 +1,38 @@
+// Key=value configuration store with typed getters and defaulting.
+// Used by examples and benches for CLI overrides ("key=value" args) and by
+// the tuner for hyper-parameter grids.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mirage::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key=value" tokens (e.g., from argv); unknown tokens without '='
+  /// are ignored so positional args can coexist.
+  static Config from_args(int argc, const char* const* argv);
+  /// Parse newline-separated key=value text ('#' comments allowed).
+  static Config from_text(const std::string& text);
+
+  void set(const std::string& key, const std::string& value);
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace mirage::util

@@ -1,0 +1,98 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace mirage::util {
+
+std::vector<std::string> parse_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // tolerate CRLF
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string csv_escape(std::string_view field) {
+  if (field.find_first_of(",\"\n") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+CsvTable CsvTable::parse(std::string_view text, bool has_header) {
+  CsvTable table;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() && pos > text.size()) break;
+    if (line.empty()) continue;
+    auto fields = parse_csv_line(line);
+    if (first && has_header) {
+      table.header_ = std::move(fields);
+    } else {
+      table.rows_.push_back(std::move(fields));
+    }
+    first = false;
+  }
+  return table;
+}
+
+std::optional<CsvTable> CsvTable::load(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str(), has_header);
+}
+
+int CsvTable::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace mirage::util

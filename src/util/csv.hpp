@@ -1,0 +1,50 @@
+// Minimal CSV reader/writer for job traces and experiment outputs.
+// Handles quoted fields with embedded commas/quotes, which is all the
+// Slurm accounting exports we model ever need.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mirage::util {
+
+/// Split one CSV line into fields (RFC-4180-ish: double quotes escape).
+std::vector<std::string> parse_csv_line(std::string_view line);
+
+/// Quote a field iff it contains a comma, quote, or newline.
+std::string csv_escape(std::string_view field);
+
+/// Streaming CSV writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Whole-file CSV table with optional header row.
+class CsvTable {
+ public:
+  /// Parse from a string (e.g., file contents). If `has_header`, the first
+  /// row becomes the header and is queryable via column().
+  static CsvTable parse(std::string_view text, bool has_header);
+  /// Load from disk; returns nullopt if the file cannot be opened.
+  static std::optional<CsvTable> load(const std::string& path, bool has_header);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+  /// Column index for a header name, or -1 when absent.
+  int column(std::string_view name) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mirage::util

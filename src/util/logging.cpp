@@ -1,0 +1,34 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <mutex>
+
+namespace mirage::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+namespace detail {
+void emit(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::ostream& out = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+  out << "[" << level_name(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace mirage::util

@@ -1,0 +1,38 @@
+// Tiny leveled logger. Not thread-safe per message interleaving beyond the
+// atomicity of a single ostream << chain; good enough for progress output.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mirage::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void emit(LogLevel level, const std::string& msg);
+}
+
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  detail::emit(level, oss.str());
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) { log(LogLevel::kDebug, std::forward<Args>(args)...); }
+template <typename... Args>
+void log_info(Args&&... args) { log(LogLevel::kInfo, std::forward<Args>(args)...); }
+template <typename... Args>
+void log_warn(Args&&... args) { log(LogLevel::kWarn, std::forward<Args>(args)...); }
+template <typename... Args>
+void log_error(Args&&... args) { log(LogLevel::kError, std::forward<Args>(args)...); }
+
+}  // namespace mirage::util

@@ -1,0 +1,79 @@
+// Deterministic pseudo-random number generation for simulation and training.
+//
+// Every stochastic component in Mirage (workload generators, exploration,
+// replay sampling, weight init) owns its own Rng instance seeded from the
+// experiment config, so runs are reproducible and components can be
+// re-seeded independently. The generator is xoshiro256** seeded via
+// SplitMix64, which is fast, has a 2^256-1 period and passes BigCrush.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace mirage::util {
+
+/// SplitMix64 step: used for seeding and as a cheap stateless hash.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached spare deviate).
+  double normal();
+
+  /// Normal with the given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal: exp(N(mu, sigma)). mu/sigma are in log space.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given rate (lambda).
+  double exponential(double rate);
+
+  /// Poisson count with the given mean (Knuth for small, PTRS-like
+  /// normal approximation for large means).
+  std::int64_t poisson(double mean);
+
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p);
+
+  /// Sample an index from unnormalized non-negative weights.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Zipf-distributed integer in [1, n] with exponent s (rank sampling).
+  std::int64_t zipf(std::int64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-thread streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace mirage::util

@@ -1,0 +1,73 @@
+// Streaming and batch summary statistics used across trace analysis, the
+// state encoder (§4.1 five-number summaries) and the evaluation harness.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mirage::util {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolated percentile of an unsorted sample (copies + sorts).
+/// q in [0,100]. Returns 0 for an empty sample.
+double percentile(std::span<const double> values, double q);
+
+/// Percentile of an already-sorted sample (no copy).
+double percentile_sorted(std::span<const double> sorted, double q);
+
+/// Five-number summary {min, p25, median, p75, max}; zeros when empty.
+/// This is exactly the summary the paper's state encoder uses (vars 2-16).
+std::array<double, 5> five_number_summary(std::span<const double> values);
+
+/// Geometric mean of strictly-positive values (0 if empty); non-positive
+/// entries are clamped to `floor` to keep the statistic defined on noisy
+/// JCT deltas.
+double geometric_mean(std::span<const double> values, double floor = 1e-9);
+
+/// Arithmetic mean; 0 if empty.
+double mean(std::span<const double> values);
+
+/// Histogram with explicit bucket upper bounds (last bucket is overflow).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void add(double x);
+  std::size_t total() const { return total_; }
+  /// Fraction of samples in bucket i (0 when empty).
+  double fraction(std::size_t i) const;
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count(std::size_t i) const { return counts_[i]; }
+  double upper_bound(std::size_t i) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mirage::util

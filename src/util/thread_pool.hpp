@@ -1,0 +1,48 @@
+// Fixed-size thread pool with a blocking parallel_for. Used to fan out
+// episode rollouts, forest training and evaluation sweeps across cores.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mirage::util {
+
+class ThreadPool {
+ public:
+  /// 0 threads means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue an arbitrary task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [0, n), blocking until all complete. Work is
+  /// chunked so each worker grabs contiguous index ranges (cache-friendly
+  /// and low contention). fn must be safe to call concurrently.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Global shared pool sized to the machine (lazy-initialized).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace mirage::util

@@ -1,0 +1,33 @@
+#include "util/time_utils.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace mirage::util {
+
+std::string format_duration(SimTime seconds) {
+  const bool neg = seconds < 0;
+  if (neg) seconds = -seconds;
+  const SimTime days = seconds / kDay;
+  const SimTime h = (seconds % kDay) / kHour;
+  const SimTime m = (seconds % kHour) / kMinute;
+  const SimTime s = seconds % kMinute;
+  char buf[64];
+  if (days > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%lldd %02lld:%02lld:%02lld", neg ? "-" : "",
+                  static_cast<long long>(days), static_cast<long long>(h),
+                  static_cast<long long>(m), static_cast<long long>(s));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%02lld:%02lld:%02lld", neg ? "-" : "",
+                  static_cast<long long>(h), static_cast<long long>(m),
+                  static_cast<long long>(s));
+  }
+  return buf;
+}
+
+double wall_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+}  // namespace mirage::util

@@ -1,0 +1,30 @@
+// Simulation time helpers. All simulator timestamps are seconds since the
+// trace epoch stored in std::int64_t (signed so "before epoch" warm-up
+// offsets are representable).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mirage::util {
+
+using SimTime = std::int64_t;  // seconds since trace epoch
+
+inline constexpr SimTime kSecond = 1;
+inline constexpr SimTime kMinute = 60;
+inline constexpr SimTime kHour = 3600;
+inline constexpr SimTime kDay = 86400;
+inline constexpr SimTime kWeek = 7 * kDay;
+/// Civil month used for bucketing monthly statistics (30 days).
+inline constexpr SimTime kMonth = 30 * kDay;
+
+constexpr double to_hours(SimTime t) { return static_cast<double>(t) / kHour; }
+constexpr SimTime from_hours(double h) { return static_cast<SimTime>(h * kHour); }
+
+/// "3d 04:05:06"-style human duration for reports.
+std::string format_duration(SimTime seconds);
+
+/// Monotonic wall-clock now (seconds, double) for overhead measurements.
+double wall_seconds();
+
+}  // namespace mirage::util

@@ -1,0 +1,222 @@
+// Tests for the core Mirage layer: load classification, heuristics,
+// provisioner adapters, the evaluator, and the method registry.
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "core/methods.hpp"
+#include "core/pipeline.hpp"
+#include "core/provisioner.hpp"
+#include "trace/generator.hpp"
+
+namespace mirage::core {
+namespace {
+
+using trace::JobRecord;
+using trace::Trace;
+using util::kDay;
+using util::kHour;
+using util::kMinute;
+using util::Rng;
+using util::SimTime;
+
+rl::EpisodeConfig quick_episode() {
+  rl::EpisodeConfig ec;
+  ec.job_runtime = 4 * kHour;
+  ec.job_limit = 4 * kHour;
+  ec.job_nodes = 1;
+  ec.decision_interval = 10 * kMinute;
+  ec.warmup = 2 * kHour;
+  ec.history_len = 4;
+  return ec;
+}
+
+// ------------------------------------------------------------- LoadClass
+
+TEST(LoadClass, PaperBoundaries) {
+  EXPECT_EQ(classify_load(13 * kHour), LoadClass::kHeavy);
+  EXPECT_EQ(classify_load(12 * kHour), LoadClass::kMedium);  // "between 2 and 12"
+  EXPECT_EQ(classify_load(2 * kHour), LoadClass::kMedium);
+  EXPECT_EQ(classify_load(2 * kHour - 1), LoadClass::kLight);
+  EXPECT_EQ(classify_load(0), LoadClass::kLight);
+}
+
+TEST(LoadClass, Names) {
+  EXPECT_STREQ(load_class_name(LoadClass::kHeavy), "heavy");
+  EXPECT_STREQ(load_class_name(LoadClass::kMedium), "medium");
+  EXPECT_STREQ(load_class_name(LoadClass::kLight), "light");
+}
+
+// ------------------------------------------------------------ Heuristics
+
+TEST(Heuristics, ReactiveNeverSubmits) {
+  ReactiveProvisioner p;
+  rl::ProvisionEnv env({}, 8, quick_episode(), kDay);
+  Rng rng(1);
+  EXPECT_EQ(p.decide(env, rng), 0);
+}
+
+TEST(Heuristics, ReactiveEpisodeEndsViaFallback) {
+  ReactiveProvisioner p;
+  rl::ProvisionEnv env({}, 8, quick_episode(), kDay);
+  Rng rng(1);
+  drive_episode(p, env, rng);
+  EXPECT_TRUE(env.done());
+  // Reactive submission happens exactly at predecessor end.
+  EXPECT_EQ(env.outcome().overlap, 0);
+}
+
+TEST(Heuristics, AvgSubmitsWhenRemainingBelowAvgWait) {
+  // Idle cluster -> recent average wait 0 -> only submits at the very end.
+  AvgWaitProvisioner p;
+  rl::ProvisionEnv env({}, 8, quick_episode(), kDay);
+  Rng rng(2);
+  EXPECT_EQ(p.decide(env, rng), 0);
+}
+
+TEST(Heuristics, WaitPredictionUsesPredictor) {
+  // Predictor that always predicts an enormous wait -> submit immediately.
+  WaitPredictionProvisioner eager("eager", [](std::span<const float>) { return 1000.0f; });
+  rl::ProvisionEnv env({}, 8, quick_episode(), kDay);
+  Rng rng(3);
+  EXPECT_EQ(eager.decide(env, rng), 1);
+
+  WaitPredictionProvisioner lazy("lazy", [](std::span<const float>) { return 0.0f; });
+  EXPECT_EQ(lazy.decide(env, rng), 0);
+}
+
+TEST(Heuristics, DriveEpisodeWithEagerSubmitterOverlaps) {
+  WaitPredictionProvisioner eager("eager", [](std::span<const float>) { return 1000.0f; });
+  rl::ProvisionEnv env({}, 8, quick_episode(), kDay);
+  Rng rng(4);
+  drive_episode(eager, env, rng);
+  EXPECT_TRUE(env.done());
+  EXPECT_GT(env.outcome().overlap, 0);
+}
+
+// --------------------------------------------------------------- Methods
+
+TEST(Methods, NamesAndPredicates) {
+  EXPECT_EQ(method_name(Method::kMoeDqn), "MoE+DQN");
+  EXPECT_EQ(all_methods().size(), 8u);
+  EXPECT_TRUE(is_rl_method(Method::kTransformerPg));
+  EXPECT_FALSE(is_rl_method(Method::kAvg));
+  EXPECT_TRUE(is_statistical_method(Method::kXgboost));
+  EXPECT_FALSE(is_statistical_method(Method::kMoePg));
+}
+
+// -------------------------------------------------------------- Evaluator
+
+TEST(Evaluator, ReactiveAggregatesAndClassification) {
+  trace::GeneratorOptions opt;
+  opt.seed = 5;
+  opt.job_count_scale = 0.3;
+  trace::SyntheticTraceGenerator gen(trace::a100_preset(), opt);
+  const auto full = gen.generate();
+
+  EvalConfig ec;
+  ec.episodes = 8;
+  ec.parallel = false;
+  Evaluator evaluator(full, 76, quick_episode(), ec);
+  evaluator.prepare(10 * kDay, 60 * kDay);
+
+  const auto& reactive = evaluator.reactive();
+  EXPECT_EQ(reactive.overall.episodes, 8u);
+  // Reactive never overlaps by construction.
+  EXPECT_DOUBLE_EQ(reactive.overall.overlap_hours.max(), 0.0);
+  const auto hist = evaluator.load_histogram();
+  EXPECT_EQ(hist[0] + hist[1] + hist[2], 8u);
+}
+
+TEST(Evaluator, EvaluateUsesTheSameAnchors) {
+  trace::GeneratorOptions opt;
+  opt.seed = 6;
+  opt.job_count_scale = 0.3;
+  trace::SyntheticTraceGenerator gen(trace::a100_preset(), opt);
+  const auto full = gen.generate();
+
+  EvalConfig ec;
+  ec.episodes = 6;
+  ec.parallel = false;
+  Evaluator evaluator(full, 76, quick_episode(), ec);
+  evaluator.prepare(10 * kDay, 60 * kDay);
+
+  const auto eval = evaluator.evaluate(
+      "always_wait", [] { return std::make_unique<ReactiveProvisioner>(); });
+  EXPECT_EQ(eval.overall.episodes, 6u);
+  // A never-submit policy is exactly the reactive baseline.
+  EXPECT_NEAR(eval.overall.interruption_hours.mean(),
+              evaluator.reactive().overall.interruption_hours.mean(), 1e-9);
+}
+
+TEST(Evaluator, ZeroInterruptionFraction) {
+  LoadAggregate agg;
+  EXPECT_DOUBLE_EQ(agg.zero_interruption_fraction(), 0.0);
+  agg.episodes = 4;
+  agg.zero_interruption = 3;
+  EXPECT_DOUBLE_EQ(agg.zero_interruption_fraction(), 0.75);
+}
+
+TEST(Evaluator, FormatTableContainsMethodsAndCounts) {
+  MethodEval e;
+  e.method = "demo";
+  e.by_load[0].episodes = 2;
+  e.by_load[0].interruption_hours.add(1.0);
+  e.by_load[0].interruption_hours.add(3.0);
+  e.by_load[0].overlap_hours.add(0.0);
+  e.by_load[0].overlap_hours.add(0.0);
+  const auto table = format_eval_table({e});
+  EXPECT_NE(table.find("demo"), std::string::npos);
+  EXPECT_NE(table.find("2.00"), std::string::npos);  // mean interruption
+}
+
+// --------------------------------------------------------------- Pipeline
+
+TEST(Pipeline, CompactConfigConsistency) {
+  const auto cfg = PipelineConfig::compact(trace::a100_preset(), 8, 7);
+  EXPECT_EQ(cfg.episode.job_nodes, 8);
+  EXPECT_EQ(cfg.net.history_len, cfg.episode.history_len);
+  EXPECT_EQ(cfg.net.state_dim, rl::kFrameDim);
+}
+
+TEST(Pipeline, HeuristicsNeedNoTraining) {
+  auto cfg = PipelineConfig::compact(trace::a100_preset(), 1, 3);
+  cfg.generator.job_count_scale = 0.2;
+  cfg.eval.episodes = 4;
+  MiragePipeline pipe(cfg);
+  pipe.prepare();
+  pipe.train(Method::kReactive);  // no-op, no throw
+  pipe.train(Method::kAvg);
+  const auto evals = pipe.evaluate({Method::kReactive, Method::kAvg});
+  EXPECT_EQ(evals.size(), 2u);
+  EXPECT_EQ(evals[0].method, "reactive");
+  EXPECT_EQ(evals[0].overall.episodes, 4u);
+}
+
+TEST(Pipeline, TrainingWithoutOfflineDataThrows) {
+  auto cfg = PipelineConfig::compact(trace::a100_preset(), 1, 3);
+  MiragePipeline pipe(cfg);
+  pipe.prepare();
+  EXPECT_THROW(pipe.train(Method::kRandomForest), std::logic_error);
+}
+
+TEST(Pipeline, UntrainedFactoryThrows) {
+  auto cfg = PipelineConfig::compact(trace::a100_preset(), 1, 3);
+  MiragePipeline pipe(cfg);
+  pipe.prepare();
+  EXPECT_THROW(pipe.factory(Method::kXgboost), std::logic_error);
+  EXPECT_THROW(pipe.factory(Method::kMoeDqn), std::logic_error);
+  EXPECT_NO_THROW(pipe.factory(Method::kReactive));
+}
+
+TEST(Pipeline, SplitIs80To20) {
+  auto cfg = PipelineConfig::compact(trace::a100_preset(), 1, 3);
+  cfg.generator.job_count_scale = 0.1;
+  MiragePipeline pipe(cfg);
+  pipe.prepare();
+  const double train_span = static_cast<double>(pipe.train_end() - pipe.train_begin());
+  const double total_span = static_cast<double>(pipe.validation_end() - pipe.train_begin());
+  EXPECT_NEAR(train_span / total_span, 0.8, 0.02);
+}
+
+}  // namespace
+}  // namespace mirage::core

@@ -1,0 +1,432 @@
+// Tests for the extension modules: availability profile, schedule metrics,
+// trace sampling, sub-job chains, checkpointing, tuner, feature importance.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/checkpoint.hpp"
+#include "core/provisioner.hpp"
+#include "core/tuner.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/random_forest.hpp"
+#include "rl/chain.hpp"
+#include "sim/availability_profile.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generator.hpp"
+#include "trace/sampler.hpp"
+
+namespace mirage {
+namespace {
+
+using trace::JobRecord;
+using trace::Trace;
+using util::kDay;
+using util::kHour;
+using util::kMinute;
+using util::Rng;
+using util::SimTime;
+
+JobRecord make_job(std::int64_t id, SimTime submit, std::int32_t nodes, SimTime runtime) {
+  JobRecord j;
+  j.job_id = id;
+  j.submit_time = submit;
+  j.num_nodes = nodes;
+  j.actual_runtime = runtime;
+  j.time_limit = runtime;
+  return j;
+}
+
+// ---------------------------------------------------- AvailabilityProfile
+
+TEST(AvailabilityProfile, EmptyClusterFitsImmediately) {
+  sim::AvailabilityProfile p(100, 8);
+  EXPECT_EQ(p.earliest_fit(100, 4, 1000), 100);
+  EXPECT_EQ(p.earliest_fit(100, 8, 1000), 100);
+}
+
+TEST(AvailabilityProfile, WaitsForRelease) {
+  sim::AvailabilityProfile p(0, 2);
+  p.add_release(50, 4);  // 6 free from t=50
+  EXPECT_EQ(p.earliest_fit(0, 2, 100), 0);
+  EXPECT_EQ(p.earliest_fit(0, 4, 100), 50);
+  EXPECT_EQ(p.earliest_fit(0, 6, 100), 50);
+}
+
+TEST(AvailabilityProfile, ReservationBlocksWindow) {
+  sim::AvailabilityProfile p(0, 4);
+  p.reserve(100, 50, 4);  // all nodes taken on [100, 150)
+  // A 200-long job starting now would cross the reservation.
+  EXPECT_EQ(p.earliest_fit(0, 1, 200), 150);
+  // A short job fits before it.
+  EXPECT_EQ(p.earliest_fit(0, 4, 100), 0);
+  // And anything fits after it.
+  EXPECT_EQ(p.earliest_fit(0, 4, 1000), 150);
+}
+
+TEST(AvailabilityProfile, StackedReservations) {
+  sim::AvailabilityProfile p(0, 4);
+  p.reserve(0, 100, 2);
+  p.reserve(0, 50, 2);
+  EXPECT_EQ(p.earliest_fit(0, 1, 10), 50);   // full until 50
+  EXPECT_EQ(p.earliest_fit(0, 2, 10), 50);
+  EXPECT_EQ(p.earliest_fit(0, 4, 10), 100);
+}
+
+TEST(AvailabilityProfile, FitFromLaterTime) {
+  sim::AvailabilityProfile p(0, 4);
+  p.reserve(100, 100, 4);
+  EXPECT_EQ(p.earliest_fit(120, 1, 10), 200);  // asking mid-reservation
+}
+
+// -------------------------------------------------------- ScheduleMetrics
+
+TEST(ScheduleMetrics, SingleJobFullUtilization) {
+  Trace t = {make_job(1, 0, 4, 3600)};
+  const auto sched = sim::replay_trace(t, 4);
+  const auto m = sim::compute_schedule_metrics(sched, 4);
+  EXPECT_EQ(m.scheduled_jobs, 1u);
+  EXPECT_DOUBLE_EQ(m.makespan_hours, 1.0);
+  EXPECT_DOUBLE_EQ(m.average_utilization, 1.0);
+  EXPECT_DOUBLE_EQ(m.mean_wait_hours, 0.0);
+}
+
+TEST(ScheduleMetrics, WaitStatistics) {
+  // Two sequential full-cluster jobs: the second waits one hour.
+  Trace t = {make_job(1, 0, 4, 3600), make_job(2, 0, 4, 3600)};
+  const auto sched = sim::replay_trace(t, 4);
+  const auto m = sim::compute_schedule_metrics(sched, 4);
+  EXPECT_DOUBLE_EQ(m.mean_wait_hours, 0.5);
+  EXPECT_DOUBLE_EQ(m.max_wait_hours, 1.0);
+}
+
+TEST(ScheduleMetrics, EmptyScheduleSafe) {
+  const auto m = sim::compute_schedule_metrics({}, 4);
+  EXPECT_EQ(m.scheduled_jobs, 0u);
+  EXPECT_EQ(m.average_utilization, 0.0);
+}
+
+TEST(ScheduleMetrics, MonthlyUtilizationSplitsAcrossMonths) {
+  // Months are indexed from the first submit time: anchor month 0 with an
+  // early job, then let a second job straddle the month boundary.
+  Trace t = {make_job(1, 0, 4, kDay), make_job(2, util::kMonth - kDay, 4, 2 * kDay)};
+  const auto sched = sim::replay_trace(t, 4);
+  const auto util_by_month = sim::monthly_utilization(sched, 4);
+  ASSERT_EQ(util_by_month.size(), 2u);
+  // Month 0: 1 day (job 1) + 1 day (job 2's first half); month 1: 1 day.
+  EXPECT_NEAR(util_by_month[0], 2.0 / 30.0, 1e-9);
+  EXPECT_NEAR(util_by_month[1], 1.0 / 30.0, 1e-9);
+}
+
+TEST(ScheduleMetrics, UtilizationTracksGeneratorTargets) {
+  trace::GeneratorOptions opt;
+  opt.seed = 8;
+  trace::SyntheticTraceGenerator gen(trace::a100_preset(), opt);
+  const auto sched = sim::replay_trace(gen.generate(), 76);
+  const auto util_by_month = sim::monthly_utilization(sched, 76);
+  ASSERT_GE(util_by_month.size(), 5u);
+  // The heavy month (index 2, offered 1.02) must run far hotter than the
+  // light first month (offered 0.55).
+  EXPECT_GT(util_by_month[2], util_by_month[0] + 0.2);
+}
+
+// ---------------------------------------------------------------- Sampler
+
+TEST(Sampler, WindowFiltersAndRebases) {
+  Trace t = {make_job(1, 100, 1, 10), make_job(2, 200, 1, 10), make_job(3, 300, 1, 10)};
+  const auto w = trace::window(t, 150, 250, /*rebase=*/true);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].job_id, 2);
+  EXPECT_EQ(w[0].submit_time, 50);
+  EXPECT_FALSE(w[0].scheduled());
+}
+
+TEST(Sampler, RandomWindowWithinSpan) {
+  trace::GeneratorOptions opt;
+  opt.seed = 9;
+  opt.job_count_scale = 0.2;
+  trace::SyntheticTraceGenerator gen(trace::a100_preset(), opt);
+  const auto full = gen.generate();
+  Rng rng(10);
+  for (int i = 0; i < 10; ++i) {
+    const auto w = trace::random_window(full, util::kWeek, rng);
+    ASSERT_FALSE(w.empty());
+    const SimTime begin = trace::trace_begin(w);
+    for (const auto& j : w) {
+      EXPECT_GE(j.submit_time, begin);
+      EXPECT_LT(j.submit_time, begin + util::kWeek);
+    }
+  }
+}
+
+TEST(Sampler, RandomWindowTooLongReturnsEmpty) {
+  Trace t = {make_job(1, 0, 1, 10), make_job(2, 100, 1, 10)};
+  Rng rng(1);
+  EXPECT_TRUE(trace::random_window(t, kDay, rng).empty());
+}
+
+TEST(Sampler, BootstrapSizeAndUniqueIds) {
+  Trace t = {make_job(1, 0, 1, 10), make_job(2, 100, 2, 20)};
+  Rng rng(2);
+  const auto b = trace::bootstrap(t, 50, rng);
+  EXPECT_EQ(b.size(), 50u);
+  std::set<std::int64_t> ids;
+  for (const auto& j : b) ids.insert(j.job_id);
+  EXPECT_EQ(ids.size(), 50u);
+  for (std::size_t i = 1; i < b.size(); ++i) {
+    EXPECT_LE(b[i - 1].submit_time, b[i].submit_time);
+  }
+}
+
+TEST(Sampler, ScaleLoadThins) {
+  Trace t;
+  for (int i = 0; i < 1000; ++i) t.push_back(make_job(i, i * 60, 1, 600));
+  Rng rng(3);
+  const auto thin = trace::scale_load(t, 0.5, rng);
+  EXPECT_NEAR(static_cast<double>(thin.size()), 500.0, 70.0);
+}
+
+TEST(Sampler, ScaleLoadAmplifies) {
+  Trace t;
+  for (int i = 0; i < 500; ++i) t.push_back(make_job(i, i * 60, 1, 600));
+  Rng rng(4);
+  const auto heavy = trace::scale_load(t, 2.0, rng);
+  EXPECT_EQ(heavy.size(), 1000u);
+  // Submit order must still be non-decreasing after jitter.
+  for (std::size_t i = 1; i < heavy.size(); ++i) {
+    EXPECT_LE(heavy[i - 1].submit_time, heavy[i].submit_time);
+  }
+}
+
+// ------------------------------------------------------------------ Chain
+
+TEST(Chain, EmptyClusterChainHasNoDowntime) {
+  rl::EpisodeConfig ec;
+  ec.job_runtime = 4 * kHour;
+  ec.job_limit = 4 * kHour;
+  ec.decision_interval = 10 * kMinute;
+  ec.warmup = 2 * kHour;
+  ec.history_len = 4;
+  const auto result = rl::run_chain({}, 8, ec, kDay, 3,
+                                    [](const rl::ProvisionEnv&) { return 0; });  // reactive
+  ASSERT_EQ(result.links.size(), 3u);
+  EXPECT_EQ(result.total_interruption(), 0);
+  EXPECT_EQ(result.total_overlap(), 0);
+  EXPECT_EQ(result.zero_interruption_links(), 3u);
+  EXPECT_DOUBLE_EQ(result.downtime_fraction(ec.job_runtime), 0.0);
+}
+
+TEST(Chain, EagerPolicyOverlapsEveryLink) {
+  rl::EpisodeConfig ec;
+  ec.job_runtime = 4 * kHour;
+  ec.job_limit = 4 * kHour;
+  ec.decision_interval = 10 * kMinute;
+  ec.warmup = 2 * kHour;
+  ec.history_len = 4;
+  const auto result = rl::run_chain({}, 8, ec, kDay, 2,
+                                    [](const rl::ProvisionEnv&) { return 1; });  // always submit
+  EXPECT_EQ(result.total_interruption(), 0);
+  EXPECT_GT(result.total_overlap(), 0);
+}
+
+TEST(Chain, AnchorsAdvanceByRuntimePlusInterruption) {
+  rl::EpisodeConfig ec;
+  ec.job_runtime = 4 * kHour;
+  ec.job_limit = 4 * kHour;
+  ec.decision_interval = 10 * kMinute;
+  ec.warmup = 2 * kHour;
+  ec.history_len = 4;
+  // Overloaded single-node stream (12 offered node-hours per hour on a
+  // 4-node cluster) spanning well past the chain, so every reactive link's
+  // successor finds a backlog.
+  Trace background;
+  for (int i = 0; i < 240; ++i) {
+    background.push_back(make_job(i, kDay - kHour + i * kHour / 2, 1, 6 * kHour));
+  }
+  const auto result = rl::run_chain(background, 4, ec, kDay, 3,
+                                    [](const rl::ProvisionEnv&) { return 0; });
+  EXPECT_GT(result.total_interruption(), 0);
+  EXPECT_GT(result.downtime_fraction(ec.job_runtime), 0.0);
+  EXPECT_LT(result.downtime_fraction(ec.job_runtime), 1.0);
+}
+
+// ------------------------------------------------------------- Checkpoint
+
+nn::FoundationConfig tiny_net() {
+  nn::FoundationConfig cfg;
+  cfg.history_len = 4;
+  cfg.state_dim = rl::kFrameDim;
+  cfg.d_model = 8;
+  cfg.num_heads = 2;
+  cfg.num_layers = 1;
+  cfg.ffn_hidden = 16;
+  cfg.moe_experts = 2;
+  return cfg;
+}
+
+TEST(Checkpoint, DqnRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "mirage_ckpt_dqn.bin";
+  rl::DqnConfig cfg;
+  cfg.net = tiny_net();
+  rl::DqnAgent a(cfg, 1), b(cfg, 999);
+  ASSERT_TRUE(core::save_agent(a, path.string()));
+  ASSERT_TRUE(core::load_agent(b, path.string()));
+  std::vector<float> obs(cfg.net.input_dim(), 0.3f);
+  const auto [a0, a1] = a.q_pair(obs);
+  const auto [b0, b1] = b.q_pair(obs);
+  EXPECT_FLOAT_EQ(a0, b0);
+  EXPECT_FLOAT_EQ(a1, b1);
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, PgRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "mirage_ckpt_pg.bin";
+  rl::PgConfig cfg;
+  cfg.net = tiny_net();
+  rl::PgAgent a(cfg, 1), b(cfg, 999);
+  ASSERT_TRUE(core::save_agent(a, path.string()));
+  ASSERT_TRUE(core::load_agent(b, path.string()));
+  std::vector<float> obs(cfg.net.input_dim(), 0.3f);
+  EXPECT_FLOAT_EQ(a.submit_probability(obs), b.submit_probability(obs));
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, RejectsKindMismatch) {
+  const auto path = std::filesystem::temp_directory_path() / "mirage_ckpt_kind.bin";
+  rl::DqnConfig dq;
+  dq.net = tiny_net();
+  rl::DqnAgent a(dq, 1);
+  ASSERT_TRUE(core::save_agent(a, path.string()));
+  rl::PgConfig pg;
+  pg.net = tiny_net();
+  pg.foundation = dq.foundation;
+  rl::PgAgent b(pg, 1);
+  EXPECT_FALSE(core::load_agent(b, path.string()));
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, RejectsArchitectureMismatch) {
+  const auto path = std::filesystem::temp_directory_path() / "mirage_ckpt_arch.bin";
+  rl::DqnConfig cfg;
+  cfg.net = tiny_net();
+  rl::DqnAgent a(cfg, 1);
+  ASSERT_TRUE(core::save_agent(a, path.string()));
+  cfg.net.d_model = 16;
+  rl::DqnAgent b(cfg, 1);
+  EXPECT_FALSE(core::load_agent(b, path.string()));
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, ReadInfoHeader) {
+  const auto path = std::filesystem::temp_directory_path() / "mirage_ckpt_info.bin";
+  rl::DqnConfig cfg;
+  cfg.foundation = nn::FoundationType::kMoE;
+  cfg.net = tiny_net();
+  rl::DqnAgent a(cfg, 1);
+  ASSERT_TRUE(core::save_agent(a, path.string()));
+  const auto info = core::read_checkpoint_info(path.string());
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->kind, "dqn");
+  EXPECT_EQ(info->foundation, "moe");
+  EXPECT_EQ(info->d_model, 8u);
+  std::filesystem::remove(path);
+  EXPECT_FALSE(core::read_checkpoint_info(path.string()).has_value());
+}
+
+// ------------------------------------------------------------------ Tuner
+
+TEST(Tuner, RanksCandidatesByValidationLoss) {
+  // Synthetic regression task where reward depends on one state slot:
+  // every candidate can learn it, so losses must be finite and sorted.
+  Rng rng(5);
+  const auto net = tiny_net();
+  std::vector<rl::Experience> samples;
+  for (int i = 0; i < 120; ++i) {
+    rl::Experience e;
+    e.observation.assign(net.input_dim(), 0.0f);
+    const float level = static_cast<float>(rng.uniform());
+    for (std::size_t s = 0; s < net.history_len; ++s) {
+      e.observation[s * rl::kFrameDim] = level;
+    }
+    e.action = rng.bernoulli(0.5) ? 1 : 0;
+    e.reward = -4.0f * level;
+    samples.push_back(std::move(e));
+  }
+  core::TunerOptions opts;
+  opts.pretrain.epochs = 8;
+  std::vector<core::TunerCandidate> grid;
+  for (std::size_t d : {4u, 8u}) {
+    core::TunerCandidate c;
+    c.net = net;
+    c.net.d_model = d;
+    c.net.ffn_hidden = 2 * d;
+    c.type = nn::FoundationType::kTransformer;
+    c.label = "d" + std::to_string(d);
+    grid.push_back(c);
+  }
+  const auto results = core::grid_search(samples, grid, opts);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_LE(results[0].validation_loss, results[1].validation_loss);
+  for (const auto& r : results) {
+    EXPECT_TRUE(std::isfinite(r.validation_loss));
+    EXPECT_TRUE(std::isfinite(r.train_loss));
+  }
+}
+
+TEST(Tuner, DefaultGridCoversBothFoundations) {
+  const auto grid = core::default_grid(tiny_net());
+  EXPECT_GE(grid.size(), 6u);
+  bool has_tf = false, has_moe = false;
+  for (const auto& c : grid) {
+    has_tf |= (c.type == nn::FoundationType::kTransformer);
+    has_moe |= (c.type == nn::FoundationType::kMoE);
+  }
+  EXPECT_TRUE(has_tf);
+  EXPECT_TRUE(has_moe);
+}
+
+TEST(Tuner, EmptySamplesReturnEmpty) {
+  core::TunerOptions opts;
+  EXPECT_TRUE(core::grid_search({}, core::default_grid(tiny_net()), opts).empty());
+}
+
+// ------------------------------------------------------ FeatureImportance
+
+TEST(FeatureImportance, IdentifiesTheInformativeFeature) {
+  // y depends only on feature 1.
+  ml::Dataset d(3);
+  Rng rng(6);
+  for (int i = 0; i < 400; ++i) {
+    const float a = static_cast<float>(rng.uniform(-1, 1));
+    const float b = static_cast<float>(rng.uniform(-1, 1));
+    const float c = static_cast<float>(rng.uniform(-1, 1));
+    d.add_row(std::vector<float>{a, b, c}, 3.0f * b);
+  }
+  ml::RandomForest forest;
+  ml::ForestParams fp;
+  fp.num_trees = 16;
+  fp.tree.max_features = 3;  // let every tree see the informative feature
+  forest.fit(d, fp);
+  const auto rf = forest.feature_importance(3);
+  EXPECT_GT(rf[1], 0.8);
+
+  ml::Gbdt gbdt;
+  ml::GbdtParams gp;
+  gp.num_rounds = 30;
+  gbdt.fit(d, gp);
+  const auto gb = gbdt.feature_importance(3);
+  EXPECT_GT(gb[1], 0.8);
+
+  EXPECT_NEAR(rf[0] + rf[1] + rf[2], 1.0, 1e-9);
+  EXPECT_NEAR(gb[0] + gb[1] + gb[2], 1.0, 1e-9);
+}
+
+TEST(FeatureImportance, UntrainedModelsAreAllZero) {
+  ml::RandomForest forest;
+  const auto imp = forest.feature_importance(4);
+  for (double v : imp) EXPECT_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace mirage

@@ -1,0 +1,103 @@
+// Integration tests: the full offline+online pipeline on a scaled-down
+// cluster, asserting the paper's qualitative results (learned methods beat
+// the reactive baseline under load) rather than absolute numbers.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+
+namespace mirage::core {
+namespace {
+
+/// Shared fixture: one small A100 pipeline trained once for all checks
+/// (training is the expensive part).
+class PipelineIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Full compact budgets: training variance at smaller budgets makes the
+    // paper-shape assertions below flaky.
+    auto cfg = PipelineConfig::compact(trace::a100_preset(), 1, 4242);
+    pipeline_ = new MiragePipeline(cfg);
+    pipeline_->prepare();
+    pipeline_->collect_offline();
+    pipeline_->train_all({Method::kRandomForest, Method::kXgboost, Method::kMoeDqn,
+                          Method::kTransformerPg});
+    evals_ = new std::vector<MethodEval>(pipeline_->evaluate(
+        {Method::kReactive, Method::kAvg, Method::kRandomForest, Method::kXgboost,
+         Method::kMoeDqn, Method::kTransformerPg}));
+  }
+  static void TearDownTestSuite() {
+    delete evals_;
+    delete pipeline_;
+    pipeline_ = nullptr;
+    evals_ = nullptr;
+  }
+
+  static const MethodEval& eval_of(const std::string& name) {
+    for (const auto& e : *evals_) {
+      if (e.method == name) return e;
+    }
+    throw std::logic_error("method not evaluated: " + name);
+  }
+
+  static MiragePipeline* pipeline_;
+  static std::vector<MethodEval>* evals_;
+};
+
+MiragePipeline* PipelineIntegration::pipeline_ = nullptr;
+std::vector<MethodEval>* PipelineIntegration::evals_ = nullptr;
+
+TEST_F(PipelineIntegration, OfflineDatasetNonTrivial) {
+  EXPECT_GT(pipeline_->offline_dataset().nn_samples.size(), 100u);
+  EXPECT_GT(pipeline_->offline_dataset().tabular.size(), 50u);
+}
+
+TEST_F(PipelineIntegration, ReactiveSuffersUnderHeavyLoad) {
+  const auto& r = eval_of("reactive").at(LoadClass::kHeavy);
+  ASSERT_GT(r.episodes, 0u);
+  EXPECT_GT(r.interruption_hours.mean(), 12.0);  // heavy means >12 h wait
+  EXPECT_DOUBLE_EQ(r.overlap_hours.mean(), 0.0);
+}
+
+TEST_F(PipelineIntegration, LearnedMethodsReduceHeavyInterruption) {
+  // Paper §6: 17-100% interruption reduction. REINFORCE training variance
+  // means a single method at a single seed can land short, so we assert
+  // the ensemble of claims: no learned method is materially worse than
+  // reactive, most clear the paper's 17% floor, and the best method cuts
+  // interruption by well over half.
+  const double reactive = eval_of("reactive").at(LoadClass::kHeavy).interruption_hours.mean();
+  int cleared_17_percent = 0;
+  double best = reactive;
+  for (const auto* name : {"random_forest", "xgboost", "MoE+DQN", "transformer+PG"}) {
+    const auto& agg = eval_of(name).at(LoadClass::kHeavy);
+    ASSERT_GT(agg.episodes, 0u) << name;
+    const double mean = agg.interruption_hours.mean();
+    EXPECT_LT(mean, 1.05 * reactive) << name << " is worse than reactive";
+    cleared_17_percent += (mean < 0.83 * reactive);
+    best = std::min(best, mean);
+  }
+  EXPECT_GE(cleared_17_percent, 3);
+  EXPECT_LT(best, 0.5 * reactive);
+}
+
+TEST_F(PipelineIntegration, MirageSafeguardsJobsWithZeroInterruption) {
+  // Paper: Mirage (MoE+DQN) safeguards 23-76% of jobs with zero
+  // interruption; reactive safeguards ~none under load.
+  const auto& moe = eval_of("MoE+DQN").overall;
+  const auto& reactive = eval_of("reactive").overall;
+  EXPECT_GE(moe.zero_interruption_fraction(), 0.23);
+  EXPECT_GT(moe.zero_interruption_fraction(), reactive.zero_interruption_fraction());
+}
+
+TEST_F(PipelineIntegration, RlAgentsWereTrained) {
+  EXPECT_NE(pipeline_->dqn_agent(Method::kMoeDqn), nullptr);
+  EXPECT_NE(pipeline_->pg_agent(Method::kTransformerPg), nullptr);
+  EXPECT_EQ(pipeline_->dqn_agent(Method::kTransformerDqn), nullptr);  // not trained here
+}
+
+TEST_F(PipelineIntegration, AllMethodsEvaluatedOnSameAnchorCount) {
+  const std::size_t n = eval_of("reactive").overall.episodes;
+  for (const auto& e : *evals_) EXPECT_EQ(e.overall.episodes, n) << e.method;
+}
+
+}  // namespace
+}  // namespace mirage::core

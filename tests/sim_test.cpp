@@ -1,0 +1,329 @@
+// Tests for the fast Slurm simulator, the reference (conservative
+// backfill) simulator, and the §5.2 fidelity metrics.
+#include <gtest/gtest.h>
+
+#include "sim/fidelity.hpp"
+#include "sim/reference_simulator.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generator.hpp"
+
+namespace mirage::sim {
+namespace {
+
+using trace::JobRecord;
+using trace::Trace;
+using util::kDay;
+using util::kHour;
+using util::kMinute;
+
+JobRecord make_job(std::int64_t id, SimTime submit, std::int32_t nodes, SimTime runtime,
+                   SimTime limit = 0) {
+  JobRecord j;
+  j.job_id = id;
+  j.job_name = "j" + std::to_string(id);
+  j.submit_time = submit;
+  j.num_nodes = nodes;
+  j.actual_runtime = runtime;
+  j.time_limit = limit ? limit : runtime;
+  return j;
+}
+
+// ------------------------------------------------------------ Basic flow
+
+TEST(Simulator, SingleJobRunsImmediately) {
+  Simulator sim(4);
+  sim.load_workload({make_job(1, 100, 2, 50)});
+  sim.run_to_completion();
+  EXPECT_EQ(sim.start_time(0), 100);
+  EXPECT_EQ(sim.end_time(0), 150);
+  EXPECT_EQ(sim.status(0), JobStatus::kCompleted);
+  EXPECT_EQ(sim.free_nodes(), 4);
+}
+
+TEST(Simulator, JobQueuesWhenFull) {
+  Simulator sim(4);
+  sim.load_workload({make_job(1, 0, 4, 100), make_job(2, 10, 4, 100)});
+  sim.run_to_completion();
+  EXPECT_EQ(sim.start_time(0), 0);
+  EXPECT_EQ(sim.start_time(1), 100);  // waits for the first to finish
+}
+
+TEST(Simulator, RuntimeCappedByTimeLimit) {
+  Simulator sim(1);
+  sim.load_workload({make_job(1, 0, 1, 500, /*limit=*/100)});
+  sim.run_to_completion();
+  EXPECT_EQ(sim.end_time(0), 100);  // killed at the limit, like Slurm
+}
+
+TEST(Simulator, RunUntilAdvancesTime) {
+  Simulator sim(4);
+  sim.load_workload({make_job(1, 100, 1, 50)});
+  sim.run_until(70);
+  EXPECT_EQ(sim.now(), 70);
+  EXPECT_EQ(sim.status(0), JobStatus::kFuture);
+  sim.step(40);  // to t=110
+  EXPECT_EQ(sim.status(0), JobStatus::kRunning);
+}
+
+TEST(Simulator, SubmitInjectsAtCurrentInstant) {
+  Simulator sim(4);
+  sim.run_until(500);
+  const JobId id = sim.submit(make_job(9, 0 /*ignored*/, 2, 100));
+  EXPECT_EQ(sim.job(id).submit_time, 500);
+  sim.run_to_completion();
+  EXPECT_EQ(sim.start_time(id), 500);
+}
+
+TEST(Simulator, OversizeSubmissionThrows) {
+  Simulator sim(4);
+  EXPECT_THROW(sim.submit(make_job(1, 0, 5, 10)), std::invalid_argument);
+  Trace w = {make_job(1, 0, 5, 10)};
+  Simulator sim2(4);
+  EXPECT_THROW(sim2.load_workload(w), std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilStartedAndComplete) {
+  Simulator sim(1);
+  sim.load_workload({make_job(1, 0, 1, 100), make_job(2, 1, 1, 100)});
+  sim.run_until(1);
+  sim.run_until_started(1);
+  EXPECT_EQ(sim.status(1), JobStatus::kRunning);
+  EXPECT_EQ(sim.start_time(1), 100);
+  sim.run_until_complete(1);
+  EXPECT_EQ(sim.status(1), JobStatus::kCompleted);
+}
+
+// --------------------------------------------------------------- Priority
+
+TEST(Simulator, FifoAmongEqualJobs) {
+  Simulator sim(1);
+  sim.load_workload({make_job(1, 0, 1, 100), make_job(2, 10, 1, 10), make_job(3, 5, 1, 10)});
+  sim.run_to_completion();
+  // Job 3 submitted before job 2; equal size, so age priority orders them.
+  EXPECT_LT(sim.start_time(2), sim.start_time(1));
+}
+
+TEST(Simulator, SizeWeightFavorsLargeJobs) {
+  SchedulerConfig cfg;
+  cfg.age_weight = 0.0;  // isolate the size factor
+  cfg.size_weight = 100.0;
+  cfg.backfill = false;
+  Simulator sim(4, cfg);
+  sim.load_workload({make_job(1, 0, 4, 100), make_job(2, 1, 1, 10), make_job(3, 2, 4, 10)});
+  sim.run_to_completion();
+  // After job 1 releases, the 4-node job 3 outranks the older 1-node job 2.
+  EXPECT_LT(sim.start_time(2), sim.start_time(1));
+}
+
+// --------------------------------------------------------------- Backfill
+
+TEST(Simulator, EasyBackfillFillsHoles) {
+  // 4 nodes. J1 holds 3 until t=100. J2 (4 nodes) blocks with shadow=100.
+  // J3 (1 node, 10 s limit) fits in the idle node and ends before the
+  // shadow -> backfills immediately despite lower priority than J2.
+  Simulator sim(4);
+  sim.load_workload({make_job(1, 0, 3, 100, 100), make_job(2, 1, 4, 100, 100),
+                     make_job(3, 2, 1, 10, 10)});
+  sim.run_to_completion();
+  EXPECT_EQ(sim.start_time(0), 0);
+  EXPECT_EQ(sim.start_time(1), 100);
+  EXPECT_EQ(sim.start_time(2), 2);
+}
+
+TEST(Simulator, BackfillUsesIdleNodesBeforeShadow) {
+  // 4 nodes. J1 uses 2 until t=100. J2 wants 4 -> blocked, shadow=100.
+  // J3 (2 nodes, 50s limit) fits in the idle 2 nodes and ends before the
+  // shadow -> backfills at t~2 despite lower priority than J2.
+  Simulator sim(4);
+  sim.load_workload({make_job(1, 0, 2, 100, 100), make_job(2, 1, 4, 100, 100),
+                     make_job(3, 2, 2, 50, 50)});
+  sim.run_to_completion();
+  EXPECT_EQ(sim.start_time(2), 2);
+  EXPECT_EQ(sim.start_time(1), 100);  // blocker not delayed by the backfill
+}
+
+TEST(Simulator, BackfillRejectsJobsThatWouldDelayBlocker) {
+  // Same as above but J3's limit (200) crosses the shadow and it would
+  // occupy nodes the blocker needs -> no backfill.
+  Simulator sim(4);
+  sim.load_workload({make_job(1, 0, 2, 200, 200), make_job(2, 1, 4, 100, 100),
+                     make_job(3, 2, 2, 200, 200)});
+  sim.run_to_completion();
+  EXPECT_EQ(sim.start_time(1), 200);   // blocker at J1's release
+  EXPECT_GE(sim.start_time(2), 200);   // J3 must not start before the blocker
+}
+
+TEST(Simulator, BackfillIntoExtraNodesBeyondReservation) {
+  // 8 nodes. J1 holds 6 until t=100. J2 wants 8 -> shadow 100, extra = 0.
+  // J3 (2 nodes, long limit) would overlap the shadow and extra=0 -> no.
+  // J4 (2 nodes, short) ends before shadow -> yes.
+  Simulator sim(8);
+  sim.load_workload({make_job(1, 0, 6, 100, 100), make_job(2, 1, 8, 50, 50),
+                     make_job(3, 2, 2, 500, 500), make_job(4, 3, 2, 20, 20)});
+  sim.run_to_completion();
+  EXPECT_GE(sim.start_time(2), 100);
+  EXPECT_EQ(sim.start_time(3), 3);
+}
+
+TEST(Simulator, NoBackfillWhenDisabled) {
+  SchedulerConfig cfg;
+  cfg.backfill = false;
+  Simulator sim(4, cfg);
+  sim.load_workload({make_job(1, 0, 2, 100, 100), make_job(2, 1, 4, 100, 100),
+                     make_job(3, 2, 2, 50, 50)});
+  sim.run_to_completion();
+  EXPECT_GE(sim.start_time(2), 100);  // would have backfilled at t=2
+}
+
+// ------------------------------------------------------------ StateSample
+
+TEST(Simulator, SampleReflectsQueueAndRunning) {
+  Simulator sim(4);
+  sim.load_workload({make_job(1, 0, 4, 100, 100), make_job(2, 10, 2, 50, 60)});
+  sim.run_until(20);
+  const auto s = sim.sample();
+  EXPECT_EQ(s.now, 20);
+  EXPECT_EQ(s.total_nodes, 4);
+  EXPECT_EQ(s.free_nodes, 0);
+  ASSERT_EQ(s.queue_length(), 1u);
+  EXPECT_DOUBLE_EQ(s.queued_sizes[0], 2.0);
+  EXPECT_DOUBLE_EQ(s.queued_ages[0], 10.0);
+  EXPECT_DOUBLE_EQ(s.queued_limits[0], 60.0);
+  ASSERT_EQ(s.running_count(), 1u);
+  EXPECT_DOUBLE_EQ(s.running_elapsed[0], 20.0);
+  EXPECT_DOUBLE_EQ(s.running_limits[0], 100.0);
+}
+
+TEST(Simulator, RecentAverageWait) {
+  Simulator sim(1);
+  sim.load_workload({make_job(1, 0, 1, 100, 100), make_job(2, 0, 1, 10, 10)});
+  sim.run_to_completion();  // now() == 110, the last finish event
+  // Job 1 waited 0 (start 0); job 2 waited 100 (start 100).
+  EXPECT_DOUBLE_EQ(sim.recent_average_wait(kDay), 50.0);
+  // A 5 s look-back from t=110 only covers job 2's start at t=100? No —
+  // 110-5=105 > 100, so nothing started in the window.
+  EXPECT_DOUBLE_EQ(sim.recent_average_wait(5), 0.0);
+  // A 20 s look-back covers exactly job 2's start.
+  EXPECT_DOUBLE_EQ(sim.recent_average_wait(20), 100.0);
+}
+
+// --------------------------------------------------- Conservation & determinism
+
+class SimulatorPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulatorPropertyTest, ReplayInvariants) {
+  trace::GeneratorOptions opt;
+  opt.seed = GetParam();
+  opt.job_count_scale = 0.05;
+  const auto preset = trace::a100_preset();
+  trace::SyntheticTraceGenerator gen(preset, opt);
+  const auto workload = gen.generate_months(0, 2);
+  const auto sched = replay_trace(workload, preset.node_count);
+  ASSERT_EQ(sched.size(), workload.size());
+  for (std::size_t i = 0; i < sched.size(); ++i) {
+    // Every job runs, never before submission, for its capped duration.
+    ASSERT_TRUE(sched[i].scheduled());
+    EXPECT_GE(sched[i].start_time, sched[i].submit_time);
+    EXPECT_EQ(sched[i].end_time - sched[i].start_time,
+              std::min(workload[i].actual_runtime, workload[i].time_limit));
+  }
+  // Node capacity is never exceeded at any start instant.
+  std::vector<std::pair<SimTime, std::int32_t>> deltas;
+  for (const auto& j : sched) {
+    deltas.emplace_back(j.start_time, j.num_nodes);
+    deltas.emplace_back(j.end_time, -j.num_nodes);
+  }
+  std::sort(deltas.begin(), deltas.end(), [](auto& a, auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second < b.second;  // releases before allocations at ties
+  });
+  std::int32_t busy = 0;
+  for (const auto& [t, d] : deltas) {
+    busy += d;
+    EXPECT_LE(busy, preset.node_count);
+    EXPECT_GE(busy, 0);
+  }
+}
+
+TEST_P(SimulatorPropertyTest, ReplayIsDeterministic) {
+  trace::GeneratorOptions opt;
+  opt.seed = GetParam() ^ 0xdead;
+  opt.job_count_scale = 0.05;
+  const auto preset = trace::a100_preset();
+  trace::SyntheticTraceGenerator gen(preset, opt);
+  const auto workload = gen.generate_months(0, 1);
+  const auto a = replay_trace(workload, preset.node_count);
+  const auto b = replay_trace(workload, preset.node_count);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start_time, b[i].start_time);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorPropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------------ Reference simulator
+
+TEST(ReferenceSimulator, MatchesFastOnTrivialWorkload) {
+  Trace w = {make_job(1, 0, 2, 100, 100), make_job(2, 10, 1, 50, 50),
+             make_job(3, 20, 1, 30, 30)};
+  const auto fast = replay_trace(w, 4);
+  const auto ref = reference_replay(w, 4);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(fast[i].start_time, ref[i].start_time) << i;
+  }
+}
+
+TEST(ReferenceSimulator, ConservativeBackfillNeverDelaysHigherPriority) {
+  // The blocker must start no later than under plain FIFO-without-backfill.
+  Trace w = {make_job(1, 0, 2, 100, 100), make_job(2, 1, 4, 100, 100),
+             make_job(3, 2, 2, 50, 50), make_job(4, 3, 1, 400, 400)};
+  SchedulerConfig no_bf;
+  no_bf.backfill = false;
+  const auto fifo = replay_trace(w, 4, no_bf);
+  const auto ref = reference_replay(w, 4);
+  EXPECT_LE(ref[1].start_time, fifo[1].start_time);
+}
+
+TEST(ReferenceSimulator, FidelityWithinPaperBounds) {
+  // §5.2: makespan diff < 2.5%, JCT geomean diff < 15% on sampled weeks.
+  // Reservation depth 16 is the fidelity-oriented configuration (the
+  // pipeline default of 8 trades a little JCT fidelity for speed).
+  trace::GeneratorOptions opt;
+  opt.seed = 11;
+  trace::SyntheticTraceGenerator gen(trace::a100_preset(), opt);
+  auto workload = gen.generate_months(1, 2);
+  SchedulerConfig cfg;
+  cfg.reservation_depth = 16;
+  const auto fast = replay_trace(workload, 76, cfg);
+  const auto ref = reference_replay(workload, 76);
+  const auto rep = compare_schedules(fast, ref);
+  EXPECT_LT(rep.makespan_rel_diff, 0.025);
+  EXPECT_LT(rep.jct_geomean_ratio, 1.15);
+  EXPECT_GT(rep.compared_jobs, 1000u);
+}
+
+// ----------------------------------------------------------------- Fidelity
+
+TEST(Fidelity, IdenticalSchedulesPerfectScore) {
+  Trace w = {make_job(1, 0, 1, 100, 100)};
+  const auto s = replay_trace(w, 4);
+  const auto rep = compare_schedules(s, s);
+  EXPECT_DOUBLE_EQ(rep.makespan_rel_diff, 0.0);
+  EXPECT_DOUBLE_EQ(rep.jct_geomean_ratio, 1.0);
+}
+
+TEST(Fidelity, RatioFoldedAboveOne) {
+  Trace a = {make_job(1, 0, 1, 100, 100)};
+  Trace b = a;
+  a[0].start_time = 0;
+  a[0].end_time = 100;
+  b[0].start_time = 100;
+  b[0].end_time = 200;
+  const auto r1 = compare_schedules(a, b);
+  const auto r2 = compare_schedules(b, a);
+  EXPECT_GE(r1.jct_geomean_ratio, 1.0);
+  EXPECT_NEAR(r1.jct_geomean_ratio, r2.jct_geomean_ratio, 1e-9);
+}
+
+}  // namespace
+}  // namespace mirage::sim

@@ -1,0 +1,380 @@
+// Unit + property tests for src/trace: data model, IO, cleaning (§3.2),
+// synthetic generator calibration (Table 1 / Figs 2-3) and analysis.
+#include <gtest/gtest.h>
+
+#include "trace/analysis.hpp"
+#include "trace/cleaning.hpp"
+#include "trace/cluster_presets.hpp"
+#include "trace/generator.hpp"
+#include "trace/trace_io.hpp"
+
+namespace mirage::trace {
+namespace {
+
+using util::kDay;
+using util::kHour;
+using util::kMonth;
+
+JobRecord make_job(std::int64_t id, SimTime submit, std::int32_t nodes, SimTime runtime,
+                   SimTime limit = 48 * kHour) {
+  JobRecord j;
+  j.job_id = id;
+  j.job_name = "job" + std::to_string(id);
+  j.user_id = static_cast<std::int32_t>(id % 7);
+  j.submit_time = submit;
+  j.num_nodes = nodes;
+  j.actual_runtime = runtime;
+  j.time_limit = limit;
+  return j;
+}
+
+// ------------------------------------------------------------------- Job
+
+TEST(JobRecord, WaitAndRuntimeAccessors) {
+  JobRecord j = make_job(1, 100, 2, 50);
+  EXPECT_EQ(j.wait_time(), 0);  // not scheduled yet
+  EXPECT_EQ(j.runtime(), 0);
+  EXPECT_FALSE(j.scheduled());
+  j.start_time = 150;
+  j.end_time = 200;
+  EXPECT_EQ(j.wait_time(), 50);
+  EXPECT_EQ(j.runtime(), 50);
+  EXPECT_DOUBLE_EQ(j.node_seconds(), 100.0);
+  EXPECT_TRUE(j.scheduled());
+}
+
+TEST(JobRecord, SortBySubmitTimeIsStable) {
+  Trace t = {make_job(3, 50, 1, 10), make_job(1, 10, 1, 10), make_job(2, 50, 1, 10)};
+  sort_by_submit_time(t);
+  EXPECT_EQ(t[0].job_id, 1);
+  EXPECT_EQ(t[1].job_id, 3);  // stable: 3 came before 2 at submit=50
+  EXPECT_EQ(t[2].job_id, 2);
+}
+
+TEST(JobRecord, TraceBeginEnd) {
+  Trace t = {make_job(1, 100, 1, 10), make_job(2, 50, 1, 10)};
+  t[0].end_time = 500;
+  EXPECT_EQ(trace_begin(t), 50);
+  EXPECT_EQ(trace_end(t), 500);
+  EXPECT_EQ(trace_begin({}), 0);
+  EXPECT_EQ(trace_end({}), 0);
+}
+
+// -------------------------------------------------------------------- IO
+
+TEST(TraceIo, CsvRoundTrip) {
+  Trace t = {make_job(1, 100, 2, 300), make_job(2, 200, 8, 400, 24 * kHour)};
+  t[0].start_time = 120;
+  t[0].end_time = 420;
+  t[1].job_name = "has,comma";
+  const auto text = to_csv(t);
+  const auto parsed = from_csv(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].start_time, 120);
+  EXPECT_EQ((*parsed)[0].actual_runtime, 300);
+  EXPECT_EQ((*parsed)[1].job_name, "has,comma");
+  EXPECT_EQ((*parsed)[1].time_limit, 24 * kHour);
+}
+
+TEST(TraceIo, MissingHeaderRejected) {
+  EXPECT_FALSE(from_csv("foo,bar\n1,2\n").has_value());
+}
+
+TEST(TraceIo, MalformedRowsSkipped) {
+  const std::string text = std::string(
+      "JobID,JobName,UserID,SubmitTime,StartTime,EndTime,Timelimit,NumNodes,ActualRuntime\n") +
+      "1,ok,1,100,-1,-1,3600,1,60\n" +
+      "junk,bad,1,xx,-1,-1,3600,1,60\n";
+  const auto parsed = from_csv(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
+TEST(TraceIo, DerivesRuntimeFromStartEndWhenColumnMissing) {
+  const std::string text =
+      "JobID,JobName,UserID,SubmitTime,StartTime,EndTime,Timelimit,NumNodes\n"
+      "1,j,1,0,10,110,3600,1\n";
+  const auto parsed = from_csv(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ((*parsed)[0].actual_runtime, 100);
+}
+
+// --------------------------------------------------------------- Cleaning
+
+TEST(Cleaning, ParseSubjobSuffix) {
+  std::string prefix;
+  std::int64_t idx = 0;
+  EXPECT_TRUE(parse_subjob_suffix("train.sub3", prefix, idx));
+  EXPECT_EQ(prefix, "train");
+  EXPECT_EQ(idx, 3);
+  EXPECT_FALSE(parse_subjob_suffix("train", prefix, idx));
+  EXPECT_FALSE(parse_subjob_suffix("train.sub", prefix, idx));
+  EXPECT_FALSE(parse_subjob_suffix("train.subX1", prefix, idx));
+}
+
+TEST(Cleaning, DropsOversizeJobs) {
+  Trace t = {make_job(1, 0, 4, 100), make_job(2, 10, 100, 100)};
+  CleaningReport report;
+  const auto cleaned = clean_trace(t, /*cluster_nodes=*/88, &report);
+  EXPECT_EQ(cleaned.size(), 1u);
+  EXPECT_EQ(report.oversize_dropped, 1u);
+  EXPECT_EQ(report.input_jobs, 2u);
+  EXPECT_EQ(report.output_jobs, 1u);
+}
+
+TEST(Cleaning, MergesSubjobsIntoSpan) {
+  Trace t;
+  for (int k = 0; k < 3; ++k) {
+    JobRecord j = make_job(10 + k, 100 + k * 50, 2, 40);
+    j.user_id = 5;
+    j.job_name = "exp.sub" + std::to_string(k);
+    j.start_time = 200 + k * 50;
+    j.end_time = 240 + k * 50;
+    t.push_back(j);
+  }
+  CleaningReport report;
+  const auto cleaned = clean_trace(t, 88, &report);
+  ASSERT_EQ(cleaned.size(), 1u);
+  EXPECT_EQ(report.subjobs_merged, 2u);
+  EXPECT_EQ(cleaned[0].submit_time, 100);
+  EXPECT_EQ(cleaned[0].start_time, 200);
+  EXPECT_EQ(cleaned[0].end_time, 240 + 2 * 50);
+  EXPECT_EQ(cleaned[0].job_name, "exp");
+  // Duration recomputed over the merged span.
+  EXPECT_EQ(cleaned[0].actual_runtime, cleaned[0].end_time - cleaned[0].start_time);
+}
+
+TEST(Cleaning, SubjobGroupsKeyedByUser) {
+  Trace t;
+  JobRecord a = make_job(1, 0, 1, 10);
+  a.user_id = 1;
+  a.job_name = "x.sub0";
+  JobRecord b = make_job(2, 5, 1, 10);
+  b.user_id = 2;  // different user, same prefix: NOT merged
+  b.job_name = "x.sub0";
+  t = {a, b};
+  const auto cleaned = clean_trace(t, 88, nullptr);
+  EXPECT_EQ(cleaned.size(), 2u);
+}
+
+TEST(Cleaning, OutputSortedBySubmit) {
+  Trace t = {make_job(1, 500, 1, 10), make_job(2, 100, 1, 10)};
+  const auto cleaned = clean_trace(t, 88, nullptr);
+  EXPECT_LE(cleaned[0].submit_time, cleaned[1].submit_time);
+}
+
+TEST(Cleaning, GeneratorInjectedRowsAreCleaned) {
+  GeneratorOptions opt;
+  opt.seed = 3;
+  opt.job_count_scale = 0.1;
+  opt.inject_cleanable_rows = true;
+  auto preset = a100_preset();
+  SyntheticTraceGenerator gen(preset, opt);
+  const auto raw = gen.generate();
+  CleaningReport report;
+  const auto cleaned = clean_trace(raw, preset.node_count, &report);
+  EXPECT_GT(report.oversize_dropped, 0u);
+  EXPECT_GT(report.subjobs_merged, 0u);
+  for (const auto& j : cleaned) EXPECT_LE(j.num_nodes, preset.node_count);
+}
+
+// ---------------------------------------------------------------- Presets
+
+TEST(Presets, LookupByName) {
+  EXPECT_EQ(preset_by_name("v100").node_count, 88);
+  EXPECT_EQ(preset_by_name("RTX").node_count, 84);
+  EXPECT_EQ(preset_by_name("A100").node_count, 76);
+  EXPECT_THROW(preset_by_name("h100"), std::invalid_argument);
+}
+
+TEST(Presets, MonthsMatchUtilizationVectors) {
+  for (const auto& p : all_presets()) {
+    EXPECT_EQ(static_cast<std::size_t>(p.months), p.monthly_utilization.size()) << p.name;
+  }
+}
+
+TEST(Presets, MeanNodesMatchesPaper) {
+  // §3.1: 2.5, 1.3, 1.6 nodes/job on V100, RTX, A100 (tolerance: these are
+  // calibration targets, not exact).
+  EXPECT_NEAR(v100_preset().mean_nodes(), 2.5, 0.45);
+  EXPECT_NEAR(rtx_preset().mean_nodes(), 1.3, 0.25);
+  EXPECT_NEAR(a100_preset().mean_nodes(), 1.6, 0.3);
+}
+
+TEST(Presets, TruncatedMeanBelowUntruncated) {
+  for (const auto& p : all_presets()) {
+    const double untruncated =
+        std::exp(p.runtime_log_mu + p.runtime_log_sigma * p.runtime_log_sigma / 2.0);
+    EXPECT_LT(p.mean_runtime_seconds(), untruncated) << p.name;
+    EXPECT_GT(p.mean_runtime_seconds(), 0.0) << p.name;
+  }
+}
+
+// -------------------------------------------------------------- Generator
+
+class GeneratorPresetTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GeneratorPresetTest, JobCountNearCalibrationTarget) {
+  const auto preset = preset_by_name(GetParam());
+  GeneratorOptions opt;
+  opt.seed = 42;
+  SyntheticTraceGenerator gen(preset, opt);
+  const auto t = gen.generate();
+  // Paper filtered job counts: 65,017 / 175,090 / 24,779.
+  const std::size_t target = GetParam() == "v100" ? 65017 : GetParam() == "rtx" ? 175090 : 24779;
+  EXPECT_GT(t.size(), static_cast<std::size_t>(0.75 * target));
+  EXPECT_LT(t.size(), static_cast<std::size_t>(1.35 * target));
+}
+
+TEST_P(GeneratorPresetTest, AllJobsWithinPhysicalBounds) {
+  const auto preset = preset_by_name(GetParam());
+  GeneratorOptions opt;
+  opt.seed = 7;
+  opt.job_count_scale = 0.2;  // smaller trace, same distributions
+  SyntheticTraceGenerator gen(preset, opt);
+  for (const auto& j : gen.generate()) {
+    EXPECT_GE(j.num_nodes, 1);
+    EXPECT_LE(j.num_nodes, preset.node_count);
+    EXPECT_GE(j.actual_runtime, 5);
+    EXPECT_LE(j.actual_runtime, preset.wall_limit);
+    EXPECT_LE(j.actual_runtime, j.time_limit + 1);  // limit >= runtime
+    EXPECT_GE(j.submit_time, 0);
+    EXPECT_LT(j.submit_time, static_cast<SimTime>(preset.months) * kMonth);
+    EXPECT_FALSE(j.scheduled());  // generator leaves start/end unset
+  }
+}
+
+TEST_P(GeneratorPresetTest, DeterministicForSeed) {
+  const auto preset = preset_by_name(GetParam());
+  GeneratorOptions opt;
+  opt.seed = 99;
+  opt.job_count_scale = 0.1;
+  SyntheticTraceGenerator g1(preset, opt), g2(preset, opt);
+  const auto a = g1.generate();
+  const auto b = g2.generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].submit_time, b[i].submit_time);
+    EXPECT_EQ(a[i].num_nodes, b[i].num_nodes);
+    EXPECT_EQ(a[i].actual_runtime, b[i].actual_runtime);
+  }
+}
+
+TEST_P(GeneratorPresetTest, MonthSliceIsSubsetPattern) {
+  const auto preset = preset_by_name(GetParam());
+  GeneratorOptions opt;
+  opt.seed = 5;
+  opt.job_count_scale = 0.1;
+  SyntheticTraceGenerator gen(preset, opt);
+  const auto slice = gen.generate_months(1, 3);
+  for (const auto& j : slice) {
+    EXPECT_GE(j.submit_time, 1 * kMonth);
+    EXPECT_LT(j.submit_time, 3 * kMonth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClusters, GeneratorPresetTest,
+                         ::testing::Values("v100", "rtx", "a100"));
+
+TEST(Generator, RtxNoiseJobShare) {
+  GeneratorOptions opt;
+  opt.seed = 21;
+  SyntheticTraceGenerator gen(rtx_preset(), opt);
+  const auto t = gen.generate();
+  std::size_t noise = 0;
+  for (const auto& j : t) noise += (j.actual_runtime < 30);
+  // §3.1: 96,780 short jobs of 175,090 total.
+  EXPECT_NEAR(static_cast<double>(noise), 96780.0, 0.1 * 96780.0);
+}
+
+TEST(Generator, CleanClustersHaveNoNoiseJobs) {
+  GeneratorOptions opt;
+  opt.seed = 21;
+  opt.job_count_scale = 0.25;
+  for (const auto* name : {"v100", "a100"}) {
+    SyntheticTraceGenerator gen(preset_by_name(name), opt);
+    for (const auto& j : gen.generate()) EXPECT_GE(j.actual_runtime, 60) << name;
+  }
+}
+
+TEST(Generator, UtilizationScaleRaisesLoad) {
+  auto preset = a100_preset();
+  GeneratorOptions low, high;
+  low.seed = high.seed = 3;
+  low.utilization_scale = 0.5;
+  high.utilization_scale = 1.0;
+  const auto tl = SyntheticTraceGenerator(preset, low).generate();
+  const auto th = SyntheticTraceGenerator(preset, high).generate();
+  double nh_low = 0, nh_high = 0;
+  for (const auto& j : tl) nh_low += j.node_seconds() + j.num_nodes * j.actual_runtime;
+  for (const auto& j : th) nh_high += j.node_seconds() + j.num_nodes * j.actual_runtime;
+  EXPECT_GT(nh_high, 1.5 * nh_low);
+}
+
+// --------------------------------------------------------------- Analysis
+
+TEST(Analysis, ComputeStatsBasics) {
+  Trace t = {make_job(1, 0, 1, 100), make_job(2, kMonth + 10, 4, 200)};
+  const auto s = compute_stats(t, "test", 88);
+  EXPECT_EQ(s.job_count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_nodes_per_job, 2.5);
+  EXPECT_DOUBLE_EQ(s.multi_node_job_fraction, 0.5);
+  // multi-node job has 4*200 = 800 node-seconds of 900 total.
+  EXPECT_NEAR(s.multi_node_node_hour_fraction, 800.0 / 900.0, 1e-9);
+}
+
+TEST(Analysis, MonthlyJobCounts) {
+  Trace t = {make_job(1, 0, 1, 10), make_job(2, 10, 1, 10), make_job(3, kMonth + 1, 1, 10)};
+  const auto c = monthly_job_counts(t);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0], 2u);
+  EXPECT_EQ(c[1], 1u);
+}
+
+TEST(Analysis, MonthlyAverageWaitSkipsUnscheduled) {
+  Trace t = {make_job(1, 0, 1, 10), make_job(2, 100, 1, 10)};
+  t[0].start_time = 2 * kHour;  // 2 h wait
+  const auto w = monthly_average_wait_hours(t);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_NEAR(w[0], 2.0, 1e-9);
+}
+
+TEST(Analysis, NodeHourBreakdownFractionsSumToOne) {
+  GeneratorOptions opt;
+  opt.seed = 1;
+  opt.job_count_scale = 0.2;
+  SyntheticTraceGenerator gen(v100_preset(), opt);
+  const auto b = node_hour_breakdown(gen.generate());
+  double nh = 0, jf = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    nh += b.node_hour_fraction[i];
+    jf += b.job_fraction[i];
+  }
+  EXPECT_NEAR(nh, 1.0, 1e-9);
+  EXPECT_NEAR(jf, 1.0, 1e-9);
+}
+
+TEST(Analysis, WaitDistributionBuckets) {
+  Trace t;
+  // one job in each bucket of month 0
+  const SimTime waits[] = {kHour, 5 * kHour, 20 * kHour, 30 * kHour, 40 * kHour};
+  for (int i = 0; i < 5; ++i) {
+    JobRecord j = make_job(i, 100, 1, 10);
+    j.start_time = 100 + waits[i];
+    t.push_back(j);
+  }
+  const auto d = wait_distribution(t);
+  ASSERT_EQ(d.monthly_fractions.size(), 1u);
+  for (std::size_t b = 0; b < 5; ++b) EXPECT_NEAR(d.monthly_fractions[0][b], 0.2, 1e-9);
+}
+
+TEST(Analysis, EmptyTraceSafe) {
+  EXPECT_EQ(compute_stats({}, "x", 1).job_count, 0u);
+  EXPECT_TRUE(monthly_job_counts({}).empty());
+  EXPECT_TRUE(monthly_average_wait_hours({}).empty());
+  EXPECT_TRUE(wait_distribution({}).monthly_fractions.empty());
+}
+
+}  // namespace
+}  // namespace mirage::trace

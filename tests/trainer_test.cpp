@@ -1,0 +1,139 @@
+// Tests for the two-phase training machinery (§4.9): parallel rollout
+// fan-out, replay seeding, report bookkeeping, and PG batch updates driven
+// through the real environment.
+#include <gtest/gtest.h>
+
+#include "rl/trainer.hpp"
+#include "trace/generator.hpp"
+
+namespace mirage::rl {
+namespace {
+
+using util::kDay;
+using util::kHour;
+using util::kMinute;
+
+nn::FoundationConfig tiny_net() {
+  nn::FoundationConfig cfg;
+  cfg.history_len = 4;
+  cfg.state_dim = kFrameDim;
+  cfg.d_model = 8;
+  cfg.num_heads = 2;
+  cfg.num_layers = 1;
+  cfg.ffn_hidden = 16;
+  cfg.moe_experts = 2;
+  return cfg;
+}
+
+EpisodeConfig tiny_episode() {
+  EpisodeConfig ec;
+  ec.job_runtime = 6 * kHour;
+  ec.job_limit = 6 * kHour;
+  ec.decision_interval = kHour;
+  ec.warmup = 4 * kHour;
+  ec.history_len = 4;
+  return ec;
+}
+
+trace::Trace small_workload() {
+  trace::GeneratorOptions opt;
+  opt.seed = 77;
+  opt.job_count_scale = 0.2;
+  trace::SyntheticTraceGenerator gen(trace::a100_preset(), opt);
+  return gen.generate_months(0, 2);
+}
+
+TEST(Trainer, DqnOnlineRunsRequestedEpisodes) {
+  const auto workload = small_workload();
+  DqnConfig dc;
+  dc.net = tiny_net();
+  DqnAgent agent(dc, 3);
+  OnlineTrainConfig oc;
+  oc.episodes = 6;
+  oc.episodes_per_round = 3;
+  oc.train_steps_per_round = 2;
+  oc.parallel = true;
+  const auto report = train_dqn_online(agent, workload, 76, tiny_episode(), 2 * kDay,
+                                       40 * kDay, oc);
+  EXPECT_EQ(report.episodes, 6u);
+  EXPECT_EQ(report.losses.size(), 2u);  // two rounds
+  for (float l : report.losses) EXPECT_TRUE(std::isfinite(l));
+  // Episode rewards are penalties.
+  EXPECT_LE(report.mean_reward_last_quarter, 0.0);
+}
+
+TEST(Trainer, DqnSeedSamplesPrepopulateReplay) {
+  const auto workload = small_workload();
+  DqnConfig dc;
+  dc.net = tiny_net();
+  DqnAgent agent(dc, 4);
+  std::vector<Experience> seed(8);
+  for (auto& e : seed) {
+    e.observation.assign(dc.net.input_dim(), 0.1f);
+    e.action = 1;
+    e.reward = -2.0f;
+  }
+  OnlineTrainConfig oc;
+  oc.episodes = 2;
+  oc.episodes_per_round = 2;
+  oc.train_steps_per_round = 4;
+  oc.parallel = false;
+  const auto report =
+      train_dqn_online(agent, workload, 76, tiny_episode(), 2 * kDay, 40 * kDay, oc, seed);
+  // With a seeded buffer the very first round already trains (finite loss).
+  ASSERT_FALSE(report.losses.empty());
+  EXPECT_GT(report.losses[0], 0.0f);
+}
+
+TEST(Trainer, PgOnlineUpdatesPolicyAndReports) {
+  const auto workload = small_workload();
+  PgConfig pc;
+  pc.net = tiny_net();
+  PgAgent agent(pc, 5);
+  std::vector<float> obs(pc.net.input_dim(), 0.1f);
+  OnlineTrainConfig oc;
+  oc.episodes = 4;
+  oc.episodes_per_round = 2;
+  oc.parallel = true;
+  const auto report =
+      train_pg_online(agent, workload, 76, tiny_episode(), 2 * kDay, 40 * kDay, oc);
+  EXPECT_EQ(report.episodes, 4u);
+  EXPECT_EQ(report.losses.size(), 2u);
+  // Baseline got initialized from rollout rewards.
+  EXPECT_LE(agent.baseline(), 0.0f);
+}
+
+TEST(Trainer, ParallelAndSerialDqnSeeDeterministicAnchors) {
+  // The anchor/seed sequence is drawn before the fan-out, so parallel and
+  // serial runs collect the same episode anchors (rewards can differ only
+  // through model state, which we freeze by doing zero train steps).
+  const auto workload = small_workload();
+  DqnConfig dc;
+  dc.net = tiny_net();
+  dc.eps_start = 0.0f;  // deterministic greedy policy
+  dc.eps_end = 0.0f;
+  OnlineTrainConfig oc;
+  oc.episodes = 4;
+  oc.episodes_per_round = 4;
+  oc.train_steps_per_round = 0;
+  oc.seed = 99;
+
+  DqnAgent a(dc, 7), b(dc, 7);
+  oc.parallel = false;
+  const auto serial = train_dqn_online(a, workload, 76, tiny_episode(), 2 * kDay, 40 * kDay, oc);
+  oc.parallel = true;
+  const auto parallel = train_dqn_online(b, workload, 76, tiny_episode(), 2 * kDay, 40 * kDay, oc);
+  EXPECT_DOUBLE_EQ(serial.mean_reward_first_quarter, parallel.mean_reward_first_quarter);
+  EXPECT_DOUBLE_EQ(serial.mean_reward_last_quarter, parallel.mean_reward_last_quarter);
+}
+
+TEST(Trainer, PretrainEmptySamplesIsNoop) {
+  DqnConfig dc;
+  dc.net = tiny_net();
+  DqnAgent agent(dc, 8);
+  PretrainConfig pc;
+  EXPECT_TRUE(pretrain_foundation(agent, {}, pc).empty());
+}
+
+}  // namespace
+}  // namespace mirage::rl

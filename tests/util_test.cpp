@@ -1,0 +1,425 @@
+// Unit tests for src/util: RNG, statistics, CSV, config, thread pool, time.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "util/config.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+#include "util/time_utils.hpp"
+
+namespace mirage::util {
+namespace {
+
+// ------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.5);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(2, 6);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, NormalMomentsApproximate) {
+  Rng rng(3);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(s.mean(), 2.0, 0.08);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.08);
+}
+
+TEST(Rng, LognormalIsExpOfNormal) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(9);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(rng.exponential(0.25));
+  EXPECT_NEAR(s.mean(), 4.0, 0.15);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(static_cast<double>(rng.poisson(3.5)));
+  EXPECT_NEAR(s.mean(), 3.5, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(17);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(static_cast<double>(rng.poisson(200.0)));
+  EXPECT_NEAR(s.mean(), 200.0, 1.5);
+  EXPECT_NEAR(s.stddev(), std::sqrt(200.0), 1.0);
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+  Rng rng(1);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(23);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / 20000.0, 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalAllZeroWeightsReturnsFirst) {
+  Rng rng(1);
+  std::vector<double> w = {0.0, 0.0};
+  EXPECT_EQ(rng.categorical(w), 0u);
+}
+
+TEST(Rng, ZipfFavorsLowRanks) {
+  Rng rng(29);
+  int low = 0, high = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.zipf(100, 1.1);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 100);
+    if (v <= 10) ++low;
+    if (v > 90) ++high;
+  }
+  EXPECT_GT(low, high * 5);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(123);
+  Rng child = a.split();
+  // Child should not replay the parent's stream.
+  Rng b(123);
+  b.split();
+  EXPECT_EQ(child.next_u64(), [&] { Rng c(123); return c.split().next_u64(); }());
+}
+
+// ----------------------------------------------------------------- Stats
+
+TEST(RunningStats, MeanAndVarianceMatchDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.5, -3.0, 7.0, 0.5};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= xs.size();
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= (xs.size() - 1);
+  EXPECT_DOUBLE_EQ(s.mean(), mean);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  Rng rng(37);
+  RunningStats a, b, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.normal();
+    a.add(x);
+    all.add(x);
+  }
+  for (int i = 0; i < 57; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Percentile, KnownValues) {
+  const std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);  // linear interpolation
+}
+
+TEST(Percentile, EmptyReturnsZero) { EXPECT_EQ(percentile({}, 50.0), 0.0); }
+
+TEST(Percentile, SingleValue) {
+  const std::vector<double> v = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 7.0);
+}
+
+TEST(Percentile, ClampsOutOfRangeQ) {
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 150), 2.0);
+}
+
+TEST(FiveNumberSummary, OrderedStatistics) {
+  const std::vector<double> v = {5, 1, 9, 3, 7};
+  const auto s = five_number_summary(v);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[2], 5.0);
+  EXPECT_DOUBLE_EQ(s[4], 9.0);
+  EXPECT_LE(s[1], s[2]);
+  EXPECT_LE(s[2], s[3]);
+}
+
+TEST(FiveNumberSummary, EmptyAllZero) {
+  const auto s = five_number_summary({});
+  for (double x : s) EXPECT_EQ(x, 0.0);
+}
+
+TEST(GeometricMean, KnownValue) {
+  const std::vector<double> v = {1.0, 4.0};
+  EXPECT_NEAR(geometric_mean(v), 2.0, 1e-12);
+}
+
+TEST(GeometricMean, FloorsNonPositive) {
+  const std::vector<double> v = {0.0};
+  EXPECT_GT(geometric_mean(v, 1e-3), 0.0);
+}
+
+TEST(Mean, Basic) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.0);
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram h({1.0, 2.0, 3.0});
+  h.add(0.5);   // bucket 0
+  h.add(1.0);   // bucket 0 (<=)
+  h.add(1.5);   // bucket 1
+  h.add(99.0);  // overflow
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+  EXPECT_TRUE(std::isinf(h.upper_bound(3)));
+}
+
+// ------------------------------------------------------------------- CSV
+
+TEST(Csv, ParseSimpleLine) {
+  const auto f = parse_csv_line("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(Csv, ParseQuotedFieldsWithCommasAndQuotes) {
+  const auto f = parse_csv_line(R"("x,y",plain,"he said ""hi""")");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "x,y");
+  EXPECT_EQ(f[1], "plain");
+  EXPECT_EQ(f[2], "he said \"hi\"");
+}
+
+TEST(Csv, EmptyFields) {
+  const auto f = parse_csv_line(",,");
+  ASSERT_EQ(f.size(), 3u);
+  for (const auto& s : f) EXPECT_TRUE(s.empty());
+}
+
+TEST(Csv, EscapeRoundTrip) {
+  const std::string nasty = "a,\"b\"\nc";
+  const auto escaped = csv_escape(nasty);
+  const auto parsed = parse_csv_line(escaped);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], nasty);
+}
+
+TEST(Csv, WriterAndTableRoundTrip) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"h1", "h2"});
+  w.write_row({"1", "hello, world"});
+  w.write_row({"2", "plain"});
+  const auto table = CsvTable::parse(out.str(), /*has_header=*/true);
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.column("h2"), 1);
+  EXPECT_EQ(table.column("missing"), -1);
+  EXPECT_EQ(table.row(0)[1], "hello, world");
+}
+
+TEST(Csv, TableToleratesCrlf) {
+  const auto table = CsvTable::parse("a,b\r\n1,2\r\n", true);
+  ASSERT_EQ(table.row_count(), 1u);
+  EXPECT_EQ(table.row(0)[1], "2");
+}
+
+// ---------------------------------------------------------------- Config
+
+TEST(ConfigTest, FromArgsParsesKeyValues) {
+  const char* argv[] = {"prog", "alpha=1.5", "name=test", "flag=true", "positional"};
+  const auto cfg = Config::from_args(5, argv);
+  EXPECT_DOUBLE_EQ(cfg.get_double("alpha", 0), 1.5);
+  EXPECT_EQ(cfg.get_string("name", ""), "test");
+  EXPECT_TRUE(cfg.get_bool("flag", false));
+  EXPECT_FALSE(cfg.has("positional"));
+}
+
+TEST(ConfigTest, DefaultsWhenMissingOrMalformed) {
+  Config cfg;
+  cfg.set("bad_int", "12abc");
+  EXPECT_EQ(cfg.get_int("missing", 7), 7);
+  EXPECT_EQ(cfg.get_int("bad_int", 7), 7);
+  EXPECT_EQ(cfg.get_double("missing", 1.25), 1.25);
+}
+
+TEST(ConfigTest, FromTextWithComments) {
+  const auto cfg = Config::from_text("a=1\n# comment\nb = 2.5 # trailing\n\nc=x\n");
+  EXPECT_EQ(cfg.get_int("a", 0), 1);
+  EXPECT_DOUBLE_EQ(cfg.get_double("b", 0), 2.5);
+  EXPECT_EQ(cfg.get_string("c", ""), "x");
+  EXPECT_EQ(cfg.keys().size(), 3u);
+}
+
+TEST(ConfigTest, BoolVariants) {
+  Config cfg;
+  cfg.set("a", "YES");
+  cfg.set("b", "off");
+  cfg.set("c", "junk");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_FALSE(cfg.get_bool("b", true));
+  EXPECT_TRUE(cfg.get_bool("c", true));  // falls back to default
+}
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmpty) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsCompletionFuture) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto f = pool.submit([&] { counter = 42; });
+  f.get();
+  EXPECT_EQ(counter.load(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelSum) {
+  ThreadPool pool(8);
+  std::atomic<long long> sum{0};
+  pool.parallel_for(10000, [&](std::size_t i) { sum += static_cast<long long>(i); });
+  EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
+}
+
+// ------------------------------------------------------------------ Time
+
+TEST(TimeUtils, FormatDuration) {
+  EXPECT_EQ(format_duration(0), "00:00:00");
+  EXPECT_EQ(format_duration(3661), "01:01:01");
+  EXPECT_EQ(format_duration(2 * kDay + 3 * kHour), "2d 03:00:00");
+  EXPECT_EQ(format_duration(-kHour), "-01:00:00");
+}
+
+TEST(TimeUtils, HourConversions) {
+  EXPECT_DOUBLE_EQ(to_hours(kHour), 1.0);
+  EXPECT_EQ(from_hours(2.0), 2 * kHour);
+  EXPECT_DOUBLE_EQ(to_hours(from_hours(13.5)), 13.5);
+}
+
+}  // namespace
+}  // namespace mirage::util
