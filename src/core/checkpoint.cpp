@@ -8,7 +8,9 @@
 namespace mirage::core {
 
 namespace {
-constexpr char kHeaderMagic[] = "MIRAGE-CKPT-1";
+// v2 appends the moe_top1 flag: the serving registry needs it to rebuild
+// the gate's select-vs-blend semantics from the artifact alone.
+constexpr char kHeaderMagic[] = "MIRAGE-CKPT-2";
 
 std::string foundation_name(nn::FoundationType t) {
   return t == nn::FoundationType::kMoE ? "moe" : "transformer";
@@ -18,7 +20,8 @@ std::string header_line(const std::string& kind, nn::FoundationType type,
                         const nn::FoundationConfig& net) {
   std::ostringstream out;
   out << kHeaderMagic << ' ' << kind << ' ' << foundation_name(type) << ' ' << net.history_len
-      << ' ' << net.state_dim << ' ' << net.d_model << ' ' << net.moe_experts;
+      << ' ' << net.state_dim << ' ' << net.d_model << ' ' << net.moe_experts << ' '
+      << (net.moe_top1 ? 1 : 0);
   return out.str();
 }
 
@@ -66,9 +69,11 @@ std::optional<CheckpointInfo> read_checkpoint_info(const std::string& path) {
   if (!in) return std::nullopt;
   std::string magic;
   CheckpointInfo info;
+  int top1 = 0;
   in >> magic >> info.kind >> info.foundation >> info.history_len >> info.state_dim >>
-      info.d_model >> info.moe_experts;
+      info.d_model >> info.moe_experts >> top1;
   if (!in || magic != kHeaderMagic) return std::nullopt;
+  info.moe_top1 = top1 != 0;
   return info;
 }
 

@@ -21,6 +21,9 @@ struct CheckpointInfo {
   std::size_t state_dim = 0;
   std::size_t d_model = 0;
   std::size_t moe_experts = 0;
+  /// Top-1 routing changes serving semantics (select vs blend), so the
+  /// serving tier must be able to recover it from the artifact alone.
+  bool moe_top1 = false;
 };
 
 bool save_agent(rl::DqnAgent& agent, const std::string& path);

@@ -37,6 +37,10 @@ class Foundation : public Module {
   virtual const FoundationConfig& config() const = 0;
   /// Deep copy (independent parameters and caches).
   virtual std::unique_ptr<Foundation> clone() const = 0;
+  /// Inference-only forward: bitwise-identical outputs to
+  /// forward(x, false), but free to skip backward bookkeeping and exploit
+  /// inference-only structure (see MoEFoundation's sparse Top-1 routing).
+  virtual Tensor infer(const Tensor& x) { return forward(x, /*train=*/false); }
 };
 
 /// Pre-LN transformer encoder layer: x += MHSA(LN(x)); x += FFN(LN(x)).
@@ -98,6 +102,16 @@ class MoEFoundation : public Foundation {
   void collect_params(std::vector<Parameter*>& out) override;
   const FoundationConfig& config() const override { return config_; }
   std::unique_ptr<Foundation> clone() const override;
+
+  /// Top-1 serving evaluates ONLY each row's argmax expert: rows are
+  /// routed by the gate, gathered into per-expert sub-batches, and each
+  /// expert runs once over its rows — an ~E-fold compute saving over the
+  /// dense evaluate-then-select forward, with bitwise-identical outputs
+  /// (selection multiplies the winning expert by exactly 1.0). Dense-gate
+  /// configs fall back to forward(x, false). This is the optimization the
+  /// paper left on the table for training; batched online serving is
+  /// where it pays off (per-expert sub-batches stay large).
+  Tensor infer(const Tensor& x) override;
 
   std::size_t num_experts() const { return experts_.size(); }
 

@@ -1,0 +1,163 @@
+#include "serve/inference_engine.hpp"
+
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+#include "util/time_utils.hpp"
+
+namespace mirage::serve {
+
+BatchedInferenceEngine::BatchedInferenceEngine(ModelResolver resolver, EngineConfig config)
+    : resolver_(std::move(resolver)), config_(config) {
+  if (config_.max_batch == 0) config_.max_batch = 1;
+}
+
+BatchedInferenceEngine::BatchedInferenceEngine(const ModelRegistry& registry, ModelKey key,
+                                               EngineConfig config)
+    : BatchedInferenceEngine([&registry, key = std::move(key)] { return registry.lookup(key); },
+                             config) {}
+
+BatchedInferenceEngine::~BatchedInferenceEngine() { drain(); }
+
+void BatchedInferenceEngine::start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_ || draining_) return;
+  started_ = true;
+  worker_ = std::thread([this] { run(); });
+}
+
+std::future<Decision> BatchedInferenceEngine::submit(
+    std::vector<float> observation, std::function<void(const Decision&)> on_complete) {
+  Request req;
+  req.observation = std::move(observation);
+  req.on_complete = std::move(on_complete);
+  req.enqueue_seconds = util::wall_seconds();
+  auto fut = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      req.promise.set_exception(std::make_exception_ptr(
+          std::runtime_error("BatchedInferenceEngine: draining, request rejected")));
+      return fut;
+    }
+    queue_.push_back(std::move(req));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void BatchedInferenceEngine::drain() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_ && !worker_.joinable()) return;
+    draining_ = true;
+    worker = std::move(worker_);
+  }
+  cv_.notify_all();
+  if (worker.joinable()) worker.join();
+  // Never-started engines (or races with start) may still hold requests.
+  std::deque<Request> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leftover.swap(queue_);
+  }
+  for (auto& req : leftover) {
+    req.promise.set_exception(std::make_exception_ptr(
+        std::runtime_error("BatchedInferenceEngine: stopped before serving")));
+  }
+}
+
+bool BatchedInferenceEngine::accepting() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !draining_;
+}
+
+EngineStats BatchedInferenceEngine::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  EngineStats s;
+  s.requests = requests_;
+  s.ticks = ticks_;
+  s.mean_batch = ticks_ ? static_cast<double>(batch_sum_) / static_cast<double>(ticks_) : 0.0;
+  s.max_batch = batch_max_;
+  s.busy_seconds = busy_seconds_;
+  s.latency = latency_.snapshot();
+  return s;
+}
+
+void BatchedInferenceEngine::run() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // draining with nothing left
+      if (!draining_ && queue_.size() < config_.max_batch &&
+          config_.coalesce_wait.count() > 0) {
+        cv_.wait_for(lock, config_.coalesce_wait,
+                     [this] { return draining_ || queue_.size() >= config_.max_batch; });
+      }
+      const std::size_t take = std::min(queue_.size(), config_.max_batch);
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    serve_batch(batch);
+  }
+}
+
+void BatchedInferenceEngine::serve_batch(std::vector<Request>& batch) {
+  ModelSnapshot model = resolver_ ? resolver_() : nullptr;
+  std::vector<Decision> decisions;
+  std::exception_ptr failure;
+  const double t0 = util::wall_seconds();
+  if (!model) {
+    failure = std::make_exception_ptr(
+        std::runtime_error("BatchedInferenceEngine: no model resolved for tick"));
+  } else {
+    std::vector<std::vector<float>> observations;
+    observations.reserve(batch.size());
+    for (auto& req : batch) observations.push_back(std::move(req.observation));
+    try {
+      if (config_.use_thread_pool) {
+        // One batched forward per tick on the shared compute pool; the
+        // engine thread just awaits it.
+        util::ThreadPool::global()
+            .submit([&] { decisions = model->infer(observations); })
+            .get();
+      } else {
+        decisions = model->infer(observations);
+      }
+    } catch (...) {
+      failure = std::current_exception();
+    }
+  }
+  const double t1 = util::wall_seconds();
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (failure) {
+      batch[i].promise.set_exception(failure);
+    } else {
+      try {
+        if (batch[i].on_complete) batch[i].on_complete(decisions[i]);
+        batch[i].promise.set_value(decisions[i]);
+      } catch (...) {
+        // A throwing callback must not take down the engine thread or
+        // starve the rest of the batch — it fails only its own request.
+        batch[i].promise.set_exception(std::current_exception());
+      }
+    }
+    latency_.record_seconds(t1 - batch[i].enqueue_seconds);
+  }
+
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  requests_ += batch.size();
+  ++ticks_;
+  batch_sum_ += batch.size();
+  batch_max_ = std::max(batch_max_, batch.size());
+  busy_seconds_ += t1 - t0;
+}
+
+}  // namespace mirage::serve

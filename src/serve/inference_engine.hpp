@@ -1,0 +1,113 @@
+// Batched decision engine: coalesces per-session "submit now or wait?"
+// requests into one [B, k*(m+1)] tensor and runs a single batched
+// Foundation forward per tick. Every current offline caller serves at
+// B=1 (two rows per Q-pair); amortizing layer temporaries, GEMM setup and
+// the model lock over whole batches is the headline throughput win
+// (measured by bench_serve_throughput).
+//
+// The tick's forward executes on util::ThreadPool::global() so serving
+// shares the process-wide compute pool with training/evaluation work; the
+// engine's own thread only coalesces, dispatches and fulfills promises.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <thread>
+
+#include "serve/metrics.hpp"
+#include "serve/model_registry.hpp"
+#include "util/stats.hpp"
+
+namespace mirage::serve {
+
+struct EngineConfig {
+  std::size_t max_batch = 64;
+  /// After the first queued request, wait up to this long for more to
+  /// coalesce before running the tick (0 = serve whatever is queued).
+  std::chrono::microseconds coalesce_wait{200};
+  /// Run each tick's forward on util::ThreadPool::global() (otherwise on
+  /// the engine thread itself; useful under sanitizers or in benchmarks
+  /// that want isolated timing).
+  bool use_thread_pool = true;
+};
+
+struct EngineStats {
+  std::uint64_t requests = 0;      ///< fulfilled (including failed) requests
+  std::uint64_t ticks = 0;         ///< batched forwards executed
+  double mean_batch = 0.0;
+  std::size_t max_batch = 0;
+  double busy_seconds = 0.0;       ///< wall time spent inside forwards
+  LatencySnapshot latency;         ///< submit() -> promise fulfilled
+};
+
+class BatchedInferenceEngine {
+ public:
+  /// Resolve the serving model once per tick — a hot-reloaded registry
+  /// entry is picked up at the next tick boundary while in-flight batches
+  /// keep their snapshot.
+  using ModelResolver = std::function<ModelSnapshot()>;
+
+  BatchedInferenceEngine(ModelResolver resolver, EngineConfig config = {});
+  /// Convenience: serve one registry key. The registry must outlive the
+  /// engine.
+  BatchedInferenceEngine(const ModelRegistry& registry, ModelKey key, EngineConfig config = {});
+  ~BatchedInferenceEngine();
+
+  BatchedInferenceEngine(const BatchedInferenceEngine&) = delete;
+  BatchedInferenceEngine& operator=(const BatchedInferenceEngine&) = delete;
+
+  /// Launch the engine thread (idempotent).
+  void start();
+
+  /// Enqueue one observation (flattened [k*(m+1)], action channel
+  /// ignored). The future resolves after the batch containing it runs;
+  /// it carries an exception if the engine is draining or no model
+  /// resolves. `on_complete`, when set, runs on the engine thread right
+  /// before the promise is fulfilled (successful decisions only) — the
+  /// service uses it for per-session accounting on the async path.
+  std::future<Decision> submit(std::vector<float> observation,
+                               std::function<void(const Decision&)> on_complete = nullptr);
+
+  /// Graceful drain: reject new requests, serve everything queued, then
+  /// stop the engine thread (idempotent).
+  void drain();
+
+  bool accepting() const;
+  EngineStats stats() const;
+
+ private:
+  struct Request {
+    std::vector<float> observation;
+    std::promise<Decision> promise;
+    std::function<void(const Decision&)> on_complete;
+    double enqueue_seconds = 0.0;
+  };
+
+  void run();
+  void serve_batch(std::vector<Request>& batch);
+
+  ModelResolver resolver_;
+  EngineConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool draining_ = false;
+  bool started_ = false;
+  std::thread worker_;
+
+  // Stats (guarded by stats_mutex_ so snapshots don't contend with the
+  // request path).
+  mutable std::mutex stats_mutex_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t batch_sum_ = 0;
+  std::size_t batch_max_ = 0;
+  double busy_seconds_ = 0.0;
+  LatencyRecorder latency_;
+};
+
+}  // namespace mirage::serve

@@ -1,0 +1,57 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace mirage::serve {
+
+LatencyRecorder::LatencyRecorder(std::size_t capacity) : capacity_(capacity) {
+  samples_ms_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+void LatencyRecorder::record_seconds(double seconds) {
+  const double ms = seconds * 1e3;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++count_;
+  sum_ms_ += ms;
+  if (ms > max_ms_) max_ms_ = ms;
+  if (samples_ms_.size() < capacity_) {
+    samples_ms_.push_back(ms);
+    return;
+  }
+  // Reservoir: keep each of the `count_` samples with probability
+  // capacity/count. splitmix64 keeps this allocation-free and lock-local.
+  rng_state_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  const std::uint64_t slot = z % count_;
+  if (slot < samples_ms_.size()) samples_ms_[slot] = ms;
+}
+
+LatencySnapshot LatencyRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  LatencySnapshot s;
+  s.count = count_;
+  if (count_ == 0) return s;
+  s.mean_ms = sum_ms_ / static_cast<double>(count_);
+  s.max_ms = max_ms_;
+  std::vector<double> sorted = samples_ms_;
+  std::sort(sorted.begin(), sorted.end());
+  s.p50_ms = util::percentile_sorted(sorted, 50.0);
+  s.p95_ms = util::percentile_sorted(sorted, 95.0);
+  s.p99_ms = util::percentile_sorted(sorted, 99.0);
+  return s;
+}
+
+void LatencyRecorder::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  count_ = 0;
+  sum_ms_ = 0.0;
+  max_ms_ = 0.0;
+  samples_ms_.clear();
+}
+
+}  // namespace mirage::serve

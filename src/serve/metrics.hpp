@@ -1,0 +1,41 @@
+// Serving-side latency/throughput metrics. Latencies are kept in a
+// bounded reservoir so a service that answers millions of requests keeps
+// O(1) memory while p50/p95/p99 stay representative of the full run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace mirage::serve {
+
+struct LatencySnapshot {
+  std::size_t count = 0;  ///< total recorded (not just retained) samples
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Thread-safe latency accumulator with reservoir sampling past `capacity`.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::size_t capacity = 1 << 16);
+
+  void record_seconds(double seconds);
+  LatencySnapshot snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::size_t count_ = 0;
+  double sum_ms_ = 0.0;
+  double max_ms_ = 0.0;
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;  ///< reservoir replacement
+  std::vector<double> samples_ms_;
+};
+
+}  // namespace mirage::serve

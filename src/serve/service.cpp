@@ -1,0 +1,113 @@
+#include "serve/service.hpp"
+
+#include <stdexcept>
+
+#include "util/time_utils.hpp"
+
+namespace mirage::serve {
+
+ProvisioningService::ProvisioningService(const ModelRegistry& registry, ModelKey key,
+                                         ServiceConfig config)
+    : config_(config), engine_(registry, std::move(key), config.engine) {}
+
+ProvisioningService::ProvisioningService(ModelSnapshot model, ServiceConfig config)
+    : config_(config), engine_([model = std::move(model)] { return model; }, config.engine) {}
+
+ProvisioningService::~ProvisioningService() { drain_and_stop(); }
+
+void ProvisioningService::start() {
+  double expected = 0.0;
+  started_seconds_.compare_exchange_strong(expected, util::wall_seconds());
+  engine_.start();
+}
+
+void ProvisioningService::drain_and_stop() { engine_.drain(); }
+
+SessionId ProvisioningService::open_session() {
+  std::unique_lock lock(sessions_mutex_);
+  const SessionId id = next_session_++;
+  sessions_.emplace(id, std::make_shared<Session>(config_.history_len));
+  ++total_sessions_;
+  return id;
+}
+
+void ProvisioningService::close_session(SessionId id) {
+  std::unique_lock lock(sessions_mutex_);
+  sessions_.erase(id);
+}
+
+std::shared_ptr<ProvisioningService::Session> ProvisioningService::find_session(
+    SessionId id) const {
+  std::shared_lock lock(sessions_mutex_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::out_of_range("ProvisioningService: unknown session " + std::to_string(id));
+  }
+  return it->second;
+}
+
+void ProvisioningService::observe(SessionId id, const sim::StateSample& sample,
+                                  const rl::JobPairContext& ctx) {
+  const auto session = find_session(id);
+  std::lock_guard<std::mutex> lock(session->mutex);
+  session->encoder.push(sample, ctx);
+}
+
+std::future<Decision> ProvisioningService::decide_async(SessionId id) {
+  const auto session = find_session(id);
+  std::vector<float> observation;
+  {
+    std::lock_guard<std::mutex> lock(session->mutex);
+    observation = session->encoder.flatten(0.0f);
+    ++session->decisions;
+  }
+  return engine_.submit(std::move(observation), [this](const Decision& d) {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++decisions_;
+    submits_ += (d.action == 1);
+  });
+}
+
+Decision ProvisioningService::decide(SessionId id) { return decide_async(id).get(); }
+
+std::vector<float> ProvisioningService::session_history(SessionId id) const {
+  const auto session = find_session(id);
+  std::lock_guard<std::mutex> lock(session->mutex);
+  return session->encoder.flatten(0.0f);
+}
+
+std::size_t ProvisioningService::session_frames_seen(SessionId id) const {
+  const auto session = find_session(id);
+  std::lock_guard<std::mutex> lock(session->mutex);
+  return session->encoder.frames_seen();
+}
+
+std::size_t ProvisioningService::session_count() const {
+  std::shared_lock lock(sessions_mutex_);
+  return sessions_.size();
+}
+
+ServiceReport ProvisioningService::report() const {
+  ServiceReport r;
+  {
+    std::shared_lock lock(sessions_mutex_);
+    r.open_sessions = sessions_.size();
+    r.total_sessions = total_sessions_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    r.decisions = decisions_;
+    r.submits = submits_;
+  }
+  r.engine = engine_.stats();
+  const double started = started_seconds_.load();
+  if (started > 0.0) {
+    r.uptime_seconds = util::wall_seconds() - started;
+    if (r.uptime_seconds > 0.0) {
+      r.decisions_per_second = static_cast<double>(r.decisions) / r.uptime_seconds;
+    }
+  }
+  return r;
+}
+
+}  // namespace mirage::serve

@@ -1,0 +1,102 @@
+// Concurrent provisioning service: the online face of a trained agent.
+// Clients open one session per predecessor/successor pair, stream
+// sim::StateSample snapshots into the session's k-frame history ring
+// (rl::StateEncoder — the same encoder training used, so serving and
+// training see identical inputs), and ask for submit/wait decisions.
+// Decisions from all sessions funnel through one BatchedInferenceEngine,
+// so a thousand concurrent sessions cost a handful of batched forwards
+// per decision interval instead of a thousand B=1 passes.
+//
+// Shutdown is a graceful drain: new decisions are rejected, everything
+// in flight completes, then the engine thread stops.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+
+#include "rl/state_encoder.hpp"
+#include "serve/inference_engine.hpp"
+
+namespace mirage::serve {
+
+using SessionId = std::uint64_t;
+
+struct ServiceConfig {
+  /// Frames per session history ring; must match the served checkpoint's
+  /// history_len (a mismatch fails every decide() with
+  /// std::invalid_argument rather than silently mis-serving).
+  std::size_t history_len = 24;
+  EngineConfig engine;
+};
+
+struct ServiceReport {
+  std::size_t open_sessions = 0;
+  std::uint64_t total_sessions = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t submits = 0;       ///< decisions that said "submit now"
+  EngineStats engine;
+  double uptime_seconds = 0.0;
+  double decisions_per_second = 0.0;
+};
+
+class ProvisioningService {
+ public:
+  ProvisioningService(const ModelRegistry& registry, ModelKey key, ServiceConfig config = {});
+  /// Serve a fixed snapshot (tests/benches without a registry).
+  ProvisioningService(ModelSnapshot model, ServiceConfig config = {});
+  ~ProvisioningService();
+
+  ProvisioningService(const ProvisioningService&) = delete;
+  ProvisioningService& operator=(const ProvisioningService&) = delete;
+
+  void start();
+  /// Graceful drain: stop admitting decisions, complete in-flight ones,
+  /// stop the engine (idempotent).
+  void drain_and_stop();
+
+  SessionId open_session();
+  void close_session(SessionId id);
+
+  /// Append one state frame to the session's history ring.
+  void observe(SessionId id, const sim::StateSample& sample, const rl::JobPairContext& ctx);
+
+  /// Batched async decision on the session's current history.
+  std::future<Decision> decide_async(SessionId id);
+  /// Blocking convenience wrapper.
+  Decision decide(SessionId id);
+
+  /// The session's flattened history (action channel zeroed) — the exact
+  /// tensor row the next decision would see. Test/debug hook.
+  std::vector<float> session_history(SessionId id) const;
+  std::size_t session_frames_seen(SessionId id) const;
+
+  std::size_t session_count() const;
+  ServiceReport report() const;
+
+ private:
+  struct Session {
+    explicit Session(std::size_t k) : encoder(k) {}
+    mutable std::mutex mutex;
+    rl::StateEncoder encoder;
+    std::uint64_t decisions = 0;
+  };
+
+  std::shared_ptr<Session> find_session(SessionId id) const;
+
+  ServiceConfig config_;
+  BatchedInferenceEngine engine_;
+  std::atomic<double> started_seconds_{0.0};
+
+  mutable std::shared_mutex sessions_mutex_;
+  std::map<SessionId, std::shared_ptr<Session>> sessions_;
+  SessionId next_session_ = 1;
+  std::uint64_t total_sessions_ = 0;
+
+  mutable std::mutex counters_mutex_;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t submits_ = 0;
+};
+
+}  // namespace mirage::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 namespace mirage::util {
 
@@ -46,12 +47,23 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   // per-index dispatch cost.
   const std::size_t chunk = std::max<std::size_t>(1, n / (workers * 4));
   std::atomic<std::size_t> next{0};
+  // An exception from fn must not escape body() while sibling workers are
+  // still iterating over these stack locals: record the first one, stop
+  // handing out chunks, and rethrow only after every participant returned.
+  std::exception_ptr error;
+  std::mutex error_mutex;
   auto body = [&] {
-    for (;;) {
-      const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
-      if (begin >= n) return;
-      const std::size_t end = std::min(begin + chunk, n);
-      for (std::size_t i = begin; i < end; ++i) fn(i);
+    try {
+      for (;;) {
+        const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= n) return;
+        const std::size_t end = std::min(begin + chunk, n);
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!error) error = std::current_exception();
+      next.store(n, std::memory_order_relaxed);  // stop remaining chunks
     }
   };
   std::vector<std::future<void>> futs;
@@ -59,6 +71,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   for (std::size_t w = 0; w + 1 < workers; ++w) futs.push_back(submit(body));
   body();  // caller participates
   for (auto& f : futs) f.get();
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -1,0 +1,593 @@
+// Tests for the online provisioning subsystem (src/serve): registry
+// load/validate/hot-reload, batched-vs-B=1 inference parity, concurrent
+// session bookkeeping, deterministic replay and graceful drain.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "core/checkpoint.hpp"
+#include "rl/state_encoder.hpp"
+#include "serve/inference_engine.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/service.hpp"
+#include "util/rng.hpp"
+
+namespace mirage::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Compact architecture shared by every test agent AND the registry
+// defaults (non-header knobs must agree for reconstruction).
+nn::FoundationConfig test_net() {
+  nn::FoundationConfig net;
+  net.history_len = 6;
+  net.state_dim = rl::kFrameDim;
+  net.d_model = 16;
+  net.num_heads = 2;
+  net.num_layers = 1;
+  net.ffn_hidden = 32;
+  net.moe_experts = 2;
+  return net;
+}
+
+RegistryConfig test_registry_config() {
+  RegistryConfig cfg;
+  cfg.net_defaults = test_net();
+  return cfg;
+}
+
+rl::DqnAgent make_dqn(std::uint64_t seed, nn::FoundationType type = nn::FoundationType::kMoE) {
+  rl::DqnConfig cfg;
+  cfg.foundation = type;
+  cfg.net = test_net();
+  return rl::DqnAgent(cfg, seed);
+}
+
+rl::PgAgent make_pg(std::uint64_t seed) {
+  rl::PgConfig cfg;
+  cfg.foundation = nn::FoundationType::kTransformer;
+  cfg.net = test_net();
+  return rl::PgAgent(cfg, seed);
+}
+
+/// Unique scratch dir per test, removed on destruction.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag) {
+    path = fs::temp_directory_path() / ("mirage_serve_" + tag);
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string file(const std::string& name) const { return (path / name).string(); }
+};
+
+/// Deterministic synthetic cluster snapshot stream (per session, per step).
+sim::StateSample make_sample(std::uint64_t session, std::uint64_t step) {
+  util::Rng rng(session * 1000003ull + step * 7919ull + 1);
+  sim::StateSample s;
+  s.now = static_cast<util::SimTime>(step) * 600;
+  s.total_nodes = 88;
+  s.free_nodes = static_cast<std::int32_t>(rng.uniform_int(0, 88));
+  const auto nq = rng.uniform_int(0, 10);
+  for (std::int64_t i = 0; i < nq; ++i) {
+    s.queued_sizes.push_back(static_cast<double>(rng.uniform_int(1, 8)));
+    s.queued_ages.push_back(rng.uniform(0.0, 86400.0));
+    s.queued_limits.push_back(rng.uniform(3600.0, 172800.0));
+  }
+  const auto nr = rng.uniform_int(0, 12);
+  for (std::int64_t i = 0; i < nr; ++i) {
+    s.running_sizes.push_back(static_cast<double>(rng.uniform_int(1, 8)));
+    s.running_elapsed.push_back(rng.uniform(0.0, 172800.0));
+    s.running_limits.push_back(rng.uniform(3600.0, 172800.0));
+  }
+  return s;
+}
+
+rl::JobPairContext make_ctx(std::uint64_t session) {
+  rl::JobPairContext ctx;
+  ctx.pred_nodes = 1 + static_cast<std::int32_t>(session % 4);
+  ctx.pred_elapsed = static_cast<util::SimTime>(session % 7) * util::kHour;
+  return ctx;
+}
+
+// ---------------------------------------------------------------- Registry
+
+TEST(ModelRegistry, ScanLoadsAndKeysCheckpoints) {
+  TempDir dir("scan");
+  auto dqn = make_dqn(11);
+  auto pg = make_pg(13);
+  ASSERT_TRUE(core::save_agent(dqn, dir.file("v100__moe_dqn.ckpt")));
+  ASSERT_TRUE(core::save_agent(pg, dir.file("rtx__tf_pg.ckpt")));
+
+  ModelRegistry registry(test_registry_config());
+  std::vector<ModelRegistry::LoadResult> results;
+  EXPECT_EQ(registry.scan_directory(dir.path.string(), &results), 2u);
+  EXPECT_EQ(registry.size(), 2u);
+  for (const auto& r : results) EXPECT_TRUE(r.ok) << r.error;
+
+  const auto dqn_model = registry.lookup({"v100", "dqn", "moe"});
+  ASSERT_NE(dqn_model, nullptr);
+  EXPECT_TRUE(dqn_model->is_dqn());
+  EXPECT_EQ(dqn_model->info().history_len, test_net().history_len);
+  EXPECT_EQ(dqn_model->info().d_model, test_net().d_model);
+
+  const auto pg_model = registry.find("rtx", "pg");
+  ASSERT_NE(pg_model, nullptr);
+  EXPECT_FALSE(pg_model->is_dqn());
+  EXPECT_EQ(pg_model->key().foundation, "transformer");
+
+  EXPECT_EQ(registry.lookup({"a100", "dqn", "moe"}), nullptr);
+  EXPECT_EQ(registry.keys().size(), 2u);
+}
+
+TEST(ModelRegistry, RejectsArchitectureMismatch) {
+  TempDir dir("mismatch");
+  // Same header fields, different depth (num_layers is not in the header,
+  // so only the parameter-shape validation can catch it).
+  rl::DqnConfig deep;
+  deep.foundation = nn::FoundationType::kMoE;
+  deep.net = test_net();
+  deep.net.num_layers = 3;
+  rl::DqnAgent agent(deep, 5);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__deep.ckpt")));
+
+  ModelRegistry registry(test_registry_config());
+  const auto res = registry.load_file(dir.file("v100__deep.ckpt"), "v100");
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("architecture mismatch"), std::string::npos) << res.error;
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(ModelRegistry, RejectsWrongFrameWidthAndGarbage) {
+  TempDir dir("reject");
+  rl::DqnConfig narrow;
+  narrow.foundation = nn::FoundationType::kMoE;
+  narrow.net = test_net();
+  narrow.net.state_dim = 10;  // not the serving frame width
+  rl::DqnAgent agent(narrow, 5);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__narrow.ckpt")));
+  {
+    std::ofstream out(dir.file("v100__junk.ckpt"), std::ios::binary);
+    out << "not a checkpoint at all";
+  }
+
+  ModelRegistry registry(test_registry_config());
+  std::vector<ModelRegistry::LoadResult> results;
+  EXPECT_EQ(registry.scan_directory(dir.path.string(), &results), 0u);
+  EXPECT_EQ(registry.size(), 0u);
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) EXPECT_FALSE(r.ok);
+}
+
+TEST(ModelRegistry, RejectsZeroExpertMoEHeader) {
+  // A crafted header with moe_experts=0 must be refused before any agent
+  // is constructed (it would index an empty expert table when served).
+  TempDir dir("zeroexp");
+  {
+    std::ofstream out(dir.file("v100__zero.ckpt"), std::ios::binary);
+    out << "MIRAGE-CKPT-2 dqn moe 6 " << rl::kFrameDim << " 16 0 1\n"
+        << "garbage parameter bytes";
+  }
+  ModelRegistry registry(test_registry_config());
+  const auto res = registry.load_file(dir.file("v100__zero.ckpt"), "v100");
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("degenerate"), std::string::npos) << res.error;
+}
+
+TEST(ModelRegistry, ScanOfMissingDirectoryReportsError) {
+  ModelRegistry registry(test_registry_config());
+  std::vector<ModelRegistry::LoadResult> results;
+  EXPECT_EQ(registry.scan_directory("/no/such/dir/anywhere", &results), 0u);
+  ASSERT_EQ(results.size(), 1u);  // not silently "empty directory"
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_NE(results[0].error.find("/no/such/dir/anywhere"), std::string::npos);
+}
+
+TEST(ModelRegistry, ClusterParsedFromFilename) {
+  EXPECT_EQ(cluster_from_filename("/models/v100__moe_dqn.ckpt"), "v100");
+  EXPECT_EQ(cluster_from_filename("rtx__a__b.ckpt"), "rtx");
+  EXPECT_EQ(cluster_from_filename("/models/plain.ckpt"), "plain");
+}
+
+// ------------------------------------------------------------------ Parity
+
+TEST(BatchedInference, DqnBatchedMatchesSingleBitwise) {
+  TempDir dir("parity_dqn");
+  auto trained = make_dqn(101);
+  ASSERT_TRUE(core::save_agent(trained, dir.file("v100__dqn.ckpt")));
+
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+  const auto model = registry.lookup({"v100", "dqn", "moe"});
+  ASSERT_NE(model, nullptr);
+
+  util::Rng rng(7);
+  std::vector<std::vector<float>> observations;
+  for (int i = 0; i < 33; ++i) {  // odd size: exercises non-full tiles
+    std::vector<float> obs(model->observation_dim());
+    for (auto& v : obs) v = static_cast<float>(rng.normal());
+    observations.push_back(std::move(obs));
+  }
+
+  const auto batched = model->infer(observations);
+  ASSERT_EQ(batched.size(), observations.size());
+  for (std::size_t i = 0; i < observations.size(); ++i) {
+    const auto [q_wait, q_submit] = trained.q_pair(observations[i]);
+    // Bitwise: batched rows are computed by the same per-row kernels.
+    EXPECT_EQ(batched[i].score_wait, q_wait) << "row " << i;
+    EXPECT_EQ(batched[i].score_submit, q_submit) << "row " << i;
+    EXPECT_EQ(batched[i].action, trained.act_greedy(observations[i])) << "row " << i;
+  }
+}
+
+TEST(BatchedInference, PgBatchedMatchesSingleBitwise) {
+  TempDir dir("parity_pg");
+  auto trained = make_pg(103);
+  ASSERT_TRUE(core::save_agent(trained, dir.file("rtx__pg.ckpt")));
+
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("rtx__pg.ckpt"), "rtx").ok);
+  const auto model = registry.lookup({"rtx", "pg", "transformer"});
+  ASSERT_NE(model, nullptr);
+
+  util::Rng rng(9);
+  std::vector<std::vector<float>> observations;
+  for (int i = 0; i < 17; ++i) {
+    std::vector<float> obs(model->observation_dim());
+    for (auto& v : obs) v = static_cast<float>(rng.normal());
+    observations.push_back(std::move(obs));
+  }
+
+  const auto batched = model->infer(observations);
+  for (std::size_t i = 0; i < observations.size(); ++i) {
+    EXPECT_EQ(batched[i].score_submit, trained.submit_probability(observations[i]))
+        << "row " << i;
+    EXPECT_EQ(batched[i].action, trained.act_greedy(observations[i])) << "row " << i;
+  }
+}
+
+TEST(BatchedInference, Top1SparseRoutingMatchesDenseBitwise) {
+  // Serving a Top-1 MoE checkpoint runs only each row's routed expert;
+  // outputs must still be bitwise equal to the dense evaluate-then-select
+  // forward the agent itself uses.
+  TempDir dir("parity_top1");
+  rl::DqnConfig cfg;
+  cfg.foundation = nn::FoundationType::kMoE;
+  cfg.net = test_net();
+  cfg.net.moe_experts = 4;
+  cfg.net.moe_top1 = true;
+  rl::DqnAgent trained(cfg, 107);
+  ASSERT_TRUE(core::save_agent(trained, dir.file("v100__top1.ckpt")));
+
+  ModelRegistry registry(test_registry_config());
+  const auto load = registry.load_file(dir.file("v100__top1.ckpt"), "v100");
+  ASSERT_TRUE(load.ok) << load.error;
+  const auto model = registry.lookup({"v100", "dqn", "moe"});
+  ASSERT_NE(model, nullptr);
+  EXPECT_TRUE(model->info().moe_top1);  // recovered from the v2 header
+
+  util::Rng rng(11);
+  std::vector<std::vector<float>> observations;
+  for (int i = 0; i < 41; ++i) {  // enough rows to hit several experts
+    std::vector<float> obs(model->observation_dim());
+    for (auto& v : obs) v = static_cast<float>(rng.normal());
+    observations.push_back(std::move(obs));
+  }
+  const auto batched = model->infer(observations);
+  for (std::size_t i = 0; i < observations.size(); ++i) {
+    const auto [q_wait, q_submit] = trained.q_pair(observations[i]);
+    EXPECT_EQ(batched[i].score_wait, q_wait) << "row " << i;
+    EXPECT_EQ(batched[i].score_submit, q_submit) << "row " << i;
+  }
+}
+
+TEST(BatchedInference, RejectsWrongObservationDim) {
+  TempDir dir("baddim");
+  auto agent = make_dqn(5);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+  const auto model = registry.lookup({"v100", "dqn", "moe"});
+  EXPECT_THROW(model->infer({std::vector<float>(3)}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ Engine
+
+TEST(InferenceEngine, BatchesQueuedRequestsInOneTick) {
+  TempDir dir("engine");
+  auto agent = make_dqn(21);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+
+  EngineConfig cfg;
+  cfg.max_batch = 16;
+  cfg.coalesce_wait = std::chrono::microseconds(0);
+  BatchedInferenceEngine engine(registry, {"v100", "dqn", "moe"}, cfg);
+
+  // Queue before starting: the first tick must coalesce all of them.
+  const std::size_t dim = test_net().history_len * test_net().state_dim;
+  std::vector<std::future<Decision>> futures;
+  for (int i = 0; i < 10; ++i) futures.push_back(engine.submit(std::vector<float>(dim, 0.1f)));
+  engine.start();
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+  engine.drain();
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.requests, 10u);
+  EXPECT_EQ(stats.max_batch, 10u);
+  EXPECT_EQ(stats.ticks, 1u);
+  EXPECT_EQ(stats.latency.count, 10u);
+}
+
+TEST(InferenceEngine, ThrowingCallbackFailsOnlyItsOwnRequest) {
+  TempDir dir("badcb");
+  auto agent = make_dqn(23);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+  BatchedInferenceEngine engine(registry, {"v100", "dqn", "moe"});
+  engine.start();
+
+  const std::size_t dim = test_net().history_len * test_net().state_dim;
+  auto bad = engine.submit(std::vector<float>(dim, 0.1f),
+                           [](const Decision&) { throw std::logic_error("callback boom"); });
+  EXPECT_THROW(bad.get(), std::logic_error);
+  // Engine thread survives and keeps serving.
+  auto good = engine.submit(std::vector<float>(dim, 0.2f));
+  EXPECT_NO_THROW(good.get());
+  engine.drain();
+}
+
+TEST(InferenceEngine, NoModelFailsTheBatch) {
+  BatchedInferenceEngine engine([] { return ModelSnapshot(); });
+  engine.start();
+  auto fut = engine.submit(std::vector<float>(4, 0.0f));
+  EXPECT_THROW(fut.get(), std::runtime_error);
+  engine.drain();
+}
+
+TEST(InferenceEngine, SubmitAfterDrainIsRejected) {
+  TempDir dir("drain");
+  auto agent = make_dqn(31);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+  BatchedInferenceEngine engine(registry, {"v100", "dqn", "moe"});
+  engine.start();
+  engine.drain();
+  EXPECT_FALSE(engine.accepting());
+  auto fut = engine.submit(std::vector<float>(4, 0.0f));
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+// --------------------------------------------------------------- Hot reload
+
+TEST(ModelRegistry, HotReloadUnderConcurrentRequests) {
+  TempDir dir("hotreload");
+  auto a = make_dqn(41);
+  auto b = make_dqn(42);  // same architecture, different weights
+  ASSERT_TRUE(core::save_agent(a, dir.file("hot__a.ckpt")));
+  ASSERT_TRUE(core::save_agent(b, dir.file("hot__b.ckpt")));
+
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("hot__a.ckpt"), "hot").ok);
+  const ModelKey key{"hot", "dqn", "moe"};
+
+  ServiceConfig cfg;
+  cfg.history_len = test_net().history_len;
+  cfg.engine.max_batch = 8;
+  cfg.engine.coalesce_wait = std::chrono::microseconds(50);
+  ProvisioningService service(registry, key, cfg);
+  service.start();
+
+  constexpr int kClients = 4;
+  constexpr int kDecisionsPerClient = 40;
+  std::atomic<int> failures{0};
+  std::mutex versions_mutex;
+  std::set<std::uint64_t> versions_seen;
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const SessionId id = service.open_session();
+      for (int t = 0; t < kDecisionsPerClient; ++t) {
+        service.observe(id, make_sample(static_cast<std::uint64_t>(c), t),
+                        make_ctx(static_cast<std::uint64_t>(c)));
+        try {
+          const Decision d = service.decide(id);
+          std::lock_guard<std::mutex> lock(versions_mutex);
+          versions_seen.insert(d.model_version);
+        } catch (...) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Hot-reload between the two checkpoint versions while clients decide.
+  std::uint64_t last_version = 0;
+  for (int r = 0; r < 24; ++r) {
+    const auto res = registry.load_file(
+        dir.file(r % 2 == 0 ? "hot__b.ckpt" : "hot__a.ckpt"), "hot");
+    ASSERT_TRUE(res.ok) << res.error;
+    last_version = res.version;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& t : clients) t.join();
+  service.drain_and_stop();
+
+  EXPECT_EQ(failures.load(), 0);
+  // Requests were served across multiple model versions without dropping.
+  EXPECT_GE(versions_seen.size(), 2u);
+  const auto current = registry.lookup(key);
+  ASSERT_NE(current, nullptr);
+  EXPECT_EQ(current->version(), last_version);
+  const auto report = service.report();
+  EXPECT_EQ(report.decisions, static_cast<std::uint64_t>(kClients * kDecisionsPerClient));
+}
+
+// ----------------------------------------------------------------- Service
+
+TEST(ProvisioningService, ManyConcurrentSessionsKeepCorrectHistories) {
+  TempDir dir("sessions");
+  auto agent = make_dqn(51);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+
+  ServiceConfig cfg;
+  cfg.history_len = test_net().history_len;
+  cfg.engine.max_batch = 32;
+  ProvisioningService service(registry, {"v100", "dqn", "moe"}, cfg);
+  service.start();
+
+  constexpr std::size_t kSessions = 128;  // >= 100 concurrent sessions
+  constexpr std::size_t kSteps = 9;       // > history_len: ring wraps
+
+  std::vector<SessionId> ids;
+  for (std::size_t s = 0; s < kSessions; ++s) ids.push_back(service.open_session());
+  EXPECT_EQ(service.session_count(), kSessions);
+
+  // Feed every session its own stream from concurrent clients, one decision
+  // per step, all funneling through the shared batched engine.
+  std::vector<std::vector<int>> actions(kSessions);
+  {
+    std::vector<std::thread> feeders;
+    const std::size_t kThreads = 8;
+    for (std::size_t w = 0; w < kThreads; ++w) {
+      feeders.emplace_back([&, w] {
+        for (std::size_t s = w; s < kSessions; s += kThreads) {
+          for (std::size_t t = 0; t < kSteps; ++t) {
+            service.observe(ids[s], make_sample(s, t), make_ctx(s));
+            actions[s].push_back(service.decide(ids[s]).action);
+          }
+        }
+      });
+    }
+    for (auto& t : feeders) t.join();
+  }
+
+  // Per-session history must equal a standalone encoder fed the same
+  // stream, and the decisions must match the agent served directly.
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    rl::StateEncoder reference(cfg.history_len);
+    for (std::size_t t = 0; t < kSteps; ++t) reference.push(make_sample(s, t), make_ctx(s));
+    EXPECT_EQ(service.session_history(ids[s]), reference.flatten(0.0f)) << "session " << s;
+    EXPECT_EQ(service.session_frames_seen(ids[s]), kSteps);
+    EXPECT_EQ(actions[s].back(), agent.act_greedy(reference.flatten(0.0f))) << "session " << s;
+  }
+
+  const auto report = service.report();
+  EXPECT_EQ(report.decisions, kSessions * kSteps);
+  EXPECT_EQ(report.engine.requests, kSessions * kSteps);
+  EXPECT_GE(report.engine.max_batch, 2u);  // batching actually happened
+  service.drain_and_stop();
+}
+
+TEST(ProvisioningService, DeterministicSessionReplay) {
+  TempDir dir("replay");
+  auto agent = make_dqn(61);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+
+  const auto run_once = [&] {
+    ServiceConfig cfg;
+    cfg.history_len = test_net().history_len;
+    ProvisioningService service(registry, {"v100", "dqn", "moe"}, cfg);
+    service.start();
+    std::vector<std::vector<int>> all_actions;
+    std::vector<SessionId> ids;
+    for (std::size_t s = 0; s < 12; ++s) ids.push_back(service.open_session());
+    for (std::size_t s = 0; s < ids.size(); ++s) {
+      std::vector<int> actions;
+      for (std::size_t t = 0; t < 10; ++t) {
+        service.observe(ids[s], make_sample(s, t), make_ctx(s));
+        actions.push_back(service.decide(ids[s]).action);
+      }
+      all_actions.push_back(std::move(actions));
+    }
+    service.drain_and_stop();
+    return all_actions;
+  };
+
+  // Same seed, same streams -> bit-identical decision sequences.
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(ProvisioningService, GracefulDrainCompletesInFlight) {
+  TempDir dir("gdrain");
+  auto agent = make_dqn(71);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+
+  ServiceConfig cfg;
+  cfg.history_len = test_net().history_len;
+  cfg.engine.coalesce_wait = std::chrono::microseconds(2000);
+  ProvisioningService service(registry, {"v100", "dqn", "moe"}, cfg);
+
+  const SessionId id = service.open_session();
+  service.observe(id, make_sample(1, 0), make_ctx(1));
+
+  // Queue decisions while the engine thread is not yet running, then start
+  // and immediately drain: every queued request must still be answered.
+  std::vector<std::future<Decision>> in_flight;
+  for (int i = 0; i < 20; ++i) in_flight.push_back(service.decide_async(id));
+  service.start();
+  service.drain_and_stop();
+  for (auto& f : in_flight) EXPECT_NO_THROW(f.get());
+
+  // After the drain new work is rejected, loudly.
+  auto rejected = service.decide_async(id);
+  EXPECT_THROW(rejected.get(), std::runtime_error);
+}
+
+TEST(ProvisioningService, UnknownAndClosedSessionsThrow) {
+  TempDir dir("badsess");
+  auto agent = make_dqn(81);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+
+  ServiceConfig cfg;
+  cfg.history_len = test_net().history_len;
+  ProvisioningService service(registry, {"v100", "dqn", "moe"}, cfg);
+  service.start();
+  EXPECT_THROW(service.decide(999), std::out_of_range);
+  const SessionId id = service.open_session();
+  service.close_session(id);
+  EXPECT_THROW(service.observe(id, make_sample(0, 0), make_ctx(0)), std::out_of_range);
+  service.drain_and_stop();
+}
+
+TEST(ProvisioningService, HistoryLenMismatchFailsLoudly) {
+  TempDir dir("klen");
+  auto agent = make_dqn(91);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+
+  ServiceConfig cfg;
+  cfg.history_len = test_net().history_len + 3;  // wrong ring size
+  ProvisioningService service(registry, {"v100", "dqn", "moe"}, cfg);
+  service.start();
+  const SessionId id = service.open_session();
+  service.observe(id, make_sample(0, 0), make_ctx(0));
+  EXPECT_THROW(service.decide(id), std::invalid_argument);
+  service.drain_and_stop();
+}
+
+}  // namespace
+}  // namespace mirage::serve

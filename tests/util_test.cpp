@@ -5,6 +5,7 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "util/config.hpp"
@@ -220,6 +221,31 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 1.0);
 }
 
+TEST(RunningStats, MergeEmptyPreservesMinMax) {
+  // Regression: merging in either direction with an empty accumulator must
+  // not clobber (or fabricate) min/max.
+  RunningStats a, empty;
+  a.add(-2.0);
+  a.add(5.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), -2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+
+  RunningStats b;
+  b.merge(a);  // empty this adopts other's full state
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.min(), -2.0);
+  EXPECT_DOUBLE_EQ(b.max(), 5.0);
+  EXPECT_DOUBLE_EQ(b.mean(), a.mean());
+
+  RunningStats c, d;
+  c.merge(d);  // empty <- empty stays empty (zeros, not garbage)
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_EQ(c.min(), 0.0);
+  EXPECT_EQ(c.max(), 0.0);
+}
+
 TEST(Percentile, KnownValues) {
   const std::vector<double> v = {10, 20, 30, 40};
   EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
@@ -397,6 +423,33 @@ TEST(ThreadPoolTest, SubmitReturnsCompletionFuture) {
   auto f = pool.submit([&] { counter = 42; });
   f.get();
   EXPECT_EQ(counter.load(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesExceptionAfterWorkersFinish) {
+  // Regression: an exception thrown by fn used to escape the caller's
+  // body() while worker futures still iterated over the (destroyed)
+  // stack locals. The fix joins every participant first, then rethrows.
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  EXPECT_THROW(
+      pool.parallel_for(10000,
+                        [&](std::size_t i) {
+                          calls.fetch_add(1);
+                          if (i == 137) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must stay fully usable afterwards.
+  std::atomic<int> ok{0};
+  pool.parallel_for(500, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 500);
+  EXPECT_GT(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForExceptionOnSerialPath) {
+  ThreadPool pool(1);  // single worker takes the inline fast path
+  EXPECT_THROW(pool.parallel_for(8, [](std::size_t i) {
+    if (i == 3) throw std::logic_error("serial");
+  }), std::logic_error);
 }
 
 TEST(ThreadPoolTest, ParallelSum) {
