@@ -1,0 +1,89 @@
+// Scenario sweep scaling bench: run the same scenario matrix at several
+// thread-pool sizes and report wall time + speedup vs 1 thread. Cells are
+// pure functions of their specs with pre-assigned seeds, so the sweep is
+// embarrassingly parallel — on an 8-core machine the 8-thread run should
+// clear 4x over 1 thread (the acceptance bar); results are asserted
+// bitwise identical across all thread counts.
+//
+//   ./bench_scenario_sweep [threads=1,2,4,8] [cells=16] [months=3] [scale=0.4]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "scenario/sweep.hpp"
+#include "util/config.hpp"
+#include "util/rng.hpp"
+#include "util/time_utils.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mirage;
+  using scenario::ScenarioEventKind;
+
+  const auto cli = util::Config::from_args(argc, argv);
+
+  scenario::SweepMatrix matrix;
+  matrix.base.cluster = cli.get_string("cluster", "a100");
+  matrix.base.months_begin = 0;
+  matrix.base.months_end = static_cast<std::int32_t>(cli.get_int("months", 3));
+  matrix.base.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  matrix.base.job_count_scale = cli.get_double("scale", 0.4);
+
+  const std::int32_t half = matrix.base.resolved_preset().node_count / 2;
+  matrix.reservation_depths = {1, 8};
+  matrix.event_profiles = {
+      {"none", {}},
+      {"outage",
+       {{ScenarioEventKind::kNodeDown, 20 * util::kDay, half, 0, 0, 0, 600},
+        {ScenarioEventKind::kNodeRestore, 23 * util::kDay, half, 0, 0, 0, 600}}},
+  };
+  // Scale the utilization axis until the matrix reaches the requested size.
+  const auto target_cells = static_cast<std::size_t>(cli.get_int("cells", 16));
+  for (double u = 0.85; matrix.cell_count() < target_cells; u += 0.07) {
+    matrix.utilization_scales.push_back(u);
+  }
+
+  const auto cells = matrix.expand();
+  std::printf("bench_scenario_sweep: %zu cells, months=%d, scale=%.2f\n", cells.size(),
+              matrix.base.months_end, matrix.base.job_count_scale);
+
+  std::vector<std::size_t> thread_counts;
+  {
+    const std::string arg = cli.get_string("threads", "1,2,4,8");
+    std::size_t pos = 0;
+    while (pos <= arg.size()) {
+      auto comma = arg.find(',', pos);
+      if (comma == std::string::npos) comma = arg.size();
+      if (comma > pos) {
+        thread_counts.push_back(
+            static_cast<std::size_t>(std::atoll(arg.substr(pos, comma - pos).c_str())));
+      }
+      pos = comma + 1;
+    }
+  }
+
+  double base_seconds = 0.0;
+  std::uint64_t base_hash = 0;
+  for (const std::size_t threads : thread_counts) {
+    const double t0 = util::wall_seconds();
+    const auto report = scenario::SweepRunner(threads).run(cells);
+    const double seconds = util::wall_seconds() - t0;
+
+    std::uint64_t combined = util::kFnv1a64Basis;
+    for (const auto& c : report.cells) combined ^= c.schedule_hash;
+    if (base_seconds == 0.0) {
+      base_seconds = seconds;
+      base_hash = combined;
+    }
+    const bool identical = combined == base_hash;
+    std::printf("  threads=%2zu  %7.2fs  speedup %5.2fx  cells/s %6.2f  identical=%s\n", threads,
+                seconds, base_seconds / seconds, static_cast<double>(cells.size()) / seconds,
+                identical ? "yes" : "NO");
+    if (!identical) {
+      std::printf("ERROR: results diverged at threads=%zu\n", threads);
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -55,8 +55,17 @@ MiragePipeline::MiragePipeline(PipelineConfig config) : config_(std::move(config
 void MiragePipeline::prepare() {
   trace::SyntheticTraceGenerator generator(config_.preset, config_.generator);
   workload_ = generator.generate();
+  split_workload(static_cast<SimTime>(config_.preset.months) * util::kMonth);
+}
+
+void MiragePipeline::prepare(trace::Trace workload) {
+  workload_ = std::move(workload);
+  trace::sort_by_submit_time(workload_);
+  split_workload(trace::trace_end(workload_) - trace::trace_begin(workload_));
+}
+
+void MiragePipeline::split_workload(SimTime span) {
   train_begin_ = trace::trace_begin(workload_);
-  const SimTime span = static_cast<SimTime>(config_.preset.months) * util::kMonth;
   train_end_ = train_begin_ + static_cast<SimTime>(config_.train_fraction *
                                                    static_cast<double>(span));
   validation_end_ = train_begin_ + span;

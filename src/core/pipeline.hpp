@@ -51,6 +51,11 @@ class MiragePipeline {
   /// Generate the synthetic trace and compute the train/validation split.
   void prepare();
 
+  /// Use an externally built workload instead of generating one — e.g. a
+  /// scenario engine trace with burst jobs (scenario::build_workload). The
+  /// train/validation split covers the workload's actual time span.
+  void prepare(trace::Trace workload);
+
   /// Collect the offline dataset on the training range (§4.9.1a).
   void collect_offline();
 
@@ -79,6 +84,8 @@ class MiragePipeline {
   const rl::PgAgent* pg_agent(Method m) const;
 
  private:
+  void split_workload(util::SimTime span);
+
   PipelineConfig config_;
   trace::Trace workload_;
   util::SimTime train_begin_ = 0;

@@ -1,0 +1,409 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/reference_simulator.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generator.hpp"
+#include "util/config.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+namespace mirage::scenario {
+
+using util::SimTime;
+
+const char* scenario_event_name(ScenarioEventKind k) {
+  switch (k) {
+    case ScenarioEventKind::kNodeDown: return "down";
+    case ScenarioEventKind::kDrain: return "drain";
+    case ScenarioEventKind::kNodeRestore: return "restore";
+    case ScenarioEventKind::kBurst: return "burst";
+  }
+  return "?";
+}
+
+trace::ClusterPreset ScenarioSpec::resolved_preset() const {
+  auto preset = trace::preset_by_name(cluster);
+  if (nodes_override > 0) preset.node_count = nodes_override;
+  return preset;
+}
+
+// ------------------------------------------------------------- serialization
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool parse_i64(const std::string& s, std::int64_t& out) {
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+bool parse_i32(const std::string& s, std::int32_t& out) {
+  std::int64_t v = 0;
+  if (!parse_i64(s, v) || v < std::numeric_limits<std::int32_t>::min() ||
+      v > std::numeric_limits<std::int32_t>::max()) {
+    return false;
+  }
+  out = static_cast<std::int32_t>(v);
+  return true;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+bool parse_f64(const std::string& s, double& out) {
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+bool parse_bool(const std::string& s, bool& out) {
+  if (s == "true" || s == "1") return out = true, true;
+  if (s == "false" || s == "0") return out = false, true;
+  return false;
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error) *error = message;
+  return false;
+}
+
+bool parse_event(const std::string& value, ScenarioEvent& ev, std::string* error) {
+  const auto fields = util::parse_csv_line(value);
+  if (fields.size() < 3) return fail(error, "event needs at least type,time,nodes: " + value);
+  const std::string& type = fields[0];
+  if (type == "down") {
+    ev.kind = ScenarioEventKind::kNodeDown;
+  } else if (type == "drain") {
+    ev.kind = ScenarioEventKind::kDrain;
+  } else if (type == "restore") {
+    ev.kind = ScenarioEventKind::kNodeRestore;
+  } else if (type == "burst") {
+    ev.kind = ScenarioEventKind::kBurst;
+  } else {
+    return fail(error, "unknown event type: " + type);
+  }
+  std::int64_t time = 0;
+  std::int32_t nodes = 0;
+  if (!parse_i64(fields[1], time) || time < 0) return fail(error, "bad event time: " + value);
+  if (!parse_i32(fields[2], nodes) || nodes <= 0) return fail(error, "bad event nodes: " + value);
+  ev.time = time;
+  ev.nodes = nodes;
+  if (ev.kind != ScenarioEventKind::kBurst) {
+    if (fields.size() != 3) return fail(error, "capacity event takes type,time,nodes: " + value);
+    return true;
+  }
+  if (fields.size() < 6 || fields.size() > 7) {
+    return fail(error, "burst takes burst,time,nodes,count,runtime,limit[,window]: " + value);
+  }
+  std::int32_t count = 0;
+  std::int64_t runtime = 0, limit = 0, window = 600;
+  if (!parse_i32(fields[3], count) || count <= 0) return fail(error, "bad burst count: " + value);
+  if (!parse_i64(fields[4], runtime) || runtime <= 0) {
+    return fail(error, "bad burst runtime: " + value);
+  }
+  if (!parse_i64(fields[5], limit) || limit < 0) return fail(error, "bad burst limit: " + value);
+  if (fields.size() == 7 && (!parse_i64(fields[6], window) || window < 0)) {
+    return fail(error, "bad burst window: " + value);
+  }
+  ev.count = count;
+  ev.runtime = runtime;
+  ev.limit = limit ? limit : runtime;
+  ev.window = window;
+  return true;
+}
+
+std::string event_to_csv(const ScenarioEvent& ev) {
+  std::ostringstream out;
+  out << scenario_event_name(ev.kind) << ',' << ev.time << ',' << ev.nodes;
+  if (ev.kind == ScenarioEventKind::kBurst) {
+    out << ',' << ev.count << ',' << ev.runtime << ',' << ev.limit << ',' << ev.window;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string ScenarioSpec::to_text() const {
+  std::ostringstream out;
+  out << "# mirage scenario spec\n";
+  out << "name=" << name << '\n';
+  out << "cluster=" << cluster << '\n';
+  out << "nodes=" << nodes_override << '\n';
+  out << "months_begin=" << months_begin << '\n';
+  out << "months_end=" << months_end << '\n';
+  out << "seed=" << seed << '\n';
+  out << "utilization_scale=" << fmt_double(utilization_scale) << '\n';
+  out << "job_count_scale=" << fmt_double(job_count_scale) << '\n';
+  out << "age_weight=" << fmt_double(scheduler.age_weight) << '\n';
+  out << "age_cap=" << scheduler.age_cap << '\n';
+  out << "size_weight=" << fmt_double(scheduler.size_weight) << '\n';
+  out << "backfill=" << (scheduler.backfill ? "true" : "false") << '\n';
+  out << "reservation_depth=" << scheduler.reservation_depth << '\n';
+  out << "max_backfill_candidates=" << scheduler.max_backfill_candidates << '\n';
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    out << "event." << i << '=' << event_to_csv(events[i]) << '\n';
+  }
+  return out.str();
+}
+
+std::optional<ScenarioSpec> parse_scenario(const std::string& text, std::string* error) {
+  // Structural scan first: every non-comment, non-blank line must be
+  // key=value, so junk files fail loudly instead of parsing as defaults.
+  {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto hash = line.find('#');
+      if (hash != std::string::npos) line = line.substr(0, hash);
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      if (line.find('=') == std::string::npos) {
+        fail(error, "malformed line (expected key=value): " + line);
+        return std::nullopt;
+      }
+    }
+  }
+
+  const auto cfg = util::Config::from_text(text);
+  ScenarioSpec spec;
+  std::vector<std::pair<std::size_t, ScenarioEvent>> events;
+
+  for (const auto& key : cfg.keys()) {
+    const std::string value = cfg.get_string(key, "");
+    std::int64_t i = 0;
+    std::int32_t i32 = 0;
+    std::uint64_t u = 0;
+    double d = 0;
+    bool ok = true;
+    if (key == "name") {
+      spec.name = value;
+    } else if (key == "cluster") {
+      spec.cluster = value;
+    } else if (key == "nodes") {
+      ok = parse_i32(value, i32) && i32 >= 0;
+      spec.nodes_override = i32;
+    } else if (key == "months_begin") {
+      ok = parse_i32(value, i32) && i32 >= 0;
+      spec.months_begin = i32;
+    } else if (key == "months_end") {
+      ok = parse_i32(value, i32) && i32 >= 0;
+      spec.months_end = i32;
+    } else if (key == "seed") {
+      ok = parse_u64(value, u);
+      spec.seed = u;
+    } else if (key == "utilization_scale") {
+      ok = parse_f64(value, d) && d > 0;
+      spec.utilization_scale = d;
+    } else if (key == "job_count_scale") {
+      ok = parse_f64(value, d) && d > 0;
+      spec.job_count_scale = d;
+    } else if (key == "age_weight") {
+      ok = parse_f64(value, d);
+      spec.scheduler.age_weight = d;
+    } else if (key == "age_cap") {
+      ok = parse_i64(value, i) && i > 0;
+      spec.scheduler.age_cap = i;
+    } else if (key == "size_weight") {
+      ok = parse_f64(value, d);
+      spec.scheduler.size_weight = d;
+    } else if (key == "backfill") {
+      ok = parse_bool(value, spec.scheduler.backfill);
+    } else if (key == "reservation_depth") {
+      ok = parse_i32(value, i32) && i32 >= 0;
+      spec.scheduler.reservation_depth = i32;
+    } else if (key == "max_backfill_candidates") {
+      ok = parse_i32(value, i32) && i32 >= 0;
+      spec.scheduler.max_backfill_candidates = i32;
+    } else if (key.rfind("event.", 0) == 0) {
+      std::int64_t index = 0;
+      if (!parse_i64(key.substr(6), index) || index < 0) {
+        fail(error, "bad event key: " + key);
+        return std::nullopt;
+      }
+      ScenarioEvent ev;
+      if (!parse_event(value, ev, error)) return std::nullopt;
+      events.emplace_back(static_cast<std::size_t>(index), ev);
+    } else {
+      fail(error, "unknown key: " + key);
+      return std::nullopt;
+    }
+    if (!ok) {
+      fail(error, "bad value for " + key + ": " + value);
+      return std::nullopt;
+    }
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [idx, ev] : events) spec.events.push_back(ev);
+
+  // Semantic validation.
+  try {
+    (void)trace::preset_by_name(spec.cluster);
+  } catch (const std::invalid_argument&) {
+    fail(error, "unknown cluster: " + spec.cluster);
+    return std::nullopt;
+  }
+  if (spec.months_end <= spec.months_begin) {
+    fail(error, "months_end must be > months_begin");
+    return std::nullopt;
+  }
+  const auto preset = spec.resolved_preset();
+  for (const auto& ev : spec.events) {
+    if (ev.kind == ScenarioEventKind::kBurst && ev.nodes > preset.node_count) {
+      fail(error, "burst jobs request more nodes than the cluster has");
+      return std::nullopt;
+    }
+  }
+  return spec;
+}
+
+std::optional<ScenarioSpec> load_scenario_file(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    fail(error, "cannot open scenario file: " + path);
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_scenario(text.str(), error);
+}
+
+bool save_scenario_file(const ScenarioSpec& spec, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << spec.to_text();
+  return static_cast<bool>(out);
+}
+
+// ------------------------------------------------------------------ running
+
+std::vector<sim::ClusterEvent> capacity_events(const ScenarioSpec& spec) {
+  std::vector<sim::ClusterEvent> out;
+  for (const auto& ev : spec.events) {
+    if (!ev.is_capacity_event()) continue;
+    sim::ClusterEvent ce;
+    ce.time = ev.time;
+    ce.nodes = ev.nodes;
+    switch (ev.kind) {
+      case ScenarioEventKind::kNodeDown: ce.type = sim::ClusterEventType::kNodeDown; break;
+      case ScenarioEventKind::kDrain: ce.type = sim::ClusterEventType::kDrain; break;
+      case ScenarioEventKind::kNodeRestore: ce.type = sim::ClusterEventType::kNodeRestore; break;
+      case ScenarioEventKind::kBurst: break;  // unreachable
+    }
+    out.push_back(ce);
+  }
+  return out;
+}
+
+trace::Trace build_workload(const ScenarioSpec& spec) {
+  const auto preset = spec.resolved_preset();
+  trace::GeneratorOptions opt;
+  opt.seed = spec.seed;
+  opt.utilization_scale = spec.utilization_scale;
+  opt.job_count_scale = spec.job_count_scale;
+  trace::SyntheticTraceGenerator gen(preset, opt);
+  auto workload = gen.generate_months(spec.months_begin, spec.months_end);
+
+  // Lower bursts onto ordinary arrivals. Each burst draws its jitter from
+  // a child stream split off the spec seed, so the workload is a pure
+  // function of the spec.
+  util::Rng master(spec.seed ^ 0xb5b5'7a11'f00d'cafeull);
+  std::int64_t next_id = 9'000'000;
+  for (const auto& ev : spec.events) {
+    if (ev.kind != ScenarioEventKind::kBurst) continue;
+    util::Rng rng = master.split();
+    for (std::int32_t i = 0; i < ev.count; ++i) {
+      trace::JobRecord j;
+      j.job_id = next_id++;
+      j.job_name = "burst";
+      j.user_id = 9000 + static_cast<std::int32_t>(rng.uniform_int(0, 31));
+      j.submit_time = ev.time + (ev.window > 1 ? rng.uniform_int(0, ev.window - 1) : 0);
+      j.num_nodes = std::min(ev.nodes, preset.node_count);
+      j.actual_runtime = ev.runtime;
+      j.time_limit = std::max(ev.limit, ev.runtime);
+      workload.push_back(std::move(j));
+    }
+  }
+  trace::sort_by_submit_time(workload);
+  return workload;
+}
+
+namespace {
+
+ScenarioResult assemble_result(const ScenarioSpec& spec, const trace::Trace& schedule,
+                               std::int32_t nominal_nodes, std::size_t killed,
+                               std::uint64_t passes) {
+  ScenarioResult r;
+  r.name = spec.name;
+  r.total_nodes = nominal_nodes;
+  r.jobs = schedule.size();
+  r.killed_jobs = killed;
+  r.scheduler_passes = passes;
+  std::uint64_t h = util::kFnv1a64Basis;
+  for (const auto& j : schedule) {
+    if (!j.scheduled()) ++r.unscheduled;
+    h = util::fnv1a64(h, static_cast<std::uint64_t>(j.start_time));
+    h = util::fnv1a64(h, static_cast<std::uint64_t>(j.end_time));
+  }
+  r.schedule_hash = h;
+  r.metrics = sim::compute_schedule_metrics(schedule, nominal_nodes);
+  r.load = core::classify_load(util::from_hours(r.metrics.mean_wait_hours));
+  return r;
+}
+
+}  // namespace
+
+bool ScenarioResult::operator==(const ScenarioResult& o) const {
+  return name == o.name && total_nodes == o.total_nodes && jobs == o.jobs &&
+         unscheduled == o.unscheduled && killed_jobs == o.killed_jobs &&
+         scheduler_passes == o.scheduler_passes && schedule_hash == o.schedule_hash &&
+         metrics.mean_wait_hours == o.metrics.mean_wait_hours &&
+         metrics.p95_wait_hours == o.metrics.p95_wait_hours &&
+         metrics.average_utilization == o.metrics.average_utilization &&
+         metrics.makespan_hours == o.metrics.makespan_hours && load == o.load;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  const auto preset = spec.resolved_preset();
+  const auto workload = build_workload(spec);
+  sim::Simulator sim(preset.node_count, spec.scheduler);
+  sim.load_workload(workload);
+  for (const auto& ev : capacity_events(spec)) sim.schedule_cluster_event(ev);
+  sim.run_to_completion();
+  return assemble_result(spec, sim.export_schedule(), preset.node_count, sim.killed_jobs(),
+                         sim.scheduler_passes());
+}
+
+ScenarioResult run_scenario_reference(const ScenarioSpec& spec) {
+  const auto preset = spec.resolved_preset();
+  const auto workload = build_workload(spec);
+  std::uint64_t passes = 0;
+  std::size_t killed = 0;
+  const auto schedule = reference_replay(workload, preset.node_count, capacity_events(spec),
+                                         spec.scheduler, &passes, &killed);
+  return assemble_result(spec, schedule, preset.node_count, killed, passes);
+}
+
+core::PipelineConfig to_pipeline_config(const ScenarioSpec& spec, std::int32_t job_nodes) {
+  auto cfg = core::PipelineConfig::compact(spec.resolved_preset(), job_nodes, spec.seed);
+  cfg.generator.seed = spec.seed;
+  cfg.generator.utilization_scale = spec.utilization_scale;
+  cfg.generator.job_count_scale = spec.job_count_scale;
+  return cfg;
+}
+
+}  // namespace mirage::scenario

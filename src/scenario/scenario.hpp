@@ -1,0 +1,123 @@
+// Declarative evaluation scenarios (ROADMAP: "as many scenarios as you can
+// imagine"). A ScenarioSpec is one fully-specified simulation cell:
+//
+//   cluster preset x load scaling x scheduler config x timed event list
+//
+// Events cover the operational situations the paper's fixed configurations
+// cannot express: abrupt node outages (down), maintenance windows (drain +
+// restore), and flash-crowd submit bursts. Specs round-trip through a
+// key=value text format (util/config.hpp) with CSV-encoded event rows
+// (util/csv.hpp), so scenario suites live in plain files.
+//
+// run_scenario() is a *pure function* of the spec — same spec, same
+// ScenarioResult, bitwise, regardless of what else runs on other threads.
+// That is the contract the parallel sweep harness (sweep.hpp) builds on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/pipeline.hpp"
+#include "sim/cluster_event.hpp"
+#include "sim/metrics.hpp"
+#include "sim/scheduler_config.hpp"
+#include "trace/cluster_presets.hpp"
+#include "trace/job.hpp"
+
+namespace mirage::scenario {
+
+enum class ScenarioEventKind : std::uint8_t { kNodeDown, kDrain, kNodeRestore, kBurst };
+
+/// One timed event. Capacity kinds map 1:1 onto sim::ClusterEvent; kBurst
+/// is lowered onto ordinary arrival events by build_workload(), so both
+/// simulators see bursts through the same scheduling path.
+struct ScenarioEvent {
+  ScenarioEventKind kind = ScenarioEventKind::kNodeDown;
+  util::SimTime time = 0;
+  std::int32_t nodes = 0;        ///< nodes affected, or nodes per burst job
+  // Burst-only fields.
+  std::int32_t count = 0;        ///< jobs in the burst
+  util::SimTime runtime = 0;     ///< per-job runtime (seconds)
+  util::SimTime limit = 0;       ///< per-job limit (0 = runtime)
+  util::SimTime window = 600;    ///< burst arrivals spread over [time, time+window)
+
+  bool is_capacity_event() const { return kind != ScenarioEventKind::kBurst; }
+};
+
+const char* scenario_event_name(ScenarioEventKind k);
+
+struct ScenarioSpec {
+  std::string name = "default";
+  std::string cluster = "a100";        ///< preset name (v100 | rtx | a100)
+  std::int32_t nodes_override = 0;     ///< 0 = preset node count
+  std::int32_t months_begin = 0;
+  std::int32_t months_end = 1;
+  std::uint64_t seed = 42;
+  double utilization_scale = 1.0;
+  double job_count_scale = 1.0;
+  sim::SchedulerConfig scheduler;
+  std::vector<ScenarioEvent> events;
+
+  bool has_events() const { return !events.empty(); }
+  /// Cluster preset with overrides applied.
+  trace::ClusterPreset resolved_preset() const;
+
+  /// Serialize to the key=value + event.N=CSV text format.
+  std::string to_text() const;
+};
+
+/// Parse a spec from text. Returns nullopt (never crashes, never throws)
+/// on malformed input — unknown keys, bad numbers, junk lines, unknown
+/// clusters or event types, inverted month ranges — with a diagnostic in
+/// *error when provided.
+std::optional<ScenarioSpec> parse_scenario(const std::string& text, std::string* error = nullptr);
+
+/// Load and parse a spec file; nullopt (with diagnostic) when the file is
+/// unreadable or malformed.
+std::optional<ScenarioSpec> load_scenario_file(const std::string& path,
+                                               std::string* error = nullptr);
+
+/// Write spec.to_text() to a file; false when the file cannot be written.
+bool save_scenario_file(const ScenarioSpec& spec, const std::string& path);
+
+/// Aggregated outcome of one scenario cell.
+struct ScenarioResult {
+  std::string name;
+  std::int32_t total_nodes = 0;        ///< nominal (pre-event) capacity
+  std::size_t jobs = 0;                ///< workload size incl. burst jobs
+  std::size_t unscheduled = 0;         ///< jobs never started (capacity lost)
+  std::size_t killed_jobs = 0;         ///< killed by outage events
+  std::uint64_t scheduler_passes = 0;
+  sim::ScheduleMetrics metrics;        ///< waits, utilization, makespan
+  core::LoadClass load = core::LoadClass::kLight;  ///< paper §6 class of the mean wait
+  std::uint64_t schedule_hash = 0;     ///< FNV-1a over (start, end) pairs
+
+  bool operator==(const ScenarioResult& o) const;
+};
+
+/// Deterministic workload for a spec: synthetic trace for the month range
+/// plus burst jobs, submit-ordered. Burst job parameters draw from child
+/// streams split off util::Rng(spec.seed), so workloads are a pure
+/// function of the spec.
+trace::Trace build_workload(const ScenarioSpec& spec);
+
+/// Capacity events of the spec in sim::ClusterEvent form.
+std::vector<sim::ClusterEvent> capacity_events(const ScenarioSpec& spec);
+
+/// Run one cell through the fast simulator (pure function of the spec).
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// Run one cell through the reference (conservative backfill) simulator —
+/// the fidelity cross-check for event-bearing scenarios.
+ScenarioResult run_scenario_reference(const ScenarioSpec& spec);
+
+/// Map a scenario cell onto the training/evaluation pipeline: preset,
+/// generator options and seeds come from the spec, the rest from
+/// PipelineConfig::compact. Feed event-bearing workloads explicitly via
+/// MiragePipeline::prepare(build_workload(spec)).
+core::PipelineConfig to_pipeline_config(const ScenarioSpec& spec, std::int32_t job_nodes);
+
+}  // namespace mirage::scenario

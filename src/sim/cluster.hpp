@@ -1,6 +1,9 @@
 // Homogeneous-node cluster abstraction. The paper's clusters allocate whole
 // nodes to jobs (4x V100 / 4x RTX / 3x A100 GPUs per node), so capacity is
 // a single node counter; topology is out of scope for queueing behavior.
+// Capacity is variable at runtime (outages, drains, restores) — the
+// simulator adjusts it through add_capacity/remove_capacity, which keep
+// 0 <= busy <= total as an invariant.
 #pragma once
 
 #include <cassert>
@@ -17,7 +20,9 @@ class Cluster {
   std::int32_t total_nodes() const { return total_; }
   std::int32_t free_nodes() const { return free_; }
   std::int32_t busy_nodes() const { return total_ - free_; }
-  double utilization() const { return static_cast<double>(busy_nodes()) / total_; }
+  double utilization() const {
+    return total_ ? static_cast<double>(busy_nodes()) / total_ : 0.0;
+  }
 
   bool can_allocate(std::int32_t nodes) const { return nodes <= free_; }
 
@@ -29,6 +34,21 @@ class Cluster {
   void release(std::int32_t nodes) {
     free_ += nodes;
     assert(free_ <= total_);
+  }
+
+  /// Nodes return to service (restore / expansion).
+  void add_capacity(std::int32_t nodes) {
+    assert(nodes >= 0);
+    total_ += nodes;
+    free_ += nodes;
+  }
+
+  /// Nodes leave service. Only *free* nodes can be removed — the caller
+  /// kills or drains running jobs first to free them.
+  void remove_capacity(std::int32_t nodes) {
+    assert(nodes >= 0 && nodes <= free_);
+    total_ -= nodes;
+    free_ -= nodes;
   }
 
  private:

@@ -1,0 +1,43 @@
+// Timed cluster capacity events, shared by the fast and reference
+// simulators and the scenario engine. Events model the operational
+// incidents the paper's production clusters actually see:
+//
+//   kNodeDown    abrupt outage — nodes leave *now*; if not enough nodes are
+//                free, the most recently started jobs are killed (LIFO,
+//                deterministic) until the capacity target is met.
+//   kDrain       maintenance drain — nodes leave as they free up; running
+//                jobs finish, but freed nodes are withheld from the
+//                scheduler until the drain debt is paid.
+//   kNodeRestore nodes return to service (and may exceed the original
+//                capacity, modeling cluster expansion).
+//
+// Submit bursts (flash crowds) are deliberately *not* a simulator event:
+// the scenario engine lowers them onto ordinary arrival events so both
+// simulators handle them through the same scheduling path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/time_utils.hpp"
+
+namespace mirage::sim {
+
+enum class ClusterEventType : std::uint8_t { kNodeDown, kDrain, kNodeRestore };
+
+struct ClusterEvent {
+  util::SimTime time = 0;
+  ClusterEventType type = ClusterEventType::kNodeDown;
+  std::int32_t nodes = 0;  ///< how many nodes the event affects
+};
+
+inline const char* cluster_event_name(ClusterEventType t) {
+  switch (t) {
+    case ClusterEventType::kNodeDown: return "down";
+    case ClusterEventType::kDrain: return "drain";
+    case ClusterEventType::kNodeRestore: return "restore";
+  }
+  return "?";
+}
+
+}  // namespace mirage::sim

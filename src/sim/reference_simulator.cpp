@@ -22,16 +22,18 @@ constexpr SimTime kFar = AvailabilityProfile::kFar;
 
 struct RefJob {
   JobRecord record;
-  bool started = false;
+  bool running = false;
   bool done = false;
   SimTime duration() const { return std::min(record.actual_runtime, record.time_limit); }
 };
 
+enum class EvKind : std::uint8_t { kArrival, kFinish, kCluster };
+
 struct Event {
   SimTime time;
   std::uint64_t seq;
-  bool is_finish;  // false = arrival
-  std::size_t job;
+  EvKind kind;
+  std::size_t index;  ///< job index, or cluster-event index for kCluster
   bool operator>(const Event& o) const {
     if (time != o.time) return time > o.time;
     return seq > o.seq;
@@ -42,42 +44,122 @@ struct Event {
 
 Trace reference_replay(const Trace& workload, std::int32_t total_nodes, SchedulerConfig config,
                        std::uint64_t* scheduler_passes) {
+  return reference_replay(workload, total_nodes, {}, config, scheduler_passes, nullptr);
+}
+
+Trace reference_replay(const Trace& workload, std::int32_t total_nodes,
+                       const std::vector<ClusterEvent>& events, SchedulerConfig config,
+                       std::uint64_t* scheduler_passes, std::size_t* killed_jobs) {
   std::vector<RefJob> jobs;
   jobs.reserve(workload.size());
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
   std::uint64_t seq = 0;
   for (const auto& r : workload) {
     if (r.num_nodes > total_nodes) {
       throw std::invalid_argument("job requests more nodes than the cluster has");
     }
-    events.push(Event{r.submit_time, seq++, false, jobs.size()});
+    queue.push(Event{r.submit_time, seq++, EvKind::kArrival, jobs.size()});
     jobs.push_back(RefJob{r, false, false});
+  }
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    queue.push(Event{std::max<SimTime>(events[i].time, 0), seq++, EvKind::kCluster, i});
   }
 
   std::vector<std::size_t> pending;
   std::vector<std::size_t> running;
+  std::int32_t cur_total = total_nodes;
   std::int32_t free_nodes = total_nodes;
+  std::int32_t drain_debt = 0;
+  std::size_t killed = 0;
   std::uint64_t passes = 0;
 
   const auto priority = [&](const RefJob& j, SimTime now) {
     const SimTime age = std::min(now - j.record.submit_time, config.age_cap);
     return config.age_weight * static_cast<double>(age) / static_cast<double>(config.age_cap) +
            config.size_weight * static_cast<double>(j.record.num_nodes) /
-               static_cast<double>(total_nodes);
+               static_cast<double>(std::max(cur_total, 1));
   };
 
-  while (!events.empty()) {
-    const SimTime now = events.top().time;
-    while (!events.empty() && events.top().time == now) {
-      const Event e = events.top();
-      events.pop();
-      auto& j = jobs[e.job];
-      if (e.is_finish) {
-        j.done = true;
-        free_nodes += j.record.num_nodes;
-        running.erase(std::find(running.begin(), running.end(), e.job));
-      } else {
-        pending.push_back(e.job);
+  // Withhold free nodes against the outstanding drain debt (same semantics
+  // as Simulator::absorb_drain).
+  const auto absorb_drain = [&] {
+    const std::int32_t take = std::min(free_nodes, drain_debt);
+    cur_total -= take;
+    free_nodes -= take;
+    drain_debt -= take;
+  };
+
+  const auto apply_cluster_event = [&](const ClusterEvent& ev, SimTime now) {
+    switch (ev.type) {
+      case ClusterEventType::kNodeDown: {
+        std::int32_t deficit = std::min(ev.nodes, cur_total);
+        const std::int32_t from_free = std::min(free_nodes, deficit);
+        cur_total -= from_free;
+        free_nodes -= from_free;
+        deficit -= from_free;
+        while (deficit > 0 && !running.empty()) {
+          // Deterministic LIFO victim: latest start, then highest index.
+          const auto it = std::max_element(
+              running.begin(), running.end(), [&](std::size_t a, std::size_t b) {
+                if (jobs[a].record.start_time != jobs[b].record.start_time) {
+                  return jobs[a].record.start_time < jobs[b].record.start_time;
+                }
+                return a < b;
+              });
+          const std::size_t id = *it;
+          auto& j = jobs[id];
+          j.running = false;
+          j.done = true;
+          j.record.end_time = now;
+          free_nodes += j.record.num_nodes;
+          running.erase(it);
+          ++killed;
+          const std::int32_t take = std::min(free_nodes, deficit);
+          cur_total -= take;
+          free_nodes -= take;
+          deficit -= take;
+        }
+        if (deficit > 0) {
+          const std::int32_t take = std::min(free_nodes, deficit);
+          cur_total -= take;
+          free_nodes -= take;
+        }
+        break;
+      }
+      case ClusterEventType::kDrain:
+        drain_debt += std::clamp(cur_total - drain_debt, 0, ev.nodes);
+        absorb_drain();
+        break;
+      case ClusterEventType::kNodeRestore:
+        cur_total += ev.nodes;
+        free_nodes += ev.nodes;
+        absorb_drain();
+        break;
+    }
+  };
+
+  while (!queue.empty()) {
+    const SimTime now = queue.top().time;
+    while (!queue.empty() && queue.top().time == now) {
+      const Event e = queue.top();
+      queue.pop();
+      switch (e.kind) {
+        case EvKind::kArrival:
+          pending.push_back(e.index);
+          break;
+        case EvKind::kFinish: {
+          auto& j = jobs[e.index];
+          if (!j.running) break;  // stale finish for a killed job
+          j.running = false;
+          j.done = true;
+          free_nodes += j.record.num_nodes;
+          running.erase(std::find(running.begin(), running.end(), e.index));
+          absorb_drain();
+          break;
+        }
+        case EvKind::kCluster:
+          apply_cluster_event(events[e.index], now);
+          break;
       }
     }
 
@@ -107,11 +189,11 @@ Trace reference_replay(const Trace& workload, std::int32_t total_nodes, Schedule
       const SimTime start = profile.earliest_fit(now, j.record.num_nodes, j.record.time_limit);
       profile.reserve(start, j.record.time_limit, j.record.num_nodes);
       if (start == now) {
-        j.started = true;
+        j.running = true;
         j.record.start_time = now;
         free_nodes -= j.record.num_nodes;
         running.push_back(id);
-        events.push(Event{now + j.duration(), seq++, true, id});
+        queue.push(Event{now + j.duration(), seq++, EvKind::kFinish, id});
         jobs[id].record.end_time = now + j.duration();
       } else {
         still_pending.push_back(id);
@@ -121,6 +203,7 @@ Trace reference_replay(const Trace& workload, std::int32_t total_nodes, Schedule
   }
 
   if (scheduler_passes) *scheduler_passes = passes;
+  if (killed_jobs) *killed_jobs = killed;
 
   Trace out;
   out.reserve(jobs.size());

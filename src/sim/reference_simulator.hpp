@@ -9,10 +9,16 @@
 // EASY backfill (single reservation) approximates it at a fraction of the
 // cost, which is precisely the trade-off the paper's fidelity study
 // quantifies.
+//
+// Timed cluster events (outage / drain / restore) are supported with the
+// exact same semantics as the fast simulator so scenario fidelity checks
+// can compare event-bearing schedules too.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "sim/cluster_event.hpp"
 #include "sim/scheduler_config.hpp"
 #include "trace/job.hpp"
 
@@ -24,5 +30,13 @@ namespace mirage::sim {
 trace::Trace reference_replay(const trace::Trace& workload, std::int32_t total_nodes,
                               SchedulerConfig config = {},
                               std::uint64_t* scheduler_passes = nullptr);
+
+/// As above, with timed cluster capacity events (same down/drain/restore
+/// semantics as Simulator::schedule_cluster_event). `killed_jobs`
+/// (optional out) counts jobs killed by kNodeDown events.
+trace::Trace reference_replay(const trace::Trace& workload, std::int32_t total_nodes,
+                              const std::vector<ClusterEvent>& events, SchedulerConfig config = {},
+                              std::uint64_t* scheduler_passes = nullptr,
+                              std::size_t* killed_jobs = nullptr);
 
 }  // namespace mirage::sim

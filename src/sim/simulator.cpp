@@ -24,6 +24,12 @@ void Simulator::load_workload(const Trace& workload) {
   }
 }
 
+void Simulator::schedule_cluster_event(const ClusterEvent& event) {
+  const JobId index = static_cast<JobId>(cluster_events_.size());
+  cluster_events_.push_back(event);
+  push_event(std::max(event.time, now_), EventType::kCluster, index);
+}
+
 JobId Simulator::submit(const JobRecord& job) {
   if (job.num_nodes > cluster_.total_nodes()) {
     throw std::invalid_argument("job requests more nodes than the cluster has");
@@ -80,6 +86,12 @@ void Simulator::run_until_started(JobId id) {
 }
 
 void Simulator::process_event(const Event& e) {
+  // For kCluster events e.job indexes cluster_events_, not jobs_ — do not
+  // form a job reference before dispatching.
+  if (e.type == EventType::kCluster) {
+    apply_cluster_event(cluster_events_[static_cast<std::size_t>(e.job)]);
+    return;
+  }
   auto& j = jobs_[static_cast<std::size_t>(e.job)];
   switch (e.type) {
     case EventType::kArrival:
@@ -89,14 +101,75 @@ void Simulator::process_event(const Event& e) {
       needs_schedule_ = true;
       break;
     case EventType::kFinish:
-      assert(j.status == JobStatus::kRunning);
+      // A kNodeDown event may have killed the job already; its original
+      // finish event is then stale and must be ignored.
+      if (j.status != JobStatus::kRunning) return;
       j.status = JobStatus::kCompleted;
       j.end = now_;
       j.record.end_time = now_;
       cluster_.release(j.record.num_nodes);
       running_.erase(std::find(running_.begin(), running_.end(), e.job));
+      absorb_drain();
       needs_schedule_ = true;
       break;
+    case EventType::kCluster:
+      break;  // handled above
+  }
+}
+
+void Simulator::apply_cluster_event(const ClusterEvent& ev) {
+  switch (ev.type) {
+    case ClusterEventType::kNodeDown: {
+      std::int32_t deficit = std::min(ev.nodes, cluster_.total_nodes());
+      const std::int32_t from_free = std::min(cluster_.free_nodes(), deficit);
+      cluster_.remove_capacity(from_free);
+      deficit -= from_free;
+      if (deficit > 0) kill_for_capacity(deficit);
+      break;
+    }
+    case ClusterEventType::kDrain:
+      drain_debt_ += std::clamp(cluster_.total_nodes() - drain_debt_, 0, ev.nodes);
+      absorb_drain();
+      break;
+    case ClusterEventType::kNodeRestore:
+      cluster_.add_capacity(ev.nodes);
+      absorb_drain();  // outstanding drains absorb restored nodes first
+      break;
+  }
+  needs_schedule_ = true;
+}
+
+void Simulator::kill_for_capacity(std::int32_t deficit) {
+  while (deficit > 0 && !running_.empty()) {
+    // Deterministic LIFO victim selection: latest start, then highest id.
+    const auto it = std::max_element(
+        running_.begin(), running_.end(), [this](JobId a, JobId b) {
+          const auto& ja = jobs_[static_cast<std::size_t>(a)];
+          const auto& jb = jobs_[static_cast<std::size_t>(b)];
+          if (ja.start != jb.start) return ja.start < jb.start;
+          return a < b;
+        });
+    const JobId id = *it;
+    auto& j = jobs_[static_cast<std::size_t>(id)];
+    j.status = JobStatus::kKilled;
+    j.end = now_;
+    j.record.end_time = now_;
+    cluster_.release(j.record.num_nodes);
+    running_.erase(it);
+    ++killed_jobs_;
+    const std::int32_t take = std::min(cluster_.free_nodes(), deficit);
+    cluster_.remove_capacity(take);
+    deficit -= take;
+  }
+  // Nothing left to kill: clamp to whatever capacity remains.
+  if (deficit > 0) cluster_.remove_capacity(std::min(cluster_.free_nodes(), deficit));
+}
+
+void Simulator::absorb_drain() {
+  const std::int32_t take = std::min(cluster_.free_nodes(), drain_debt_);
+  if (take > 0) {
+    cluster_.remove_capacity(take);
+    drain_debt_ -= take;
   }
 }
 
@@ -105,7 +178,7 @@ double Simulator::priority(const SimJob& j) const {
   const double age_part =
       config_.age_weight * static_cast<double>(age) / static_cast<double>(config_.age_cap);
   const double size_part = config_.size_weight * static_cast<double>(j.record.num_nodes) /
-                           static_cast<double>(cluster_.total_nodes());
+                           static_cast<double>(std::max(cluster_.total_nodes(), 1));
   return age_part + size_part;
 }
 

@@ -11,6 +11,12 @@
 // The agent-facing API matches the paper: submit() injects a job at the
 // current instant, step(dt) advances simulated time, sample() snapshots the
 // queue/server state for the RL state encoder.
+//
+// Timed cluster events (schedule_cluster_event) vary capacity mid-run:
+// outages kill the most recently started jobs when nodes aren't free,
+// drains withhold nodes as jobs release them, restores return nodes. The
+// scenario engine (src/scenario/) builds outage / maintenance / flash-crowd
+// scenarios on top of this.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +25,7 @@
 
 #include "sim/availability_profile.hpp"
 #include "sim/cluster.hpp"
+#include "sim/cluster_event.hpp"
 #include "sim/scheduler_config.hpp"
 #include "trace/job.hpp"
 #include "util/time_utils.hpp"
@@ -31,7 +38,7 @@ using util::SimTime;
 
 using JobId = std::int64_t;  ///< index into the simulator's job table
 
-enum class JobStatus : std::uint8_t { kFuture, kPending, kRunning, kCompleted };
+enum class JobStatus : std::uint8_t { kFuture, kPending, kRunning, kCompleted, kKilled };
 
 /// Snapshot of queue + server state at an instant (§4.1 raw inputs; the
 /// state encoder computes the five-number summaries from these vectors).
@@ -64,6 +71,15 @@ class Simulator {
   /// its JobId for status queries.
   JobId submit(const JobRecord& job);
 
+  /// Schedule a timed capacity event (outage, maintenance drain, restore).
+  /// Events in the past fire at the current instant. A kNodeDown event
+  /// kills the most recently started jobs (deterministic LIFO order) when
+  /// not enough nodes are free; kDrain withholds nodes as jobs release
+  /// them; kNodeRestore returns nodes (outstanding drain debt absorbs
+  /// restored nodes first). Requests beyond the current capacity are
+  /// clamped.
+  void schedule_cluster_event(const ClusterEvent& event);
+
   /// Advance simulated time by dt (the agent's step()).
   void step(SimTime dt) { run_until(now_ + dt); }
   /// Advance to absolute time t (no-op when t <= now).
@@ -92,6 +108,11 @@ class Simulator {
   /// Number of scheduler passes executed (overhead accounting).
   std::uint64_t scheduler_passes() const { return scheduler_passes_; }
 
+  /// Jobs killed by kNodeDown events so far.
+  std::size_t killed_jobs() const { return killed_jobs_; }
+  /// Drain debt: nodes that will be withheld as running jobs release them.
+  std::int32_t drain_pending() const { return drain_debt_; }
+
   /// Average queue wait (seconds) of jobs that *started* within the last
   /// `window` of simulated time — the signal the paper's "avg" heuristic
   /// monitors. Returns 0 when no job started in the window.
@@ -112,7 +133,7 @@ class Simulator {
     }
   };
 
-  enum class EventType : std::uint8_t { kArrival, kFinish };
+  enum class EventType : std::uint8_t { kArrival, kFinish, kCluster };
   struct Event {
     SimTime time;
     std::uint64_t seq;  ///< FIFO tie-break for determinism
@@ -126,6 +147,12 @@ class Simulator {
 
   void push_event(SimTime t, EventType type, JobId job);
   void process_event(const Event& e);
+  void apply_cluster_event(const ClusterEvent& ev);
+  /// Kill most-recently-started running jobs until `deficit` nodes left
+  /// service (kNodeDown with busy nodes).
+  void kill_for_capacity(std::int32_t deficit);
+  /// Withhold free nodes against the outstanding drain debt.
+  void absorb_drain();
   /// Priority+backfill pass; starts every job the policy admits now.
   void schedule_pass();
   void start_job(JobId id);
@@ -137,6 +164,10 @@ class Simulator {
   std::uint64_t event_seq_ = 0;
   std::uint64_t scheduler_passes_ = 0;
   bool needs_schedule_ = false;
+
+  std::vector<ClusterEvent> cluster_events_;  ///< indexed by Event::job
+  std::int32_t drain_debt_ = 0;
+  std::size_t killed_jobs_ = 0;
 
   std::vector<SimJob> jobs_;
   std::vector<JobId> pending_;  ///< queued job ids (unordered; sorted per pass)

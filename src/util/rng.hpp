@@ -16,6 +16,19 @@ namespace mirage::util {
 /// SplitMix64 step: used for seeding and as a cheap stateless hash.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// FNV-1a 64-bit offset basis.
+inline constexpr std::uint64_t kFnv1a64Basis = 0xcbf29ce484222325ull;
+
+/// FNV-1a step folding the 8 bytes of x into h — the stateless content
+/// hash behind the golden-trace tests and scenario schedule hashes.
+inline std::uint64_t fnv1a64(std::uint64_t h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
 /// xoshiro256** PRNG with convenience distributions.
 class Rng {
  public:

@@ -1,0 +1,96 @@
+// Golden-trace regression battery: committed hashes of the synthetic
+// workload generator's output and of a short fast-simulator replay for
+// every cluster preset. A refactor that silently changes workload
+// statistics or scheduling behavior flips these hashes and fails CI.
+//
+// The hashes cover the integer fields only (ids, times, node counts) —
+// the values the rest of the system consumes. They are stable across
+// rebuilds on one platform/libm; when a *deliberate* behavior change
+// lands, update kGolden from the failure output (the "Which is:" value).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sim/simulator.hpp"
+#include "trace/cluster_presets.hpp"
+#include "trace/generator.hpp"
+#include "util/rng.hpp"
+
+namespace mirage {
+namespace {
+
+using trace::Trace;
+using util::fnv1a64;
+using util::kFnv1a64Basis;
+
+/// Hash every integer field of the generated workload.
+std::uint64_t workload_hash(const Trace& t) {
+  std::uint64_t h = kFnv1a64Basis;
+  for (const auto& j : t) {
+    h = fnv1a64(h, static_cast<std::uint64_t>(j.job_id));
+    h = fnv1a64(h, static_cast<std::uint64_t>(j.user_id));
+    h = fnv1a64(h, static_cast<std::uint64_t>(j.submit_time));
+    h = fnv1a64(h, static_cast<std::uint64_t>(j.num_nodes));
+    h = fnv1a64(h, static_cast<std::uint64_t>(j.actual_runtime));
+    h = fnv1a64(h, static_cast<std::uint64_t>(j.time_limit));
+  }
+  return h;
+}
+
+/// Hash the schedule a default-config replay assigns.
+std::uint64_t schedule_hash(const Trace& t) {
+  std::uint64_t h = kFnv1a64Basis;
+  for (const auto& j : t) {
+    h = fnv1a64(h, static_cast<std::uint64_t>(j.start_time));
+    h = fnv1a64(h, static_cast<std::uint64_t>(j.end_time));
+  }
+  return h;
+}
+
+struct Golden {
+  const char* cluster;
+  std::uint64_t trace_hash;     ///< generator output, months [0, 2)
+  std::uint64_t replay_hash;    ///< fast-sim replay of months [0, 1)
+  std::size_t min_jobs;         ///< sanity floor on the generated size
+};
+
+// Committed golden values (seed 4242, job_count_scale 0.05).
+constexpr Golden kGolden[] = {
+    {"v100", 999695927993735388ull, 1171922746846214506ull, 100},
+    {"rtx", 11093893802441895505ull, 12202898578600681424ull, 100},
+    {"a100", 9129525659653583131ull, 12124648476754820218ull, 100},
+};
+
+class GoldenTrace : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenTrace, GeneratorOutputMatchesCommittedHash) {
+  const auto& g = GetParam();
+  trace::GeneratorOptions opt;
+  opt.seed = 4242;
+  opt.job_count_scale = 0.05;
+  trace::SyntheticTraceGenerator gen(trace::preset_by_name(g.cluster), opt);
+  const auto workload = gen.generate_months(0, 2);
+  EXPECT_GE(workload.size(), g.min_jobs);
+  EXPECT_EQ(workload_hash(workload), g.trace_hash)
+      << g.cluster << ": workload statistics changed — if intentional, update kGolden";
+}
+
+TEST_P(GoldenTrace, DefaultReplayMatchesCommittedHash) {
+  const auto& g = GetParam();
+  const auto preset = trace::preset_by_name(g.cluster);
+  trace::GeneratorOptions opt;
+  opt.seed = 4242;
+  opt.job_count_scale = 0.05;
+  trace::SyntheticTraceGenerator gen(preset, opt);
+  const auto schedule = sim::replay_trace(gen.generate_months(0, 1), preset.node_count);
+  EXPECT_EQ(schedule_hash(schedule), g.replay_hash)
+      << g.cluster << ": scheduling behavior changed — if intentional, update kGolden";
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, GoldenTrace, ::testing::ValuesIn(kGolden),
+                         [](const ::testing::TestParamInfo<Golden>& info) {
+                           return std::string(info.param.cluster);
+                         });
+
+}  // namespace
+}  // namespace mirage

@@ -10,6 +10,8 @@
 #include "nn/optimizer.hpp"
 #include "rl/env.hpp"
 #include "rl/reward.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/cluster_event.hpp"
 #include "sim/fidelity.hpp"
 #include "sim/reference_simulator.hpp"
 #include "sim/simulator.hpp"
@@ -175,6 +177,104 @@ TEST_P(SchedulerProperty, DeeperReservationsNeverHurtTotalWait) {
 INSTANTIATE_TEST_SUITE_P(Cases, SchedulerProperty,
                          ::testing::Values(SchedCase{1, 1}, SchedCase{1, 8}, SchedCase{2, 1},
                                            SchedCase{2, 8}, SchedCase{3, 16}, SchedCase{4, 4}));
+
+// --------------------------------------- Invariants under injected events
+
+class EventProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventProperty, CapacityInvariantsHoldUnderOutagesDrainsRestores) {
+  // A scenario-style run with outage + drain + restore events; sampled at
+  // a fine cadence, the cluster must always satisfy
+  // free_nodes in [0, total_nodes], and afterwards no job may have started
+  // before its submit time or while its nodes exceeded capacity.
+  scenario::ScenarioSpec spec;
+  spec.cluster = "a100";
+  spec.months_begin = 0;
+  spec.months_end = 1;
+  spec.seed = 300 + GetParam();
+  spec.job_count_scale = 0.05;
+  const auto workload = scenario::build_workload(spec);
+
+  Rng rng(GetParam());
+  std::vector<sim::ClusterEvent> events;
+  SimTime t = kDay + rng.uniform_int(0, kDay);
+  std::int32_t offline = 0;
+  for (int i = 0; i < 6; ++i) {
+    const auto kind = rng.uniform_int(0, 2);
+    sim::ClusterEvent ev;
+    ev.time = t;
+    if (kind == 2 && offline > 0) {
+      ev.type = sim::ClusterEventType::kNodeRestore;
+      ev.nodes = static_cast<std::int32_t>(rng.uniform_int(1, offline));
+      offline -= ev.nodes;
+    } else {
+      ev.type = kind == 0 ? sim::ClusterEventType::kNodeDown : sim::ClusterEventType::kDrain;
+      ev.nodes = static_cast<std::int32_t>(rng.uniform_int(1, 30));
+      offline += ev.nodes;
+    }
+    events.push_back(ev);
+    t += rng.uniform_int(kHour, 3 * kDay);
+  }
+  // Always restore at the end so queued work can finish.
+  events.push_back({t, sim::ClusterEventType::kNodeRestore, offline + 4});
+
+  sim::Simulator simulator(76, {});
+  simulator.load_workload(workload);
+  for (const auto& ev : events) simulator.schedule_cluster_event(ev);
+
+  for (SimTime clock = 0; clock <= 31 * kDay; clock += 20 * kMinute) {
+    simulator.run_until(clock);
+    const std::int32_t total = simulator.total_nodes();
+    const std::int32_t free = simulator.free_nodes();
+    ASSERT_GE(free, 0) << "at t=" << clock;
+    ASSERT_LE(free, total) << "at t=" << clock;
+    ASSERT_GE(simulator.drain_pending(), 0);
+  }
+  simulator.run_to_completion();
+
+  const auto schedule = simulator.export_schedule();
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (!schedule[i].scheduled()) continue;  // stranded by a capacity loss
+    EXPECT_GE(schedule[i].start_time, schedule[i].submit_time) << i;
+    EXPECT_GE(schedule[i].end_time, schedule[i].start_time) << i;
+  }
+}
+
+TEST_P(EventProperty, BackfillNeverDelaysPinnedReservationUnderDrain) {
+  // 4 nodes with a drain of 1 at t=5: J1 holds 2 nodes to t=100, the
+  // 3-node J2 is the pinned blocker, and short J3 could backfill into the
+  // remaining free node. Whatever the drain does, J2 must start no later
+  // than it would without any backfill candidates present.
+  const std::uint64_t seed = GetParam();
+  sim::SchedulerConfig cfg;
+  cfg.reservation_depth = 1 + static_cast<std::int32_t>(seed % 8);
+
+  trace::Trace with_backfill = {
+      trace::JobRecord{}, trace::JobRecord{}, trace::JobRecord{}};
+  auto fill = [](trace::JobRecord& j, std::int64_t id, SimTime submit, std::int32_t nodes,
+                 SimTime runtime) {
+    j.job_id = id;
+    j.submit_time = submit;
+    j.num_nodes = nodes;
+    j.actual_runtime = runtime;
+    j.time_limit = runtime;
+  };
+  fill(with_backfill[0], 1, 0, 2, 100);
+  fill(with_backfill[1], 2, 1, 3, 50);
+  fill(with_backfill[2], 3, 2, 1, 30);
+  trace::Trace without_backfill = {with_backfill[0], with_backfill[1]};
+
+  const auto run = [&](const trace::Trace& w) {
+    sim::Simulator s(4, cfg);
+    s.load_workload(w);
+    s.schedule_cluster_event({5, sim::ClusterEventType::kDrain, 1});
+    s.run_to_completion();
+    return s.start_time(1);  // the blocker
+  };
+  EXPECT_LE(run(with_backfill), run(without_backfill));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventProperty, ::testing::Values(1, 2, 3, 4, 5, 6));
 
 // ----------------------------------------------- Fast-vs-reference sweeps
 

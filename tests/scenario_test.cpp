@@ -1,0 +1,388 @@
+// Scenario engine + sweep harness: spec round-trips, malformed-spec error
+// paths, timed cluster events in both simulators, and the parallel-equals-
+// serial bitwise determinism contract.
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.hpp"
+#include "scenario/sweep.hpp"
+#include "sim/reference_simulator.hpp"
+#include "sim/simulator.hpp"
+
+namespace mirage::scenario {
+namespace {
+
+using sim::ClusterEvent;
+using sim::ClusterEventType;
+using sim::JobStatus;
+using sim::Simulator;
+using trace::JobRecord;
+using trace::Trace;
+using util::kHour;
+using util::SimTime;
+
+JobRecord make_job(std::int64_t id, SimTime submit, std::int32_t nodes, SimTime runtime,
+                   SimTime limit = 0) {
+  JobRecord j;
+  j.job_id = id;
+  j.job_name = "j" + std::to_string(id);
+  j.submit_time = submit;
+  j.num_nodes = nodes;
+  j.actual_runtime = runtime;
+  j.time_limit = limit ? limit : runtime;
+  return j;
+}
+
+ScenarioSpec small_spec() {
+  ScenarioSpec spec;
+  spec.name = "unit";
+  spec.cluster = "a100";
+  spec.months_begin = 0;
+  spec.months_end = 1;
+  spec.seed = 7;
+  spec.job_count_scale = 0.05;
+  return spec;
+}
+
+// --------------------------------------------------------- Simulator events
+
+TEST(ClusterEvents, NodeDownKillsMostRecentlyStartedJobs) {
+  Simulator sim(4);
+  sim.load_workload({make_job(1, 0, 2, 1000, 1000), make_job(2, 10, 2, 1000, 1000)});
+  sim.schedule_cluster_event({100, ClusterEventType::kNodeDown, 3});
+  sim.run_until(100);
+  // 3 nodes must leave: no free nodes, so the LIFO victim (job 2, started
+  // at t=10) dies, freeing 2; the last node comes from job 1's pair? No —
+  // only 1 more node is needed and job 1 holds 2, so job 1 dies too.
+  EXPECT_EQ(sim.status(1), JobStatus::kKilled);
+  EXPECT_EQ(sim.status(0), JobStatus::kKilled);
+  EXPECT_EQ(sim.total_nodes(), 1);
+  EXPECT_EQ(sim.free_nodes(), 1);
+  EXPECT_EQ(sim.killed_jobs(), 2u);
+  EXPECT_EQ(sim.end_time(1), 100);
+}
+
+TEST(ClusterEvents, DownPrefersFreeNodes) {
+  Simulator sim(8);
+  sim.load_workload({make_job(1, 0, 2, 1000, 1000)});
+  sim.schedule_cluster_event({50, ClusterEventType::kNodeDown, 4});
+  sim.run_until(60);
+  // 6 nodes were free; nothing is killed.
+  EXPECT_EQ(sim.status(0), JobStatus::kRunning);
+  EXPECT_EQ(sim.total_nodes(), 4);
+  EXPECT_EQ(sim.free_nodes(), 2);
+  EXPECT_EQ(sim.killed_jobs(), 0u);
+}
+
+TEST(ClusterEvents, DrainWaitsForJobsInsteadOfKilling) {
+  Simulator sim(4);
+  sim.load_workload({make_job(1, 0, 3, 100, 100)});
+  sim.schedule_cluster_event({10, ClusterEventType::kDrain, 4});
+  sim.run_until(10);
+  // One free node is withheld immediately; 3 remain as drain debt.
+  EXPECT_EQ(sim.status(0), JobStatus::kRunning);
+  EXPECT_EQ(sim.total_nodes(), 3);
+  EXPECT_EQ(sim.free_nodes(), 0);
+  EXPECT_EQ(sim.drain_pending(), 3);
+  sim.run_until(100);
+  // Job finished normally; its nodes are absorbed by the drain.
+  EXPECT_EQ(sim.status(0), JobStatus::kCompleted);
+  EXPECT_EQ(sim.total_nodes(), 0);
+  EXPECT_EQ(sim.drain_pending(), 0);
+  EXPECT_EQ(sim.killed_jobs(), 0u);
+}
+
+TEST(ClusterEvents, RestoreReopensCapacityAndSchedules) {
+  Simulator sim(4);
+  sim.schedule_cluster_event({0, ClusterEventType::kNodeDown, 4});
+  sim.load_workload({make_job(1, 10, 2, 50, 50)});
+  sim.schedule_cluster_event({200, ClusterEventType::kNodeRestore, 4});
+  sim.run_to_completion();
+  EXPECT_EQ(sim.start_time(0), 200);  // waited for the restore
+  EXPECT_EQ(sim.status(0), JobStatus::kCompleted);
+  EXPECT_EQ(sim.total_nodes(), 4);
+  EXPECT_EQ(sim.free_nodes(), 4);
+}
+
+TEST(ClusterEvents, RestorePaysDrainDebtFirst) {
+  Simulator sim(4);
+  sim.load_workload({make_job(1, 0, 4, 1000, 1000)});
+  sim.schedule_cluster_event({10, ClusterEventType::kDrain, 2});
+  sim.schedule_cluster_event({20, ClusterEventType::kNodeRestore, 1});
+  sim.run_until(30);
+  // Drain debt was 2 (no free nodes); the restored node is absorbed.
+  EXPECT_EQ(sim.total_nodes(), 4);
+  EXPECT_EQ(sim.drain_pending(), 1);
+}
+
+TEST(ClusterEvents, StaleFinishEventOfKilledJobIsIgnored) {
+  Simulator sim(2);
+  sim.load_workload({make_job(1, 0, 2, 100, 100), make_job(2, 5, 2, 50, 50)});
+  sim.schedule_cluster_event({10, ClusterEventType::kNodeDown, 2});
+  sim.schedule_cluster_event({150, ClusterEventType::kNodeRestore, 2});
+  sim.run_to_completion();  // must not assert/crash on job 1's old finish event
+  EXPECT_EQ(sim.status(0), JobStatus::kKilled);
+  EXPECT_EQ(sim.status(1), JobStatus::kCompleted);
+  EXPECT_EQ(sim.start_time(1), 150);
+}
+
+TEST(ClusterEvents, MoreEventsThanJobsIsSafe) {
+  // Regression: cluster events index cluster_events_, not jobs_ — an
+  // event-only simulation must not touch the (empty) job table.
+  Simulator sim(4);
+  sim.schedule_cluster_event({10, ClusterEventType::kNodeDown, 2});
+  sim.schedule_cluster_event({20, ClusterEventType::kDrain, 1});
+  sim.schedule_cluster_event({30, ClusterEventType::kNodeRestore, 3});
+  sim.run_to_completion();
+  EXPECT_EQ(sim.total_nodes(), 4);
+  EXPECT_EQ(sim.free_nodes(), 4);
+}
+
+TEST(ClusterEvents, ReferenceSimulatorMatchesFastUnderEvents) {
+  Trace w;
+  for (int i = 0; i < 12; ++i) {
+    w.push_back(make_job(i + 1, i * 40, 1 + i % 3, 200 + 30 * i, 400 + 30 * i));
+  }
+  const std::vector<ClusterEvent> events = {{300, ClusterEventType::kNodeDown, 3},
+                                            {900, ClusterEventType::kNodeRestore, 3},
+                                            {1500, ClusterEventType::kDrain, 2},
+                                            {2500, ClusterEventType::kNodeRestore, 2}};
+  sim::SchedulerConfig cfg;
+  cfg.reservation_depth = static_cast<std::int32_t>(w.size());
+  cfg.max_backfill_candidates = static_cast<std::int32_t>(w.size());
+
+  Simulator fast(8, cfg);
+  fast.load_workload(w);
+  for (const auto& ev : events) fast.schedule_cluster_event(ev);
+  fast.run_to_completion();
+  const auto fast_sched = fast.export_schedule();
+
+  std::size_t ref_killed = 0;
+  const auto ref_sched = sim::reference_replay(w, 8, events, cfg, nullptr, &ref_killed);
+
+  EXPECT_EQ(fast.killed_jobs(), ref_killed);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_EQ(fast_sched[i].start_time, ref_sched[i].start_time) << "job " << i;
+    EXPECT_EQ(fast_sched[i].end_time, ref_sched[i].end_time) << "job " << i;
+  }
+}
+
+// ------------------------------------------------------------- Spec parsing
+
+TEST(ScenarioSpec, TextRoundTripIsExact) {
+  ScenarioSpec spec = small_spec();
+  spec.nodes_override = 60;
+  spec.utilization_scale = 1.17;
+  spec.scheduler.reservation_depth = 4;
+  spec.scheduler.size_weight = -25.5;
+  spec.events.push_back({ScenarioEventKind::kNodeDown, 3 * kHour, 8, 0, 0, 0, 600});
+  spec.events.push_back({ScenarioEventKind::kNodeRestore, 9 * kHour, 8, 0, 0, 0, 600});
+  spec.events.push_back({ScenarioEventKind::kBurst, 5 * kHour, 2, 40, 1800, 3600, 900});
+
+  std::string error;
+  const auto parsed = parse_scenario(spec.to_text(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->to_text(), spec.to_text());
+  EXPECT_EQ(parsed->name, spec.name);
+  EXPECT_EQ(parsed->nodes_override, 60);
+  EXPECT_DOUBLE_EQ(parsed->utilization_scale, 1.17);
+  EXPECT_DOUBLE_EQ(parsed->scheduler.size_weight, -25.5);
+  ASSERT_EQ(parsed->events.size(), 3u);
+  EXPECT_EQ(parsed->events[2].kind, ScenarioEventKind::kBurst);
+  EXPECT_EQ(parsed->events[2].count, 40);
+  EXPECT_EQ(parsed->events[2].window, 900);
+}
+
+TEST(ScenarioSpec, RoundTrippedSpecProducesBitwiseIdenticalResults) {
+  ScenarioSpec spec = small_spec();
+  spec.events.push_back({ScenarioEventKind::kNodeDown, 5 * util::kDay, 20, 0, 0, 0, 600});
+  spec.events.push_back({ScenarioEventKind::kNodeRestore, 8 * util::kDay, 20, 0, 0, 0, 600});
+  spec.events.push_back({ScenarioEventKind::kBurst, 10 * util::kDay, 2, 30, 3600, 7200, 600});
+
+  std::string error;
+  const auto parsed = parse_scenario(spec.to_text(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const auto a = run_scenario(spec);
+  const auto b = run_scenario(*parsed);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.schedule_hash, b.schedule_hash);
+}
+
+TEST(ScenarioSpec, FileRoundTripProducesBitwiseIdenticalSweepResults) {
+  ScenarioSpec spec = small_spec();
+  spec.events.push_back({ScenarioEventKind::kNodeDown, 4 * util::kDay, 30, 0, 0, 0, 600});
+  spec.events.push_back({ScenarioEventKind::kNodeRestore, 6 * util::kDay, 30, 0, 0, 0, 600});
+
+  const std::string path = ::testing::TempDir() + "/mirage_scenario_spec.txt";
+  ASSERT_TRUE(save_scenario_file(spec, path));
+  std::string error;
+  const auto loaded = load_scenario_file(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_TRUE(run_scenario(spec) == run_scenario(*loaded));
+}
+
+TEST(ScenarioSpec, MissingFileIsAnErrorNotACrash) {
+  std::string error;
+  EXPECT_FALSE(load_scenario_file("/nonexistent/mirage.spec", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ScenarioSpec, MalformedSpecsErrorWithoutCrashing) {
+  const char* bad[] = {
+      "this is not a spec at all",
+      "cluster=h100\nmonths_end=1",                       // unknown cluster
+      "cluster=a100\nmonths_begin=2\nmonths_end=1",       // inverted range
+      "cluster=a100\nmonths_end=1\nseed=notanumber",      // junk number
+      "cluster=a100\nmonths_end=1\nutilization_scale=0",  // non-positive scale
+      "cluster=a100\nmonths_end=1\nevent.0=explode,5,2",  // unknown event type
+      "cluster=a100\nmonths_end=1\nevent.0=down,5",       // missing fields
+      "cluster=a100\nmonths_end=1\nevent.0=burst,5,2,10", // burst missing fields
+      "cluster=a100\nmonths_end=1\nevent.0=down,-5,2",    // negative time
+      "cluster=a100\nmonths_end=1\nevent.0=burst,0,999,4,60,60",  // oversize burst
+      "cluster=a100\nmonths_end=1\nwarp_factor=9",        // unknown key
+      "cluster=a100\nmonths_end=1\nevent.0=restore,5,4294967294",  // int32 overflow
+      "cluster=a100\nmonths_end=1\nreservation_depth=4294967296",  // int32 overflow
+  };
+  for (const char* text : bad) {
+    std::string error;
+    const auto parsed = parse_scenario(text, &error);
+    EXPECT_FALSE(parsed.has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(ScenarioSpec, CommentsAndBlankLinesAreAccepted) {
+  const std::string text =
+      "# a comment\n"
+      "\n"
+      "cluster=rtx  # trailing comment\n"
+      "months_end=2\n";
+  std::string error;
+  const auto parsed = parse_scenario(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->cluster, "rtx");
+  EXPECT_EQ(parsed->months_end, 2);
+}
+
+// ------------------------------------------------------------ Workload build
+
+TEST(ScenarioWorkload, BurstJobsAreInjectedDeterministically) {
+  ScenarioSpec spec = small_spec();
+  spec.events.push_back({ScenarioEventKind::kBurst, 2 * util::kDay, 2, 25, 1800, 3600, 600});
+  const auto a = build_workload(spec);
+  const auto b = build_workload(spec);
+  ASSERT_EQ(a.size(), b.size());
+  std::size_t bursts = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].submit_time, b[i].submit_time);
+    EXPECT_EQ(a[i].job_id, b[i].job_id);
+    if (a[i].job_name == "burst") {
+      ++bursts;
+      EXPECT_GE(a[i].submit_time, 2 * util::kDay);
+      EXPECT_LT(a[i].submit_time, 2 * util::kDay + 600);
+      EXPECT_EQ(a[i].num_nodes, 2);
+    }
+  }
+  EXPECT_EQ(bursts, 25u);
+}
+
+TEST(ScenarioRun, EventScenarioKillsAndRecovers) {
+  ScenarioSpec spec = small_spec();
+  spec.job_count_scale = 0.1;
+  // Take most of the cluster down mid-month, restore two days later.
+  spec.events.push_back({ScenarioEventKind::kNodeDown, 10 * util::kDay, 70, 0, 0, 0, 600});
+  spec.events.push_back({ScenarioEventKind::kNodeRestore, 12 * util::kDay, 70, 0, 0, 0, 600});
+  const auto with_events = run_scenario(spec);
+  ScenarioSpec baseline = spec;
+  baseline.events.clear();
+  const auto without = run_scenario(baseline);
+  EXPECT_EQ(with_events.jobs, without.jobs);
+  EXPECT_EQ(without.killed_jobs, 0u);
+  EXPECT_EQ(without.unscheduled, 0u);
+  // The outage scenario must register: either killed jobs or worse waits.
+  EXPECT_TRUE(with_events.killed_jobs > 0 ||
+              with_events.metrics.mean_wait_hours > without.metrics.mean_wait_hours);
+  EXPECT_NE(with_events.schedule_hash, without.schedule_hash);
+}
+
+TEST(ScenarioRun, FastTracksReferenceOnEventScenario) {
+  ScenarioSpec spec = small_spec();
+  spec.job_count_scale = 0.08;
+  spec.scheduler.reservation_depth = 10000;
+  spec.scheduler.max_backfill_candidates = 10000;
+  spec.events.push_back({ScenarioEventKind::kDrain, 6 * util::kDay, 30, 0, 0, 0, 600});
+  spec.events.push_back({ScenarioEventKind::kNodeRestore, 9 * util::kDay, 30, 0, 0, 0, 600});
+  spec.events.push_back({ScenarioEventKind::kBurst, 12 * util::kDay, 1, 30, 3600, 7200, 600});
+  const auto fast = run_scenario(spec);
+  const auto ref = run_scenario_reference(spec);
+  // At unbounded reservation depth the fast simulator implements the same
+  // conservative policy as the reference — bitwise identical schedules.
+  EXPECT_EQ(fast.schedule_hash, ref.schedule_hash);
+  EXPECT_EQ(fast.killed_jobs, ref.killed_jobs);
+}
+
+// ------------------------------------------------------------------- Sweeps
+
+SweepMatrix small_matrix() {
+  SweepMatrix m;
+  m.base = small_spec();
+  m.base.job_count_scale = 0.04;
+  m.utilization_scales = {0.9, 1.1};
+  m.reservation_depths = {1, 8};
+  m.event_profiles.push_back({"none", {}});
+  m.event_profiles.push_back(
+      {"outage",
+       {{ScenarioEventKind::kNodeDown, 8 * util::kDay, 40, 0, 0, 0, 600},
+        {ScenarioEventKind::kNodeRestore, 10 * util::kDay, 40, 0, 0, 0, 600}}});
+  return m;
+}
+
+TEST(Sweep, ExpansionIsDeterministicAndComplete) {
+  const auto m = small_matrix();
+  const auto a = m.expand();
+  const auto b = m.expand();
+  ASSERT_EQ(a.size(), m.cell_count());
+  ASSERT_EQ(a.size(), 8u);  // 2 scales x 2 depths x 2 profiles
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].name, b[i].name);
+  }
+  // Distinct cells get distinct seeds.
+  for (std::size_t i = 1; i < a.size(); ++i) EXPECT_NE(a[i].seed, a[0].seed);
+}
+
+TEST(Sweep, ParallelRunIsBitwiseIdenticalToSerial) {
+  const auto cells = small_matrix().expand();
+  const auto serial = SweepRunner::run_serial(cells);
+  const auto parallel = SweepRunner(4).run(cells);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_TRUE(serial.cells[i] == parallel.cells[i]) << "cell " << i;
+  }
+  EXPECT_EQ(serial.total_killed, parallel.total_killed);
+  EXPECT_EQ(serial.mean_wait_hours, parallel.mean_wait_hours);
+}
+
+TEST(Sweep, ReportFormatsContainEveryCell) {
+  const auto cells = small_matrix().expand();
+  auto report = SweepRunner::run_serial(cells);
+  const auto csv = report.to_csv();
+  const auto table = report.format_table();
+  for (const auto& cell : report.cells) {
+    EXPECT_NE(csv.find(cell.name), std::string::npos);
+    EXPECT_NE(table.find(cell.name), std::string::npos);
+  }
+}
+
+TEST(Sweep, PipelineConfigInheritsScenarioKnobs) {
+  ScenarioSpec spec = small_spec();
+  spec.utilization_scale = 1.3;
+  spec.seed = 99;
+  const auto cfg = to_pipeline_config(spec, 2);
+  EXPECT_EQ(cfg.preset.name, "A100");
+  EXPECT_EQ(cfg.generator.seed, 99u);
+  EXPECT_DOUBLE_EQ(cfg.generator.utilization_scale, 1.3);
+  EXPECT_EQ(cfg.episode.job_nodes, 2);
+}
+
+}  // namespace
+}  // namespace mirage::scenario
