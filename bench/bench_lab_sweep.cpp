@@ -1,0 +1,129 @@
+// Lab sweep bench + acceptance harness: train 2 learned methods (plus the
+// avg heuristic baseline) across an 8-cell scenario matrix (6 cells
+// event-bearing: recurring maintenance drains and recurring flash-crowd
+// bursts), then assert the lab's two determinism contracts end to end:
+//
+//   1. parallel == serial — the leaderboard from a LabRunner(threads) run
+//      is bitwise identical to LabRunner::run_serial on the same plan;
+//   2. resume == uninterrupted — after truncating the artifact dir (every
+//      other job's manifest + checkpoint deleted, simulating a killed
+//      run), a resumed run reproduces the serial leaderboard bitwise.
+//
+//   ./bench_lab_sweep [threads=2] [cells=8] [months=1] [scale=0.45]
+//                     [nodes=20] [keep=0]
+//
+// Exits non-zero on any contract violation (CI runs this as a smoke).
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lab/artifact_store.hpp"
+#include "lab/experiment.hpp"
+#include "lab/runner.hpp"
+#include "util/config.hpp"
+#include "util/time_utils.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mirage;
+  using scenario::ScenarioEvent;
+  using scenario::ScenarioEventKind;
+  namespace fs = std::filesystem;
+
+  const auto cli = util::Config::from_args(argc, argv);
+
+  lab::ExperimentPlan plan;
+  plan.name = "bench";
+  plan.methods = {core::Method::kAvg, core::Method::kRandomForest, core::Method::kMoeDqn};
+
+  auto& base = plan.matrix.base;
+  base.cluster = cli.get_string("cluster", "a100");
+  base.nodes_override = static_cast<std::int32_t>(cli.get_int("nodes", 20));
+  base.months_begin = 0;
+  base.months_end = static_cast<std::int32_t>(cli.get_int("months", 1));
+  base.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  base.job_count_scale = cli.get_double("scale", 0.45);
+
+  const std::int32_t quarter = base.resolved_preset().node_count / 4;
+  plan.matrix.event_profiles = {
+      {"none", {}},
+      // Weekly maintenance calendar, 4 occurrences (recurring expansion).
+      {"maintenance",
+       {{ScenarioEventKind::kDrain, 5 * util::kDay, quarter, 0, 0, 0, 600, util::kWeek, 4},
+        {ScenarioEventKind::kNodeRestore, 5 * util::kDay + 6 * util::kHour, quarter, 0, 0, 0,
+         600, util::kWeek, 4}}},
+      // Weekly flash crowd: 30 two-node jobs inside an hour, 4 occurrences.
+      {"flash-crowd",
+       {{ScenarioEventKind::kBurst, 5 * util::kDay, 2, 30, 2 * util::kHour, 4 * util::kHour,
+         util::kHour, util::kWeek, 4}}},
+      {"mixed",
+       {{ScenarioEventKind::kDrain, 9 * util::kDay, quarter, 0, 0, 0, 600, util::kWeek, 3},
+        {ScenarioEventKind::kNodeRestore, 9 * util::kDay + 6 * util::kHour, quarter, 0, 0, 0,
+         600, util::kWeek, 3},
+        {ScenarioEventKind::kBurst, 6 * util::kDay, 2, 20, 2 * util::kHour, 4 * util::kHour,
+         util::kHour, util::kWeek, 3}}},
+  };
+  // Grow the utilization axis to the requested cell count (profiles x u).
+  const auto target_cells = static_cast<std::size_t>(cli.get_int("cells", 8));
+  for (double u = 1.0; plan.matrix.cell_count() < target_cells; u += 0.25) {
+    plan.matrix.utilization_scales.push_back(u);
+  }
+
+  const auto cells = plan.matrix.expand();
+  std::size_t eventful = 0;
+  for (const auto& c : cells) eventful += c.has_events();
+  std::printf("bench_lab_sweep: %zu cells (%zu event-bearing) x %zu methods, months=%d, "
+              "scale=%.2f, nodes=%d\n",
+              cells.size(), eventful, plan.methods.size(), base.months_end,
+              base.job_count_scale, base.nodes_override);
+
+  const fs::path root = fs::temp_directory_path() / "mirage_bench_lab_sweep";
+  fs::remove_all(root);
+  const auto store_at = [&](const char* tag) {
+    return lab::ArtifactStore((root / tag).string());
+  };
+
+  // Serial reference.
+  auto serial_store = store_at("serial");
+  const double t0 = util::wall_seconds();
+  const auto serial = lab::LabRunner::run_serial(plan, serial_store);
+  const double serial_s = util::wall_seconds() - t0;
+
+  // Parallel run into a fresh store.
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 2));
+  auto parallel_store = store_at("parallel");
+  const double t1 = util::wall_seconds();
+  const auto parallel = lab::LabRunner(threads).run(plan, parallel_store);
+  const double parallel_s = util::wall_seconds() - t1;
+
+  std::printf("\n%s\n", parallel.leaderboard.format_table().c_str());
+  const bool parallel_ok = parallel.leaderboard == serial.leaderboard;
+  std::printf("serial %.1fs | parallel(%zu) %.1fs (speedup %.2fx) | bitwise identical: %s\n",
+              serial_s, threads, parallel_s, parallel_s > 0 ? serial_s / parallel_s : 0.0,
+              parallel_ok ? "yes" : "NO");
+
+  // Kill/resume: truncate the parallel store (drop every other job's
+  // artifacts — a run killed mid-flight) and resume into it.
+  std::size_t dropped = 0;
+  const auto jobs = lab::expand_jobs(plan);
+  for (std::size_t i = 0; i < jobs.size(); i += 2) {
+    dropped += fs::remove(parallel_store.manifest_path(plan, jobs[i]));
+    fs::remove(parallel_store.checkpoint_path(plan, jobs[i]));
+  }
+  const double t2 = util::wall_seconds();
+  const auto resumed = lab::LabRunner(threads).run(plan, parallel_store);
+  const double resumed_s = util::wall_seconds() - t2;
+  const bool resume_ok =
+      resumed.leaderboard == serial.leaderboard && resumed.jobs_run == dropped;
+  std::printf("resume after truncation: %zu dropped, %zu recomputed, %zu resumed in %.1fs | "
+              "bitwise identical: %s\n",
+              dropped, resumed.jobs_run, resumed.jobs_resumed, resumed_s,
+              resume_ok ? "yes" : "NO");
+
+  if (!static_cast<bool>(cli.get_int("keep", 0))) fs::remove_all(root);
+  if (!parallel_ok || !resume_ok) {
+    std::printf("ERROR: lab determinism contract violated\n");
+    return 1;
+  }
+  return 0;
+}

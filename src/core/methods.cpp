@@ -16,6 +16,27 @@ std::string method_name(Method m) {
   return "?";
 }
 
+std::string method_file_name(Method m) {
+  switch (m) {
+    case Method::kReactive: return "reactive";
+    case Method::kAvg: return "avg";
+    case Method::kRandomForest: return "random_forest";
+    case Method::kXgboost: return "xgboost";
+    case Method::kTransformerDqn: return "transformer_dqn";
+    case Method::kTransformerPg: return "transformer_pg";
+    case Method::kMoeDqn: return "moe_dqn";
+    case Method::kMoePg: return "moe_pg";
+  }
+  return "?";
+}
+
+std::optional<Method> method_from_name(const std::string& name) {
+  for (Method m : all_methods()) {
+    if (name == method_name(m) || name == method_file_name(m)) return m;
+  }
+  return std::nullopt;
+}
+
 std::vector<Method> all_methods() {
   return {Method::kReactive,       Method::kAvg,           Method::kRandomForest,
           Method::kXgboost,        Method::kTransformerDqn, Method::kTransformerPg,
@@ -30,5 +51,7 @@ bool is_rl_method(Method m) {
 bool is_statistical_method(Method m) {
   return m == Method::kRandomForest || m == Method::kXgboost;
 }
+
+bool is_checkpointable_method(Method m) { return is_rl_method(m); }
 
 }  // namespace mirage::core

@@ -2,6 +2,7 @@
 // learners, and the four {transformer, MoE} x {DQN, PG} RL combinations.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,9 +20,17 @@ enum class Method {
 };
 
 std::string method_name(Method m);
+/// Filename-safe lowercase identifier ("moe_dqn"), used for artifact
+/// filenames and plan files where "MoE+DQN" would be hostile.
+std::string method_file_name(Method m);
+/// Inverse of both method_name and method_file_name; nullopt for unknown
+/// names so plan parsers can fail loudly.
+std::optional<Method> method_from_name(const std::string& name);
 /// All eight methods in the paper's presentation order.
 std::vector<Method> all_methods();
 bool is_rl_method(Method m);
 bool is_statistical_method(Method m);
+/// Methods that produce a loadable checkpoint artifact (core::save_agent).
+bool is_checkpointable_method(Method m);
 
 }  // namespace mirage::core

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "core/checkpoint.hpp"
 #include "util/logging.hpp"
 
 namespace mirage::core {
@@ -181,6 +182,16 @@ ProvisionerFactory MiragePipeline::factory(Method method) const {
     }
   }
   throw std::logic_error("unknown method");
+}
+
+bool MiragePipeline::save_checkpoint(Method method, const std::string& path) {
+  if (const auto it = dqn_agents_.find(method); it != dqn_agents_.end()) {
+    return save_agent(*it->second, path);
+  }
+  if (const auto it = pg_agents_.find(method); it != pg_agents_.end()) {
+    return save_agent(*it->second, path);
+  }
+  return false;
 }
 
 std::vector<MethodEval> MiragePipeline::evaluate(const std::vector<Method>& methods) {

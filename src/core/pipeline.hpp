@@ -72,6 +72,11 @@ class MiragePipeline {
   /// Provisioner factory for a trained (or heuristic) method.
   ProvisionerFactory factory(Method method) const;
 
+  /// Persist a trained RL agent as a core::checkpoint artifact. Returns
+  /// false when the method has no trained agent (heuristics, statistical
+  /// methods, or train() not called) or the file cannot be written.
+  bool save_checkpoint(Method method, const std::string& path);
+
   const trace::Trace& workload() const { return workload_; }
   util::SimTime train_begin() const { return train_begin_; }
   util::SimTime train_end() const { return train_end_; }

@@ -1,0 +1,180 @@
+#include "lab/artifact_store.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/strconv.hpp"
+
+namespace mirage::lab {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+using util::format_double_exact;
+using util::parse_f64;
+using util::parse_u64;
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error) *error = message;
+  return false;
+}
+
+/// Minimal manifest parser: first-'=' split, full-line '#' comments only —
+/// values (cell names) may legally contain '#' or '='.
+std::map<std::string, std::string> parse_manifest(std::istream& in) {
+  std::map<std::string, std::string> kv;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    kv[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  return kv;
+}
+
+}  // namespace
+
+fs::path ArtifactStore::dir_for(const ExperimentPlan& plan, std::uint64_t plan_hash) const {
+  return fs::path(root_) / (plan.name + "__" + hash_hex(plan_hash));
+}
+
+std::string ArtifactStore::run_dir(const ExperimentPlan& plan) const {
+  return dir_for(plan, plan.hash()).string();
+}
+
+bool ArtifactStore::init_run(const ExperimentPlan& plan, std::string* error) {
+  // parse_plan rejects these; guard programmatically-built plans too — a
+  // name with a separator or ".." would write artifacts outside the root.
+  if (plan.name.empty() || plan.name.find('/') != std::string::npos ||
+      plan.name.find('\\') != std::string::npos || plan.name.find("..") != std::string::npos) {
+    return fail(error, "plan name must be a plain path component: '" + plan.name + "'");
+  }
+  std::error_code ec;
+  const fs::path dir = run_dir(plan);
+  fs::create_directories(dir, ec);
+  if (ec) return fail(error, "cannot create run dir " + dir.string() + ": " + ec.message());
+  const fs::path plan_file = dir / "plan.txt";
+  if (!fs::exists(plan_file)) {
+    std::ofstream out(plan_file);
+    if (!out || !(out << plan.to_text())) {
+      return fail(error, "cannot write " + plan_file.string());
+    }
+  }
+  return true;
+}
+
+std::string ArtifactStore::manifest_path(const ExperimentPlan& plan, const LabJob& job) const {
+  return (fs::path(run_dir(plan)) / (job.id() + ".manifest")).string();
+}
+
+std::string ArtifactStore::checkpoint_path(const ExperimentPlan& plan, const LabJob& job) const {
+  return (fs::path(run_dir(plan)) / (job.id() + ".ckpt")).string();
+}
+
+std::optional<JobResult> ArtifactStore::load(const ExperimentPlan& plan, const LabJob& job,
+                                             std::optional<std::uint64_t> plan_hash_hint) const {
+  const std::uint64_t plan_hash = plan_hash_hint ? *plan_hash_hint : plan.hash();
+  const fs::path dir = dir_for(plan, plan_hash);
+  std::ifstream in(dir / (job.id() + ".manifest"));
+  if (!in) return std::nullopt;
+  const auto kv = parse_manifest(in);
+  const auto get = [&kv](const char* key) -> std::string {
+    const auto it = kv.find(key);
+    return it == kv.end() ? std::string() : it->second;
+  };
+
+  // Identity checks: any mismatch means the artifact belongs to another
+  // plan revision (or a different cell landed on this id) — recompute.
+  if (get("status") != "complete") return std::nullopt;
+  if (get("plan_hash") != hash_hex(plan_hash)) return std::nullopt;
+  if (get("job") != job.id()) return std::nullopt;
+  if (get("cell") != job.cell.name) return std::nullopt;
+  if (get("method") != core::method_name(job.method)) return std::nullopt;
+  std::uint64_t seed = 0;
+  if (!parse_u64(get("seed"), seed) || seed != job.cell.seed) return std::nullopt;
+
+  JobResult r;
+  r.cell_index = job.cell_index;
+  r.cell = job.cell.name;
+  r.cluster = get("cluster");
+  r.seed = seed;
+  r.method = get("method");
+  r.eventful = get("eventful") == "1";
+  std::uint64_t episodes = 0;
+  if (!parse_u64(get("episodes"), episodes)) return std::nullopt;
+  r.episodes = episodes;
+  if (!parse_f64(get("mean_interruption_h"), r.mean_interruption_h)) return std::nullopt;
+  if (!parse_f64(get("max_interruption_h"), r.max_interruption_h)) return std::nullopt;
+  if (!parse_f64(get("mean_overlap_h"), r.mean_overlap_h)) return std::nullopt;
+  if (!parse_f64(get("zero_fraction"), r.zero_fraction)) return std::nullopt;
+  if (!parse_f64(get("cell_mean_wait_h"), r.cell_mean_wait_h)) return std::nullopt;
+  if (!parse_f64(get("cell_p95_wait_h"), r.cell_p95_wait_h)) return std::nullopt;
+  if (!parse_f64(get("cell_utilization"), r.cell_utilization)) return std::nullopt;
+  r.cell_load = get("cell_load");
+  r.checkpoint = get("checkpoint");
+  r.resumed = true;
+
+  // A manifest that promises a checkpoint the filesystem lost is not
+  // resumable — the promotion path would dangle.
+  if (!r.checkpoint.empty()) {
+    std::error_code ec;
+    if (!fs::exists(dir / r.checkpoint, ec)) return std::nullopt;
+  }
+  return r;
+}
+
+bool ArtifactStore::save(const ExperimentPlan& plan, const LabJob& job, const JobResult& result,
+                         std::string* error, std::optional<std::uint64_t> plan_hash_hint) {
+  const std::uint64_t plan_hash = plan_hash_hint ? *plan_hash_hint : plan.hash();
+  const fs::path manifest = dir_for(plan, plan_hash) / (job.id() + ".manifest");
+  const fs::path tmp = manifest.string() + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) return fail(error, "cannot write " + tmp.string());
+    out << "# mirage lab manifest\n";
+    out << "plan_hash=" << hash_hex(plan_hash) << '\n';
+    out << "job=" << job.id() << '\n';
+    out << "cell=" << result.cell << '\n';
+    out << "cluster=" << result.cluster << '\n';
+    out << "seed=" << result.seed << '\n';
+    out << "method=" << result.method << '\n';
+    out << "eventful=" << (result.eventful ? 1 : 0) << '\n';
+    out << "episodes=" << result.episodes << '\n';
+    out << "mean_interruption_h=" << format_double_exact(result.mean_interruption_h) << '\n';
+    out << "max_interruption_h=" << format_double_exact(result.max_interruption_h) << '\n';
+    out << "mean_overlap_h=" << format_double_exact(result.mean_overlap_h) << '\n';
+    out << "zero_fraction=" << format_double_exact(result.zero_fraction) << '\n';
+    out << "cell_mean_wait_h=" << format_double_exact(result.cell_mean_wait_h) << '\n';
+    out << "cell_p95_wait_h=" << format_double_exact(result.cell_p95_wait_h) << '\n';
+    out << "cell_utilization=" << format_double_exact(result.cell_utilization) << '\n';
+    out << "cell_load=" << result.cell_load << '\n';
+    out << "checkpoint=" << result.checkpoint << '\n';
+    out << "status=complete\n";
+    if (!out) return fail(error, "cannot write " + tmp.string());
+  }
+  std::error_code ec;
+  fs::rename(tmp, manifest, ec);
+  if (ec) return fail(error, "cannot commit " + manifest.string() + ": " + ec.message());
+  return true;
+}
+
+std::size_t ArtifactStore::count_complete(const ExperimentPlan& plan) const {
+  std::size_t n = 0;
+  for (const auto& job : expand_jobs(plan)) {
+    if (load(plan, job)) ++n;
+  }
+  return n;
+}
+
+}  // namespace mirage::lab

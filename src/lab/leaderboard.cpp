@@ -1,0 +1,169 @@
+#include "lab/leaderboard.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace mirage::lab {
+
+bool JobResult::operator==(const JobResult& o) const {
+  return cell_index == o.cell_index && cell == o.cell && cluster == o.cluster && seed == o.seed &&
+         method == o.method && eventful == o.eventful && episodes == o.episodes &&
+         mean_interruption_h == o.mean_interruption_h &&
+         max_interruption_h == o.max_interruption_h && mean_overlap_h == o.mean_overlap_h &&
+         zero_fraction == o.zero_fraction && cell_mean_wait_h == o.cell_mean_wait_h &&
+         cell_p95_wait_h == o.cell_p95_wait_h && cell_utilization == o.cell_utilization &&
+         cell_load == o.cell_load && checkpoint == o.checkpoint;
+}
+
+Leaderboard Leaderboard::build(std::vector<JobResult> rows) {
+  Leaderboard board;
+  board.rows = std::move(rows);
+
+  struct Accum {
+    std::size_t order = 0;  ///< first-row position, for a stable tiebreak
+    MethodStanding standing;
+    double wait_sum = 0.0;
+    double overlap_sum = 0.0;
+    double zero_sum = 0.0;       ///< zero_fraction * episodes
+    double eventful_sum = 0.0;
+    std::size_t eventful_cells = 0;
+    double calm_sum = 0.0;
+    std::size_t calm_cells = 0;
+  };
+  std::map<std::string, Accum> by_method;
+  std::size_t next_order = 0;
+  for (const auto& row : board.rows) {
+    auto [it, inserted] = by_method.try_emplace(row.method);
+    Accum& a = it->second;
+    if (inserted) {
+      a.order = next_order++;
+      a.standing.method = row.method;
+    }
+    ++a.standing.cells;
+    a.standing.episodes += row.episodes;
+    a.wait_sum += row.mean_interruption_h;
+    a.standing.worst_wait_h = std::max(a.standing.worst_wait_h, row.mean_interruption_h);
+    a.overlap_sum += row.mean_overlap_h;
+    a.zero_sum += row.zero_fraction * static_cast<double>(row.episodes);
+    if (row.eventful) {
+      a.eventful_sum += row.mean_interruption_h;
+      ++a.eventful_cells;
+    } else {
+      a.calm_sum += row.mean_interruption_h;
+      ++a.calm_cells;
+    }
+    a.standing.has_checkpoint = a.standing.has_checkpoint || !row.checkpoint.empty();
+  }
+
+  std::vector<Accum> accums;
+  accums.reserve(by_method.size());
+  for (auto& [name, a] : by_method) accums.push_back(std::move(a));
+  for (auto& a : accums) {
+    auto& s = a.standing;
+    const auto cells = static_cast<double>(s.cells);
+    s.mean_wait_h = a.wait_sum / cells;
+    s.mean_overlap_h = a.overlap_sum / cells;
+    s.zero_fraction = s.episodes ? a.zero_sum / static_cast<double>(s.episodes) : 0.0;
+    s.eventful_wait_h = a.eventful_cells ? a.eventful_sum / static_cast<double>(a.eventful_cells)
+                                         : 0.0;
+    s.calm_wait_h = a.calm_cells ? a.calm_sum / static_cast<double>(a.calm_cells) : 0.0;
+    s.robustness_spread_h =
+        (a.eventful_cells && a.calm_cells) ? s.eventful_wait_h - s.calm_wait_h : 0.0;
+  }
+  std::sort(accums.begin(), accums.end(), [](const Accum& x, const Accum& y) {
+    if (x.standing.mean_wait_h != y.standing.mean_wait_h) {
+      return x.standing.mean_wait_h < y.standing.mean_wait_h;
+    }
+    return x.order < y.order;  // deterministic tiebreak: first appearance
+  });
+  board.standings.reserve(accums.size());
+  for (auto& a : accums) board.standings.push_back(std::move(a.standing));
+  return board;
+}
+
+const MethodStanding* Leaderboard::best(bool require_checkpoint) const {
+  for (const auto& s : standings) {
+    if (!require_checkpoint || s.has_checkpoint) return &s;
+  }
+  return nullptr;
+}
+
+namespace {
+std::string fmt6(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+}  // namespace
+
+std::string Leaderboard::to_csv() const {
+  std::ostringstream out;
+  util::CsvWriter writer(out);
+  writer.write_row({"cell_index", "cell", "cluster", "seed", "method", "eventful", "episodes",
+                    "mean_interruption_h", "max_interruption_h", "mean_overlap_h",
+                    "zero_fraction", "cell_mean_wait_h", "cell_p95_wait_h", "cell_utilization",
+                    "cell_load", "checkpoint"});
+  for (const auto& r : rows) {
+    writer.write_row({std::to_string(r.cell_index), r.cell, r.cluster, std::to_string(r.seed),
+                      r.method, r.eventful ? "1" : "0", std::to_string(r.episodes),
+                      fmt6(r.mean_interruption_h), fmt6(r.max_interruption_h),
+                      fmt6(r.mean_overlap_h), fmt6(r.zero_fraction), fmt6(r.cell_mean_wait_h),
+                      fmt6(r.cell_p95_wait_h), fmt6(r.cell_utilization), r.cell_load,
+                      r.checkpoint});
+  }
+  return out.str();
+}
+
+std::string Leaderboard::standings_csv() const {
+  std::ostringstream out;
+  util::CsvWriter writer(out);
+  writer.write_row({"rank", "method", "cells", "episodes", "mean_wait_h", "worst_wait_h",
+                    "mean_overlap_h", "zero_fraction", "eventful_wait_h", "calm_wait_h",
+                    "robustness_spread_h", "has_checkpoint"});
+  for (std::size_t i = 0; i < standings.size(); ++i) {
+    const auto& s = standings[i];
+    writer.write_row({std::to_string(i + 1), s.method, std::to_string(s.cells),
+                      std::to_string(s.episodes), fmt6(s.mean_wait_h), fmt6(s.worst_wait_h),
+                      fmt6(s.mean_overlap_h), fmt6(s.zero_fraction), fmt6(s.eventful_wait_h),
+                      fmt6(s.calm_wait_h), fmt6(s.robustness_spread_h),
+                      s.has_checkpoint ? "1" : "0"});
+  }
+  return out.str();
+}
+
+std::string Leaderboard::format_table() const {
+  std::ostringstream out;
+  char line[320];
+  std::snprintf(line, sizeof(line), "%-30s %-16s %4s %9s %9s %8s %6s  %-6s %5s\n", "cell",
+                "method", "ep", "int_w(h)", "max_w(h)", "ovl(h)", "zero%", "load", "ckpt");
+  out << line;
+  for (const auto& r : rows) {
+    std::snprintf(line, sizeof(line), "%-30s %-16s %4zu %9.3f %9.3f %8.3f %5.1f%%  %-6s %5s\n",
+                  r.cell.c_str(), r.method.c_str(), r.episodes, r.mean_interruption_h,
+                  r.max_interruption_h, r.mean_overlap_h, 100.0 * r.zero_fraction,
+                  r.cell_load.c_str(), r.checkpoint.empty() ? "-" : "yes");
+    out << line;
+  }
+  out << '\n';
+  std::snprintf(line, sizeof(line), "%4s %-16s %5s %9s %9s %8s %6s %10s\n", "rank", "method",
+                "cells", "mean_w(h)", "worst(h)", "ovl(h)", "zero%", "spread(h)");
+  out << line;
+  for (std::size_t i = 0; i < standings.size(); ++i) {
+    const auto& s = standings[i];
+    std::snprintf(line, sizeof(line), "%4zu %-16s %5zu %9.3f %9.3f %8.3f %5.1f%% %10.3f\n",
+                  i + 1, s.method.c_str(), s.cells, s.mean_wait_h, s.worst_wait_h,
+                  s.mean_overlap_h, 100.0 * s.zero_fraction, s.robustness_spread_h);
+    out << line;
+  }
+  return out.str();
+}
+
+bool Leaderboard::operator==(const Leaderboard& o) const {
+  return rows == o.rows && standings == o.standings;
+}
+
+}  // namespace mirage::lab

@@ -1,0 +1,85 @@
+// Cross-cell result aggregation for the lab. A JobResult is the scored
+// outcome of one (cell, method) job — provisioning interruption/overlap
+// from the evaluator plus method-independent cell context (queue wait,
+// utilization, load class) from the scenario simulator. A Leaderboard
+// groups rows per method into standings: mean/worst-case wait, overlap,
+// zero-interruption fraction, and the robustness-under-events spread
+// (eventful-cell mean minus calm-cell mean).
+//
+// Every field is double-exact: rows recovered from artifact manifests are
+// bitwise equal to freshly computed ones, so a resumed run's leaderboard
+// compares == against an uninterrupted run's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mirage::lab {
+
+struct JobResult {
+  std::size_t cell_index = 0;
+  std::string cell;                ///< expanded cell name
+  std::string cluster;             ///< preset name (promotion target key)
+  std::uint64_t seed = 0;          ///< the cell's pre-assigned seed
+  std::string method;              ///< display name (core::method_name)
+  bool eventful = false;           ///< cell carries scenario events
+  std::size_t episodes = 0;        ///< validation anchors evaluated
+
+  // Provisioning quality on the cell's validation range.
+  double mean_interruption_h = 0.0;
+  double max_interruption_h = 0.0;
+  double mean_overlap_h = 0.0;
+  double zero_fraction = 0.0;      ///< episodes with zero interruption
+
+  // Method-independent cell context (reactive background schedule).
+  double cell_mean_wait_h = 0.0;
+  double cell_p95_wait_h = 0.0;
+  double cell_utilization = 0.0;
+  std::string cell_load;           ///< heavy | medium | light
+
+  std::string checkpoint;          ///< artifact-relative ckpt name ("" = none)
+  bool resumed = false;            ///< loaded from an artifact, not computed
+
+  /// Bitwise value equality; `resumed` (provenance, not value) excluded.
+  bool operator==(const JobResult& o) const;
+};
+
+struct MethodStanding {
+  std::string method;
+  std::size_t cells = 0;
+  std::size_t episodes = 0;
+  double mean_wait_h = 0.0;        ///< mean over cells of mean interruption
+  double worst_wait_h = 0.0;       ///< worst per-cell mean interruption
+  double mean_overlap_h = 0.0;
+  double zero_fraction = 0.0;      ///< episode-weighted
+  double eventful_wait_h = 0.0;    ///< mean over event-bearing cells
+  double calm_wait_h = 0.0;        ///< mean over event-free cells
+  double robustness_spread_h = 0.0;  ///< eventful - calm (0 if one side empty)
+  bool has_checkpoint = false;     ///< at least one row persisted an agent
+
+  bool operator==(const MethodStanding& o) const = default;
+};
+
+struct Leaderboard {
+  std::vector<JobResult> rows;            ///< job order (cell-major)
+  std::vector<MethodStanding> standings;  ///< sorted best (lowest wait) first
+
+  /// Aggregate rows into standings (rows are stored as given).
+  static Leaderboard build(std::vector<JobResult> rows);
+
+  /// Best standing; with require_checkpoint, best method that persisted at
+  /// least one agent artifact (the promotion candidate). nullptr if none.
+  const MethodStanding* best(bool require_checkpoint = false) const;
+
+  /// Per-job rows as CSV (names escaped via util::csv).
+  std::string to_csv() const;
+  /// Per-method standings as CSV.
+  std::string standings_csv() const;
+  /// Human-readable report: rows then standings.
+  std::string format_table() const;
+
+  bool operator==(const Leaderboard& o) const;
+};
+
+}  // namespace mirage::lab

@@ -1,0 +1,62 @@
+#include "lab/promote.hpp"
+
+#include <filesystem>
+
+#include "util/logging.hpp"
+
+namespace mirage::lab {
+
+serve::RegistryConfig registry_config(const ExperimentPlan& plan) {
+  serve::RegistryConfig cfg;
+  cfg.net_defaults = cell_pipeline_config(plan, plan.matrix.base).net;
+  cfg.expected_state_dim = cfg.net_defaults.state_dim;
+  return cfg;
+}
+
+std::size_t serving_history_len(const ExperimentPlan& plan) {
+  return cell_pipeline_config(plan, plan.matrix.base).episode.history_len;
+}
+
+PromotionResult promote_best(const Leaderboard& leaderboard, const ExperimentPlan& plan,
+                             const ArtifactStore& store, serve::ModelRegistry& registry,
+                             const std::string& cluster) {
+  PromotionResult result;
+  const MethodStanding* standing = leaderboard.best(/*require_checkpoint=*/true);
+  if (!standing) {
+    result.error = "no method on the leaderboard persisted a checkpoint";
+    return result;
+  }
+  result.method = standing->method;
+
+  const JobResult* winner = nullptr;
+  for (const auto& row : leaderboard.rows) {
+    if (row.method != standing->method || row.checkpoint.empty()) continue;
+    if (!winner || row.mean_interruption_h < winner->mean_interruption_h ||
+        (row.mean_interruption_h == winner->mean_interruption_h &&
+         row.cell_index < winner->cell_index)) {
+      winner = &row;
+    }
+  }
+  if (!winner) {
+    result.error = "standing claims a checkpoint but no row carries one";
+    return result;
+  }
+  result.cell = winner->cell;
+
+  const auto path = std::filesystem::path(store.run_dir(plan)) / winner->checkpoint;
+  result.checkpoint_path = path.string();
+  const std::string key_cluster = cluster.empty() ? winner->cluster : cluster;
+  const auto load = registry.load_file(result.checkpoint_path, key_cluster);
+  if (!load.ok) {
+    result.error = "registry rejected " + result.checkpoint_path + ": " + load.error;
+    return result;
+  }
+  result.ok = true;
+  result.key = load.key;
+  result.version = load.version;
+  util::log_info("lab: promoted ", result.method, " (cell ", result.cell, ") as ",
+                 result.key.to_string(), " v", result.version);
+  return result;
+}
+
+}  // namespace mirage::lab

@@ -1,0 +1,45 @@
+// Closing the train -> evaluate -> deploy loop: promote the leaderboard
+// winner's checkpoint into a serve::ModelRegistry. The registry swap is
+// atomic (shared_ptr under the registry lock), so a live
+// serve::ProvisioningService keyed on the promoted model hot-reloads it
+// without dropping in-flight decisions.
+#pragma once
+
+#include <string>
+
+#include "lab/artifact_store.hpp"
+#include "lab/experiment.hpp"
+#include "lab/leaderboard.hpp"
+#include "serve/model_registry.hpp"
+
+namespace mirage::lab {
+
+struct PromotionResult {
+  bool ok = false;
+  std::string error;
+  std::string method;          ///< winning method (display name)
+  std::string cell;            ///< cell whose checkpoint was promoted
+  std::string checkpoint_path; ///< absolute artifact path
+  serve::ModelKey key;         ///< registry key now serving the model
+  std::uint64_t version = 0;   ///< registry version of the promoted model
+};
+
+/// Promote the best checkpointable method: pick the top standing that
+/// persisted an agent, then that method's best row (lowest mean
+/// interruption, lowest cell index on ties), and hot-load its checkpoint
+/// into the registry. `cluster` overrides the registry key's cluster name;
+/// empty uses the winning cell's cluster preset. Never throws — inspect
+/// `ok` / `error`.
+PromotionResult promote_best(const Leaderboard& leaderboard, const ExperimentPlan& plan,
+                             const ArtifactStore& store, serve::ModelRegistry& registry,
+                             const std::string& cluster = "");
+
+/// RegistryConfig whose non-header architecture knobs match the agents the
+/// plan trains — required for the registry to reconstruct lab checkpoints.
+serve::RegistryConfig registry_config(const ExperimentPlan& plan);
+
+/// Frames per session ring for serving a lab-trained model (must match the
+/// checkpoint's history_len).
+std::size_t serving_history_len(const ExperimentPlan& plan);
+
+}  // namespace mirage::lab

@@ -1,0 +1,52 @@
+// Sweep-driven training/evaluation orchestrator. A LabRunner executes an
+// ExperimentPlan's jobs on a util::ThreadPool under the same determinism
+// contract the scenario sweep harness established: every cell's work is a
+// pure function of its pre-assigned spec (seeds drawn at expansion time),
+// results land in pre-sized slots, and cross-job aggregation happens in
+// job order on the caller's thread — so a parallel run's leaderboard is
+// bitwise identical to a serial run's, and a resumed run's to an
+// uninterrupted one's.
+//
+// The unit of parallelism is the *cell*, not the job: all methods of a
+// cell share one MiragePipeline (one workload build + one offline
+// collection), which is both faster and exactly how the per-method
+// evaluator isolates methods (per-method results are independent of which
+// other methods train alongside — that independence is what makes
+// per-method resume sound).
+#pragma once
+
+#include <cstddef>
+
+#include "lab/artifact_store.hpp"
+#include "lab/experiment.hpp"
+#include "lab/leaderboard.hpp"
+
+namespace mirage::lab {
+
+struct LabRunReport {
+  Leaderboard leaderboard;
+  std::size_t jobs_total = 0;
+  std::size_t jobs_run = 0;      ///< trained/evaluated this run
+  std::size_t jobs_resumed = 0;  ///< skipped via completed artifacts
+};
+
+class LabRunner {
+ public:
+  /// threads == 0 means hardware concurrency. The runner uses its own
+  /// pool; per-cell pipelines additionally fan out internally on
+  /// ThreadPool::global() (safe: distinct pools cannot deadlock).
+  explicit LabRunner(std::size_t threads = 0) : threads_(threads) {}
+
+  /// Execute the plan, skipping jobs with valid artifacts in the store.
+  /// Throws std::runtime_error when the store cannot be initialized or an
+  /// artifact cannot be written (losing work silently is worse).
+  LabRunReport run(const ExperimentPlan& plan, ArtifactStore& store) const;
+
+  /// Single-threaded reference run (same per-cell computation).
+  static LabRunReport run_serial(const ExperimentPlan& plan, ArtifactStore& store);
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace mirage::lab

@@ -1,10 +1,7 @@
 #include "scenario/scenario.hpp"
 
 #include <algorithm>
-#include <charconv>
-#include <cstdio>
 #include <fstream>
-#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -14,6 +11,7 @@
 #include "util/config.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
+#include "util/strconv.hpp"
 
 namespace mirage::scenario {
 
@@ -39,50 +37,65 @@ trace::ClusterPreset ScenarioSpec::resolved_preset() const {
 
 namespace {
 
-std::string fmt_double(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-bool parse_i64(const std::string& s, std::int64_t& out) {
-  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
-  return ec == std::errc{} && p == s.data() + s.size();
-}
-
-bool parse_i32(const std::string& s, std::int32_t& out) {
-  std::int64_t v = 0;
-  if (!parse_i64(s, v) || v < std::numeric_limits<std::int32_t>::min() ||
-      v > std::numeric_limits<std::int32_t>::max()) {
-    return false;
-  }
-  out = static_cast<std::int32_t>(v);
-  return true;
-}
-
-bool parse_u64(const std::string& s, std::uint64_t& out) {
-  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
-  return ec == std::errc{} && p == s.data() + s.size();
-}
-
-bool parse_f64(const std::string& s, double& out) {
-  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
-  return ec == std::errc{} && p == s.data() + s.size();
-}
-
-bool parse_bool(const std::string& s, bool& out) {
-  if (s == "true" || s == "1") return out = true, true;
-  if (s == "false" || s == "0") return out = false, true;
-  return false;
-}
+using util::format_double_exact;
+using util::parse_bool;
+using util::parse_f64;
+using util::parse_i32;
+using util::parse_i64;
+using util::parse_u64;
 
 bool fail(std::string* error, const std::string& message) {
   if (error) *error = message;
   return false;
 }
 
+/// Trailing "key=value" fields of an event row (recurrence keys). The
+/// positional prefix never contains '=', so the split is unambiguous.
+bool parse_event_keywords(const std::vector<std::string>& fields, std::size_t first_kw,
+                          ScenarioEvent& ev, const std::string& value, std::string* error) {
+  for (std::size_t i = first_kw; i < fields.size(); ++i) {
+    const auto eq = fields[i].find('=');
+    if (eq == std::string::npos) {
+      return fail(error, "positional event field after keyword field: " + value);
+    }
+    const std::string key = fields[i].substr(0, eq);
+    const std::string val = fields[i].substr(eq + 1);
+    if (key == "repeat_every") {
+      std::int64_t every = 0;
+      if (!parse_i64(val, every) || every <= 0) {
+        return fail(error, "bad repeat_every: " + value);
+      }
+      ev.repeat_every = every;
+    } else if (key == "repeat_count") {
+      std::int32_t count = 0;
+      if (!parse_i32(val, count) || count < 1) {
+        return fail(error, "bad repeat_count: " + value);
+      }
+      ev.repeat_count = count;
+    } else {
+      return fail(error, "unknown event keyword: " + key);
+    }
+  }
+  if (ev.repeat_count > 1 && ev.repeat_every <= 0) {
+    return fail(error, "repeat_count needs repeat_every: " + value);
+  }
+  // A lone repeat_every would silently mean "once" (and to_text would drop
+  // the key) — almost certainly a forgotten repeat_count. Reject it.
+  if (ev.repeat_every > 0 && ev.repeat_count <= 1) {
+    return fail(error, "repeat_every needs repeat_count: " + value);
+  }
+  return true;
+}
+
 bool parse_event(const std::string& value, ScenarioEvent& ev, std::string* error) {
-  const auto fields = util::parse_csv_line(value);
+  auto fields = util::parse_csv_line(value);
+  // Split off trailing keyword fields; what remains is positional.
+  std::size_t positional = 0;
+  while (positional < fields.size() && fields[positional].find('=') == std::string::npos) {
+    ++positional;
+  }
+  if (!parse_event_keywords(fields, positional, ev, value, error)) return false;
+  fields.resize(positional);
   if (fields.size() < 3) return fail(error, "event needs at least type,time,nodes: " + value);
   const std::string& type = fields[0];
   if (type == "down") {
@@ -126,16 +139,38 @@ bool parse_event(const std::string& value, ScenarioEvent& ev, std::string* error
   return true;
 }
 
+}  // namespace
+
 std::string event_to_csv(const ScenarioEvent& ev) {
   std::ostringstream out;
   out << scenario_event_name(ev.kind) << ',' << ev.time << ',' << ev.nodes;
   if (ev.kind == ScenarioEventKind::kBurst) {
     out << ',' << ev.count << ',' << ev.runtime << ',' << ev.limit << ',' << ev.window;
   }
+  if (ev.is_recurring()) {
+    out << ",repeat_every=" << ev.repeat_every << ",repeat_count=" << ev.repeat_count;
+  }
   return out.str();
 }
 
-}  // namespace
+bool parse_event_csv(const std::string& value, ScenarioEvent& ev, std::string* error) {
+  return parse_event(value, ev, error);
+}
+
+std::vector<ScenarioEvent> expand_events(const std::vector<ScenarioEvent>& events) {
+  std::vector<ScenarioEvent> out;
+  out.reserve(events.size());
+  for (const auto& ev : events) {
+    ScenarioEvent occurrence = ev;
+    occurrence.repeat_every = 0;
+    occurrence.repeat_count = 1;
+    for (std::int32_t i = 0; i < ev.repeat_count; ++i) {
+      occurrence.time = ev.time + static_cast<SimTime>(i) * ev.repeat_every;
+      out.push_back(occurrence);
+    }
+  }
+  return out;
+}
 
 std::string ScenarioSpec::to_text() const {
   std::ostringstream out;
@@ -146,11 +181,11 @@ std::string ScenarioSpec::to_text() const {
   out << "months_begin=" << months_begin << '\n';
   out << "months_end=" << months_end << '\n';
   out << "seed=" << seed << '\n';
-  out << "utilization_scale=" << fmt_double(utilization_scale) << '\n';
-  out << "job_count_scale=" << fmt_double(job_count_scale) << '\n';
-  out << "age_weight=" << fmt_double(scheduler.age_weight) << '\n';
+  out << "utilization_scale=" << format_double_exact(utilization_scale) << '\n';
+  out << "job_count_scale=" << format_double_exact(job_count_scale) << '\n';
+  out << "age_weight=" << format_double_exact(scheduler.age_weight) << '\n';
   out << "age_cap=" << scheduler.age_cap << '\n';
-  out << "size_weight=" << fmt_double(scheduler.size_weight) << '\n';
+  out << "size_weight=" << format_double_exact(scheduler.size_weight) << '\n';
   out << "backfill=" << (scheduler.backfill ? "true" : "false") << '\n';
   out << "reservation_depth=" << scheduler.reservation_depth << '\n';
   out << "max_backfill_candidates=" << scheduler.max_backfill_candidates << '\n';
@@ -160,21 +195,43 @@ std::string ScenarioSpec::to_text() const {
   return out.str();
 }
 
+bool validate_spec(const ScenarioSpec& spec, std::string* error) {
+  try {
+    (void)trace::preset_by_name(spec.cluster);
+  } catch (const std::invalid_argument&) {
+    return fail(error, "unknown cluster: " + spec.cluster);
+  }
+  if (spec.months_end <= spec.months_begin) {
+    return fail(error, "months_end must be > months_begin");
+  }
+  const auto preset = spec.resolved_preset();
+  const SimTime horizon = static_cast<SimTime>(spec.months_end) * util::kMonth;
+  for (const auto& ev : spec.events) {
+    if (ev.repeat_count < 1 || (ev.repeat_count > 1 && ev.repeat_every <= 0)) {
+      return fail(error, "bad recurrence: " + event_to_csv(ev));
+    }
+    if (ev.kind == ScenarioEventKind::kBurst && ev.nodes > preset.node_count) {
+      return fail(error, "burst jobs request more nodes than the cluster has");
+    }
+    // One-shot events past the horizon are harmless no-ops (kept for
+    // compatibility), but a recurring expansion that runs off the end of
+    // the scenario is a calendar bug — reject it loudly.
+    if (ev.is_recurring() && ev.last_occurrence() >= horizon) {
+      return fail(error, "recurring event expansion exceeds scenario horizon: " +
+                             event_to_csv(ev) + " (last occurrence at " +
+                             std::to_string(ev.last_occurrence()) + " >= horizon " +
+                             std::to_string(horizon) + ")");
+    }
+  }
+  return true;
+}
+
 std::optional<ScenarioSpec> parse_scenario(const std::string& text, std::string* error) {
   // Structural scan first: every non-comment, non-blank line must be
   // key=value, so junk files fail loudly instead of parsing as defaults.
-  {
-    std::istringstream in(text);
-    std::string line;
-    while (std::getline(in, line)) {
-      const auto hash = line.find('#');
-      if (hash != std::string::npos) line = line.substr(0, hash);
-      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-      if (line.find('=') == std::string::npos) {
-        fail(error, "malformed line (expected key=value): " + line);
-        return std::nullopt;
-      }
-    }
+  if (const auto bad = util::first_malformed_line(text)) {
+    fail(error, "malformed line (expected key=value): " + *bad);
+    return std::nullopt;
   }
 
   const auto cfg = util::Config::from_text(text);
@@ -250,24 +307,7 @@ std::optional<ScenarioSpec> parse_scenario(const std::string& text, std::string*
             [](const auto& a, const auto& b) { return a.first < b.first; });
   for (auto& [idx, ev] : events) spec.events.push_back(ev);
 
-  // Semantic validation.
-  try {
-    (void)trace::preset_by_name(spec.cluster);
-  } catch (const std::invalid_argument&) {
-    fail(error, "unknown cluster: " + spec.cluster);
-    return std::nullopt;
-  }
-  if (spec.months_end <= spec.months_begin) {
-    fail(error, "months_end must be > months_begin");
-    return std::nullopt;
-  }
-  const auto preset = spec.resolved_preset();
-  for (const auto& ev : spec.events) {
-    if (ev.kind == ScenarioEventKind::kBurst && ev.nodes > preset.node_count) {
-      fail(error, "burst jobs request more nodes than the cluster has");
-      return std::nullopt;
-    }
-  }
+  if (!validate_spec(spec, error)) return std::nullopt;
   return spec;
 }
 
@@ -293,7 +333,7 @@ bool save_scenario_file(const ScenarioSpec& spec, const std::string& path) {
 
 std::vector<sim::ClusterEvent> capacity_events(const ScenarioSpec& spec) {
   std::vector<sim::ClusterEvent> out;
-  for (const auto& ev : spec.events) {
+  for (const auto& ev : expand_events(spec.events)) {
     if (!ev.is_capacity_event()) continue;
     sim::ClusterEvent ce;
     ce.time = ev.time;
@@ -318,12 +358,14 @@ trace::Trace build_workload(const ScenarioSpec& spec) {
   trace::SyntheticTraceGenerator gen(preset, opt);
   auto workload = gen.generate_months(spec.months_begin, spec.months_end);
 
-  // Lower bursts onto ordinary arrivals. Each burst draws its jitter from
-  // a child stream split off the spec seed, so the workload is a pure
-  // function of the spec.
+  // Lower bursts onto ordinary arrivals. Each burst occurrence draws its
+  // jitter from a child stream split off the spec seed (one split per
+  // occurrence, in expansion order), so the workload is a pure function of
+  // the spec — and one-shot bursts split exactly as they did before
+  // recurrence existed.
   util::Rng master(spec.seed ^ 0xb5b5'7a11'f00d'cafeull);
   std::int64_t next_id = 9'000'000;
-  for (const auto& ev : spec.events) {
+  for (const auto& ev : expand_events(spec.events)) {
     if (ev.kind != ScenarioEventKind::kBurst) continue;
     util::Rng rng = master.split();
     for (std::int32_t i = 0; i < ev.count; ++i) {

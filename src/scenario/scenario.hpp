@@ -34,6 +34,11 @@ enum class ScenarioEventKind : std::uint8_t { kNodeDown, kDrain, kNodeRestore, k
 /// One timed event. Capacity kinds map 1:1 onto sim::ClusterEvent; kBurst
 /// is lowered onto ordinary arrival events by build_workload(), so both
 /// simulators see bursts through the same scheduling path.
+///
+/// Recurring events (maintenance calendars): repeat_count occurrences at
+/// time, time + repeat_every, ... — cron-style expansion performed by
+/// expand_events(). The parser rejects expansions whose last occurrence
+/// falls outside the scenario horizon (months_end).
 struct ScenarioEvent {
   ScenarioEventKind kind = ScenarioEventKind::kNodeDown;
   util::SimTime time = 0;
@@ -43,9 +48,29 @@ struct ScenarioEvent {
   util::SimTime runtime = 0;     ///< per-job runtime (seconds)
   util::SimTime limit = 0;       ///< per-job limit (0 = runtime)
   util::SimTime window = 600;    ///< burst arrivals spread over [time, time+window)
+  // Recurrence (all events; 1 = one-shot).
+  util::SimTime repeat_every = 0;
+  std::int32_t repeat_count = 1;
 
   bool is_capacity_event() const { return kind != ScenarioEventKind::kBurst; }
+  bool is_recurring() const { return repeat_count > 1; }
+  /// Submit time of the final occurrence.
+  util::SimTime last_occurrence() const {
+    return time + static_cast<util::SimTime>(repeat_count - 1) * repeat_every;
+  }
 };
+
+/// Flatten recurring events into one-shot occurrences (repeat_count=1),
+/// per-event in occurrence-time order. One-shot events pass through.
+std::vector<ScenarioEvent> expand_events(const std::vector<ScenarioEvent>& events);
+
+/// CSV row for one event: "type,time,nodes[,count,runtime,limit,window]
+/// [,repeat_every=..,repeat_count=..]" — the format used by event.N= lines
+/// in scenario files and profile.N.event.M= lines in lab plan files.
+std::string event_to_csv(const ScenarioEvent& ev);
+
+/// Parse one event CSV row (never throws); false + diagnostic on junk.
+bool parse_event_csv(const std::string& value, ScenarioEvent& ev, std::string* error = nullptr);
 
 const char* scenario_event_name(ScenarioEventKind k);
 
@@ -68,6 +93,13 @@ struct ScenarioSpec {
   /// Serialize to the key=value + event.N=CSV text format.
   std::string to_text() const;
 };
+
+/// Semantic validation (unknown cluster, inverted month range, oversize
+/// bursts, recurring expansions past the horizon). parse_scenario applies
+/// it; callers assembling specs or event profiles programmatically (e.g.
+/// the lab's plan parser) can apply it themselves. Never throws; false
+/// with a diagnostic in *error.
+bool validate_spec(const ScenarioSpec& spec, std::string* error = nullptr);
 
 /// Parse a spec from text. Returns nullopt (never crashes, never throws)
 /// on malformed input — unknown keys, bad numbers, junk lines, unknown

@@ -40,6 +40,18 @@ Config Config::from_text(const std::string& text) {
   return cfg;
 }
 
+std::optional<std::string> first_malformed_line(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (line.find('=') == std::string::npos) return line;
+  }
+  return std::nullopt;
+}
+
 void Config::set(const std::string& key, const std::string& value) { values_[key] = value; }
 
 bool Config::has(const std::string& key) const { return values_.count(key) > 0; }

@@ -35,4 +35,10 @@ class Config {
   std::map<std::string, std::string> values_;
 };
 
+/// Structural pre-scan for key=value file formats (scenario specs, lab
+/// plans): returns the first non-comment, non-blank line lacking '=', or
+/// nullopt when the whole text is well-formed. Lets parsers reject junk
+/// files loudly instead of silently reading them as all-defaults.
+std::optional<std::string> first_malformed_line(const std::string& text);
+
 }  // namespace mirage::util

@@ -38,7 +38,9 @@ std::vector<std::string> parse_csv_line(std::string_view line) {
 }
 
 std::string csv_escape(std::string_view field) {
-  if (field.find_first_of(",\"\n") == std::string_view::npos) {
+  // '\r' must be quoted too: the reader strips bare CRs (CRLF tolerance),
+  // so an unquoted carriage return would not survive a round trip.
+  if (field.find_first_of(",\"\n\r") == std::string_view::npos) {
     return std::string(field);
   }
   std::string out = "\"";
@@ -63,8 +65,14 @@ CsvTable CsvTable::parse(std::string_view text, bool has_header) {
   std::size_t pos = 0;
   bool first = true;
   while (pos <= text.size()) {
-    std::size_t eol = text.find('\n', pos);
-    if (eol == std::string_view::npos) eol = text.size();
+    // Record boundary: the next newline *outside quotes* (quoted fields
+    // may legally contain newlines and must not split the record).
+    std::size_t eol = pos;
+    bool in_quotes = false;
+    while (eol < text.size() && (in_quotes || text[eol] != '\n')) {
+      if (text[eol] == '"') in_quotes = !in_quotes;
+      ++eol;
+    }
     const std::string_view line = text.substr(pos, eol - pos);
     pos = eol + 1;
     if (line.empty() && pos > text.size()) break;

@@ -14,7 +14,9 @@ namespace mirage::util {
 /// Split one CSV line into fields (RFC-4180-ish: double quotes escape).
 std::vector<std::string> parse_csv_line(std::string_view line);
 
-/// Quote a field iff it contains a comma, quote, or newline.
+/// Quote a field iff it contains a comma, quote, newline, or carriage
+/// return (all of which would otherwise not round-trip through
+/// parse_csv_line).
 std::string csv_escape(std::string_view field);
 
 /// Streaming CSV writer.
@@ -27,7 +29,11 @@ class CsvWriter {
   std::ostream& out_;
 };
 
-/// Whole-file CSV table with optional header row.
+/// Whole-file CSV table with optional header row. Record boundaries are
+/// quote-aware (a quoted field may span newlines, RFC-4180); the flip side
+/// is that an *unbalanced* quote in hand-edited input consumes the rest of
+/// the text as one record — writers in this repo always emit balanced
+/// quotes via csv_escape.
 class CsvTable {
  public:
   /// Parse from a string (e.g., file contents). If `has_header`, the first

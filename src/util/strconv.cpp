@@ -1,0 +1,46 @@
+#include "util/strconv.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <limits>
+
+namespace mirage::util {
+
+std::string format_double_exact(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool parse_i64(const std::string& s, std::int64_t& out) {
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+bool parse_i32(const std::string& s, std::int32_t& out) {
+  std::int64_t v = 0;
+  if (!parse_i64(s, v) || v < std::numeric_limits<std::int32_t>::min() ||
+      v > std::numeric_limits<std::int32_t>::max()) {
+    return false;
+  }
+  out = static_cast<std::int32_t>(v);
+  return true;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+bool parse_f64(const std::string& s, double& out) {
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && p == s.data() + s.size();
+}
+
+bool parse_bool(const std::string& s, bool& out) {
+  if (s == "true" || s == "1") return out = true, true;
+  if (s == "false" || s == "0") return out = false, true;
+  return false;
+}
+
+}  // namespace mirage::util

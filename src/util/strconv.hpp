@@ -1,0 +1,24 @@
+// Strict string<->number conversions shared by the text-format parsers
+// (scenario specs, experiment plans, artifact manifests). Parsers accept a
+// value only when the whole token converts; format_double_exact emits
+// "%.17g", which round-trips IEEE doubles bitwise — a load-bearing
+// property for the lab's resume-equals-uninterrupted contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mirage::util {
+
+/// "%.17g": shortest width guaranteed to reload bitwise via parse_f64.
+std::string format_double_exact(double v);
+
+bool parse_i64(const std::string& s, std::int64_t& out);
+/// parse_i64 plus an int32 range check.
+bool parse_i32(const std::string& s, std::int32_t& out);
+bool parse_u64(const std::string& s, std::uint64_t& out);
+bool parse_f64(const std::string& s, double& out);
+/// "true"/"1" and "false"/"0" only.
+bool parse_bool(const std::string& s, bool& out);
+
+}  // namespace mirage::util

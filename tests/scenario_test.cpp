@@ -7,6 +7,7 @@
 #include "scenario/sweep.hpp"
 #include "sim/reference_simulator.hpp"
 #include "sim/simulator.hpp"
+#include "util/csv.hpp"
 
 namespace mirage::scenario {
 namespace {
@@ -382,6 +383,105 @@ TEST(Sweep, PipelineConfigInheritsScenarioKnobs) {
   EXPECT_EQ(cfg.generator.seed, 99u);
   EXPECT_DOUBLE_EQ(cfg.generator.utilization_scale, 1.3);
   EXPECT_EQ(cfg.episode.job_nodes, 2);
+}
+
+TEST(Sweep, CsvQuotesHostileCellAndProfileNames) {
+  // Satellite contract: names containing delimiters survive to_csv ->
+  // util::csv parse (quoting/escaping, not stripping).
+  SweepReport report;
+  ScenarioResult cell;
+  cell.name = "a100/u1.10,d8/\"flash, crowd\"\rnightly";
+  cell.total_nodes = 76;
+  report.cells.push_back(cell);
+  finalize_report(report);
+
+  const auto table = util::CsvTable::parse(report.to_csv(), /*has_header=*/true);
+  ASSERT_EQ(table.row_count(), 1u);
+  const int col = table.column("scenario");
+  ASSERT_GE(col, 0);
+  EXPECT_EQ(table.row(0)[static_cast<std::size_t>(col)], cell.name);
+}
+
+// -------------------------------------------------------- Recurring events
+
+TEST(RecurringEvents, RoundTripAndExpansion) {
+  ScenarioSpec spec = small_spec();
+  // Weekly 4-occurrence maintenance calendar + recurring burst.
+  spec.events.push_back(
+      {ScenarioEventKind::kDrain, 2 * util::kDay, 10, 0, 0, 0, 600, util::kWeek, 4});
+  spec.events.push_back({ScenarioEventKind::kBurst, 3 * util::kDay, 2, 10, 3600, 7200, 600,
+                         util::kWeek, 3});
+
+  EXPECT_NE(event_to_csv(spec.events[0]).find("repeat_every=604800"), std::string::npos);
+  EXPECT_NE(event_to_csv(spec.events[0]).find("repeat_count=4"), std::string::npos);
+
+  std::string error;
+  const auto parsed = parse_scenario(spec.to_text(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->to_text(), spec.to_text());
+  ASSERT_EQ(parsed->events.size(), 2u);
+  EXPECT_EQ(parsed->events[0].repeat_count, 4);
+  EXPECT_EQ(parsed->events[0].repeat_every, util::kWeek);
+
+  const auto expanded = expand_events(parsed->events);
+  ASSERT_EQ(expanded.size(), 7u);  // 4 drains + 3 bursts
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(expanded[i].kind, ScenarioEventKind::kDrain);
+    EXPECT_EQ(expanded[i].time, 2 * util::kDay + i * util::kWeek);
+    EXPECT_EQ(expanded[i].repeat_count, 1);  // occurrences are one-shot
+  }
+  EXPECT_EQ(capacity_events(*parsed).size(), 4u);
+
+  // Each burst occurrence injects `count` jobs into the workload.
+  ScenarioSpec calm = small_spec();
+  const auto base_jobs = build_workload(calm).size();
+  const auto jobs = build_workload(*parsed).size();
+  EXPECT_EQ(jobs, base_jobs + 3u * 10u);
+}
+
+TEST(RecurringEvents, OneShotBehaviorIsUnchanged) {
+  // A default-constructed recurrence (count=1) must leave workloads and
+  // schedules bitwise identical to the pre-recurrence engine: same single
+  // occurrence, same per-burst RNG splits.
+  ScenarioSpec spec = small_spec();
+  spec.events.push_back({ScenarioEventKind::kBurst, 5 * util::kDay, 2, 30, 3600, 7200, 600});
+  spec.events.push_back({ScenarioEventKind::kNodeDown, 6 * util::kDay, 10, 0, 0, 0, 600});
+  const auto expanded = expand_events(spec.events);
+  ASSERT_EQ(expanded.size(), 2u);
+  EXPECT_EQ(expanded[0].time, spec.events[0].time);
+  EXPECT_EQ(run_scenario(spec), run_scenario(spec));
+}
+
+TEST(RecurringEvents, ExpansionBeyondHorizonIsRejectedWithDiagnostic) {
+  // months_end=1 -> horizon is 30 days; 9 weekly occurrences run past it.
+  const std::string text =
+      "cluster=a100\nmonths_end=1\n"
+      "event.0=down,86400,4,repeat_every=604800,repeat_count=9\n";
+  std::string error;
+  EXPECT_FALSE(parse_scenario(text, &error).has_value());
+  EXPECT_NE(error.find("horizon"), std::string::npos) << error;
+
+  // The same calendar fits a 3-month scenario.
+  const std::string ok_text =
+      "cluster=a100\nmonths_end=3\n"
+      "event.0=down,86400,4,repeat_every=604800,repeat_count=9\n";
+  EXPECT_TRUE(parse_scenario(ok_text, &error).has_value()) << error;
+}
+
+TEST(RecurringEvents, MalformedRecurrenceKeysAreRejected) {
+  const char* bad[] = {
+      "cluster=a100\nmonths_end=1\nevent.0=down,5,2,repeat_count=3",  // no repeat_every
+      "cluster=a100\nmonths_end=1\nevent.0=down,5,2,repeat_every=60", // no repeat_count
+      "cluster=a100\nmonths_end=1\nevent.0=down,5,2,repeat_every=0,repeat_count=3",
+      "cluster=a100\nmonths_end=1\nevent.0=down,5,2,repeat_every=60,repeat_count=0",
+      "cluster=a100\nmonths_end=1\nevent.0=down,5,2,cron=weekly",     // unknown keyword
+      "cluster=a100\nmonths_end=1\nevent.0=down,5,repeat_every=60,2", // positional after kw
+  };
+  for (const char* text : bad) {
+    std::string error;
+    EXPECT_FALSE(parse_scenario(text, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
 }
 
 }  // namespace

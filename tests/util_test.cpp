@@ -345,6 +345,28 @@ TEST(Csv, EscapeRoundTrip) {
   EXPECT_EQ(parsed[0], nasty);
 }
 
+TEST(Csv, EscapeQuotesCarriageReturn) {
+  // A bare CR is stripped by the reader (CRLF tolerance), so the writer
+  // must quote it or the field does not round-trip.
+  const std::string nasty = "a\rb";
+  EXPECT_EQ(parse_csv_line(nasty)[0], "ab");  // the hazard being guarded
+  const auto parsed = parse_csv_line(csv_escape(nasty));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0], nasty);
+}
+
+TEST(Csv, TableKeepsQuotedNewlinesInOneRecord) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"name", "value"});
+  w.write_row({"multi\nline,name", "1"});
+  w.write_row({"plain", "2"});
+  const auto table = CsvTable::parse(out.str(), /*has_header=*/true);
+  ASSERT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.row(0)[0], "multi\nline,name");
+  EXPECT_EQ(table.row(1)[0], "plain");
+}
+
 TEST(Csv, WriterAndTableRoundTrip) {
   std::ostringstream out;
   CsvWriter w(out);
