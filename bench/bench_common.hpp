@@ -8,14 +8,74 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/pipeline.hpp"
 #include "util/config.hpp"
 #include "util/logging.hpp"
+#include "util/strconv.hpp"
 
 namespace mirage::bench {
+
+/// Machine-readable bench result: written as BENCH_<name>.json next to
+/// the stdout tables so CI can archive the perf trajectory across PRs.
+/// Values are flat string/double pairs; doubles are emitted with %.17g so
+/// the JSON round-trips exactly.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {
+    add("bench", name_);
+  }
+
+  BenchJson& add(const std::string& key, const std::string& value) {
+    std::string escaped;
+    for (const char c : value) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    fields_.push_back("\"" + key + "\": \"" + escaped + "\"");
+    return *this;
+  }
+  BenchJson& add(const std::string& key, double value) {
+    fields_.push_back("\"" + key + "\": " + util::format_double_exact(value));
+    return *this;
+  }
+  BenchJson& add(const std::string& key, std::int64_t value) {
+    fields_.push_back("\"" + key + "\": " + std::to_string(value));
+    return *this;
+  }
+
+  std::string to_json() const {
+    std::ostringstream out;
+    out << "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out << (i ? ", " : "") << fields_[i];
+    }
+    out << "}\n";
+    return out.str();
+  }
+
+  /// Write BENCH_<name>.json into the working directory (CI uploads the
+  /// glob). Returns false — and prints a warning — when unwritable.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (out) out << to_json();
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("bench json: %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> fields_;
+};
 
 struct FigureRun {
   trace::ClusterPreset preset;

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "lab/artifact_store.hpp"
 #include "lab/experiment.hpp"
 #include "lab/runner.hpp"
@@ -119,6 +120,18 @@ int main(int argc, char** argv) {
               "bitwise identical: %s\n",
               dropped, resumed.jobs_run, resumed.jobs_resumed, resumed_s,
               resume_ok ? "yes" : "NO");
+
+  bench::BenchJson json("lab_sweep");
+  json.add("cells", static_cast<std::int64_t>(cells.size()))
+      .add("jobs", static_cast<std::int64_t>(parallel.jobs_total))
+      .add("threads", static_cast<std::int64_t>(threads))
+      .add("wall_seconds_serial", serial_s)
+      .add("wall_seconds", parallel_s)
+      .add("cells_per_sec", parallel_s > 0 ? static_cast<double>(cells.size()) / parallel_s : 0.0)
+      .add("jobs_per_sec",
+           parallel_s > 0 ? static_cast<double>(parallel.jobs_total) / parallel_s : 0.0)
+      .add("resume_wall_seconds", resumed_s);
+  json.write();
 
   if (!static_cast<bool>(cli.get_int("keep", 0))) fs::remove_all(root);
   if (!parallel_ok || !resume_ok) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/sweep.hpp"
 #include "util/config.hpp"
@@ -65,6 +66,10 @@ int main(int argc, char** argv) {
 
   double base_seconds = 0.0;
   std::uint64_t base_hash = 0;
+  bench::BenchJson json("scenario_sweep");
+  json.add("cells", static_cast<std::int64_t>(cells.size()));
+  double best_cells_per_sec = 0.0;
+  std::size_t best_threads = 0;
   for (const std::size_t threads : thread_counts) {
     const double t0 = util::wall_seconds();
     const auto report = scenario::SweepRunner(threads).run(cells);
@@ -77,13 +82,22 @@ int main(int argc, char** argv) {
       base_hash = combined;
     }
     const bool identical = combined == base_hash;
+    const double cells_per_sec = static_cast<double>(cells.size()) / seconds;
     std::printf("  threads=%2zu  %7.2fs  speedup %5.2fx  cells/s %6.2f  identical=%s\n", threads,
-                seconds, base_seconds / seconds, static_cast<double>(cells.size()) / seconds,
-                identical ? "yes" : "NO");
+                seconds, base_seconds / seconds, cells_per_sec, identical ? "yes" : "NO");
+    json.add("wall_seconds_t" + std::to_string(threads), seconds);
+    json.add("cells_per_sec_t" + std::to_string(threads), cells_per_sec);
+    if (cells_per_sec > best_cells_per_sec) {
+      best_cells_per_sec = cells_per_sec;
+      best_threads = threads;
+    }
     if (!identical) {
       std::printf("ERROR: results diverged at threads=%zu\n", threads);
       return 1;
     }
   }
+  json.add("threads", static_cast<std::int64_t>(best_threads));
+  json.add("cells_per_sec", best_cells_per_sec);
+  json.write();
   return 0;
 }

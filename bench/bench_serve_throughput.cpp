@@ -25,6 +25,7 @@
 #include <future>
 #include <thread>
 
+#include "bench_common.hpp"
 #include "core/checkpoint.hpp"
 #include "rl/state_encoder.hpp"
 #include "serve/inference_engine.hpp"
@@ -191,6 +192,17 @@ int main(int argc, char** argv) {
               stats.latency.max_ms);
 
   std::printf("\nbatched >=4x target (B>=16): %s\n", target_met ? "PASS" : "FAIL");
+
+  bench::BenchJson json("serve_throughput");
+  json.add("decisions", static_cast<std::int64_t>(n))
+      .add("threads", static_cast<std::int64_t>(clients))
+      .add("wall_seconds", engine_seconds)
+      .add("sequential_decisions_per_sec", seq_dps)
+      .add("engine_decisions_per_sec", engine_dps)
+      .add("latency_p99_ms", stats.latency.p99_ms)
+      .add("target_met", static_cast<std::int64_t>(target_met ? 1 : 0));
+  json.write();
+
   std::filesystem::remove(ckpt);
   return target_met ? 0 : 2;
 }

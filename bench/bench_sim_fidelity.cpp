@@ -5,6 +5,7 @@
 // and 3-26x respectively, plus "one month simulated within one minute".
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "sim/fidelity.hpp"
 #include "sim/reference_simulator.hpp"
 #include "sim/simulator.hpp"
@@ -44,6 +45,8 @@ int main(int argc, char** argv) {
   std::printf("%-8s %14s %14s %10s %12s %16s\n", "depth", "worst mkspanΔ", "worst JCT-gm",
               "fast(s)", "ref/fast", "months/minute");
 
+  bench::BenchJson json("sim_fidelity");
+  json.add("weeks", static_cast<std::int64_t>(weeks)).add("threads", std::int64_t{1});
   for (int depth : {1, 4, 8, 16}) {
     sim::SchedulerConfig cfg;
     cfg.reservation_depth = depth;
@@ -62,10 +65,15 @@ int main(int argc, char** argv) {
       total_ref += (t2 - t1);
       simulated_seconds += rep.makespan_a;
     }
+    const double months_per_minute =
+        simulated_seconds / static_cast<double>(util::kMonth) / (total_fast / 60.0);
     std::printf("%-8d %13.2f%% %14.3f %10.3f %11.1fx %16.0f\n", depth, 100.0 * worst_makespan,
                 worst_jct, total_fast, total_ref / std::max(total_fast, 1e-9),
-                simulated_seconds / static_cast<double>(util::kMonth) / (total_fast / 60.0));
+                months_per_minute);
+    json.add("wall_seconds_d" + std::to_string(depth), total_fast);
+    json.add("months_per_minute_d" + std::to_string(depth), months_per_minute);
   }
+  json.write();
 
   std::printf("\npaper §5.2 reference: makespan diff < 2.5%%, JCT geomean diff < 15%%, 3-26x\n"
               "lower overhead than the standard Slurm simulator, ~1 simulated month per\n"

@@ -1,14 +1,17 @@
-// Scenario sweep demo: expand a 16-cell scenario matrix (load scale x
-// backfill depth x event profile — outages, maintenance drains, flash
-// crowds), run every cell in parallel on the thread pool, verify the
-// results are bitwise identical to a single-threaded run, and print the
-// per-scenario queue-wait/utilization report.
+// Scenario sweep demo: expand a 40-cell scenario matrix (load scale x
+// backfill depth x event profile x partition layout — outages, maintenance
+// drains, flash crowds, preemption bursts, correlated rack failures, on
+// both a single pool and a heterogeneous 3-partition layout), run every
+// cell in parallel on the thread pool, verify the results are bitwise
+// identical to a single-threaded run, and print the per-scenario
+// queue-wait/utilization report.
 //
 //   ./scenario_sweep [cluster=a100] [months=2] [scale=0.15] [threads=0]
 //
 // threads=0 uses hardware concurrency. The parallel-vs-serial check is the
 // determinism contract the sweep harness guarantees: per-cell RNG streams
 // are pre-assigned at expansion time, so thread count never changes results.
+#include <algorithm>
 #include <cstdio>
 
 #include "scenario/scenario.hpp"
@@ -49,10 +52,31 @@ int main(int argc, char** argv) {
        {{ScenarioEventKind::kBurst, 15 * util::kDay, 2, 120, util::kHour, 2 * util::kHour,
          30 * util::kMinute}}},
   };
+  // Correlated rack failure (one RNG draw expands into rack-sized downs)
+  // followed by a preemption burst whose victims checkpoint and requeue.
+  {
+    ScenarioEvent correlated{ScenarioEventKind::kCorrelatedDown, 8 * util::kDay, half};
+    correlated.rack_size = std::max(1, half / 4);
+    correlated.seed = matrix.base.seed;
+    ScenarioEvent preempt{ScenarioEventKind::kPreempt, 16 * util::kDay, half / 2};
+    preempt.requeue_delay = 2 * util::kHour;
+    ScenarioEvent restore{ScenarioEventKind::kNodeRestore, 18 * util::kDay, half};
+    matrix.event_profiles.push_back({"failures", {correlated, preempt, restore}});
+  }
+  // Partition axis: the same workloads on one pool vs a heterogeneous
+  // v100/rtx/a100 split of the same capacity (jobs roam; events without a
+  // partition= key hit partitions in index order).
+  const std::int32_t third = nodes / 3;
+  matrix.partition_layouts = {
+      {"single", {}},
+      {"3pool", {{"v100", nodes - 2 * third}, {"rtx", third}, {"a100", third}}},
+  };
 
   const auto cells = matrix.expand();
+  std::size_t eventful = 0;
+  for (const auto& c : cells) eventful += c.has_events();
   std::printf("scenario sweep: %zu cells (%zu event-bearing) on cluster %s\n\n", cells.size(),
-              cells.size() / 4 * 3, matrix.base.cluster.c_str());
+              eventful, matrix.base.cluster.c_str());
 
   const double t0 = util::wall_seconds();
   const auto serial = scenario::SweepRunner::run_serial(cells);

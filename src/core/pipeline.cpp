@@ -21,8 +21,20 @@ PipelineConfig PipelineConfig::compact(const trace::ClusterPreset& preset, std::
   cfg.episode.decision_interval = 30 * util::kMinute;  // 10 min at paper scale
   cfg.episode.history_len = 16;                        // 144 at paper scale
 
+  // Thread the preset's partition layout into every episode simulator and
+  // size the model input for the per-partition capacity features (exactly
+  // rl::kFrameDim on single-partition presets).
+  std::size_t partition_count = 1;
+  if (!preset.partitions.empty()) {
+    partition_count = preset.partitions.size();
+    cfg.episode.partitions.reserve(partition_count);
+    for (const auto& p : preset.partitions) {
+      cfg.episode.partitions.push_back(sim::Partition{p.name, p.node_count});
+    }
+  }
+
   cfg.net.history_len = cfg.episode.history_len;
-  cfg.net.state_dim = rl::kFrameDim;
+  cfg.net.state_dim = rl::frame_dim(partition_count);
   cfg.net.d_model = 16;
   cfg.net.num_heads = 2;
   cfg.net.num_layers = 1;

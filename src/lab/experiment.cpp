@@ -93,6 +93,14 @@ std::string ExperimentPlan::to_text() const {
           << scenario::event_to_csv(profile.events[j]) << '\n';
     }
   }
+  for (std::size_t i = 0; i < matrix.partition_layouts.size(); ++i) {
+    const auto& layout = matrix.partition_layouts[i];
+    out << "layout." << i << ".name=" << layout.name << '\n';
+    for (std::size_t j = 0; j < layout.partitions.size(); ++j) {
+      out << "layout." << i << ".partition." << j << '=' << layout.partitions[j].name << ','
+          << layout.partitions[j].node_count << '\n';
+    }
+  }
   // Embed the base scenario with a "base." prefix, reusing its own
   // serialization line-for-line (comment lines dropped).
   std::istringstream base(matrix.base.to_text());
@@ -122,9 +130,12 @@ std::optional<ExperimentPlan> parse_plan(const std::string& text, std::string* e
   ExperimentPlan plan;
   std::ostringstream base_text;
   // profile index -> (name, event index -> csv). Ordered maps keep the
-  // numeric keys sorted so expansion order matches file order.
+  // numeric keys sorted so expansion order matches file order. Partition
+  // layouts (the partition axis) use the same two-level key scheme.
   std::map<std::int64_t, std::string> profile_names;
   std::map<std::int64_t, std::map<std::int64_t, std::string>> profile_events;
+  std::map<std::int64_t, std::string> layout_names;
+  std::map<std::int64_t, std::map<std::int64_t, trace::ClusterPartition>> layout_partitions;
 
   for (const auto& key : cfg.keys()) {
     const std::string value = cfg.get_string(key, "");
@@ -208,6 +219,34 @@ std::optional<ExperimentPlan> parse_plan(const std::string& text, std::string* e
         fail(error, "unknown profile field: " + key);
         return std::nullopt;
       }
+    } else if (key.rfind("layout.", 0) == 0) {
+      const std::string rest = key.substr(7);
+      const auto dot = rest.find('.');
+      std::int64_t index = 0;
+      if (dot == std::string::npos || !parse_i64(rest.substr(0, dot), index) || index < 0) {
+        fail(error, "bad layout key: " + key);
+        return std::nullopt;
+      }
+      const std::string field = rest.substr(dot + 1);
+      if (field == "name") {
+        layout_names[index] = value;
+      } else if (field.rfind("partition.", 0) == 0) {
+        std::int64_t part_index = 0;
+        if (!parse_i64(field.substr(10), part_index) || part_index < 0) {
+          fail(error, "bad layout partition key: " + key);
+          return std::nullopt;
+        }
+        trace::ClusterPartition part;
+        std::string part_error;
+        if (!scenario::parse_partition_csv(value, part, &part_error)) {
+          fail(error, "layout " + part_error);
+          return std::nullopt;
+        }
+        layout_partitions[index][part_index] = part;
+      } else {
+        fail(error, "unknown layout field: " + key);
+        return std::nullopt;
+      }
     } else if (key.rfind("base.", 0) == 0) {
       base_text << key.substr(5) << '=' << value << '\n';
     } else {
@@ -271,6 +310,21 @@ std::optional<ExperimentPlan> parse_plan(const std::string& text, std::string* e
     }
   }
 
+  for (const auto& [index, name] : layout_names) {
+    scenario::PartitionLayout layout;
+    layout.name = name;
+    if (const auto parts = layout_partitions.find(index); parts != layout_partitions.end()) {
+      for (const auto& [part_index, part] : parts->second) layout.partitions.push_back(part);
+    }
+    plan.matrix.partition_layouts.push_back(std::move(layout));
+  }
+  for (const auto& [index, parts] : layout_partitions) {
+    if (!layout_names.count(index)) {
+      fail(error, "layout." + std::to_string(index) + " has partitions but no name");
+      return std::nullopt;
+    }
+  }
+
   // Semantic validation of the matrix axes: every (cluster, profile)
   // combination the expansion will produce must be a valid scenario —
   // unknown cluster names, oversize bursts, and recurring calendars past
@@ -281,16 +335,21 @@ std::optional<ExperimentPlan> parse_plan(const std::string& text, std::string* e
                                                 : plan.matrix.clusters;
   std::vector<scenario::EventProfile> profiles = plan.matrix.event_profiles;
   if (profiles.empty()) profiles.push_back({"base", plan.matrix.base.events});
+  std::vector<scenario::PartitionLayout> layouts = plan.matrix.partition_layouts;
+  if (layouts.empty()) layouts.push_back({"base", plan.matrix.base.partitions});
   for (const auto& cluster : clusters) {
     scenario::ScenarioSpec probe = plan.matrix.base;
     probe.cluster = cluster;
     for (const auto& profile : profiles) {
       probe.events = profile.events;
-      std::string probe_error;
-      if (!scenario::validate_spec(probe, &probe_error)) {
-        fail(error, "invalid cell (cluster " + cluster + ", profile " + profile.name +
-                        "): " + probe_error);
-        return std::nullopt;
+      for (const auto& layout : layouts) {
+        probe.partitions = layout.partitions;
+        std::string probe_error;
+        if (!scenario::validate_spec(probe, &probe_error)) {
+          fail(error, "invalid cell (cluster " + cluster + ", profile " + profile.name +
+                          ", layout " + layout.name + "): " + probe_error);
+          return std::nullopt;
+        }
       }
     }
   }
@@ -326,6 +385,10 @@ core::PipelineConfig cell_pipeline_config(const ExperimentPlan& plan,
   cfg.episode.max_horizon = plan.budget.max_horizon;
   cfg.episode.job_runtime = plan.budget.job_runtime;
   cfg.episode.job_limit = plan.budget.job_runtime;
+  // Capacity events reach the training/evaluation episodes themselves (a
+  // PR 3 follow-on): every episode simulator of the cell replays the
+  // cell's outages/drains/preemptions, not just the background metrics.
+  cfg.episode.cluster_events = scenario::capacity_events(cell);
   return cfg;
 }
 

@@ -6,15 +6,41 @@
 
 namespace mirage::lab {
 
+namespace {
+
+/// The first cell's spec shape without expanding the whole matrix: only
+/// the axes that change the model/frame shape are applied. A
+/// partition-layout axis widens the state frames (one free-capacity
+/// feature per partition) and the base spec does not carry the axis, so
+/// serving must be sized from it. Mixed-width plans can only serve cells
+/// matching the first layout's width — the registry rejects the others
+/// loudly at load time.
+scenario::ScenarioSpec first_cell_shape(const ExperimentPlan& plan) {
+  scenario::ScenarioSpec shape = plan.matrix.base;
+  if (!plan.matrix.clusters.empty()) shape.cluster = plan.matrix.clusters.front();
+  if (!plan.matrix.partition_layouts.empty()) {
+    shape.partitions = plan.matrix.partition_layouts.front().partitions;
+  }
+  return shape;
+}
+
+}  // namespace
+
 serve::RegistryConfig registry_config(const ExperimentPlan& plan) {
   serve::RegistryConfig cfg;
-  cfg.net_defaults = cell_pipeline_config(plan, plan.matrix.base).net;
+  cfg.net_defaults = cell_pipeline_config(plan, first_cell_shape(plan)).net;
   cfg.expected_state_dim = cfg.net_defaults.state_dim;
   return cfg;
 }
 
 std::size_t serving_history_len(const ExperimentPlan& plan) {
-  return cell_pipeline_config(plan, plan.matrix.base).episode.history_len;
+  return cell_pipeline_config(plan, first_cell_shape(plan)).episode.history_len;
+}
+
+std::size_t serving_partition_count(const ExperimentPlan& plan) {
+  const auto partitions =
+      cell_pipeline_config(plan, first_cell_shape(plan)).episode.partitions;
+  return partitions.empty() ? 1 : partitions.size();
 }
 
 PromotionResult promote_best(const Leaderboard& leaderboard, const ExperimentPlan& plan,

@@ -42,4 +42,9 @@ serve::RegistryConfig registry_config(const ExperimentPlan& plan);
 /// checkpoint's history_len).
 std::size_t serving_history_len(const ExperimentPlan& plan);
 
+/// Partition count sessions must encode with to feed a lab-trained model
+/// (ServiceConfig::partition_count; 1 for single-pool plans). Sized from
+/// the plan's first partition layout, like registry_config.
+std::size_t serving_partition_count(const ExperimentPlan& plan);
+
 }  // namespace mirage::lab

@@ -25,10 +25,21 @@ trace::Trace slice_for_episode(const trace::Trace& full, SimTime t0, const Episo
   return out;
 }
 
+namespace {
+sim::ClusterModel episode_cluster(const EpisodeConfig& config, std::int32_t cluster_nodes) {
+  if (config.partitions.empty()) return sim::ClusterModel(cluster_nodes);
+  return sim::ClusterModel(config.partitions);
+}
+}  // namespace
+
 ProvisionEnv::ProvisionEnv(const trace::Trace& background, std::int32_t cluster_nodes,
                            const EpisodeConfig& config, SimTime t0, sim::SchedulerConfig sched)
-    : config_(config), sim_(cluster_nodes, sched), encoder_(config.history_len), t0_(t0) {
+    : config_(config),
+      sim_(episode_cluster(config, cluster_nodes), sched),
+      encoder_(config.history_len, std::max<std::size_t>(1, config.partitions.size())),
+      t0_(t0) {
   sim_.load_workload(background);
+  for (const auto& ev : config_.cluster_events) sim_.schedule_cluster_event(ev);
 
   // Warm up the cluster, then record exactly k frames of pre-episode
   // history at the decision cadence.
@@ -60,7 +71,7 @@ JobPairContext ProvisionEnv::context() const {
   ctx.pred_limit = config_.job_limit;
   const auto status = sim_.status(pred_id_);
   const auto& pred = sim_.job(pred_id_);
-  if (status == sim::JobStatus::kPending) {
+  if (status == sim::JobStatus::kPending || status == sim::JobStatus::kPreempted) {
     ctx.pred_wait = sim_.now() - pred.submit_time;
   } else if (status != sim::JobStatus::kFuture) {
     ctx.pred_wait = sim_.start_time(pred_id_) - pred.submit_time;
@@ -79,11 +90,13 @@ std::vector<float> ProvisionEnv::features() const {
 SimTime ProvisionEnv::predecessor_end_estimate() const {
   if (pred_id_ < 0) return t0_ + config_.job_limit;
   const auto status = sim_.status(pred_id_);
-  if (status == sim::JobStatus::kCompleted) return sim_.end_time(pred_id_);
+  if (status == sim::JobStatus::kCompleted || status == sim::JobStatus::kKilled) {
+    return sim_.end_time(pred_id_);
+  }
   if (status == sim::JobStatus::kRunning) {
     return sim_.start_time(pred_id_) + std::min(config_.job_runtime, config_.job_limit);
   }
-  return trace::kUnsetTime;  // still queued: unknown
+  return trace::kUnsetTime;  // still queued (or awaiting requeue): unknown
 }
 
 SimTime ProvisionEnv::predecessor_remaining() const {
@@ -142,9 +155,14 @@ void ProvisionEnv::finish() {
   if (done_) return;
   sim_.run_until_started(succ_id_);
   sim_.run_until_complete(pred_id_);
-  const SimTime pred_end = sim_.end_time(pred_id_);
-  const SimTime succ_start = sim_.start_time(succ_id_);
-  assert(pred_end != trace::kUnsetTime && succ_start != trace::kUnsetTime);
+  // Capacity events can strand a sub-job (e.g. an outage that never
+  // restores kills the predecessor or leaves the successor queued when the
+  // event stream runs dry). Fall back to the final simulator instant so
+  // the episode still yields a well-defined (worst-case) outcome.
+  SimTime pred_end = sim_.end_time(pred_id_);
+  SimTime succ_start = sim_.start_time(succ_id_);
+  if (pred_end == trace::kUnsetTime) pred_end = sim_.now();
+  if (succ_start == trace::kUnsetTime) succ_start = sim_.now();
   successor_wait_ = succ_start - sim_.job(succ_id_).submit_time;
   outcome_ = make_outcome(pred_end, succ_start, config_.job_runtime);
   reward_ = shaped_reward(outcome_, config_.reward);

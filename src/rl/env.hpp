@@ -39,6 +39,19 @@ struct EpisodeConfig {
   /// Safety valve: force-submit this long after the predecessor ends if an
   /// agent somehow still hasn't (episodes always terminate).
   util::SimTime max_horizon = 14 * util::kDay;
+
+  /// Cluster partition layout for the episode simulator; empty = one
+  /// partition of the env's cluster_nodes (the pre-partition behavior).
+  /// Pipelines fill this from the preset so partition identity reaches
+  /// training episodes end to end.
+  std::vector<sim::Partition> partitions;
+
+  /// Timed capacity events (outages, preemption bursts, drains, restores,
+  /// correlated failures) replayed inside every episode simulator, so
+  /// capacity incidents shape the training/evaluation episodes themselves
+  /// — not just the background cell metrics. Times are absolute trace
+  /// times, like the background workload's.
+  std::vector<sim::ClusterEvent> cluster_events;
 };
 
 /// One provisioning episode over a trace window.

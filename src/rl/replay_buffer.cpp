@@ -28,9 +28,12 @@ std::vector<const Experience*> ReplayBuffer::sample(std::size_t n, util::Rng& rn
 }
 
 void set_action_channel(std::vector<float>& observation, std::size_t history_len, float value) {
-  assert(observation.size() == history_len * kFrameDim);
+  // The frame width varies with the cluster's partition count; the action
+  // channel is always the last slot of each frame.
+  const std::size_t stride = observation.size() / history_len;
+  assert(stride * history_len == observation.size() && stride >= kFrameDim);
   for (std::size_t i = 0; i < history_len; ++i) {
-    observation[i * kFrameDim + kStateVars] = value;
+    observation[i * stride + (stride - 1)] = value;
   }
 }
 

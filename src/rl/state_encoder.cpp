@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "util/stats.hpp"
 
@@ -21,7 +23,7 @@ void push_summary(std::vector<float>& out, const std::vector<double>& values, bo
 
 std::vector<float> encode_frame(const sim::StateSample& sample, const JobPairContext& ctx) {
   std::vector<float> f;
-  f.reserve(kStateVars);
+  f.reserve(frame_vars(sample.partition_count()));
   const float inv_nodes = 1.0f / static_cast<float>(std::max(1, sample.total_nodes));
 
   // --- Queue state (16 vars) ---
@@ -56,6 +58,18 @@ std::vector<float> encode_frame(const sim::StateSample& sample, const JobPairCon
   f.push_back(norm_time(static_cast<double>(ctx.pred_elapsed)));               // var 38
   f.push_back(static_cast<float>(ctx.succ_nodes) * inv_nodes);                 // var 39
   f.push_back(norm_time(static_cast<double>(ctx.succ_limit)));                 // var 40
+
+  // --- Per-partition free-capacity fractions (multi-partition only) ---
+  // Single-partition frames stay exactly kStateVars wide so pre-partition
+  // model inputs (and checkpoints) remain bitwise valid.
+  if (sample.partition_count() > 1) {
+    for (std::size_t p = 0; p < sample.partition_count(); ++p) {
+      const std::int32_t total = sample.partition_total[p];
+      f.push_back(total > 0 ? static_cast<float>(sample.partition_free[p]) /
+                                  static_cast<float>(total)
+                            : 0.0f);
+    }
+  }
 
   return f;
 }
@@ -106,7 +120,8 @@ std::vector<float> summary_features(const sim::StateSample& sample, const JobPai
 
 std::size_t summary_feature_count() { return 21; }
 
-StateEncoder::StateEncoder(std::size_t history_len) : k_(history_len) {}
+StateEncoder::StateEncoder(std::size_t history_len, std::size_t partition_count)
+    : k_(history_len), frame_vars_(frame_vars(partition_count)) {}
 
 void StateEncoder::reset() {
   frames_.clear();
@@ -114,27 +129,39 @@ void StateEncoder::reset() {
 }
 
 void StateEncoder::push(const sim::StateSample& sample, const JobPairContext& ctx) {
-  frames_.push_back(encode_frame(sample, ctx));
+  auto frame = encode_frame(sample, ctx);
+  // A width mismatch must fail loudly in every build: flatten() copies
+  // frames at the configured stride, so an oversized frame would write out
+  // of bounds. The serving path feeds samples from external sessions,
+  // where this is a real (mis)configuration, not a programming error.
+  if (frame.size() != frame_vars_) {
+    throw std::invalid_argument(
+        "StateEncoder: frame width " + std::to_string(frame.size()) +
+        " (sample covers " + std::to_string(sample.partition_count()) +
+        " partitions) != configured width " + std::to_string(frame_vars_));
+  }
+  frames_.push_back(std::move(frame));
   ++frames_seen_;
   while (frames_.size() > k_) frames_.pop_front();
 }
 
 std::vector<float> StateEncoder::flatten(float action_value) const {
-  std::vector<float> out(k_ * kFrameDim, 0.0f);
+  const std::size_t stride = frame_dim();
+  std::vector<float> out(k_ * stride, 0.0f);
   // Right-align history: the newest frame occupies the last slot; missing
   // history at the start of an episode stays zero.
   const std::size_t have = frames_.size();
   const std::size_t offset = k_ - have;
   for (std::size_t i = 0; i < have; ++i) {
-    float* dst = out.data() + (offset + i) * kFrameDim;
+    float* dst = out.data() + (offset + i) * stride;
     const auto& frame = frames_[i];
     std::copy(frame.begin(), frame.end(), dst);
-    dst[kStateVars] = action_value;
+    dst[frame_vars_] = action_value;
   }
   // Action channel also set on padding frames so the Q-head sees the query
   // action even before history fills.
   for (std::size_t i = 0; i < offset; ++i) {
-    out[i * kFrameDim + kStateVars] = action_value;
+    out[i * stride + frame_vars_] = action_value;
   }
   return out;
 }

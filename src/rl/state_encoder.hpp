@@ -8,9 +8,15 @@
 //                  of elapsed runtime and limits;
 //   predecessor   (var 35-38): size, limit, queue wait, elapsed runtime;
 //   successor     (var 39-40): size, limit.
+// On multi-partition clusters each frame additionally carries one
+// free-capacity fraction per partition (free/total, index order), so
+// capacity events — outages, drains, preemption bursts — are visible to
+// the agent per pool. Single-partition frames stay exactly 40 variables,
+// keeping every pre-partition model input (and checkpoint) bitwise valid.
+//
 // A history of k frames plus a per-frame ordinal action channel (+1
 // submit / -1 no-submit for the Q-head, 0 for the P-head) flattens to the
-// k*(40+1) model input.
+// k*(40 [+ partitions] + 1) model input.
 //
 // All variables are normalized to O(1): node counts by cluster size, times
 // by the 48 h wall limit, counts by log1p/8.
@@ -26,6 +32,17 @@ namespace mirage::rl {
 inline constexpr std::size_t kStateVars = 40;
 inline constexpr std::size_t kFrameDim = kStateVars + 1;  ///< + action channel
 
+/// Frame variables for a cluster with `partition_count` partitions: the 40
+/// base variables plus one free-fraction per partition when there is more
+/// than one.
+inline std::size_t frame_vars(std::size_t partition_count) {
+  return kStateVars + (partition_count > 1 ? partition_count : 0);
+}
+/// Flattened per-frame width including the action channel.
+inline std::size_t frame_dim(std::size_t partition_count) {
+  return frame_vars(partition_count) + 1;
+}
+
 /// Predecessor/successor job context for a provisioning episode (§4.1 c,d).
 struct JobPairContext {
   std::int32_t pred_nodes = 1;
@@ -36,7 +53,8 @@ struct JobPairContext {
   util::SimTime succ_limit = 48 * util::kHour;
 };
 
-/// Compute one normalized 40-var frame.
+/// Compute one normalized frame: kStateVars base variables, plus the
+/// per-partition free fractions when the sample covers >1 partition.
 std::vector<float> encode_frame(const sim::StateSample& sample, const JobPairContext& ctx);
 
 /// Compact summary features for the tree-based baselines (~22 dims):
@@ -47,20 +65,23 @@ std::size_t summary_feature_count();
 /// Ring buffer of the last k frames; zero-padded until k frames are seen.
 class StateEncoder {
  public:
-  explicit StateEncoder(std::size_t history_len);
+  explicit StateEncoder(std::size_t history_len, std::size_t partition_count = 1);
 
   void reset();
   void push(const sim::StateSample& sample, const JobPairContext& ctx);
 
   std::size_t history_len() const { return k_; }
   std::size_t frames_seen() const { return frames_seen_; }
+  /// Per-frame width including the action channel.
+  std::size_t frame_dim() const { return frame_vars_ + 1; }
 
-  /// Flatten to [k * kFrameDim] with the given action channel value
+  /// Flatten to [k * frame_dim()] with the given action channel value
   /// written into every frame (oldest frame first).
   std::vector<float> flatten(float action_value) const;
 
  private:
   std::size_t k_;
+  std::size_t frame_vars_;
   std::size_t frames_seen_ = 0;
   std::deque<std::vector<float>> frames_;  ///< newest at back, size <= k
 };

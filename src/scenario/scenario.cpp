@@ -23,14 +23,33 @@ const char* scenario_event_name(ScenarioEventKind k) {
     case ScenarioEventKind::kDrain: return "drain";
     case ScenarioEventKind::kNodeRestore: return "restore";
     case ScenarioEventKind::kBurst: return "burst";
+    case ScenarioEventKind::kPreempt: return "preempt";
+    case ScenarioEventKind::kCorrelatedDown: return "correlated_down";
   }
   return "?";
 }
 
 trace::ClusterPreset ScenarioSpec::resolved_preset() const {
   auto preset = trace::preset_by_name(cluster);
-  if (nodes_override > 0) preset.node_count = nodes_override;
+  if (nodes_override > 0) {
+    preset.node_count = nodes_override;
+    preset.partitions.clear();  // an explicit scalar override means one pool
+  }
+  if (!partitions.empty()) {
+    preset.partitions = partitions;
+    std::int32_t total = 0;
+    for (const auto& p : partitions) total += p.node_count;
+    preset.node_count = total;
+  }
   return preset;
+}
+
+sim::ClusterModel to_cluster_model(const trace::ClusterPreset& preset) {
+  std::vector<sim::Partition> parts;
+  for (const auto& p : preset.partitions_or_default()) {
+    parts.push_back(sim::Partition{p.name, p.node_count});
+  }
+  return sim::ClusterModel(parts);
 }
 
 // ------------------------------------------------------------- serialization
@@ -60,6 +79,11 @@ bool parse_event_keywords(const std::vector<std::string>& fields, std::size_t fi
     }
     const std::string key = fields[i].substr(0, eq);
     const std::string val = fields[i].substr(eq + 1);
+    // Shared keyword grammar (partition/requeue_delay/rack_size/seed)
+    // lives in sim/cluster_event.hpp; only recurrence is scenario-level.
+    bool handled = false;
+    if (!sim::parse_shared_event_keyword(key, val, ev, handled, value, error)) return false;
+    if (handled) continue;
     if (key == "repeat_every") {
       std::int64_t every = 0;
       if (!parse_i64(val, every) || every <= 0) {
@@ -98,16 +122,24 @@ bool parse_event(const std::string& value, ScenarioEvent& ev, std::string* error
   fields.resize(positional);
   if (fields.size() < 3) return fail(error, "event needs at least type,time,nodes: " + value);
   const std::string& type = fields[0];
-  if (type == "down") {
-    ev.kind = ScenarioEventKind::kNodeDown;
-  } else if (type == "drain") {
-    ev.kind = ScenarioEventKind::kDrain;
-  } else if (type == "restore") {
-    ev.kind = ScenarioEventKind::kNodeRestore;
-  } else if (type == "burst") {
+  if (type == "burst") {
     ev.kind = ScenarioEventKind::kBurst;
   } else {
-    return fail(error, "unknown event type: " + type);
+    // Capacity kinds share the simulator's name table, so the scenario
+    // parser can never drift from what the event kernel understands.
+    sim::ClusterEventType ct;
+    if (!sim::parse_cluster_event_type(type, ct, nullptr)) {
+      return fail(error, "unknown event type: " + type);
+    }
+    switch (ct) {
+      case sim::ClusterEventType::kNodeDown: ev.kind = ScenarioEventKind::kNodeDown; break;
+      case sim::ClusterEventType::kDrain: ev.kind = ScenarioEventKind::kDrain; break;
+      case sim::ClusterEventType::kNodeRestore: ev.kind = ScenarioEventKind::kNodeRestore; break;
+      case sim::ClusterEventType::kPreempt: ev.kind = ScenarioEventKind::kPreempt; break;
+      case sim::ClusterEventType::kCorrelatedDown:
+        ev.kind = ScenarioEventKind::kCorrelatedDown;
+        break;
+    }
   }
   std::int64_t time = 0;
   std::int32_t nodes = 0;
@@ -147,6 +179,10 @@ std::string event_to_csv(const ScenarioEvent& ev) {
   if (ev.kind == ScenarioEventKind::kBurst) {
     out << ',' << ev.count << ',' << ev.runtime << ',' << ev.limit << ',' << ev.window;
   }
+  if (!ev.partition.empty()) out << ",partition=" << ev.partition;
+  if (ev.requeue_delay > 0) out << ",requeue_delay=" << ev.requeue_delay;
+  if (ev.rack_size > 0) out << ",rack_size=" << ev.rack_size;
+  if (ev.seed != 0) out << ",seed=" << ev.seed;
   if (ev.is_recurring()) {
     out << ",repeat_every=" << ev.repeat_every << ",repeat_count=" << ev.repeat_count;
   }
@@ -155,6 +191,19 @@ std::string event_to_csv(const ScenarioEvent& ev) {
 
 bool parse_event_csv(const std::string& value, ScenarioEvent& ev, std::string* error) {
   return parse_event(value, ev, error);
+}
+
+bool parse_partition_csv(const std::string& value, trace::ClusterPartition& out,
+                         std::string* error) {
+  const auto fields = util::parse_csv_line(value);
+  trace::ClusterPartition part;
+  if (fields.size() != 2 || fields[0].empty() || !parse_i32(fields[1], part.node_count) ||
+      part.node_count <= 0) {
+    return fail(error, "partition takes name,nodes: " + value);
+  }
+  part.name = fields[0];
+  out = part;
+  return true;
 }
 
 std::vector<ScenarioEvent> expand_events(const std::vector<ScenarioEvent>& events) {
@@ -178,6 +227,10 @@ std::string ScenarioSpec::to_text() const {
   out << "name=" << name << '\n';
   out << "cluster=" << cluster << '\n';
   out << "nodes=" << nodes_override << '\n';
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    out << "partition." << i << '=' << partitions[i].name << ',' << partitions[i].node_count
+        << '\n';
+  }
   out << "months_begin=" << months_begin << '\n';
   out << "months_end=" << months_end << '\n';
   out << "seed=" << seed << '\n';
@@ -204,14 +257,47 @@ bool validate_spec(const ScenarioSpec& spec, std::string* error) {
   if (spec.months_end <= spec.months_begin) {
     return fail(error, "months_end must be > months_begin");
   }
+  for (std::size_t i = 0; i < spec.partitions.size(); ++i) {
+    const auto& p = spec.partitions[i];
+    if (p.name.empty()) return fail(error, "partition name must not be empty");
+    if (p.node_count <= 0) {
+      return fail(error, "partition '" + p.name + "' needs a positive node count");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (spec.partitions[j].name == p.name) {
+        return fail(error, "duplicate partition name: " + p.name);
+      }
+    }
+  }
   const auto preset = spec.resolved_preset();
+  const auto layout = preset.partitions_or_default();
+  const auto partition_nodes = [&](const std::string& name) -> std::int32_t {
+    for (const auto& p : layout) {
+      if (p.name == name) return p.node_count;
+    }
+    return -1;  // unknown
+  };
   const SimTime horizon = static_cast<SimTime>(spec.months_end) * util::kMonth;
   for (const auto& ev : spec.events) {
     if (ev.repeat_count < 1 || (ev.repeat_count > 1 && ev.repeat_every <= 0)) {
       return fail(error, "bad recurrence: " + event_to_csv(ev));
     }
-    if (ev.kind == ScenarioEventKind::kBurst && ev.nodes > preset.node_count) {
-      return fail(error, "burst jobs request more nodes than the cluster has");
+    if (!ev.partition.empty() && partition_nodes(ev.partition) < 0) {
+      return fail(error, "event targets unknown partition '" + ev.partition +
+                             "': " + event_to_csv(ev));
+    }
+    if (ev.kind == ScenarioEventKind::kBurst) {
+      // Unpinned burst jobs may roam, so the ceiling is the largest
+      // partition (== node_count on single-partition clusters).
+      std::int32_t ceiling = 0;
+      if (ev.partition.empty()) {
+        for (const auto& p : layout) ceiling = std::max(ceiling, p.node_count);
+      } else {
+        ceiling = partition_nodes(ev.partition);
+      }
+      if (ev.nodes > ceiling) {
+        return fail(error, "burst jobs request more nodes than their partition has");
+      }
     }
     // One-shot events past the horizon are harmless no-ops (kept for
     // compatibility), but a recurring expansion that runs off the end of
@@ -237,6 +323,7 @@ std::optional<ScenarioSpec> parse_scenario(const std::string& text, std::string*
   const auto cfg = util::Config::from_text(text);
   ScenarioSpec spec;
   std::vector<std::pair<std::size_t, ScenarioEvent>> events;
+  std::vector<std::pair<std::size_t, trace::ClusterPartition>> partitions;
 
   for (const auto& key : cfg.keys()) {
     const std::string value = cfg.get_string(key, "");
@@ -293,6 +380,15 @@ std::optional<ScenarioSpec> parse_scenario(const std::string& text, std::string*
       ScenarioEvent ev;
       if (!parse_event(value, ev, error)) return std::nullopt;
       events.emplace_back(static_cast<std::size_t>(index), ev);
+    } else if (key.rfind("partition.", 0) == 0) {
+      std::int64_t index = 0;
+      if (!parse_i64(key.substr(10), index) || index < 0) {
+        fail(error, "bad partition key: " + key);
+        return std::nullopt;
+      }
+      trace::ClusterPartition part;
+      if (!parse_partition_csv(value, part, error)) return std::nullopt;
+      partitions.emplace_back(static_cast<std::size_t>(index), part);
     } else {
       fail(error, "unknown key: " + key);
       return std::nullopt;
@@ -306,6 +402,9 @@ std::optional<ScenarioSpec> parse_scenario(const std::string& text, std::string*
   std::sort(events.begin(), events.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   for (auto& [idx, ev] : events) spec.events.push_back(ev);
+  std::sort(partitions.begin(), partitions.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [idx, part] : partitions) spec.partitions.push_back(part);
 
   if (!validate_spec(spec, error)) return std::nullopt;
   return spec;
@@ -338,10 +437,21 @@ std::vector<sim::ClusterEvent> capacity_events(const ScenarioSpec& spec) {
     sim::ClusterEvent ce;
     ce.time = ev.time;
     ce.nodes = ev.nodes;
+    ce.partition = ev.partition;
+    ce.requeue_delay = ev.requeue_delay;
+    ce.rack_size = ev.rack_size;
+    // A correlated burst with an unset seed still has to expand
+    // deterministically *per occurrence*; mix the occurrence time in so a
+    // recurring calendar does not repeat the same draw.
+    ce.seed = ev.seed ^ (spec.seed + static_cast<std::uint64_t>(ev.time));
     switch (ev.kind) {
       case ScenarioEventKind::kNodeDown: ce.type = sim::ClusterEventType::kNodeDown; break;
       case ScenarioEventKind::kDrain: ce.type = sim::ClusterEventType::kDrain; break;
       case ScenarioEventKind::kNodeRestore: ce.type = sim::ClusterEventType::kNodeRestore; break;
+      case ScenarioEventKind::kPreempt: ce.type = sim::ClusterEventType::kPreempt; break;
+      case ScenarioEventKind::kCorrelatedDown:
+        ce.type = sim::ClusterEventType::kCorrelatedDown;
+        break;
       case ScenarioEventKind::kBurst: break;  // unreachable
     }
     out.push_back(ce);
@@ -365,8 +475,22 @@ trace::Trace build_workload(const ScenarioSpec& spec) {
   // recurrence existed.
   util::Rng master(spec.seed ^ 0xb5b5'7a11'f00d'cafeull);
   std::int64_t next_id = 9'000'000;
+  const auto layout = preset.partitions_or_default();
   for (const auto& ev : expand_events(spec.events)) {
     if (ev.kind != ScenarioEventKind::kBurst) continue;
+    // Same ceiling validate_spec enforces: pinned bursts clamp to their
+    // partition, roaming bursts to the largest partition (the simulators
+    // reject roaming jobs above max_partition_nominal, so clamping to the
+    // cluster-wide total would throw mid-run on multi-partition layouts).
+    std::int32_t ceiling = 0;
+    if (ev.partition.empty()) {
+      for (const auto& p : layout) ceiling = std::max(ceiling, p.node_count);
+    } else {
+      ceiling = preset.node_count;
+      for (const auto& p : layout) {
+        if (p.name == ev.partition) ceiling = p.node_count;
+      }
+    }
     util::Rng rng = master.split();
     for (std::int32_t i = 0; i < ev.count; ++i) {
       trace::JobRecord j;
@@ -374,7 +498,8 @@ trace::Trace build_workload(const ScenarioSpec& spec) {
       j.job_name = "burst";
       j.user_id = 9000 + static_cast<std::int32_t>(rng.uniform_int(0, 31));
       j.submit_time = ev.time + (ev.window > 1 ? rng.uniform_int(0, ev.window - 1) : 0);
-      j.num_nodes = std::min(ev.nodes, preset.node_count);
+      j.num_nodes = std::min(ev.nodes, ceiling);
+      j.partition = ev.partition;  // empty = roam
       j.actual_runtime = ev.runtime;
       j.time_limit = std::max(ev.limit, ev.runtime);
       workload.push_back(std::move(j));
@@ -388,12 +513,13 @@ namespace {
 
 ScenarioResult assemble_result(const ScenarioSpec& spec, const trace::Trace& schedule,
                                std::int32_t nominal_nodes, std::size_t killed,
-                               std::uint64_t passes) {
+                               std::size_t preempted, std::uint64_t passes) {
   ScenarioResult r;
   r.name = spec.name;
   r.total_nodes = nominal_nodes;
   r.jobs = schedule.size();
   r.killed_jobs = killed;
+  r.preempted_jobs = preempted;
   r.scheduler_passes = passes;
   std::uint64_t h = util::kFnv1a64Basis;
   for (const auto& j : schedule) {
@@ -412,6 +538,7 @@ ScenarioResult assemble_result(const ScenarioSpec& spec, const trace::Trace& sch
 bool ScenarioResult::operator==(const ScenarioResult& o) const {
   return name == o.name && total_nodes == o.total_nodes && jobs == o.jobs &&
          unscheduled == o.unscheduled && killed_jobs == o.killed_jobs &&
+         preempted_jobs == o.preempted_jobs &&
          scheduler_passes == o.scheduler_passes && schedule_hash == o.schedule_hash &&
          metrics.mean_wait_hours == o.metrics.mean_wait_hours &&
          metrics.p95_wait_hours == o.metrics.p95_wait_hours &&
@@ -422,12 +549,12 @@ bool ScenarioResult::operator==(const ScenarioResult& o) const {
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
   const auto preset = spec.resolved_preset();
   const auto workload = build_workload(spec);
-  sim::Simulator sim(preset.node_count, spec.scheduler);
+  sim::Simulator sim(to_cluster_model(preset), spec.scheduler);
   sim.load_workload(workload);
   for (const auto& ev : capacity_events(spec)) sim.schedule_cluster_event(ev);
   sim.run_to_completion();
   return assemble_result(spec, sim.export_schedule(), preset.node_count, sim.killed_jobs(),
-                         sim.scheduler_passes());
+                         sim.preempted_jobs(), sim.scheduler_passes());
 }
 
 ScenarioResult run_scenario_reference(const ScenarioSpec& spec) {
@@ -435,9 +562,11 @@ ScenarioResult run_scenario_reference(const ScenarioSpec& spec) {
   const auto workload = build_workload(spec);
   std::uint64_t passes = 0;
   std::size_t killed = 0;
-  const auto schedule = reference_replay(workload, preset.node_count, capacity_events(spec),
-                                         spec.scheduler, &passes, &killed);
-  return assemble_result(spec, schedule, preset.node_count, killed, passes);
+  std::size_t preempted = 0;
+  const auto schedule =
+      reference_replay(workload, to_cluster_model(preset), capacity_events(spec),
+                       spec.scheduler, &passes, &killed, &preempted);
+  return assemble_result(spec, schedule, preset.node_count, killed, preempted, passes);
 }
 
 core::PipelineConfig to_pipeline_config(const ScenarioSpec& spec, std::int32_t job_nodes) {

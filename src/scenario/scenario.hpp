@@ -21,6 +21,7 @@
 
 #include "core/evaluator.hpp"
 #include "core/pipeline.hpp"
+#include "sim/cluster.hpp"
 #include "sim/cluster_event.hpp"
 #include "sim/metrics.hpp"
 #include "sim/scheduler_config.hpp"
@@ -29,7 +30,14 @@
 
 namespace mirage::scenario {
 
-enum class ScenarioEventKind : std::uint8_t { kNodeDown, kDrain, kNodeRestore, kBurst };
+enum class ScenarioEventKind : std::uint8_t {
+  kNodeDown,
+  kDrain,
+  kNodeRestore,
+  kBurst,
+  kPreempt,          ///< checkpoint/requeue victims instead of killing
+  kCorrelatedDown,   ///< rack-sized failure burst from one RNG draw
+};
 
 /// One timed event. Capacity kinds map 1:1 onto sim::ClusterEvent; kBurst
 /// is lowered onto ordinary arrival events by build_workload(), so both
@@ -51,6 +59,26 @@ struct ScenarioEvent {
   // Recurrence (all events; 1 = one-shot).
   util::SimTime repeat_every = 0;
   std::int32_t repeat_count = 1;
+  // Partition targeting (all events; empty = cluster-wide, or any-partition
+  // burst jobs). Keyword field `partition=` in the CSV form.
+  std::string partition;
+  // Preempt-only: victims re-enter the queue after this delay (seconds).
+  util::SimTime requeue_delay = 0;
+  // Correlated-down-only: rack granularity (0 = nodes) and expansion seed.
+  std::int32_t rack_size = 0;
+  std::uint64_t seed = 0;
+
+  ScenarioEvent() = default;
+  /// Positional form matching the CSV prefix (burst fields default to the
+  /// capacity-event shape); partition/preempt/correlated knobs are set by
+  /// field after construction or via the CSV keywords.
+  ScenarioEvent(ScenarioEventKind k, util::SimTime t, std::int32_t n, std::int32_t burst_count = 0,
+                util::SimTime burst_runtime = 0, util::SimTime burst_limit = 0,
+                util::SimTime burst_window = 600, util::SimTime every = 0,
+                std::int32_t occurrences = 1)
+      : kind(k), time(t), nodes(n), count(burst_count), runtime(burst_runtime),
+        limit(burst_limit), window(burst_window), repeat_every(every),
+        repeat_count(occurrences) {}
 
   bool is_capacity_event() const { return kind != ScenarioEventKind::kBurst; }
   bool is_recurring() const { return repeat_count > 1; }
@@ -72,12 +100,22 @@ std::string event_to_csv(const ScenarioEvent& ev);
 /// Parse one event CSV row (never throws); false + diagnostic on junk.
 bool parse_event_csv(const std::string& value, ScenarioEvent& ev, std::string* error = nullptr);
 
+/// Parse one "name,nodes" partition row — the format of `partition.N=`
+/// lines in scenario files and `layout.N.partition.M=` lines in lab plan
+/// files. Never throws; false + diagnostic on junk.
+bool parse_partition_csv(const std::string& value, trace::ClusterPartition& out,
+                         std::string* error = nullptr);
+
 const char* scenario_event_name(ScenarioEventKind k);
 
 struct ScenarioSpec {
   std::string name = "default";
-  std::string cluster = "a100";        ///< preset name (v100 | rtx | a100)
+  std::string cluster = "a100";        ///< preset name (v100 | rtx | a100 | hetero)
   std::int32_t nodes_override = 0;     ///< 0 = preset node count
+  /// Partition layout override (partition.N=name,nodes lines). Empty keeps
+  /// the preset's layout; when set it replaces it and node_count becomes
+  /// the sum, so single-partition specs stay bitwise-stable.
+  std::vector<trace::ClusterPartition> partitions;
   std::int32_t months_begin = 0;
   std::int32_t months_end = 1;
   std::uint64_t seed = 42;
@@ -122,6 +160,7 @@ struct ScenarioResult {
   std::size_t jobs = 0;                ///< workload size incl. burst jobs
   std::size_t unscheduled = 0;         ///< jobs never started (capacity lost)
   std::size_t killed_jobs = 0;         ///< killed by outage events
+  std::size_t preempted_jobs = 0;      ///< checkpointed/requeued by preempt events
   std::uint64_t scheduler_passes = 0;
   sim::ScheduleMetrics metrics;        ///< waits, utilization, makespan
   core::LoadClass load = core::LoadClass::kLight;  ///< paper §6 class of the mean wait
@@ -138,6 +177,10 @@ trace::Trace build_workload(const ScenarioSpec& spec);
 
 /// Capacity events of the spec in sim::ClusterEvent form.
 std::vector<sim::ClusterEvent> capacity_events(const ScenarioSpec& spec);
+
+/// Simulator-form partition layout of a preset (single "default" partition
+/// for the paper's per-cluster presets).
+sim::ClusterModel to_cluster_model(const trace::ClusterPreset& preset);
 
 /// Run one cell through the fast simulator (pure function of the spec).
 ScenarioResult run_scenario(const ScenarioSpec& spec);

@@ -14,7 +14,8 @@ std::size_t SweepMatrix::cell_count() const {
   const std::size_t u = utilization_scales.empty() ? 1 : utilization_scales.size();
   const std::size_t d = reservation_depths.empty() ? 1 : reservation_depths.size();
   const std::size_t e = event_profiles.empty() ? 1 : event_profiles.size();
-  return c * u * d * e;
+  const std::size_t p = partition_layouts.empty() ? 1 : partition_layouts.size();
+  return c * u * d * e * p;
 }
 
 std::vector<ScenarioSpec> SweepMatrix::expand() const {
@@ -28,6 +29,12 @@ std::vector<ScenarioSpec> SweepMatrix::expand() const {
                                  : reservation_depths;
   std::vector<EventProfile> es = event_profiles;
   if (es.empty()) es.push_back(EventProfile{"base", base.events});
+  // The partition axis is optional; without it, cells inherit the base
+  // layout and cell names keep their pre-partition shape (so existing
+  // artifact ids and seed assignments stay stable).
+  std::vector<PartitionLayout> ps = partition_layouts;
+  const bool partition_axis = !ps.empty();
+  if (!partition_axis) ps.push_back(PartitionLayout{"base", base.partitions});
 
   // Per-cell child seeds come from one deterministic stream, assigned in
   // expansion order — execution order (and thread count) cannot change
@@ -35,21 +42,30 @@ std::vector<ScenarioSpec> SweepMatrix::expand() const {
   util::Rng seeder(base.seed);
 
   std::vector<ScenarioSpec> cells;
-  cells.reserve(cs.size() * us.size() * ds.size() * es.size());
-  char buf[160];
+  cells.reserve(cs.size() * us.size() * ds.size() * es.size() * ps.size());
+  char buf[192];
   for (const auto& c : cs) {
     for (const double u : us) {
       for (const std::int32_t d : ds) {
         for (const auto& e : es) {
-          ScenarioSpec cell = base;
-          cell.cluster = c;
-          cell.utilization_scale = u;
-          cell.scheduler.reservation_depth = d;
-          cell.events = e.events;
-          cell.seed = seeder.next_u64();
-          std::snprintf(buf, sizeof(buf), "%s/u%.2f/d%d/%s", c.c_str(), u, d, e.name.c_str());
-          cell.name = buf;
-          cells.push_back(std::move(cell));
+          for (const auto& p : ps) {
+            ScenarioSpec cell = base;
+            cell.cluster = c;
+            cell.utilization_scale = u;
+            cell.scheduler.reservation_depth = d;
+            cell.events = e.events;
+            cell.partitions = p.partitions;
+            cell.seed = seeder.next_u64();
+            if (partition_axis) {
+              std::snprintf(buf, sizeof(buf), "%s/u%.2f/d%d/%s/%s", c.c_str(), u, d,
+                            e.name.c_str(), p.name.c_str());
+            } else {
+              std::snprintf(buf, sizeof(buf), "%s/u%.2f/d%d/%s", c.c_str(), u, d,
+                            e.name.c_str());
+            }
+            cell.name = buf;
+            cells.push_back(std::move(cell));
+          }
         }
       }
     }
@@ -62,6 +78,7 @@ void finalize_report(SweepReport& report) {
   report.worst_p95_wait_hours = 0.0;
   report.mean_utilization = 0.0;
   report.total_killed = 0;
+  report.total_preempted = 0;
   report.total_unscheduled = 0;
   report.heavy_cells = 0;
   if (report.cells.empty()) return;
@@ -71,6 +88,7 @@ void finalize_report(SweepReport& report) {
                                            cell.metrics.p95_wait_hours);
     report.mean_utilization += cell.metrics.average_utilization;
     report.total_killed += cell.killed_jobs;
+    report.total_preempted += cell.preempted_jobs;
     report.total_unscheduled += cell.unscheduled;
     report.heavy_cells += cell.load == core::LoadClass::kHeavy;
   }
@@ -100,7 +118,7 @@ SweepReport SweepRunner::run_serial(const std::vector<ScenarioSpec>& specs) {
 std::string SweepReport::to_csv() const {
   std::ostringstream out;
   util::CsvWriter writer(out);
-  writer.write_row({"scenario", "nodes", "jobs", "unscheduled", "killed", "load",
+  writer.write_row({"scenario", "nodes", "jobs", "unscheduled", "killed", "preempted", "load",
                     "mean_wait_h", "p95_wait_h", "utilization", "makespan_h", "passes",
                     "schedule_hash"});
   char num[48];
@@ -111,6 +129,7 @@ std::string SweepReport::to_csv() const {
     row.push_back(std::to_string(c.jobs));
     row.push_back(std::to_string(c.unscheduled));
     row.push_back(std::to_string(c.killed_jobs));
+    row.push_back(std::to_string(c.preempted_jobs));
     row.push_back(core::load_class_name(c.load));
     std::snprintf(num, sizeof(num), "%.6f", c.metrics.mean_wait_hours);
     row.push_back(num);
@@ -132,12 +151,14 @@ std::string SweepReport::to_csv() const {
 std::string SweepReport::format_table() const {
   std::ostringstream out;
   char line[256];
-  std::snprintf(line, sizeof(line), "%-34s %6s %6s %5s %6s  %-6s %10s %10s %6s\n", "scenario",
-                "jobs", "unsch", "kill", "util", "load", "mean_w(h)", "p95_w(h)", "passes");
+  std::snprintf(line, sizeof(line), "%-34s %6s %6s %5s %5s %6s  %-6s %10s %10s %6s\n",
+                "scenario", "jobs", "unsch", "kill", "pree", "util", "load", "mean_w(h)",
+                "p95_w(h)", "passes");
   out << line;
   for (const auto& c : cells) {
-    std::snprintf(line, sizeof(line), "%-34s %6zu %6zu %5zu %5.1f%%  %-6s %10.2f %10.2f %6llu\n",
-                  c.name.c_str(), c.jobs, c.unscheduled, c.killed_jobs,
+    std::snprintf(line, sizeof(line),
+                  "%-34s %6zu %6zu %5zu %5zu %5.1f%%  %-6s %10.2f %10.2f %6llu\n",
+                  c.name.c_str(), c.jobs, c.unscheduled, c.killed_jobs, c.preempted_jobs,
                   100.0 * c.metrics.average_utilization, core::load_class_name(c.load),
                   c.metrics.mean_wait_hours, c.metrics.p95_wait_hours,
                   static_cast<unsigned long long>(c.scheduler_passes));
@@ -145,9 +166,9 @@ std::string SweepReport::format_table() const {
   }
   std::snprintf(line, sizeof(line),
                 "cells %zu | mean wait %.2f h | worst p95 %.2f h | mean util %.1f%% | "
-                "killed %zu | unscheduled %zu | heavy cells %zu\n",
+                "killed %zu | preempted %zu | unscheduled %zu | heavy cells %zu\n",
                 cells.size(), mean_wait_hours, worst_p95_wait_hours, 100.0 * mean_utilization,
-                total_killed, total_unscheduled, heavy_cells);
+                total_killed, total_preempted, total_unscheduled, heavy_cells);
   out << line;
   return out.str();
 }

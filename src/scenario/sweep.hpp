@@ -22,6 +22,14 @@ struct EventProfile {
   std::vector<ScenarioEvent> events;
 };
 
+/// Named partition layout, one axis value of the matrix ("single",
+/// "3-pool", ...). An empty partition list means "keep the preset's
+/// layout" (single pool for the paper presets).
+struct PartitionLayout {
+  std::string name = "single";
+  std::vector<trace::ClusterPartition> partitions;
+};
+
 /// Cross-product scenario matrix. Empty axes inherit the base spec's
 /// value, so any subset of axes can vary.
 struct SweepMatrix {
@@ -30,6 +38,7 @@ struct SweepMatrix {
   std::vector<double> utilization_scales;       ///< empty = {base.utilization_scale}
   std::vector<std::int32_t> reservation_depths; ///< empty = {base.scheduler.reservation_depth}
   std::vector<EventProfile> event_profiles;     ///< empty = {base.events as "base"}
+  std::vector<PartitionLayout> partition_layouts;  ///< empty = {base.partitions}, no name suffix
 
   /// Expand to concrete cells in a fixed axis order (cluster-major). Cell
   /// names encode their coordinates; per-cell seeds are drawn in
@@ -48,6 +57,7 @@ struct SweepReport {
   double worst_p95_wait_hours = 0.0;
   double mean_utilization = 0.0;
   std::size_t total_killed = 0;
+  std::size_t total_preempted = 0;
   std::size_t total_unscheduled = 0;
   std::size_t heavy_cells = 0;        ///< cells classified LoadClass::kHeavy
 

@@ -1,5 +1,6 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/time_utils.hpp"
@@ -26,7 +27,8 @@ void ProvisioningService::drain_and_stop() { engine_.drain(); }
 SessionId ProvisioningService::open_session() {
   std::unique_lock lock(sessions_mutex_);
   const SessionId id = next_session_++;
-  sessions_.emplace(id, std::make_shared<Session>(config_.history_len));
+  sessions_.emplace(id, std::make_shared<Session>(config_.history_len,
+                                                  std::max<std::size_t>(1, config_.partition_count)));
   ++total_sessions_;
   return id;
 }

@@ -28,6 +28,10 @@ struct ServiceConfig {
   /// history_len (a mismatch fails every decide() with
   /// std::invalid_argument rather than silently mis-serving).
   std::size_t history_len = 24;
+  /// Partition count of the cluster the sessions observe; must match the
+  /// served checkpoint's frame width (rl::frame_dim(partition_count)).
+  /// 1 = classic single-pool frames (exactly rl::kFrameDim wide).
+  std::size_t partition_count = 1;
   EngineConfig engine;
 };
 
@@ -77,7 +81,7 @@ class ProvisioningService {
 
  private:
   struct Session {
-    explicit Session(std::size_t k) : encoder(k) {}
+    Session(std::size_t k, std::size_t partition_count) : encoder(k, partition_count) {}
     mutable std::mutex mutex;
     rl::StateEncoder encoder;
     std::uint64_t decisions = 0;

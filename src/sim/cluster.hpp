@@ -1,59 +1,159 @@
-// Homogeneous-node cluster abstraction. The paper's clusters allocate whole
-// nodes to jobs (4x V100 / 4x RTX / 3x A100 GPUs per node), so capacity is
-// a single node counter; topology is out of scope for queueing behavior.
-// Capacity is variable at runtime (outages, drains, restores) — the
-// simulator adjusts it through add_capacity/remove_capacity, which keep
-// 0 <= busy <= total as an invariant.
+// Partition-aware cluster model. The paper's clusters are heterogeneous
+// pools (4x V100 / 4x RTX / 3x A100 GPUs per node); a ClusterModel holds
+// one or more named partitions, each a homogeneous whole-node pool with
+// its own total/free counters. Jobs carry an optional partition
+// constraint; unconstrained jobs may run on any partition. Topology below
+// the partition level is out of scope for queueing behavior.
+//
+// Capacity is variable at runtime (outages, drains, restores, preemption
+// bursts) — the event kernel adjusts it through add_capacity /
+// remove_capacity, which keep 0 <= busy <= total per partition as an
+// invariant. `nominal` records the construction-time capacity and is the
+// yardstick for "can this job ever fit" validation, so a transient outage
+// does not spuriously reject submissions.
+//
+// A ClusterModel constructed from a plain node count has exactly one
+// partition named "default"; every cluster-wide accessor then reduces to
+// the pre-partition scalar behavior bitwise.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 namespace mirage::sim {
 
-class Cluster {
+/// One named partition of a cluster layout (construction input).
+struct Partition {
+  std::string name = "default";
+  std::int32_t nodes = 0;
+};
+
+using PartitionId = std::int32_t;
+
+/// Sentinel for "no partition constraint" (job may run anywhere).
+inline constexpr PartitionId kAnyPartition = -1;
+
+class ClusterModel {
  public:
-  explicit Cluster(std::int32_t total_nodes) : total_(total_nodes), free_(total_nodes) {
-    assert(total_nodes > 0);
+  /// Single-partition cluster (intentionally implicit: every pre-partition
+  /// call site passing a node count keeps compiling and behaves bitwise
+  /// identically).
+  ClusterModel(std::int32_t total_nodes)  // NOLINT(google-explicit-constructor)
+      : ClusterModel(std::vector<Partition>{{"default", total_nodes}}) {}
+
+  explicit ClusterModel(const std::vector<Partition>& partitions) {
+    if (partitions.empty()) throw std::invalid_argument("cluster needs at least one partition");
+    parts_.reserve(partitions.size());
+    for (const auto& p : partitions) {
+      if (p.nodes <= 0) {
+        throw std::invalid_argument("partition '" + p.name + "' needs a positive node count");
+      }
+      if (p.name.empty()) throw std::invalid_argument("partition name must not be empty");
+      if (index_of(p.name) != kAnyPartition) {
+        throw std::invalid_argument("duplicate partition name: " + p.name);
+      }
+      parts_.push_back(Part{p.name, p.nodes, p.nodes, p.nodes});
+    }
   }
 
-  std::int32_t total_nodes() const { return total_; }
-  std::int32_t free_nodes() const { return free_; }
-  std::int32_t busy_nodes() const { return total_ - free_; }
+  // ------------------------------------------------------------- identity
+  std::int32_t partition_count() const { return static_cast<std::int32_t>(parts_.size()); }
+  const std::string& partition_name(PartitionId p) const { return part(p).name; }
+
+  /// Index of a named partition; kAnyPartition when the name is unknown
+  /// (or empty — the "no constraint" spelling).
+  PartitionId index_of(const std::string& name) const {
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+      if (parts_[i].name == name) return static_cast<PartitionId>(i);
+    }
+    return kAnyPartition;
+  }
+
+  // ------------------------------------------------------- cluster totals
+  std::int32_t total_nodes() const {
+    std::int32_t n = 0;
+    for (const auto& p : parts_) n += p.total;
+    return n;
+  }
+  std::int32_t free_nodes() const {
+    std::int32_t n = 0;
+    for (const auto& p : parts_) n += p.free;
+    return n;
+  }
+  std::int32_t busy_nodes() const { return total_nodes() - free_nodes(); }
   double utilization() const {
-    return total_ ? static_cast<double>(busy_nodes()) / total_ : 0.0;
+    const std::int32_t t = total_nodes();
+    return t ? static_cast<double>(busy_nodes()) / t : 0.0;
+  }
+  /// Construction-time capacity (events do not change it).
+  std::int32_t nominal_total() const {
+    std::int32_t n = 0;
+    for (const auto& p : parts_) n += p.nominal;
+    return n;
+  }
+  /// Largest single-partition nominal capacity — the ceiling for jobs
+  /// without a partition constraint.
+  std::int32_t max_partition_nominal() const {
+    std::int32_t n = 0;
+    for (const auto& p : parts_) n = std::max(n, p.nominal);
+    return n;
   }
 
-  bool can_allocate(std::int32_t nodes) const { return nodes <= free_; }
+  // --------------------------------------------------------- per partition
+  std::int32_t total_nodes(PartitionId p) const { return part(p).total; }
+  std::int32_t free_nodes(PartitionId p) const { return part(p).free; }
+  std::int32_t busy_nodes(PartitionId p) const { return part(p).total - part(p).free; }
+  std::int32_t nominal_nodes(PartitionId p) const { return part(p).nominal; }
 
-  void allocate(std::int32_t nodes) {
-    assert(can_allocate(nodes));
-    free_ -= nodes;
+  bool can_allocate(PartitionId p, std::int32_t nodes) const { return nodes <= part(p).free; }
+
+  void allocate(PartitionId p, std::int32_t nodes) {
+    assert(can_allocate(p, nodes));
+    part(p).free -= nodes;
   }
 
-  void release(std::int32_t nodes) {
-    free_ += nodes;
-    assert(free_ <= total_);
+  void release(PartitionId p, std::int32_t nodes) {
+    part(p).free += nodes;
+    assert(part(p).free <= part(p).total);
   }
 
-  /// Nodes return to service (restore / expansion).
-  void add_capacity(std::int32_t nodes) {
+  /// Nodes return to service (restore / expansion); may exceed nominal.
+  void add_capacity(PartitionId p, std::int32_t nodes) {
     assert(nodes >= 0);
-    total_ += nodes;
-    free_ += nodes;
+    part(p).total += nodes;
+    part(p).free += nodes;
   }
 
   /// Nodes leave service. Only *free* nodes can be removed — the caller
-  /// kills or drains running jobs first to free them.
-  void remove_capacity(std::int32_t nodes) {
-    assert(nodes >= 0 && nodes <= free_);
-    total_ -= nodes;
-    free_ -= nodes;
+  /// kills, preempts, or drains running jobs first to free them.
+  void remove_capacity(PartitionId p, std::int32_t nodes) {
+    assert(nodes >= 0 && nodes <= part(p).free);
+    part(p).total -= nodes;
+    part(p).free -= nodes;
   }
 
  private:
-  std::int32_t total_;
-  std::int32_t free_;
+  struct Part {
+    std::string name;
+    std::int32_t total;
+    std::int32_t free;
+    std::int32_t nominal;
+  };
+
+  Part& part(PartitionId p) {
+    assert(p >= 0 && p < partition_count());
+    return parts_[static_cast<std::size_t>(p)];
+  }
+  const Part& part(PartitionId p) const {
+    assert(p >= 0 && p < partition_count());
+    return parts_[static_cast<std::size_t>(p)];
+  }
+
+  std::vector<Part> parts_;
 };
 
 }  // namespace mirage::sim

@@ -1,0 +1,91 @@
+#include "sim/cluster_event.hpp"
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/strconv.hpp"
+
+namespace mirage::sim {
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error) *error = message;
+  return false;
+}
+
+}  // namespace
+
+const char* cluster_event_name(ClusterEventType t) {
+  switch (t) {
+    case ClusterEventType::kNodeDown: return "down";
+    case ClusterEventType::kDrain: return "drain";
+    case ClusterEventType::kNodeRestore: return "restore";
+    case ClusterEventType::kPreempt: return "preempt";
+    case ClusterEventType::kCorrelatedDown: return "correlated_down";
+  }
+  return "?";
+}
+
+bool parse_cluster_event_type(const std::string& name, ClusterEventType& out,
+                              std::string* error) {
+  if (name == "down") {
+    out = ClusterEventType::kNodeDown;
+  } else if (name == "drain") {
+    out = ClusterEventType::kDrain;
+  } else if (name == "restore") {
+    out = ClusterEventType::kNodeRestore;
+  } else if (name == "preempt") {
+    out = ClusterEventType::kPreempt;
+  } else if (name == "correlated_down") {
+    out = ClusterEventType::kCorrelatedDown;
+  } else {
+    return fail(error, "unknown cluster event type: '" + name +
+                           "' (expected down|drain|restore|preempt|correlated_down)");
+  }
+  return true;
+}
+
+std::string to_string(const ClusterEvent& ev) {
+  std::ostringstream out;
+  out << cluster_event_name(ev.type) << ',' << ev.time << ',' << ev.nodes;
+  if (!ev.partition.empty()) out << ",partition=" << ev.partition;
+  if (ev.requeue_delay > 0) out << ",requeue_delay=" << ev.requeue_delay;
+  if (ev.rack_size > 0) out << ",rack_size=" << ev.rack_size;
+  if (ev.seed != 0) out << ",seed=" << ev.seed;
+  return out.str();
+}
+
+bool parse_cluster_event(const std::string& text, ClusterEvent& out, std::string* error) {
+  const auto fields = util::parse_csv_line(text);
+  if (fields.size() < 3) {
+    return fail(error, "cluster event needs at least type,time,nodes: " + text);
+  }
+  ClusterEvent ev;
+  if (!parse_cluster_event_type(fields[0], ev.type, error)) return false;
+  std::int64_t time = 0;
+  std::int32_t nodes = 0;
+  if (!util::parse_i64(fields[1], time) || time < 0) {
+    return fail(error, "bad cluster event time: " + text);
+  }
+  if (!util::parse_i32(fields[2], nodes) || nodes <= 0) {
+    return fail(error, "bad cluster event nodes: " + text);
+  }
+  ev.time = time;
+  ev.nodes = nodes;
+  for (std::size_t i = 3; i < fields.size(); ++i) {
+    const auto eq = fields[i].find('=');
+    if (eq == std::string::npos) {
+      return fail(error, "cluster event field needs key=value: " + fields[i]);
+    }
+    const std::string key = fields[i].substr(0, eq);
+    const std::string val = fields[i].substr(eq + 1);
+    bool handled = false;
+    if (!parse_shared_event_keyword(key, val, ev, handled, text, error)) return false;
+    if (!handled) return fail(error, "unknown cluster event keyword: " + key);
+  }
+  out = ev;
+  return true;
+}
+
+}  // namespace mirage::sim

@@ -1,43 +1,121 @@
 // Timed cluster capacity events, shared by the fast and reference
-// simulators and the scenario engine. Events model the operational
-// incidents the paper's production clusters actually see:
+// simulators (through the EventKernel) and the scenario engine. Events
+// model the operational incidents the paper's production clusters see:
 //
-//   kNodeDown    abrupt outage — nodes leave *now*; if not enough nodes are
-//                free, the most recently started jobs are killed (LIFO,
-//                deterministic) until the capacity target is met.
-//   kDrain       maintenance drain — nodes leave as they free up; running
-//                jobs finish, but freed nodes are withheld from the
-//                scheduler until the drain debt is paid.
-//   kNodeRestore nodes return to service (and may exceed the original
-//                capacity, modeling cluster expansion).
+//   kNodeDown        abrupt outage — nodes leave *now*; if not enough nodes
+//                    are free, the most recently started jobs in the target
+//                    partition are killed (LIFO, deterministic) until the
+//                    capacity target is met.
+//   kDrain           maintenance drain — nodes leave as they free up;
+//                    running jobs finish, but freed nodes are withheld from
+//                    the scheduler until the drain debt is paid.
+//   kNodeRestore     nodes return to service (and may exceed the original
+//                    capacity, modeling cluster expansion).
+//   kPreempt         like kNodeDown, but victims are checkpointed and
+//                    requeued instead of killed: each victim re-enters the
+//                    queue `requeue_delay` seconds later with its remaining
+//                    runtime (progress is preserved).
+//   kCorrelatedDown  rack-sized failure burst: one RNG draw (SplitMix64 of
+//                    `seed`) deterministically expands into 1..nodes/rack
+//                    racks of `rack_size` nodes, spread round-robin across
+//                    partitions (or confined to the target partition).
 //
-// Submit bursts (flash crowds) are deliberately *not* a simulator event:
-// the scenario engine lowers them onto ordinary arrival events so both
-// simulators handle them through the same scheduling path.
+// `partition` names the target partition; empty means cluster-wide: the
+// kernel walks partitions in index order (down/drain take capacity from
+// each in turn; restores refill partitions below nominal first, surplus
+// expands partition 0). Submit bursts (flash crowds) are deliberately *not* a
+// simulator event: the scenario engine lowers them onto ordinary arrival
+// events so both simulators handle them through the same scheduling path.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "util/strconv.hpp"
 #include "util/time_utils.hpp"
 
 namespace mirage::sim {
 
-enum class ClusterEventType : std::uint8_t { kNodeDown, kDrain, kNodeRestore };
+enum class ClusterEventType : std::uint8_t {
+  kNodeDown,
+  kDrain,
+  kNodeRestore,
+  kPreempt,
+  kCorrelatedDown,
+};
 
 struct ClusterEvent {
   util::SimTime time = 0;
   ClusterEventType type = ClusterEventType::kNodeDown;
-  std::int32_t nodes = 0;  ///< how many nodes the event affects
+  std::int32_t nodes = 0;           ///< how many nodes the event affects
+  std::string partition;            ///< target partition name; empty = cluster-wide
+  util::SimTime requeue_delay = 0;  ///< kPreempt: victims resubmitted after this
+  std::int32_t rack_size = 0;       ///< kCorrelatedDown: burst granularity (0 = nodes)
+  std::uint64_t seed = 0;           ///< kCorrelatedDown: expansion RNG seed
+
+  ClusterEvent() = default;
+  ClusterEvent(util::SimTime t, ClusterEventType ty, std::int32_t n,
+               std::string target_partition = {}, util::SimTime requeue = 0,
+               std::int32_t rack = 0, std::uint64_t expansion_seed = 0)
+      : time(t), type(ty), nodes(n), partition(std::move(target_partition)),
+        requeue_delay(requeue), rack_size(rack), seed(expansion_seed) {}
 };
 
-inline const char* cluster_event_name(ClusterEventType t) {
-  switch (t) {
-    case ClusterEventType::kNodeDown: return "down";
-    case ClusterEventType::kDrain: return "drain";
-    case ClusterEventType::kNodeRestore: return "restore";
+const char* cluster_event_name(ClusterEventType t);
+
+/// Reverse of cluster_event_name. Returns false (with a diagnostic in
+/// *error when provided) for unknown names — never silently defaults.
+bool parse_cluster_event_type(const std::string& name, ClusterEventType& out,
+                              std::string* error = nullptr);
+
+/// Round-trippable one-line form: "type,time,nodes" plus keyword fields
+/// (partition=, requeue_delay=, rack_size=, seed=) for non-default values.
+std::string to_string(const ClusterEvent& ev);
+
+/// Parse the to_string() form (never throws); false + diagnostic on junk,
+/// unknown event names, or unknown keywords.
+bool parse_cluster_event(const std::string& text, ClusterEvent& out,
+                         std::string* error = nullptr);
+
+/// Parse one shared keyword field (partition= / requeue_delay= /
+/// rack_size= / seed=) into any event type carrying those members — the
+/// ONE definition of the shared event-keyword grammar, used by both the
+/// simulator's event strings and the scenario engine's event CSV rows so
+/// the two can never drift. Sets `handled` when `key` is one of the four
+/// shared keywords; the return value is meaningful only then (`context`
+/// is echoed into the diagnostic).
+template <typename Event>
+bool parse_shared_event_keyword(const std::string& key, const std::string& val, Event& ev,
+                                bool& handled, const std::string& context,
+                                std::string* error = nullptr) {
+  const auto fail = [&](const std::string& message) {
+    if (error) *error = message;
+    return false;
+  };
+  handled = true;
+  if (key == "partition") {
+    if (val.empty()) return fail("empty partition name: " + context);
+    ev.partition = val;
+  } else if (key == "requeue_delay") {
+    std::int64_t delay = 0;
+    if (!util::parse_i64(val, delay) || delay < 0) {
+      return fail("bad requeue_delay: " + context);
+    }
+    ev.requeue_delay = delay;
+  } else if (key == "rack_size") {
+    std::int32_t rack = 0;
+    if (!util::parse_i32(val, rack) || rack <= 0) {
+      return fail("bad rack_size: " + context);
+    }
+    ev.rack_size = rack;
+  } else if (key == "seed") {
+    std::uint64_t seed = 0;
+    if (!util::parse_u64(val, seed)) return fail("bad event seed: " + context);
+    ev.seed = seed;
+  } else {
+    handled = false;
   }
-  return "?";
+  return true;
 }
 
 }  // namespace mirage::sim

@@ -1,0 +1,157 @@
+#include "sim/event_kernel.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace mirage::sim {
+
+bool EventKernel::validate(const ClusterEvent& ev, std::string* error) const {
+  if (!ev.partition.empty() && model_.index_of(ev.partition) == kAnyPartition) {
+    if (error) {
+      *error = "cluster event targets unknown partition '" + ev.partition + "'";
+    }
+    return false;
+  }
+  return true;
+}
+
+void EventKernel::absorb_drain(PartitionId p) {
+  auto& debt = drain_debt_[static_cast<std::size_t>(p)];
+  const std::int32_t take = std::min(model_.free_nodes(p), debt);
+  if (take > 0) {
+    model_.remove_capacity(p, take);
+    debt -= take;
+  }
+}
+
+std::int32_t EventKernel::take_down(PartitionId p, std::int32_t deficit, Host& host,
+                                    bool preempt, util::SimTime requeue_delay) {
+  std::int32_t removed = 0;
+  const std::int32_t from_free = std::min(model_.free_nodes(p), deficit);
+  model_.remove_capacity(p, from_free);
+  removed += from_free;
+  deficit -= from_free;
+  while (deficit > 0) {
+    const std::int32_t freed =
+        preempt ? host.preempt_one(p, requeue_delay) : host.kill_one(p);
+    if (freed <= 0) break;  // nothing left running in this partition
+    if (preempt) {
+      ++preempted_;
+    } else {
+      ++killed_;
+    }
+    const std::int32_t take = std::min(model_.free_nodes(p), deficit);
+    model_.remove_capacity(p, take);
+    removed += take;
+    deficit -= take;
+  }
+  // No victims left: clamp to whatever free capacity remains.
+  if (deficit > 0) {
+    const std::int32_t take = std::min(model_.free_nodes(p), deficit);
+    model_.remove_capacity(p, take);
+    removed += take;
+  }
+  return removed;
+}
+
+void EventKernel::apply_down(const ClusterEvent& ev, Host& host, bool preempt) {
+  const PartitionId target = ev.partition.empty() ? kAnyPartition
+                                                  : model_.index_of(ev.partition);
+  if (target != kAnyPartition) {
+    const std::int32_t deficit = std::min(ev.nodes, model_.total_nodes(target));
+    take_down(target, deficit, host, preempt, ev.requeue_delay);
+    return;
+  }
+  // Cluster-wide: walk partitions in index order carrying the remaining
+  // deficit (single-partition clusters reduce to the scalar behavior).
+  std::int32_t remaining = std::min(ev.nodes, model_.total_nodes());
+  for (PartitionId p = 0; p < model_.partition_count() && remaining > 0; ++p) {
+    remaining -= take_down(p, remaining, host, preempt, ev.requeue_delay);
+  }
+}
+
+void EventKernel::apply_correlated(const ClusterEvent& ev, Host& host) {
+  const PartitionId target = ev.partition.empty() ? kAnyPartition
+                                                  : model_.index_of(ev.partition);
+  const std::int32_t rack =
+      ev.rack_size > 0 ? std::min(ev.rack_size, ev.nodes) : ev.nodes;
+  const std::int32_t max_racks = std::max(1, ev.nodes / std::max(1, rack));
+  // One draw decides the whole burst: low bits pick the rack count, high
+  // bits the starting partition — same expansion in both simulators.
+  std::uint64_t state = ev.seed;
+  const std::uint64_t r = util::splitmix64(state);
+  const std::int32_t racks =
+      1 + static_cast<std::int32_t>(r % static_cast<std::uint64_t>(max_racks));
+  const std::int32_t nparts = model_.partition_count();
+  const PartitionId start = static_cast<PartitionId>(
+      (r >> 32) % static_cast<std::uint64_t>(nparts));
+  for (std::int32_t i = 0; i < racks; ++i) {
+    const PartitionId p = target != kAnyPartition ? target : (start + i) % nparts;
+    const std::int32_t deficit = std::min(rack, model_.total_nodes(p));
+    take_down(p, deficit, host, /*preempt=*/false, 0);
+  }
+}
+
+void EventKernel::apply(const ClusterEvent& ev, Host& host) {
+  const PartitionId target = ev.partition.empty() ? kAnyPartition
+                                                  : model_.index_of(ev.partition);
+  switch (ev.type) {
+    case ClusterEventType::kNodeDown:
+      apply_down(ev, host, /*preempt=*/false);
+      break;
+    case ClusterEventType::kPreempt:
+      apply_down(ev, host, /*preempt=*/true);
+      break;
+    case ClusterEventType::kCorrelatedDown:
+      apply_correlated(ev, host);
+      break;
+    case ClusterEventType::kDrain: {
+      if (target != kAnyPartition) {
+        auto& debt = drain_debt_[static_cast<std::size_t>(target)];
+        debt += std::clamp(model_.total_nodes(target) - debt, 0, ev.nodes);
+        absorb_drain(target);
+        break;
+      }
+      std::int32_t remaining = ev.nodes;
+      for (PartitionId p = 0; p < model_.partition_count(); ++p) {
+        auto& debt = drain_debt_[static_cast<std::size_t>(p)];
+        const std::int32_t add = std::clamp(model_.total_nodes(p) - debt, 0, remaining);
+        debt += add;
+        remaining -= add;
+        absorb_drain(p);
+      }
+      break;
+    }
+    case ClusterEventType::kNodeRestore: {
+      if (target != kAnyPartition) {
+        model_.add_capacity(target, ev.nodes);
+        absorb_drain(target);  // outstanding drains absorb restored nodes first
+        break;
+      }
+      // Cluster-wide: returned nodes refill partitions that are below their
+      // nominal capacity in index order (they are the ones that lost nodes),
+      // then any surplus expands partition 0. Splitting the add around the
+      // drain absorption is arithmetically identical to one add+absorb on a
+      // single-partition cluster.
+      std::int32_t remaining = ev.nodes;
+      for (PartitionId p = 0; p < model_.partition_count() && remaining > 0; ++p) {
+        const std::int32_t deficit =
+            std::max(0, model_.nominal_nodes(p) - model_.total_nodes(p));
+        const std::int32_t add = std::min(remaining, deficit);
+        if (add > 0) {
+          model_.add_capacity(p, add);
+          absorb_drain(p);
+          remaining -= add;
+        }
+      }
+      if (remaining > 0) {
+        model_.add_capacity(0, remaining);
+        absorb_drain(0);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace mirage::sim

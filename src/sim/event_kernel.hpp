@@ -1,0 +1,103 @@
+// Shared cluster-event state machine. Both simulators used to reimplement
+// the down/drain/restore semantics against their own capacity scalars and
+// had to be kept bitwise-consistent by hand; the EventKernel owns that
+// logic once — partition-aware capacity accounting, drain debt, preemption
+// and correlated-failure expansion — and the simulators supply only the
+// victim bookkeeping they genuinely differ on (their job tables) through
+// the Host interface. The fast==reference bitwise contract for event
+// handling is therefore guaranteed by construction.
+//
+// Semantics (single-partition behavior is bitwise identical to the
+// pre-kernel simulators):
+//
+//   down       free nodes leave first; then the host kills LIFO victims in
+//              the target partition until the deficit is met; clamped to
+//              the partition's (or cluster's) current capacity.
+//   drain      adds to the target partition's drain debt, clamped so debt
+//              never exceeds capacity; free nodes are withheld immediately
+//              and as running jobs release them.
+//   restore    adds capacity to the target partition; cluster-wide
+//              restores refill partitions below their nominal capacity in
+//              index order (the pools that lost nodes) with any surplus
+//              expanding partition 0. Outstanding drain debt absorbs
+//              restored nodes first.
+//   preempt    down, with host.preempt_one instead of host.kill_one —
+//              victims checkpoint and requeue rather than die.
+//   correlated_down
+//              one SplitMix64 draw of the event seed expands into
+//              1..(nodes/rack_size) racks; each rack is a down of
+//              rack_size nodes, assigned round-robin across partitions
+//              starting at a drawn index (or all to the target partition).
+//
+// Cluster-wide (partition-less) down/drain walk partitions in index order,
+// which reduces to the scalar behavior on single-partition clusters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "sim/cluster_event.hpp"
+
+namespace mirage::sim {
+
+class EventKernel {
+ public:
+  /// Victim operations the driving simulator implements against its own
+  /// job table. Both callbacks must release the victim's nodes back into
+  /// the kernel's ClusterModel and return the victim's node count (0 when
+  /// no job is running in the partition).
+  struct Host {
+    virtual ~Host() = default;
+    /// Kill the most recently started running job in partition p
+    /// (deterministic LIFO: latest start, then highest job id).
+    virtual std::int32_t kill_one(PartitionId p) = 0;
+    /// Checkpoint/requeue the same LIFO victim: remaining runtime is
+    /// preserved and the job re-enters the queue after `requeue_delay`.
+    virtual std::int32_t preempt_one(PartitionId p, util::SimTime requeue_delay) = 0;
+  };
+
+  explicit EventKernel(ClusterModel model)
+      : model_(std::move(model)),
+        drain_debt_(static_cast<std::size_t>(model_.partition_count()), 0) {}
+
+  ClusterModel& cluster() { return model_; }
+  const ClusterModel& cluster() const { return model_; }
+
+  /// Validate an event against the model (unknown partition names). False
+  /// with a diagnostic instead of failing mid-run.
+  bool validate(const ClusterEvent& ev, std::string* error = nullptr) const;
+
+  /// Apply one event now. The host is called back for kills/preemptions.
+  void apply(const ClusterEvent& ev, Host& host);
+
+  /// Withhold free nodes of partition p against its outstanding drain
+  /// debt. Call after any release of nodes into p.
+  void absorb_drain(PartitionId p);
+
+  std::int32_t drain_pending() const {
+    std::int32_t n = 0;
+    for (const std::int32_t d : drain_debt_) n += d;
+    return n;
+  }
+  std::int32_t drain_pending(PartitionId p) const {
+    return drain_debt_[static_cast<std::size_t>(p)];
+  }
+  std::size_t killed_jobs() const { return killed_; }
+  std::size_t preempted_jobs() const { return preempted_; }
+
+ private:
+  /// Remove up to `deficit` nodes from partition p, killing or preempting
+  /// LIFO victims once free nodes run out. Returns nodes actually removed.
+  std::int32_t take_down(PartitionId p, std::int32_t deficit, Host& host, bool preempt,
+                         util::SimTime requeue_delay);
+  void apply_down(const ClusterEvent& ev, Host& host, bool preempt);
+  void apply_correlated(const ClusterEvent& ev, Host& host);
+
+  ClusterModel model_;
+  std::vector<std::int32_t> drain_debt_;
+  std::size_t killed_ = 0;
+  std::size_t preempted_ = 0;
+};
+
+}  // namespace mirage::sim

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/availability_profile.hpp"
+#include "sim/event_kernel.hpp"
 #include "util/time_utils.hpp"
 
 namespace mirage::sim {
@@ -18,16 +19,16 @@ using trace::JobRecord;
 using trace::Trace;
 using util::SimTime;
 
-constexpr SimTime kFar = AvailabilityProfile::kFar;
-
 struct RefJob {
   JobRecord record;
   bool running = false;
   bool done = false;
+  PartitionId constraint = kAnyPartition;
+  PartitionId placed = 0;
   SimTime duration() const { return std::min(record.actual_runtime, record.time_limit); }
 };
 
-enum class EvKind : std::uint8_t { kArrival, kFinish, kCluster };
+enum class EvKind : std::uint8_t { kArrival, kFinish, kCluster, kRequeue };
 
 struct Event {
   SimTime time;
@@ -40,135 +41,161 @@ struct Event {
   }
 };
 
+/// EventKernel victim bookkeeping over the reference job table: identical
+/// LIFO selection to the fast simulator (latest start, then highest id).
+struct RefHost final : EventKernel::Host {
+  std::vector<RefJob>& jobs;
+  std::vector<std::size_t>& running;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>>& queue;
+  EventKernel& kernel;
+  std::uint64_t& seq;
+  SimTime now = 0;
+
+  RefHost(std::vector<RefJob>& jobs_in, std::vector<std::size_t>& running_in,
+          std::priority_queue<Event, std::vector<Event>, std::greater<Event>>& queue_in,
+          EventKernel& kernel_in, std::uint64_t& seq_in)
+      : jobs(jobs_in), running(running_in), queue(queue_in), kernel(kernel_in), seq(seq_in) {}
+
+  std::vector<std::size_t>::iterator pick_victim(PartitionId p) {
+    auto victim = running.end();
+    for (auto it = running.begin(); it != running.end(); ++it) {
+      if (jobs[*it].placed != p) continue;
+      if (victim == running.end()) {
+        victim = it;
+        continue;
+      }
+      const auto& jv = jobs[*victim];
+      const auto& jc = jobs[*it];
+      if (jc.record.start_time > jv.record.start_time ||
+          (jc.record.start_time == jv.record.start_time && *it > *victim)) {
+        victim = it;
+      }
+    }
+    return victim;
+  }
+
+  std::int32_t kill_one(PartitionId p) override {
+    const auto it = pick_victim(p);
+    if (it == running.end()) return 0;
+    auto& j = jobs[*it];
+    j.running = false;
+    j.done = true;
+    j.record.end_time = now;
+    kernel.cluster().release(j.placed, j.record.num_nodes);
+    running.erase(it);
+    return j.record.num_nodes;
+  }
+
+  std::int32_t preempt_one(PartitionId p, SimTime requeue_delay) override {
+    const auto it = pick_victim(p);
+    if (it == running.end()) return 0;
+    const std::size_t id = *it;
+    auto& j = jobs[id];
+    j.record.actual_runtime =
+        std::max<SimTime>(0, j.duration() - (now - j.record.start_time));
+    j.running = false;
+    j.record.start_time = trace::kUnsetTime;
+    j.record.end_time = trace::kUnsetTime;
+    kernel.cluster().release(j.placed, j.record.num_nodes);
+    running.erase(it);
+    queue.push(Event{now + std::max<SimTime>(0, requeue_delay), seq++, EvKind::kRequeue, id});
+    return j.record.num_nodes;
+  }
+};
+
 }  // namespace
 
-Trace reference_replay(const Trace& workload, std::int32_t total_nodes, SchedulerConfig config,
+Trace reference_replay(const Trace& workload, ClusterModel cluster, SchedulerConfig config,
                        std::uint64_t* scheduler_passes) {
-  return reference_replay(workload, total_nodes, {}, config, scheduler_passes, nullptr);
+  return reference_replay(workload, std::move(cluster), {}, config, scheduler_passes, nullptr,
+                          nullptr);
 }
 
-Trace reference_replay(const Trace& workload, std::int32_t total_nodes,
+Trace reference_replay(const Trace& workload, ClusterModel cluster,
                        const std::vector<ClusterEvent>& events, SchedulerConfig config,
-                       std::uint64_t* scheduler_passes, std::size_t* killed_jobs) {
+                       std::uint64_t* scheduler_passes, std::size_t* killed_jobs,
+                       std::size_t* preempted_jobs) {
+  EventKernel kernel(std::move(cluster));
+  const auto& model = kernel.cluster();
+  const std::int32_t nparts = model.partition_count();
+
   std::vector<RefJob> jobs;
   jobs.reserve(workload.size());
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
   std::uint64_t seq = 0;
   for (const auto& r : workload) {
-    if (r.num_nodes > total_nodes) {
-      throw std::invalid_argument("job requests more nodes than the cluster has");
+    RefJob j{r, false, false, kAnyPartition, 0};
+    if (!r.partition.empty()) {
+      j.constraint = model.index_of(r.partition);
+      if (j.constraint == kAnyPartition) {
+        throw std::invalid_argument("job requests unknown partition: " + r.partition);
+      }
+    }
+    const std::int32_t ceiling = j.constraint == kAnyPartition
+                                     ? model.max_partition_nominal()
+                                     : model.nominal_nodes(j.constraint);
+    if (r.num_nodes > ceiling) {
+      throw std::invalid_argument("job requests more nodes than its partition has");
     }
     queue.push(Event{r.submit_time, seq++, EvKind::kArrival, jobs.size()});
-    jobs.push_back(RefJob{r, false, false});
+    jobs.push_back(std::move(j));
   }
   for (std::size_t i = 0; i < events.size(); ++i) {
+    std::string error;
+    if (!kernel.validate(events[i], &error)) throw std::invalid_argument(error);
     queue.push(Event{std::max<SimTime>(events[i].time, 0), seq++, EvKind::kCluster, i});
   }
 
   std::vector<std::size_t> pending;
   std::vector<std::size_t> running;
-  std::int32_t cur_total = total_nodes;
-  std::int32_t free_nodes = total_nodes;
-  std::int32_t drain_debt = 0;
-  std::size_t killed = 0;
   std::uint64_t passes = 0;
+  RefHost host(jobs, running, queue, kernel, seq);
 
-  const auto priority = [&](const RefJob& j, SimTime now) {
+  const auto priority = [&](const RefJob& j, SimTime now, double total_denom) {
     const SimTime age = std::min(now - j.record.submit_time, config.age_cap);
     return config.age_weight * static_cast<double>(age) / static_cast<double>(config.age_cap) +
-           config.size_weight * static_cast<double>(j.record.num_nodes) /
-               static_cast<double>(std::max(cur_total, 1));
-  };
-
-  // Withhold free nodes against the outstanding drain debt (same semantics
-  // as Simulator::absorb_drain).
-  const auto absorb_drain = [&] {
-    const std::int32_t take = std::min(free_nodes, drain_debt);
-    cur_total -= take;
-    free_nodes -= take;
-    drain_debt -= take;
-  };
-
-  const auto apply_cluster_event = [&](const ClusterEvent& ev, SimTime now) {
-    switch (ev.type) {
-      case ClusterEventType::kNodeDown: {
-        std::int32_t deficit = std::min(ev.nodes, cur_total);
-        const std::int32_t from_free = std::min(free_nodes, deficit);
-        cur_total -= from_free;
-        free_nodes -= from_free;
-        deficit -= from_free;
-        while (deficit > 0 && !running.empty()) {
-          // Deterministic LIFO victim: latest start, then highest index.
-          const auto it = std::max_element(
-              running.begin(), running.end(), [&](std::size_t a, std::size_t b) {
-                if (jobs[a].record.start_time != jobs[b].record.start_time) {
-                  return jobs[a].record.start_time < jobs[b].record.start_time;
-                }
-                return a < b;
-              });
-          const std::size_t id = *it;
-          auto& j = jobs[id];
-          j.running = false;
-          j.done = true;
-          j.record.end_time = now;
-          free_nodes += j.record.num_nodes;
-          running.erase(it);
-          ++killed;
-          const std::int32_t take = std::min(free_nodes, deficit);
-          cur_total -= take;
-          free_nodes -= take;
-          deficit -= take;
-        }
-        if (deficit > 0) {
-          const std::int32_t take = std::min(free_nodes, deficit);
-          cur_total -= take;
-          free_nodes -= take;
-        }
-        break;
-      }
-      case ClusterEventType::kDrain:
-        drain_debt += std::clamp(cur_total - drain_debt, 0, ev.nodes);
-        absorb_drain();
-        break;
-      case ClusterEventType::kNodeRestore:
-        cur_total += ev.nodes;
-        free_nodes += ev.nodes;
-        absorb_drain();
-        break;
-    }
+           config.size_weight * static_cast<double>(j.record.num_nodes) / total_denom;
   };
 
   while (!queue.empty()) {
     const SimTime now = queue.top().time;
+    host.now = now;
     while (!queue.empty() && queue.top().time == now) {
       const Event e = queue.top();
       queue.pop();
       switch (e.kind) {
         case EvKind::kArrival:
+        case EvKind::kRequeue:
           pending.push_back(e.index);
           break;
         case EvKind::kFinish: {
           auto& j = jobs[e.index];
-          if (!j.running) break;  // stale finish for a killed job
+          if (!j.running) break;  // stale finish for a killed/preempted job
+          // Only the finish matching the current run's end may complete a
+          // preempted-and-restarted job.
+          if (now != j.record.start_time + j.duration()) break;
           j.running = false;
           j.done = true;
-          free_nodes += j.record.num_nodes;
+          kernel.cluster().release(j.placed, j.record.num_nodes);
           running.erase(std::find(running.begin(), running.end(), e.index));
-          absorb_drain();
+          kernel.absorb_drain(j.placed);
           break;
         }
         case EvKind::kCluster:
-          apply_cluster_event(events[e.index], now);
+          kernel.apply(events[e.index], host);
           break;
       }
     }
 
     // Conservative-backfill pass: reserve every queued job in priority
-    // order on the availability profile; start those whose reservation is
+    // order on its partition's availability profile (roaming jobs pick the
+    // partition with the earliest fit); start those whose reservation is
     // "now".
     ++passes;
+    const double total_denom = static_cast<double>(std::max(model.total_nodes(), 1));
     std::sort(pending.begin(), pending.end(), [&](std::size_t a, std::size_t b) {
-      const double pa = priority(jobs[a], now), pb = priority(jobs[b], now);
+      const double pa = priority(jobs[a], now, total_denom),
+                   pb = priority(jobs[b], now, total_denom);
       if (pa != pb) return pa > pb;
       if (jobs[a].record.submit_time != jobs[b].record.submit_time) {
         return jobs[a].record.submit_time < jobs[b].record.submit_time;
@@ -176,25 +203,44 @@ Trace reference_replay(const Trace& workload, std::int32_t total_nodes,
       return a < b;
     });
 
-    AvailabilityProfile profile(now, free_nodes);
+    std::vector<AvailabilityProfile> profiles;
+    profiles.reserve(static_cast<std::size_t>(nparts));
+    for (PartitionId p = 0; p < nparts; ++p) {
+      profiles.emplace_back(now, model.free_nodes(p));
+    }
     for (std::size_t rid : running) {
       const auto& rj = jobs[rid];
-      profile.add_release(rj.record.start_time + rj.record.time_limit, rj.record.num_nodes);
+      profiles[static_cast<std::size_t>(rj.placed)].add_release(
+          rj.record.start_time + rj.record.time_limit, rj.record.num_nodes);
     }
 
     std::vector<std::size_t> still_pending;
     still_pending.reserve(pending.size());
     for (std::size_t id : pending) {
       auto& j = jobs[id];
-      const SimTime start = profile.earliest_fit(now, j.record.num_nodes, j.record.time_limit);
-      profile.reserve(start, j.record.time_limit, j.record.num_nodes);
+      PartitionId best = j.constraint != kAnyPartition ? j.constraint : 0;
+      SimTime start = profiles[static_cast<std::size_t>(best)].earliest_fit(
+          now, j.record.num_nodes, j.record.time_limit);
+      if (j.constraint == kAnyPartition) {
+        for (PartitionId p = 1; p < nparts; ++p) {
+          const SimTime s = profiles[static_cast<std::size_t>(p)].earliest_fit(
+              now, j.record.num_nodes, j.record.time_limit);
+          if (s < start) {
+            start = s;
+            best = p;
+          }
+        }
+      }
+      profiles[static_cast<std::size_t>(best)].reserve(start, j.record.time_limit,
+                                                       j.record.num_nodes);
       if (start == now) {
         j.running = true;
+        j.placed = best;
         j.record.start_time = now;
-        free_nodes -= j.record.num_nodes;
+        kernel.cluster().allocate(best, j.record.num_nodes);
         running.push_back(id);
         queue.push(Event{now + j.duration(), seq++, EvKind::kFinish, id});
-        jobs[id].record.end_time = now + j.duration();
+        j.record.end_time = now + j.duration();
       } else {
         still_pending.push_back(id);
       }
@@ -203,7 +249,8 @@ Trace reference_replay(const Trace& workload, std::int32_t total_nodes,
   }
 
   if (scheduler_passes) *scheduler_passes = passes;
-  if (killed_jobs) *killed_jobs = killed;
+  if (killed_jobs) *killed_jobs = kernel.killed_jobs();
+  if (preempted_jobs) *preempted_jobs = kernel.preempted_jobs();
 
   Trace out;
   out.reserve(jobs.size());

@@ -1,23 +1,23 @@
 // Reference Slurm simulator used to validate the fast simulator's fidelity
 // (paper §5.2 compares against the "standard" Slurm simulator [3,44]).
 //
-// Same event engine semantics, but an intentionally different — and more
-// expensive — scheduling algorithm: *conservative* backfill. Every queued
-// job gets a reservation on a time/node availability profile in priority
-// order, and a job starts now only when its earliest reservation is the
-// current instant. This is the textbook-exact policy; the fast simulator's
-// EASY backfill (single reservation) approximates it at a fraction of the
-// cost, which is precisely the trade-off the paper's fidelity study
-// quantifies.
-//
-// Timed cluster events (outage / drain / restore) are supported with the
-// exact same semantics as the fast simulator so scenario fidelity checks
-// can compare event-bearing schedules too.
+// Same event engine semantics — by construction: cluster capacity events
+// (outage / preemption / drain / restore / correlated failure) run through
+// the exact same sim::EventKernel the fast simulator drives, so the two
+// can only differ in scheduling policy. That policy is intentionally
+// different — and more expensive — here: *conservative* backfill. Every
+// queued job gets a reservation on a per-partition time/node availability
+// profile in priority order, and a job starts now only when its earliest
+// reservation is the current instant. This is the textbook-exact policy;
+// the fast simulator's EASY backfill (capped reservations) approximates it
+// at a fraction of the cost, which is precisely the trade-off the paper's
+// fidelity study quantifies.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "sim/cluster.hpp"
 #include "sim/cluster_event.hpp"
 #include "sim/scheduler_config.hpp"
 #include "trace/job.hpp"
@@ -26,17 +26,19 @@ namespace mirage::sim {
 
 /// Replay a workload under conservative backfill; returns the trace with
 /// start/end times assigned. `scheduler_passes` (optional out) counts
-/// scheduling passes for overhead accounting.
-trace::Trace reference_replay(const trace::Trace& workload, std::int32_t total_nodes,
+/// scheduling passes for overhead accounting. `cluster` is implicitly
+/// constructible from a plain node count.
+trace::Trace reference_replay(const trace::Trace& workload, ClusterModel cluster,
                               SchedulerConfig config = {},
                               std::uint64_t* scheduler_passes = nullptr);
 
-/// As above, with timed cluster capacity events (same down/drain/restore
-/// semantics as Simulator::schedule_cluster_event). `killed_jobs`
-/// (optional out) counts jobs killed by kNodeDown events.
-trace::Trace reference_replay(const trace::Trace& workload, std::int32_t total_nodes,
+/// As above, with timed cluster capacity events (EventKernel semantics,
+/// identical to Simulator::schedule_cluster_event). `killed_jobs` /
+/// `preempted_jobs` (optional outs) count event victims.
+trace::Trace reference_replay(const trace::Trace& workload, ClusterModel cluster,
                               const std::vector<ClusterEvent>& events, SchedulerConfig config = {},
                               std::uint64_t* scheduler_passes = nullptr,
-                              std::size_t* killed_jobs = nullptr);
+                              std::size_t* killed_jobs = nullptr,
+                              std::size_t* preempted_jobs = nullptr);
 
 }  // namespace mirage::sim

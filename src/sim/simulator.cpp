@@ -7,8 +7,29 @@
 
 namespace mirage::sim {
 
-Simulator::Simulator(std::int32_t total_nodes, SchedulerConfig config)
-    : cluster_(total_nodes), config_(config) {}
+Simulator::Simulator(ClusterModel cluster, SchedulerConfig config)
+    : kernel_(std::move(cluster)), config_(config) {}
+
+PartitionId Simulator::resolve_constraint(const JobRecord& record) const {
+  if (record.partition.empty()) return kAnyPartition;
+  const PartitionId p = kernel_.cluster().index_of(record.partition);
+  if (p == kAnyPartition) {
+    throw std::invalid_argument("job requests unknown partition: " + record.partition);
+  }
+  return p;
+}
+
+void Simulator::validate_record(const JobRecord& record, PartitionId constraint) const {
+  // Validate against nominal capacity so a transient outage does not
+  // reject a job that fits the cluster as built.
+  const auto& model = kernel_.cluster();
+  const std::int32_t ceiling = constraint == kAnyPartition
+                                   ? model.max_partition_nominal()
+                                   : model.nominal_nodes(constraint);
+  if (record.num_nodes > ceiling) {
+    throw std::invalid_argument("job requests more nodes than its partition has");
+  }
+}
 
 void Simulator::load_workload(const Trace& workload) {
   jobs_.reserve(jobs_.size() + workload.size());
@@ -16,29 +37,30 @@ void Simulator::load_workload(const Trace& workload) {
     const JobId id = static_cast<JobId>(jobs_.size());
     SimJob j;
     j.record = r;
-    if (r.num_nodes > cluster_.total_nodes()) {
-      throw std::invalid_argument("job requests more nodes than the cluster has");
-    }
+    j.constraint = resolve_constraint(r);
+    validate_record(r, j.constraint);
     jobs_.push_back(std::move(j));
     push_event(std::max(r.submit_time, now_), EventType::kArrival, id);
   }
 }
 
 void Simulator::schedule_cluster_event(const ClusterEvent& event) {
+  std::string error;
+  if (!kernel_.validate(event, &error)) throw std::invalid_argument(error);
   const JobId index = static_cast<JobId>(cluster_events_.size());
   cluster_events_.push_back(event);
   push_event(std::max(event.time, now_), EventType::kCluster, index);
 }
 
 JobId Simulator::submit(const JobRecord& job) {
-  if (job.num_nodes > cluster_.total_nodes()) {
-    throw std::invalid_argument("job requests more nodes than the cluster has");
-  }
+  const PartitionId constraint = resolve_constraint(job);
+  validate_record(job, constraint);
   const JobId id = static_cast<JobId>(jobs_.size());
   SimJob j;
   j.record = job;
   j.record.submit_time = now_;  // injected at the current instant
   j.status = JobStatus::kPending;
+  j.constraint = constraint;
   jobs_.push_back(std::move(j));
   pending_.push_back(id);
   needs_schedule_ = true;
@@ -79,7 +101,8 @@ void Simulator::run_until_complete(JobId id) {
 }
 
 void Simulator::run_until_started(JobId id) {
-  while (status(id) == JobStatus::kPending || status(id) == JobStatus::kFuture) {
+  while (status(id) == JobStatus::kPending || status(id) == JobStatus::kFuture ||
+         status(id) == JobStatus::kPreempted) {
     if (events_.empty()) return;
     run_until(events_.top().time);
   }
@@ -89,7 +112,8 @@ void Simulator::process_event(const Event& e) {
   // For kCluster events e.job indexes cluster_events_, not jobs_ — do not
   // form a job reference before dispatching.
   if (e.type == EventType::kCluster) {
-    apply_cluster_event(cluster_events_[static_cast<std::size_t>(e.job)]);
+    kernel_.apply(cluster_events_[static_cast<std::size_t>(e.job)], *this);
+    needs_schedule_ = true;
     return;
   }
   auto& j = jobs_[static_cast<std::size_t>(e.job)];
@@ -102,14 +126,23 @@ void Simulator::process_event(const Event& e) {
       break;
     case EventType::kFinish:
       // A kNodeDown event may have killed the job already; its original
-      // finish event is then stale and must be ignored.
+      // finish event is then stale and must be ignored. A preempted-and-
+      // restarted job is running again, but only the finish event matching
+      // the current run's end instant may complete it.
       if (j.status != JobStatus::kRunning) return;
+      if (now_ != j.start + j.duration()) return;  // stale pre-preemption finish
       j.status = JobStatus::kCompleted;
       j.end = now_;
       j.record.end_time = now_;
-      cluster_.release(j.record.num_nodes);
+      kernel_.cluster().release(j.placed, j.record.num_nodes);
       running_.erase(std::find(running_.begin(), running_.end(), e.job));
-      absorb_drain();
+      kernel_.absorb_drain(j.placed);
+      needs_schedule_ = true;
+      break;
+    case EventType::kRequeue:
+      if (j.status != JobStatus::kPreempted) return;
+      j.status = JobStatus::kPending;
+      pending_.push_back(e.job);
       needs_schedule_ = true;
       break;
     case EventType::kCluster:
@@ -117,75 +150,66 @@ void Simulator::process_event(const Event& e) {
   }
 }
 
-void Simulator::apply_cluster_event(const ClusterEvent& ev) {
-  switch (ev.type) {
-    case ClusterEventType::kNodeDown: {
-      std::int32_t deficit = std::min(ev.nodes, cluster_.total_nodes());
-      const std::int32_t from_free = std::min(cluster_.free_nodes(), deficit);
-      cluster_.remove_capacity(from_free);
-      deficit -= from_free;
-      if (deficit > 0) kill_for_capacity(deficit);
-      break;
+JobId Simulator::pick_victim(PartitionId p) const {
+  JobId victim = -1;
+  for (const JobId id : running_) {
+    if (jobs_[static_cast<std::size_t>(id)].placed != p) continue;
+    if (victim < 0) {
+      victim = id;
+      continue;
     }
-    case ClusterEventType::kDrain:
-      drain_debt_ += std::clamp(cluster_.total_nodes() - drain_debt_, 0, ev.nodes);
-      absorb_drain();
-      break;
-    case ClusterEventType::kNodeRestore:
-      cluster_.add_capacity(ev.nodes);
-      absorb_drain();  // outstanding drains absorb restored nodes first
-      break;
-  }
-  needs_schedule_ = true;
-}
-
-void Simulator::kill_for_capacity(std::int32_t deficit) {
-  while (deficit > 0 && !running_.empty()) {
+    const auto& jv = jobs_[static_cast<std::size_t>(victim)];
+    const auto& jc = jobs_[static_cast<std::size_t>(id)];
     // Deterministic LIFO victim selection: latest start, then highest id.
-    const auto it = std::max_element(
-        running_.begin(), running_.end(), [this](JobId a, JobId b) {
-          const auto& ja = jobs_[static_cast<std::size_t>(a)];
-          const auto& jb = jobs_[static_cast<std::size_t>(b)];
-          if (ja.start != jb.start) return ja.start < jb.start;
-          return a < b;
-        });
-    const JobId id = *it;
-    auto& j = jobs_[static_cast<std::size_t>(id)];
-    j.status = JobStatus::kKilled;
-    j.end = now_;
-    j.record.end_time = now_;
-    cluster_.release(j.record.num_nodes);
-    running_.erase(it);
-    ++killed_jobs_;
-    const std::int32_t take = std::min(cluster_.free_nodes(), deficit);
-    cluster_.remove_capacity(take);
-    deficit -= take;
+    if (jc.start > jv.start || (jc.start == jv.start && id > victim)) victim = id;
   }
-  // Nothing left to kill: clamp to whatever capacity remains.
-  if (deficit > 0) cluster_.remove_capacity(std::min(cluster_.free_nodes(), deficit));
+  return victim;
 }
 
-void Simulator::absorb_drain() {
-  const std::int32_t take = std::min(cluster_.free_nodes(), drain_debt_);
-  if (take > 0) {
-    cluster_.remove_capacity(take);
-    drain_debt_ -= take;
-  }
+std::int32_t Simulator::kill_one(PartitionId p) {
+  const JobId id = pick_victim(p);
+  if (id < 0) return 0;
+  auto& j = jobs_[static_cast<std::size_t>(id)];
+  j.status = JobStatus::kKilled;
+  j.end = now_;
+  j.record.end_time = now_;
+  kernel_.cluster().release(j.placed, j.record.num_nodes);
+  running_.erase(std::find(running_.begin(), running_.end(), id));
+  return j.record.num_nodes;
 }
 
-double Simulator::priority(const SimJob& j) const {
+std::int32_t Simulator::preempt_one(PartitionId p, SimTime requeue_delay) {
+  const JobId id = pick_victim(p);
+  if (id < 0) return 0;
+  auto& j = jobs_[static_cast<std::size_t>(id)];
+  // Checkpoint: the remaining runtime survives; the limit is unchanged
+  // (Slurm requeue semantics). start/end are reassigned on restart.
+  j.record.actual_runtime = std::max<SimTime>(0, j.duration() - (now_ - j.start));
+  j.status = JobStatus::kPreempted;
+  j.start = trace::kUnsetTime;
+  j.end = trace::kUnsetTime;
+  j.record.start_time = trace::kUnsetTime;
+  j.record.end_time = trace::kUnsetTime;
+  kernel_.cluster().release(j.placed, j.record.num_nodes);
+  running_.erase(std::find(running_.begin(), running_.end(), id));
+  push_event(now_ + std::max<SimTime>(0, requeue_delay), EventType::kRequeue, id);
+  return j.record.num_nodes;
+}
+
+double Simulator::priority(const SimJob& j, double total_nodes_denom) const {
   const SimTime age = std::min(now_ - j.record.submit_time, config_.age_cap);
   const double age_part =
       config_.age_weight * static_cast<double>(age) / static_cast<double>(config_.age_cap);
-  const double size_part = config_.size_weight * static_cast<double>(j.record.num_nodes) /
-                           static_cast<double>(std::max(cluster_.total_nodes(), 1));
+  const double size_part =
+      config_.size_weight * static_cast<double>(j.record.num_nodes) / total_nodes_denom;
   return age_part + size_part;
 }
 
-void Simulator::start_job(JobId id) {
+void Simulator::start_job(JobId id, PartitionId p) {
   auto& j = jobs_[static_cast<std::size_t>(id)];
-  cluster_.allocate(j.record.num_nodes);
+  kernel_.cluster().allocate(p, j.record.num_nodes);
   j.status = JobStatus::kRunning;
+  j.placed = p;
   j.start = now_;
   j.record.start_time = now_;
   running_.push_back(id);
@@ -210,11 +234,17 @@ void Simulator::schedule_pass() {
   ++scheduler_passes_;
   if (pending_.empty()) return;
 
+  const auto& model = kernel_.cluster();
+  const std::int32_t nparts = model.partition_count();
+
   // Highest priority first; FIFO (earlier submit, then lower id) tie-break.
-  std::sort(pending_.begin(), pending_.end(), [this](JobId a, JobId b) {
+  // The size-factor denominator is hoisted out of the comparator (capacity
+  // cannot change mid-sort; summing partitions per comparison would not).
+  const double total_denom = static_cast<double>(std::max(model.total_nodes(), 1));
+  std::sort(pending_.begin(), pending_.end(), [this, total_denom](JobId a, JobId b) {
     const auto& ja = jobs_[static_cast<std::size_t>(a)];
     const auto& jb = jobs_[static_cast<std::size_t>(b)];
-    const double pa = priority(ja), pb = priority(jb);
+    const double pa = priority(ja, total_denom), pb = priority(jb, total_denom);
     if (pa != pb) return pa > pb;
     if (ja.record.submit_time != jb.record.submit_time) {
       return ja.record.submit_time < jb.record.submit_time;
@@ -226,51 +256,93 @@ void Simulator::schedule_pass() {
   still_pending.reserve(pending_.size());
 
   if (!config_.backfill) {
-    // Pure priority scheduling: start strictly in order until one job does
-    // not fit; everything after it waits.
-    std::size_t i = 0;
-    for (; i < pending_.size(); ++i) {
-      const JobId id = pending_[i];
+    // Pure priority scheduling: per partition, start strictly in order
+    // until one job does not fit; everything behind it (in that partition)
+    // waits. A roaming job takes the lowest-index open partition that
+    // fits, and blocks every open partition when none does.
+    std::vector<char> blocked(static_cast<std::size_t>(nparts), 0);
+    for (const JobId id : pending_) {
       const auto& j = jobs_[static_cast<std::size_t>(id)];
-      if (!cluster_.can_allocate(j.record.num_nodes)) break;
-      start_job(id);
+      PartitionId chosen = kAnyPartition;
+      if (j.constraint != kAnyPartition) {
+        if (!blocked[static_cast<std::size_t>(j.constraint)] &&
+            model.can_allocate(j.constraint, j.record.num_nodes)) {
+          chosen = j.constraint;
+        }
+      } else {
+        for (PartitionId p = 0; p < nparts; ++p) {
+          if (!blocked[static_cast<std::size_t>(p)] &&
+              model.can_allocate(p, j.record.num_nodes)) {
+            chosen = p;
+            break;
+          }
+        }
+      }
+      if (chosen != kAnyPartition) {
+        start_job(id, chosen);
+        continue;
+      }
+      if (j.constraint != kAnyPartition) {
+        blocked[static_cast<std::size_t>(j.constraint)] = 1;
+      } else {
+        std::fill(blocked.begin(), blocked.end(), 1);
+      }
+      still_pending.push_back(id);
     }
-    still_pending.assign(pending_.begin() + static_cast<std::ptrdiff_t>(i), pending_.end());
     pending_ = std::move(still_pending);
     return;
   }
 
   // Backfill with capped-depth reservations (Slurm bf_max_job_test style):
-  // walk the queue in priority order over a limit-based availability
-  // profile. A job starts iff it fits *now* without delaying any
-  // higher-priority reservation; the first `reservation_depth` blocked
-  // jobs pin forward reservations that later candidates must respect.
-  AvailabilityProfile profile(now_, cluster_.free_nodes());
+  // walk the queue in priority order over per-partition limit-based
+  // availability profiles. A job starts iff it fits *now* without delaying
+  // any higher-priority reservation in its partition; per partition, the
+  // first `reservation_depth` blocked jobs pin forward reservations that
+  // later candidates must respect. Roaming jobs use the partition with the
+  // earliest fit (ties to the lowest index).
+  std::vector<AvailabilityProfile> profiles;
+  profiles.reserve(static_cast<std::size_t>(nparts));
+  for (PartitionId p = 0; p < nparts; ++p) profiles.emplace_back(now_, model.free_nodes(p));
   for (JobId rid : running_) {
     const auto& rj = jobs_[static_cast<std::size_t>(rid)];
-    profile.add_release(rj.start + rj.record.time_limit, rj.record.num_nodes);
+    profiles[static_cast<std::size_t>(rj.placed)].add_release(
+        rj.start + rj.record.time_limit, rj.record.num_nodes);
   }
 
-  std::int32_t reservations = 0;
-  std::int32_t scanned_past_blocked = 0;
-  bool any_blocked = false;
+  std::vector<std::int32_t> reservations(static_cast<std::size_t>(nparts), 0);
+  std::vector<std::int32_t> scanned_past_blocked(static_cast<std::size_t>(nparts), 0);
+  std::vector<char> blocked(static_cast<std::size_t>(nparts), 0);
   for (std::size_t k = 0; k < pending_.size(); ++k) {
     const JobId id = pending_[k];
     const auto& j = jobs_[static_cast<std::size_t>(id)];
-    if (any_blocked && ++scanned_past_blocked > config_.max_backfill_candidates) {
+    PartitionId best = j.constraint != kAnyPartition ? j.constraint : 0;
+    SimTime best_start =
+        profiles[static_cast<std::size_t>(best)].earliest_fit(now_, j.record.num_nodes,
+                                                              j.record.time_limit);
+    if (j.constraint == kAnyPartition) {
+      for (PartitionId p = 1; p < nparts; ++p) {
+        const SimTime s = profiles[static_cast<std::size_t>(p)].earliest_fit(
+            now_, j.record.num_nodes, j.record.time_limit);
+        if (s < best_start) {
+          best_start = s;
+          best = p;
+        }
+      }
+    }
+    const auto bi = static_cast<std::size_t>(best);
+    if (blocked[bi] && ++scanned_past_blocked[bi] > config_.max_backfill_candidates) {
       still_pending.push_back(id);
       continue;
     }
-    const SimTime start = profile.earliest_fit(now_, j.record.num_nodes, j.record.time_limit);
-    if (start == now_) {
-      start_job(id);
-      profile.reserve(now_, j.record.time_limit, j.record.num_nodes);
+    if (best_start == now_) {
+      start_job(id, best);
+      profiles[bi].reserve(now_, j.record.time_limit, j.record.num_nodes);
       continue;
     }
-    any_blocked = true;
-    if (reservations < config_.reservation_depth) {
-      profile.reserve(start, j.record.time_limit, j.record.num_nodes);
-      ++reservations;
+    blocked[bi] = 1;
+    if (reservations[bi] < config_.reservation_depth) {
+      profiles[bi].reserve(best_start, j.record.time_limit, j.record.num_nodes);
+      ++reservations[bi];
     }
     still_pending.push_back(id);
   }
@@ -280,8 +352,16 @@ void Simulator::schedule_pass() {
 StateSample Simulator::sample() const {
   StateSample s;
   s.now = now_;
-  s.total_nodes = cluster_.total_nodes();
-  s.free_nodes = cluster_.free_nodes();
+  const auto& model = kernel_.cluster();
+  s.total_nodes = model.total_nodes();
+  s.free_nodes = model.free_nodes();
+  const std::int32_t nparts = model.partition_count();
+  s.partition_total.reserve(static_cast<std::size_t>(nparts));
+  s.partition_free.reserve(static_cast<std::size_t>(nparts));
+  for (PartitionId p = 0; p < nparts; ++p) {
+    s.partition_total.push_back(model.total_nodes(p));
+    s.partition_free.push_back(model.free_nodes(p));
+  }
   s.queued_sizes.reserve(pending_.size());
   s.queued_ages.reserve(pending_.size());
   s.queued_limits.reserve(pending_.size());
@@ -320,8 +400,8 @@ Trace Simulator::export_schedule() const {
   return out;
 }
 
-Trace replay_trace(const Trace& workload, std::int32_t total_nodes, SchedulerConfig config) {
-  Simulator sim(total_nodes, config);
+Trace replay_trace(const Trace& workload, ClusterModel cluster, SchedulerConfig config) {
+  Simulator sim(std::move(cluster), config);
   sim.load_workload(workload);
   sim.run_to_completion();
   return sim.export_schedule();

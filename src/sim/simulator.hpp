@@ -8,15 +8,23 @@
 // the reference simulator's full conservative backfill, mirroring Slurm's
 // bf_max_job_test knob.
 //
+// Clusters are partition-aware (sim/cluster.hpp): each partition schedules
+// over its own availability profile with its own reservation/candidate
+// budgets, and jobs either pin a partition (JobRecord::partition) or roam
+// to the partition with the earliest fit. Single-partition clusters
+// reproduce the pre-partition scheduler bitwise.
+//
 // The agent-facing API matches the paper: submit() injects a job at the
 // current instant, step(dt) advances simulated time, sample() snapshots the
 // queue/server state for the RL state encoder.
 //
-// Timed cluster events (schedule_cluster_event) vary capacity mid-run:
-// outages kill the most recently started jobs when nodes aren't free,
-// drains withhold nodes as jobs release them, restores return nodes. The
-// scenario engine (src/scenario/) builds outage / maintenance / flash-crowd
-// scenarios on top of this.
+// Timed cluster events (schedule_cluster_event) vary capacity mid-run
+// through the shared EventKernel: outages kill the most recently started
+// jobs when nodes aren't free, preemptions checkpoint/requeue them
+// instead, drains withhold nodes as jobs release them, restores return
+// nodes, and correlated failures expand into rack-sized down bursts. The
+// scenario engine (src/scenario/) builds outage / maintenance /
+// flash-crowd scenarios on top of this.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +34,7 @@
 #include "sim/availability_profile.hpp"
 #include "sim/cluster.hpp"
 #include "sim/cluster_event.hpp"
+#include "sim/event_kernel.hpp"
 #include "sim/scheduler_config.hpp"
 #include "trace/job.hpp"
 #include "util/time_utils.hpp"
@@ -38,7 +47,14 @@ using util::SimTime;
 
 using JobId = std::int64_t;  ///< index into the simulator's job table
 
-enum class JobStatus : std::uint8_t { kFuture, kPending, kRunning, kCompleted, kKilled };
+enum class JobStatus : std::uint8_t {
+  kFuture,
+  kPending,
+  kRunning,
+  kCompleted,
+  kKilled,
+  kPreempted,  ///< checkpointed by a kPreempt event, awaiting requeue
+};
 
 /// Snapshot of queue + server state at an instant (§4.1 raw inputs; the
 /// state encoder computes the five-number summaries from these vectors).
@@ -46,6 +62,9 @@ struct StateSample {
   SimTime now = 0;
   std::int32_t total_nodes = 0;
   std::int32_t free_nodes = 0;
+  // Per-partition capacity (index order; one entry on classic clusters).
+  std::vector<std::int32_t> partition_total;
+  std::vector<std::int32_t> partition_free;
   // Queued (pending) jobs.
   std::vector<double> queued_sizes;
   std::vector<double> queued_ages;      ///< seconds since submission
@@ -57,11 +76,14 @@ struct StateSample {
 
   std::size_t queue_length() const { return queued_sizes.size(); }
   std::size_t running_count() const { return running_sizes.size(); }
+  std::size_t partition_count() const { return partition_total.size(); }
 };
 
-class Simulator {
+class Simulator : private EventKernel::Host {
  public:
-  Simulator(std::int32_t total_nodes, SchedulerConfig config = {});
+  /// `cluster` is implicitly constructible from a plain node count, so
+  /// Simulator(76) keeps meaning a single-partition 76-node cluster.
+  Simulator(ClusterModel cluster, SchedulerConfig config = {});
 
   /// Register a background workload before (or while) running. Jobs whose
   /// submit_time is in the past are enqueued immediately.
@@ -71,13 +93,10 @@ class Simulator {
   /// its JobId for status queries.
   JobId submit(const JobRecord& job);
 
-  /// Schedule a timed capacity event (outage, maintenance drain, restore).
-  /// Events in the past fire at the current instant. A kNodeDown event
-  /// kills the most recently started jobs (deterministic LIFO order) when
-  /// not enough nodes are free; kDrain withholds nodes as jobs release
-  /// them; kNodeRestore returns nodes (outstanding drain debt absorbs
-  /// restored nodes first). Requests beyond the current capacity are
-  /// clamped.
+  /// Schedule a timed capacity event (outage, preemption burst, drain,
+  /// restore, correlated failure). Events in the past fire at the current
+  /// instant; events naming an unknown partition throw immediately.
+  /// Requests beyond the current capacity are clamped.
   void schedule_cluster_event(const ClusterEvent& event);
 
   /// Advance simulated time by dt (the agent's step()).
@@ -100,18 +119,25 @@ class Simulator {
   const JobRecord& job(JobId id) const { return jobs_[static_cast<std::size_t>(id)].record; }
   std::size_t job_count() const { return jobs_.size(); }
 
-  std::int32_t total_nodes() const { return cluster_.total_nodes(); }
-  std::int32_t free_nodes() const { return cluster_.free_nodes(); }
+  const ClusterModel& cluster() const { return kernel_.cluster(); }
+  std::int32_t total_nodes() const { return kernel_.cluster().total_nodes(); }
+  std::int32_t free_nodes() const { return kernel_.cluster().free_nodes(); }
+  std::int32_t total_nodes(PartitionId p) const { return kernel_.cluster().total_nodes(p); }
+  std::int32_t free_nodes(PartitionId p) const { return kernel_.cluster().free_nodes(p); }
+  std::int32_t partition_count() const { return kernel_.cluster().partition_count(); }
   std::size_t queue_length() const { return pending_.size(); }
   std::size_t running_count() const { return running_.size(); }
 
   /// Number of scheduler passes executed (overhead accounting).
   std::uint64_t scheduler_passes() const { return scheduler_passes_; }
 
-  /// Jobs killed by kNodeDown events so far.
-  std::size_t killed_jobs() const { return killed_jobs_; }
+  /// Jobs killed by kNodeDown / kCorrelatedDown events so far.
+  std::size_t killed_jobs() const { return kernel_.killed_jobs(); }
+  /// Jobs checkpointed/requeued by kPreempt events so far.
+  std::size_t preempted_jobs() const { return kernel_.preempted_jobs(); }
   /// Drain debt: nodes that will be withheld as running jobs release them.
-  std::int32_t drain_pending() const { return drain_debt_; }
+  std::int32_t drain_pending() const { return kernel_.drain_pending(); }
+  std::int32_t drain_pending(PartitionId p) const { return kernel_.drain_pending(p); }
 
   /// Average queue wait (seconds) of jobs that *started* within the last
   /// `window` of simulated time — the signal the paper's "avg" heuristic
@@ -127,13 +153,16 @@ class Simulator {
     JobStatus status = JobStatus::kFuture;
     SimTime start = trace::kUnsetTime;
     SimTime end = trace::kUnsetTime;
+    PartitionId constraint = kAnyPartition;  ///< from record.partition
+    PartitionId placed = 0;                  ///< partition of the current run
     /// Duration the job will actually occupy nodes: min(actual, limit).
+    /// Preemption rewrites actual_runtime to the checkpointed remainder.
     SimTime duration() const {
       return std::min(record.actual_runtime, record.time_limit);
     }
   };
 
-  enum class EventType : std::uint8_t { kArrival, kFinish, kCluster };
+  enum class EventType : std::uint8_t { kArrival, kFinish, kCluster, kRequeue };
   struct Event {
     SimTime time;
     std::uint64_t seq;  ///< FIFO tie-break for determinism
@@ -145,20 +174,23 @@ class Simulator {
     }
   };
 
+  // EventKernel::Host — LIFO victim bookkeeping against the job table.
+  std::int32_t kill_one(PartitionId p) override;
+  std::int32_t preempt_one(PartitionId p, SimTime requeue_delay) override;
+  /// LIFO victim in partition p: latest start, then highest id; -1 if none.
+  JobId pick_victim(PartitionId p) const;
+
   void push_event(SimTime t, EventType type, JobId job);
   void process_event(const Event& e);
-  void apply_cluster_event(const ClusterEvent& ev);
-  /// Kill most-recently-started running jobs until `deficit` nodes left
-  /// service (kNodeDown with busy nodes).
-  void kill_for_capacity(std::int32_t deficit);
-  /// Withhold free nodes against the outstanding drain debt.
-  void absorb_drain();
+  void validate_record(const JobRecord& record, PartitionId constraint) const;
+  PartitionId resolve_constraint(const JobRecord& record) const;
   /// Priority+backfill pass; starts every job the policy admits now.
   void schedule_pass();
-  void start_job(JobId id);
-  double priority(const SimJob& j) const;
+  void start_job(JobId id, PartitionId p);
+  /// `total_nodes_denom` = max(cluster total, 1), hoisted per pass.
+  double priority(const SimJob& j, double total_nodes_denom) const;
 
-  Cluster cluster_;
+  EventKernel kernel_;
   SchedulerConfig config_;
   SimTime now_ = 0;
   std::uint64_t event_seq_ = 0;
@@ -166,8 +198,6 @@ class Simulator {
   bool needs_schedule_ = false;
 
   std::vector<ClusterEvent> cluster_events_;  ///< indexed by Event::job
-  std::int32_t drain_debt_ = 0;
-  std::size_t killed_jobs_ = 0;
 
   std::vector<SimJob> jobs_;
   std::vector<JobId> pending_;  ///< queued job ids (unordered; sorted per pass)
@@ -178,6 +208,6 @@ class Simulator {
 
 /// Replay a workload through the fast simulator and return a copy of the
 /// trace with start/end times assigned by the scheduler.
-Trace replay_trace(const Trace& workload, std::int32_t total_nodes, SchedulerConfig config = {});
+Trace replay_trace(const Trace& workload, ClusterModel cluster, SchedulerConfig config = {});
 
 }  // namespace mirage::sim

@@ -39,6 +39,11 @@ double ClusterPreset::monthly_capacity_node_hours() const {
   return static_cast<double>(node_count) * util::to_hours(util::kMonth);
 }
 
+std::vector<ClusterPartition> ClusterPreset::partitions_or_default() const {
+  if (!partitions.empty()) return partitions;
+  return {{"default", node_count}};
+}
+
 ClusterPreset v100_preset() {
   ClusterPreset p;
   p.name = "V100";
@@ -98,6 +103,25 @@ ClusterPreset a100_preset() {
   return p;
 }
 
+ClusterPreset hetero_preset() {
+  // The motivation example of the partition refactor: the paper's three
+  // node kinds operated as one cluster with three partitions. Workload
+  // statistics blend the per-cluster models; jobs are pinned to partitions
+  // by the generator (weighted by partition size among the partitions that
+  // can hold them).
+  ClusterPreset p;
+  p.name = "HETERO";
+  p.node_count = 88 + 84 + 76;
+  p.months = 6;
+  p.monthly_utilization = {0.60, 0.74, 0.88, 1.01, 0.84, 0.96};
+  p.node_distribution = {{1, 0.70}, {2, 0.12}, {4, 0.09}, {8, 0.05}, {16, 0.03}, {32, 0.01}};
+  p.runtime_log_mu = std::log(3.0 * 3600.0);
+  p.runtime_log_sigma = 1.35;
+  p.user_pool = 500;
+  p.partitions = {{"v100", 88}, {"rtx", 84}, {"a100", 76}};
+  return p;
+}
+
 ClusterPreset preset_by_name(const std::string& name) {
   std::string lower = name;
   std::transform(lower.begin(), lower.end(), lower.begin(),
@@ -105,6 +129,7 @@ ClusterPreset preset_by_name(const std::string& name) {
   if (lower == "v100") return v100_preset();
   if (lower == "rtx") return rtx_preset();
   if (lower == "a100") return a100_preset();
+  if (lower == "hetero") return hetero_preset();
   throw std::invalid_argument("unknown cluster preset: " + name);
 }
 

@@ -26,6 +26,13 @@ struct NodeCountBucket {
   double weight = 1.0;
 };
 
+/// One named partition of a cluster (e.g. the V100 pool of a mixed
+/// cluster). Mirrors sim::Partition without depending on the sim layer.
+struct ClusterPartition {
+  std::string name;
+  std::int32_t node_count = 0;
+};
+
 struct ClusterPreset {
   std::string name;
   std::int32_t node_count = 0;
@@ -54,6 +61,15 @@ struct ClusterPreset {
   double diurnal_amplitude = 0.45;
   double weekend_factor = 0.65;
 
+  /// Named partitions; empty = one homogeneous pool of node_count (the
+  /// paper's per-cluster presets). When set, node counts must sum to
+  /// node_count and the generator pins every job to a partition.
+  std::vector<ClusterPartition> partitions;
+
+  /// Partition list with the single-pool default applied ("default" /
+  /// node_count when partitions is empty) — the layout the simulators use.
+  std::vector<ClusterPartition> partitions_or_default() const;
+
   /// Mean requested nodes implied by node_distribution.
   double mean_nodes() const;
   /// Mean runtime (seconds) of the truncated log-normal, via sampling-free
@@ -68,11 +84,17 @@ ClusterPreset v100_preset();
 ClusterPreset rtx_preset();
 ClusterPreset a100_preset();
 
-/// Lookup by case-insensitive name ("v100" | "rtx" | "a100"); throws
-/// std::invalid_argument for unknown names.
+/// Heterogeneous pool: the paper's three node kinds as partitions of one
+/// cluster (v100/rtx/a100, 248 nodes total). The default multi-partition
+/// workload model.
+ClusterPreset hetero_preset();
+
+/// Lookup by case-insensitive name ("v100" | "rtx" | "a100" | "hetero");
+/// throws std::invalid_argument for unknown names.
 ClusterPreset preset_by_name(const std::string& name);
 
-/// All three presets in paper order.
+/// The three paper presets in paper order (hetero is name-addressable but
+/// deliberately not part of the figure-reproduction sweep set).
 std::vector<ClusterPreset> all_presets();
 
 }  // namespace mirage::trace

@@ -42,6 +42,27 @@ std::int32_t SyntheticTraceGenerator::sample_nodes(Rng& rng) const {
   return preset_.node_distribution[i].nodes;
 }
 
+void SyntheticTraceGenerator::assign_partition(JobRecord& job, Rng& rng) const {
+  if (preset_.partitions.empty()) return;
+  std::vector<double> weights;
+  weights.reserve(preset_.partitions.size());
+  std::size_t largest = 0;
+  for (std::size_t i = 0; i < preset_.partitions.size(); ++i) {
+    const auto& p = preset_.partitions[i];
+    weights.push_back(p.node_count >= job.num_nodes ? static_cast<double>(p.node_count) : 0.0);
+    if (p.node_count > preset_.partitions[largest].node_count) largest = i;
+  }
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  if (total <= 0.0) {
+    // No partition can hold the draw: pin to the largest and clamp.
+    job.partition = preset_.partitions[largest].name;
+    job.num_nodes = preset_.partitions[largest].node_count;
+    return;
+  }
+  job.partition = preset_.partitions[rng.categorical(weights)].name;
+}
+
 SimTime SyntheticTraceGenerator::round_up_limit(SimTime runtime, Rng& rng) const {
   // Users over-request: runtime * U[1.1, 2.2] rounded up to a queue limit.
   static constexpr SimTime kLimits[] = {2 * kHour,  4 * kHour,  8 * kHour,
@@ -90,6 +111,7 @@ Trace SyntheticTraceGenerator::generate_months(std::int32_t first_month, std::in
       j.job_name = "job_u" + std::to_string(j.user_id);
       j.submit_time = t;
       j.num_nodes = sample_nodes(rng);
+      assign_partition(j, rng);
       // job_count_scale trades per-job size for count at fixed offered
       // load; the result is still clamped to the physical wall limit.
       j.actual_runtime =
@@ -111,6 +133,7 @@ Trace SyntheticTraceGenerator::generate_months(std::int32_t first_month, std::in
       j.submit_time =
           month_begin + static_cast<SimTime>(rng.uniform() * static_cast<double>(kMonth));
       j.num_nodes = 1;
+      assign_partition(j, rng);
       j.actual_runtime = rng.uniform_int(5, 29);
       j.time_limit = 2 * kHour;  // users still request hours for 30 s jobs
       trace.push_back(std::move(j));

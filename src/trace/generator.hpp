@@ -54,6 +54,10 @@ class SyntheticTraceGenerator {
   util::SimTime sample_runtime(util::Rng& rng) const;
   std::int32_t sample_nodes(util::Rng& rng) const;
   util::SimTime round_up_limit(util::SimTime runtime, util::Rng& rng) const;
+  /// Pin a job to a partition on partitioned presets (weighted by size
+  /// among the partitions that can hold it); no-op — and no RNG draw, so
+  /// single-pool streams are unchanged — otherwise.
+  void assign_partition(JobRecord& job, util::Rng& rng) const;
 
   ClusterPreset preset_;
   GeneratorOptions options_;

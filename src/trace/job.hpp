@@ -27,6 +27,10 @@ struct JobRecord {
   SimTime time_limit = 48 * util::kHour;
   SimTime actual_runtime = 0;        ///< true duration (<= time_limit)
   std::int32_t num_nodes = 1;
+  /// Optional partition constraint (Slurm --partition). Empty = the job
+  /// may run on any partition; on single-partition clusters both spellings
+  /// are equivalent.
+  std::string partition;
 
   /// Queue wait: start - submit; 0 when either side is unset.
   SimTime wait_time() const {

@@ -10,7 +10,8 @@ namespace mirage::trace {
 
 namespace {
 const char* kHeader =
-    "JobID,JobName,UserID,SubmitTime,StartTime,EndTime,Timelimit,NumNodes,ActualRuntime";
+    "JobID,JobName,UserID,SubmitTime,StartTime,EndTime,Timelimit,NumNodes,ActualRuntime,"
+    "Partition";
 
 bool parse_i64(const std::string& s, std::int64_t& out) {
   char* end = nullptr;
@@ -29,7 +30,8 @@ std::string to_csv(const Trace& trace) {
     writer.write_row({std::to_string(j.job_id), j.job_name, std::to_string(j.user_id),
                       std::to_string(j.submit_time), std::to_string(j.start_time),
                       std::to_string(j.end_time), std::to_string(j.time_limit),
-                      std::to_string(j.num_nodes), std::to_string(j.actual_runtime)});
+                      std::to_string(j.num_nodes), std::to_string(j.actual_runtime),
+                      j.partition});
   }
   return out.str();
 }
@@ -45,6 +47,7 @@ std::optional<Trace> from_csv(const std::string& text) {
   const int c_limit = table.column("Timelimit");
   const int c_nodes = table.column("NumNodes");
   const int c_runtime = table.column("ActualRuntime");  // optional column
+  const int c_partition = table.column("Partition");    // optional column
   if (c_id < 0 || c_submit < 0 || c_nodes < 0 || c_limit < 0) return std::nullopt;
 
   Trace trace;
@@ -70,6 +73,7 @@ std::optional<Trace> from_csv(const std::string& text) {
     } else if (j.start_time != kUnsetTime && j.end_time != kUnsetTime) {
       j.actual_runtime = j.end_time - j.start_time;
     }
+    j.partition = field(c_partition);
     trace.push_back(std::move(j));
   }
   return trace;

@@ -61,9 +61,27 @@ constexpr Golden kGolden[] = {
     {"a100", 9129525659653583131ull, 12124648476754820218ull, 100},
 };
 
+// The committed hashes pin one platform's arithmetic: the lognormal /
+// erfc draws go through libm, whose last-ulp behavior differs across
+// libm implementations and ISAs. Guard rather than chase per-platform
+// constants (see the ROADMAP note); the replay invariants themselves are
+// covered platform-independently by sim_test/property_test.
+#if defined(__x86_64__) && defined(__GLIBC__)
+constexpr bool kGoldenPlatform = true;
+#else
+constexpr bool kGoldenPlatform = false;
+#endif
+
+#define MIRAGE_REQUIRE_GOLDEN_PLATFORM()                                              \
+  if (!kGoldenPlatform) {                                                             \
+    GTEST_SKIP() << "golden hashes are pinned to x86-64 + glibc libm; this platform " \
+                    "may differ in last-ulp libm behavior";                           \
+  }
+
 class GoldenTrace : public ::testing::TestWithParam<Golden> {};
 
 TEST_P(GoldenTrace, GeneratorOutputMatchesCommittedHash) {
+  MIRAGE_REQUIRE_GOLDEN_PLATFORM();
   const auto& g = GetParam();
   trace::GeneratorOptions opt;
   opt.seed = 4242;
@@ -76,6 +94,7 @@ TEST_P(GoldenTrace, GeneratorOutputMatchesCommittedHash) {
 }
 
 TEST_P(GoldenTrace, DefaultReplayMatchesCommittedHash) {
+  MIRAGE_REQUIRE_GOLDEN_PLATFORM();
   const auto& g = GetParam();
   const auto preset = trace::preset_by_name(g.cluster);
   trace::GeneratorOptions opt;

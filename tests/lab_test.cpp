@@ -341,6 +341,88 @@ TEST(LabRunner, ParallelLeaderboardBitwiseIdenticalToSerial) {
   EXPECT_TRUE(parallel.leaderboard == serial.leaderboard);
 }
 
+/// Multi-partition plan with a preemption + correlated-failure profile:
+/// the partition axis crosses a single-pool layout with a 3-pool layout,
+/// and the failure profile preempts the a100 pool and fires a correlated
+/// rack burst. Heuristic-only methods keep it fast; episodes still build
+/// partitioned simulators and replay the events (cell_pipeline_config).
+ExperimentPlan partitioned_plan(const std::string& name) {
+  using scenario::ScenarioEvent;
+  using scenario::ScenarioEventKind;
+  ExperimentPlan plan;
+  plan.name = name;
+  plan.methods = {core::Method::kAvg, core::Method::kReactive};
+  plan.budget.collector_anchors = 4;
+  plan.budget.eval_episodes = 4;
+  plan.budget.online_episodes = 2;
+  plan.budget.pretrain_epochs = 1;
+
+  auto& base = plan.matrix.base;
+  base.cluster = "a100";
+  base.months_begin = 0;
+  base.months_end = 1;
+  base.seed = 11;
+  base.job_count_scale = 0.25;
+  base.utilization_scale = 1.2;
+
+  ScenarioEvent preempt{ScenarioEventKind::kPreempt, 5 * util::kDay, 6};
+  preempt.partition = "a100";
+  preempt.requeue_delay = 3600;
+  ScenarioEvent correlated{ScenarioEventKind::kCorrelatedDown, 9 * util::kDay, 8};
+  correlated.rack_size = 4;
+  ScenarioEvent restore{ScenarioEventKind::kNodeRestore, 12 * util::kDay, 8};
+  restore.partition = "a100";
+  plan.matrix.event_profiles = {{"none", {}}, {"failures", {preempt, correlated, restore}}};
+  plan.matrix.partition_layouts = {
+      {"3pool", {{"v100", 8}, {"rtx", 6}, {"a100", 6}}},
+  };
+  return plan;
+}
+
+TEST(ExperimentPlan, PartitionLayoutAxisRoundTripsThroughPlanText) {
+  const auto plan = partitioned_plan("parts");
+  const std::string text = plan.to_text();
+  std::string error;
+  const auto parsed = parse_plan(text, &error);
+  ASSERT_TRUE(parsed) << error;
+  EXPECT_EQ(parsed->to_text(), text);
+  EXPECT_EQ(parsed->hash(), plan.hash());
+  ASSERT_EQ(parsed->matrix.partition_layouts.size(), 1u);
+  EXPECT_EQ(parsed->matrix.partition_layouts[0].name, "3pool");
+  ASSERT_EQ(parsed->matrix.partition_layouts[0].partitions.size(), 3u);
+  EXPECT_EQ(parsed->matrix.partition_layouts[0].partitions[1].name, "rtx");
+  EXPECT_EQ(parsed->matrix.partition_layouts[0].partitions[1].node_count, 6);
+  ASSERT_EQ(parsed->matrix.event_profiles.size(), 2u);
+  const auto& failures = parsed->matrix.event_profiles[1].events;
+  ASSERT_EQ(failures.size(), 3u);
+  EXPECT_EQ(failures[0].kind, scenario::ScenarioEventKind::kPreempt);
+  EXPECT_EQ(failures[0].partition, "a100");
+  EXPECT_EQ(failures[0].requeue_delay, 3600);
+  EXPECT_EQ(failures[1].kind, scenario::ScenarioEventKind::kCorrelatedDown);
+  EXPECT_EQ(failures[1].rack_size, 4);
+
+  // A layout naming a partition the failure profile targets must validate;
+  // one that drops the a100 pool must be rejected up front.
+  auto bad = plan;
+  bad.matrix.partition_layouts = {{"nopool", {{"v100", 10}, {"rtx", 10}}}};
+  std::string bad_error;
+  EXPECT_FALSE(parse_plan(bad.to_text(), &bad_error));
+  EXPECT_NE(bad_error.find("unknown partition"), std::string::npos) << bad_error;
+}
+
+TEST(LabRunner, PartitionedPlanParallelEqualsSerialBitwise) {
+  // Acceptance: a multi-partition sweep with preemption + correlated-down
+  // events runs parallel == serial bitwise through lab::LabRunner.
+  TempDir tmp("parts");
+  const auto plan = partitioned_plan("parts");
+  ArtifactStore serial_store(tmp.dir("serial"));
+  ArtifactStore parallel_store(tmp.dir("parallel"));
+  const auto serial = LabRunner::run_serial(plan, serial_store);
+  const auto parallel = LabRunner(/*threads=*/3).run(plan, parallel_store);
+  EXPECT_EQ(serial.jobs_total, 4u);  // 2 profiles x 1 layout x 2 methods
+  EXPECT_TRUE(parallel.leaderboard == serial.leaderboard);
+}
+
 TEST(LabRunner, KilledRunResumesToBitwiseIdenticalLeaderboard) {
   TempDir tmp("resume");
   const auto plan = tiny_plan("resume");
@@ -458,6 +540,49 @@ TEST(Promotion, BestCheckpointHotReloadsIntoLiveServiceUnderConcurrentSessions) 
   EXPECT_EQ(registry.lookup(first.key)->version(), last_version);
   EXPECT_EQ(service.report().decisions,
             static_cast<std::uint64_t>(kClients * kDecisionsPerClient));
+}
+
+TEST(Promotion, PartitionedPlanTrainsAndPromotesWiderFrames) {
+  // End-to-end acceptance: an RL method trained on a 3-partition cell (its
+  // episodes observing per-partition capacity features and replaying the
+  // cell's preemption/correlated events) produces a checkpoint with the
+  // wider frame, and registry_config sizes serving for it.
+  TempDir tmp("partpromo");
+  auto plan = partitioned_plan("partpromo");
+  plan.methods = {core::Method::kMoeDqn};
+  plan.matrix.event_profiles.erase(plan.matrix.event_profiles.begin());  // 1 cell: failures only
+
+  const auto cfg = registry_config(plan);
+  EXPECT_EQ(cfg.expected_state_dim, rl::frame_dim(3));  // 40 + 3 partitions + action
+  EXPECT_EQ(serving_partition_count(plan), 3u);
+
+  ArtifactStore store(tmp.dir("store"));
+  const auto report = LabRunner::run_serial(plan, store);
+  ASSERT_EQ(report.jobs_run, 1u);
+
+  serve::ModelRegistry registry(cfg);
+  const auto promoted = promote_best(report.leaderboard, plan, store, registry);
+  ASSERT_TRUE(promoted.ok) << promoted.error;
+  ASSERT_NE(registry.lookup(promoted.key), nullptr);
+
+  // Sessions configured for the plan's partition count can feed the
+  // promoted model multi-partition StateSamples end to end.
+  serve::ServiceConfig svc;
+  svc.history_len = serving_history_len(plan);
+  svc.partition_count = serving_partition_count(plan);
+  serve::ProvisioningService service(registry, promoted.key, svc);
+  service.start();
+  const auto session = service.open_session();
+  sim::StateSample sample;
+  sample.now = 600;
+  sample.total_nodes = 20;
+  sample.free_nodes = 9;
+  sample.partition_total = {8, 6, 6};
+  sample.partition_free = {4, 2, 3};
+  service.observe(session, sample, rl::JobPairContext{});
+  const auto decision = service.decide(session);
+  EXPECT_TRUE(decision.action == 0 || decision.action == 1);
+  service.drain_and_stop();
 }
 
 TEST(Promotion, FailsLoudlyWithoutCheckpoints) {

@@ -274,6 +274,85 @@ TEST_P(EventProperty, BackfillNeverDelaysPinnedReservationUnderDrain) {
   EXPECT_LE(run(with_backfill), run(without_backfill));
 }
 
+TEST_P(EventProperty, PerPartitionInvariantsHoldUnderEventStorms) {
+  // Random multi-partition cluster + random workload + random event storm
+  // (outages, drains, restores, preemption bursts, correlated failures,
+  // targeted and cluster-wide). Sampled at a fine cadence, every partition
+  // must satisfy 0 <= busy <= total and carry non-negative drain debt, and
+  // the cluster-wide counters must equal the partition sums.
+  Rng rng(0x9a27 + GetParam());
+  const auto nparts = static_cast<std::int32_t>(rng.uniform_int(2, 4));
+  std::vector<sim::Partition> parts;
+  std::vector<std::string> names;
+  for (std::int32_t p = 0; p < nparts; ++p) {
+    names.push_back("pool" + std::to_string(p));
+    parts.push_back({names.back(), static_cast<std::int32_t>(rng.uniform_int(4, 24))});
+  }
+  sim::Simulator simulator(sim::ClusterModel(parts), {});
+
+  Trace workload;
+  const auto n = static_cast<std::size_t>(rng.uniform_int(40, 120));
+  for (std::size_t i = 0; i < n; ++i) {
+    JobRecord j;
+    j.job_id = static_cast<std::int64_t>(i + 1);
+    j.submit_time = rng.uniform_int(0, 5 * kDay);
+    const bool pinned = rng.bernoulli(0.6);
+    const auto p = static_cast<std::size_t>(rng.uniform_int(0, nparts - 1));
+    if (pinned) j.partition = names[p];
+    const std::int32_t ceiling = pinned ? parts[p].nodes : parts[0].nodes;
+    j.num_nodes = static_cast<std::int32_t>(rng.uniform_int(1, std::min(ceiling, 8)));
+    j.actual_runtime = rng.uniform_int(kMinute, 12 * kHour);
+    j.time_limit = j.actual_runtime + rng.uniform_int(0, 4 * kHour);
+    workload.push_back(std::move(j));
+  }
+  simulator.load_workload(workload);
+
+  SimTime t = kHour;
+  for (int i = 0; i < 10; ++i) {
+    sim::ClusterEvent ev;
+    ev.time = t;
+    ev.nodes = static_cast<std::int32_t>(rng.uniform_int(1, 12));
+    if (rng.bernoulli(0.6)) {
+      ev.partition = names[static_cast<std::size_t>(rng.uniform_int(0, nparts - 1))];
+    }
+    switch (rng.uniform_int(0, 4)) {
+      case 0: ev.type = sim::ClusterEventType::kNodeDown; break;
+      case 1: ev.type = sim::ClusterEventType::kDrain; break;
+      case 2: ev.type = sim::ClusterEventType::kNodeRestore; break;
+      case 3:
+        ev.type = sim::ClusterEventType::kPreempt;
+        ev.requeue_delay = rng.uniform_int(0, 2 * kHour);
+        break;
+      default:
+        ev.type = sim::ClusterEventType::kCorrelatedDown;
+        ev.rack_size = static_cast<std::int32_t>(rng.uniform_int(1, 4));
+        ev.seed = rng.next_u64();
+        break;
+    }
+    simulator.schedule_cluster_event(ev);
+    t += rng.uniform_int(kHour, kDay);
+  }
+
+  for (SimTime clock = 0; clock <= 6 * kDay; clock += 20 * kMinute) {
+    simulator.run_until(clock);
+    std::int32_t total_sum = 0, free_sum = 0, drain_sum = 0;
+    for (std::int32_t p = 0; p < nparts; ++p) {
+      const std::int32_t total = simulator.total_nodes(p);
+      const std::int32_t free = simulator.free_nodes(p);
+      ASSERT_GE(total, 0) << "partition " << p << " at t=" << clock;
+      ASSERT_GE(free, 0) << "partition " << p << " at t=" << clock;
+      ASSERT_LE(free, total) << "partition " << p << " at t=" << clock;
+      ASSERT_GE(simulator.drain_pending(p), 0) << "partition " << p;
+      total_sum += total;
+      free_sum += free;
+      drain_sum += simulator.drain_pending(p);
+    }
+    ASSERT_EQ(simulator.total_nodes(), total_sum);
+    ASSERT_EQ(simulator.free_nodes(), free_sum);
+    ASSERT_EQ(simulator.drain_pending(), drain_sum);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, EventProperty, ::testing::Values(1, 2, 3, 4, 5, 6));
 
 // ----------------------------------------------- Fast-vs-reference sweeps

@@ -58,6 +58,58 @@ TEST(StateEncoderTest, FrameHas40Vars) {
   for (float v : f) EXPECT_TRUE(std::isfinite(v));
 }
 
+TEST(StateEncoderTest, MultiPartitionFrameAppendsFreeFractions) {
+  // A single-partition sample stays exactly 40 vars (bitwise-stable model
+  // inputs); partitioned samples append one free fraction per partition.
+  auto single = sample_with(88, 40);
+  single.partition_total = {88};
+  single.partition_free = {40};
+  EXPECT_EQ(encode_frame(single, JobPairContext{}).size(), kStateVars);
+
+  auto multi = sample_with(24, 9);
+  multi.partition_total = {12, 8, 4};
+  multi.partition_free = {6, 2, 1};
+  const auto f = encode_frame(multi, JobPairContext{});
+  ASSERT_EQ(f.size(), kStateVars + 3);
+  EXPECT_FLOAT_EQ(f[kStateVars + 0], 0.5f);
+  EXPECT_FLOAT_EQ(f[kStateVars + 1], 0.25f);
+  EXPECT_FLOAT_EQ(f[kStateVars + 2], 0.25f);
+
+  // A partition knocked fully offline encodes as 0 free, not NaN.
+  multi.partition_total[2] = 0;
+  multi.partition_free[2] = 0;
+  EXPECT_FLOAT_EQ(encode_frame(multi, JobPairContext{})[kStateVars + 2], 0.0f);
+}
+
+TEST(StateEncoderTest, MismatchedFrameWidthThrowsInsteadOfCorrupting) {
+  // A session encoder sized for one pool must reject multi-partition
+  // samples loudly (flatten would otherwise write out of bounds).
+  StateEncoder enc(/*history_len=*/2, /*partition_count=*/1);
+  auto s = sample_with(16, 8);
+  s.partition_total = {8, 8};
+  s.partition_free = {4, 4};
+  EXPECT_THROW(enc.push(s, JobPairContext{}), std::invalid_argument);
+}
+
+TEST(StateEncoderTest, PartitionAwareFlattenUsesWiderStride) {
+  StateEncoder enc(/*history_len=*/3, /*partition_count=*/2);
+  EXPECT_EQ(enc.frame_dim(), frame_dim(2));
+  auto s = sample_with(16, 8);
+  s.partition_total = {8, 8};
+  s.partition_free = {8, 0};
+  enc.push(s, JobPairContext{});
+  const auto flat = enc.flatten(1.0f);
+  const std::size_t stride = frame_dim(2);
+  ASSERT_EQ(flat.size(), 3 * stride);
+  // Newest frame sits in the last slot; its partition features precede the
+  // action channel, and the action channel fills every frame.
+  EXPECT_FLOAT_EQ(flat[2 * stride + kStateVars + 0], 1.0f);  // pool 0 fully free
+  EXPECT_FLOAT_EQ(flat[2 * stride + kStateVars + 1], 0.0f);  // pool 1 fully busy
+  for (std::size_t frame = 0; frame < 3; ++frame) {
+    EXPECT_FLOAT_EQ(flat[frame * stride + stride - 1], 1.0f);
+  }
+}
+
 TEST(StateEncoderTest, EmptyClusterFrameIsMostlyZero) {
   const auto f = encode_frame(sample_with(88, 88), JobPairContext{});
   // Queue count, summaries of empty vectors: zeros.
@@ -222,6 +274,33 @@ TEST(Env, ObservationDimensionsMatchConfig) {
   ProvisionEnv env({}, 8, ec, kDay);
   EXPECT_EQ(env.observation(0.0f).size(), ec.history_len * kFrameDim);
   EXPECT_EQ(env.features().size(), summary_feature_count());
+}
+
+TEST(Env, EpisodesObservePerPartitionCapacityAndClusterEvents) {
+  // Acceptance slice of the partition refactor: an episode configured with
+  // partitions + a capacity event produces observations whose per-partition
+  // free-capacity features reflect the event.
+  EpisodeConfig ec = quick_episode();
+  ec.partitions = {{"gpu", 8}, {"cpu", 8}};
+  // The gpu pool goes down entirely well before the episode window.
+  ec.cluster_events.push_back({kHour, sim::ClusterEventType::kNodeDown, 8, "gpu"});
+
+  ProvisionEnv env({}, 16, ec, kDay);
+  const std::size_t stride = frame_dim(2);
+  const auto obs = env.observation(0.0f);
+  ASSERT_EQ(obs.size(), ec.history_len * stride);
+  // Newest frame: gpu pool has no capacity (encoded 0), cpu pool is free
+  // except for the predecessor, which roams onto it.
+  const float gpu_free = obs[(ec.history_len - 1) * stride + kStateVars + 0];
+  const float cpu_free = obs[(ec.history_len - 1) * stride + kStateVars + 1];
+  EXPECT_FLOAT_EQ(gpu_free, 0.0f);
+  EXPECT_GT(cpu_free, 0.0f);
+
+  // The episode still completes (the predecessor ran on the cpu pool).
+  while (env.step(0)) {
+  }
+  if (!env.done()) env.finish();
+  EXPECT_TRUE(env.done());
 }
 
 TEST(Env, DecisionCountsAndSubmitOffset) {

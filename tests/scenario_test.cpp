@@ -468,6 +468,154 @@ TEST(RecurringEvents, ExpansionBeyondHorizonIsRejectedWithDiagnostic) {
   EXPECT_TRUE(parse_scenario(ok_text, &error).has_value()) << error;
 }
 
+// ------------------------------------------ Partitions + new event kinds
+
+ScenarioSpec partitioned_spec() {
+  ScenarioSpec spec = small_spec();
+  spec.name = "parts";
+  spec.partitions = {{"v100", 12}, {"rtx", 10}, {"a100", 8}};
+  return spec;
+}
+
+TEST(PartitionedScenario, TextRoundTripPreservesPartitionsAndEventKeywords) {
+  ScenarioSpec spec = partitioned_spec();
+  ScenarioEvent preempt{ScenarioEventKind::kPreempt, 3 * kHour, 6};
+  preempt.partition = "v100";
+  preempt.requeue_delay = 1800;
+  spec.events.push_back(preempt);
+  ScenarioEvent correlated{ScenarioEventKind::kCorrelatedDown, 9 * kHour, 8};
+  correlated.rack_size = 4;
+  correlated.seed = 1234;
+  spec.events.push_back(correlated);
+  ScenarioEvent burst{ScenarioEventKind::kBurst, 5 * kHour, 2, 10, 1800, 3600, 900};
+  burst.partition = "rtx";
+  spec.events.push_back(burst);
+
+  std::string error;
+  const auto parsed = parse_scenario(spec.to_text(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->to_text(), spec.to_text());
+  ASSERT_EQ(parsed->partitions.size(), 3u);
+  EXPECT_EQ(parsed->partitions[0].name, "v100");
+  EXPECT_EQ(parsed->partitions[1].node_count, 10);
+  ASSERT_EQ(parsed->events.size(), 3u);
+  EXPECT_EQ(parsed->events[0].kind, ScenarioEventKind::kPreempt);
+  EXPECT_EQ(parsed->events[0].partition, "v100");
+  EXPECT_EQ(parsed->events[0].requeue_delay, 1800);
+  EXPECT_EQ(parsed->events[1].kind, ScenarioEventKind::kCorrelatedDown);
+  EXPECT_EQ(parsed->events[1].rack_size, 4);
+  EXPECT_EQ(parsed->events[1].seed, 1234u);
+  EXPECT_EQ(parsed->events[2].partition, "rtx");
+
+  // Partitions override the preset: node_count becomes the sum.
+  const auto preset = parsed->resolved_preset();
+  EXPECT_EQ(preset.node_count, 30);
+  ASSERT_EQ(preset.partitions.size(), 3u);
+}
+
+TEST(PartitionedScenario, InvalidPartitionSpecsAreRejected) {
+  const char* bad[] = {
+      // event targets a partition the spec does not define
+      "cluster=a100\nmonths_end=1\npartition.0=a,10\nevent.0=down,5,2,partition=b",
+      // burst bigger than its target partition
+      "cluster=a100\nmonths_end=1\npartition.0=a,10\npartition.1=b,4\n"
+      "event.0=burst,5,6,4,60,60,partition=b",
+      // duplicate partition names
+      "cluster=a100\nmonths_end=1\npartition.0=a,10\npartition.1=a,4",
+      // malformed partition lines
+      "cluster=a100\nmonths_end=1\npartition.0=a",
+      "cluster=a100\nmonths_end=1\npartition.0=a,0",
+      "cluster=a100\nmonths_end=1\npartition.0=a,10,extra",
+      // bad event keywords for the new kinds
+      "cluster=a100\nmonths_end=1\nevent.0=preempt,5,2,requeue_delay=-1",
+      "cluster=a100\nmonths_end=1\nevent.0=correlated_down,5,2,rack_size=0",
+      "cluster=a100\nmonths_end=1\nevent.0=down,5,2,partition=",
+  };
+  for (const char* text : bad) {
+    std::string error;
+    EXPECT_FALSE(parse_scenario(text, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+  // The hetero preset is partitioned out of the box; events may target its
+  // partitions without a partition.N override.
+  std::string error;
+  const auto ok = parse_scenario(
+      "cluster=hetero\nmonths_end=1\nevent.0=preempt,5,4,partition=rtx,requeue_delay=60\n",
+      &error);
+  EXPECT_TRUE(ok.has_value()) << error;
+}
+
+TEST(PartitionedScenario, FastTracksReferenceBitwiseAtFullDepth) {
+  // Acceptance slice: a partitioned cell with preemption and correlated
+  // failures runs bitwise fast==reference at full reservation depth.
+  ScenarioSpec spec = partitioned_spec();
+  spec.job_count_scale = 0.3;
+  spec.utilization_scale = 2.0;  // saturate so the events find victims
+  ScenarioEvent preempt{ScenarioEventKind::kPreempt, 5 * util::kDay, 8};
+  preempt.partition = "v100";
+  preempt.requeue_delay = 3600;
+  spec.events.push_back(preempt);
+  ScenarioEvent correlated{ScenarioEventKind::kCorrelatedDown, 9 * util::kDay, 8};
+  correlated.rack_size = 4;
+  spec.events.push_back(correlated);
+  ScenarioEvent restore{ScenarioEventKind::kNodeRestore, 12 * util::kDay, 8};
+  restore.partition = "v100";
+  spec.events.push_back(restore);
+  spec.scheduler.reservation_depth = 100000;
+  spec.scheduler.max_backfill_candidates = 100000;
+
+  const auto fast = run_scenario(spec);
+  const auto ref = run_scenario_reference(spec);
+  EXPECT_EQ(fast.schedule_hash, ref.schedule_hash);
+  EXPECT_EQ(fast.killed_jobs, ref.killed_jobs);
+  EXPECT_EQ(fast.preempted_jobs, ref.preempted_jobs);
+  EXPECT_GT(fast.preempted_jobs + fast.killed_jobs, 0u);
+}
+
+TEST(PartitionedScenario, MultiPartitionSweepParallelEqualsSerialBitwise) {
+  // Acceptance: multi-partition sweep with preemption + correlated-down
+  // events, parallel == serial bitwise through SweepRunner.
+  SweepMatrix matrix;
+  matrix.base = small_spec();
+  matrix.utilization_scales = {0.9, 1.1};
+  ScenarioEvent preempt{ScenarioEventKind::kPreempt, 4 * util::kDay, 6};
+  preempt.requeue_delay = 1800;
+  ScenarioEvent correlated{ScenarioEventKind::kCorrelatedDown, 8 * util::kDay, 8};
+  correlated.rack_size = 4;
+  matrix.event_profiles = {{"none", {}}, {"failures", {preempt, correlated}}};
+  matrix.partition_layouts = {
+      {"single", {}},
+      {"3pool", {{"v100", 10}, {"rtx", 10}, {"a100", 10}}},
+  };
+
+  const auto cells = matrix.expand();
+  ASSERT_EQ(cells.size(), 8u);  // 2 scales x 2 profiles x 2 layouts
+  EXPECT_NE(cells[0].name.find("/single"), std::string::npos);
+  EXPECT_NE(cells[1].name.find("/3pool"), std::string::npos);
+
+  const auto serial = SweepRunner::run_serial(cells);
+  const auto parallel = SweepRunner(4).run(cells);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_TRUE(serial.cells[i] == parallel.cells[i]) << "cell " << i;
+  }
+  EXPECT_EQ(serial.total_preempted, parallel.total_preempted);
+  // The failure profile actually preempts/kills something somewhere.
+  EXPECT_GT(serial.total_preempted + serial.total_killed, 0u);
+}
+
+TEST(PartitionedScenario, PartitionAxisKeepsSingleLayoutNamesStable) {
+  // Without a partition axis, cell names and seed assignment keep their
+  // pre-partition shape (artifact ids must not churn).
+  SweepMatrix matrix;
+  matrix.base = small_spec();
+  matrix.utilization_scales = {1.0};
+  const auto cells = matrix.expand();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].name.find("/single"), std::string::npos);
+  EXPECT_EQ(cells[0].name, "a100/u1.00/d8/base");
+}
+
 TEST(RecurringEvents, MalformedRecurrenceKeysAreRejected) {
   const char* bad[] = {
       "cluster=a100\nmonths_end=1\nevent.0=down,5,2,repeat_count=3",  // no repeat_every

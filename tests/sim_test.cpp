@@ -2,6 +2,8 @@
 // backfill) simulator, and the §5.2 fidelity metrics.
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "sim/fidelity.hpp"
 #include "sim/reference_simulator.hpp"
 #include "sim/simulator.hpp"
@@ -17,7 +19,7 @@ using util::kHour;
 using util::kMinute;
 
 JobRecord make_job(std::int64_t id, SimTime submit, std::int32_t nodes, SimTime runtime,
-                   SimTime limit = 0) {
+                   SimTime limit = 0, std::string partition = {}) {
   JobRecord j;
   j.job_id = id;
   j.job_name = "j" + std::to_string(id);
@@ -25,6 +27,7 @@ JobRecord make_job(std::int64_t id, SimTime submit, std::int32_t nodes, SimTime 
   j.num_nodes = nodes;
   j.actual_runtime = runtime;
   j.time_limit = limit ? limit : runtime;
+  j.partition = std::move(partition);
   return j;
 }
 
@@ -261,6 +264,192 @@ TEST_P(SimulatorPropertyTest, ReplayIsDeterministic) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorPropertyTest, ::testing::Values(1, 2, 3, 4, 5));
 
+// ------------------------------------------------------------- Partitions
+
+TEST(Partitions, ConstraintPinsJobsAndRoamersPickEarliestFit) {
+  ClusterModel model(std::vector<Partition>{{"a", 2}, {"b", 2}});
+  Simulator sim(model);
+  sim.load_workload({
+      make_job(1, 0, 2, 100, 100, "a"),  // holds a until 100
+      make_job(2, 0, 2, 50, 50, "b"),    // holds b until 50
+      make_job(3, 1, 2, 10, 10, "a"),    // pinned to a: must wait for job 1
+      make_job(4, 2, 2, 10, 10),         // roams: b frees first
+  });
+  sim.run_to_completion();
+  EXPECT_EQ(sim.start_time(2), 100);  // constraint honored despite b being free at 50
+  EXPECT_EQ(sim.start_time(3), 50);   // roamer takes the earliest-fit partition
+  EXPECT_EQ(sim.partition_count(), 2);
+  EXPECT_EQ(sim.total_nodes(), 4);
+}
+
+TEST(Partitions, OversizeForPartitionThrows) {
+  ClusterModel model(std::vector<Partition>{{"a", 2}, {"b", 4}});
+  Simulator sim(model);
+  // Pinned beyond the partition: rejected even though the cluster has 6.
+  EXPECT_THROW(sim.submit(make_job(1, 0, 3, 10, 10, "a")), std::invalid_argument);
+  // Roaming beyond the largest partition: rejected.
+  EXPECT_THROW(sim.submit(make_job(2, 0, 5, 10, 10)), std::invalid_argument);
+  // Unknown partition name: rejected with a diagnostic, not defaulted.
+  EXPECT_THROW(sim.submit(make_job(3, 0, 1, 10, 10, "gpu")), std::invalid_argument);
+  // Within the largest partition: fine.
+  EXPECT_NO_THROW(sim.submit(make_job(4, 0, 4, 10, 10)));
+}
+
+TEST(Partitions, TargetedDownOnlyKillsInsideThePartition) {
+  ClusterModel model(std::vector<Partition>{{"a", 2}, {"b", 2}});
+  Simulator sim(model);
+  sim.load_workload({make_job(1, 0, 2, 100, 100, "a"), make_job(2, 0, 2, 100, 100, "b")});
+  sim.schedule_cluster_event({10, ClusterEventType::kNodeDown, 2, "b"});
+  sim.run_to_completion();
+  EXPECT_EQ(sim.status(0), JobStatus::kCompleted);  // partition a untouched
+  EXPECT_EQ(sim.status(1), JobStatus::kKilled);
+  EXPECT_EQ(sim.total_nodes(0), 2);
+  EXPECT_EQ(sim.total_nodes(1), 0);
+  EXPECT_EQ(sim.killed_jobs(), 1u);
+}
+
+TEST(Partitions, ClusterWideRestoreRefillsDownedPartitionsFirst) {
+  ClusterModel model(std::vector<Partition>{{"a", 4}, {"b", 4}});
+  Simulator sim(model);
+  // b loses everything; a cluster-wide restore of 6 must refill b to its
+  // nominal 4 before the surplus 2 expands partition 0 (a).
+  sim.schedule_cluster_event({10, ClusterEventType::kNodeDown, 4, "b"});
+  sim.schedule_cluster_event({20, ClusterEventType::kNodeRestore, 6});
+  sim.run_to_completion();
+  EXPECT_EQ(sim.total_nodes(1), 4);
+  EXPECT_EQ(sim.total_nodes(0), 6);
+  EXPECT_EQ(sim.total_nodes(), 10);
+}
+
+TEST(Partitions, EventTargetingUnknownPartitionThrows) {
+  Simulator sim(4);
+  EXPECT_THROW(sim.schedule_cluster_event({10, ClusterEventType::kNodeDown, 2, "gpu"}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Preemption
+
+TEST(Preemption, CheckpointsProgressAndRequeuesAfterDelay) {
+  Simulator sim(4);
+  sim.load_workload({make_job(1, 0, 4, 100, 200)});
+  // Preempt the whole cluster at t=50 (job has 50 s of work left), restore
+  // capacity at t=60; the victim requeues at 50+30=80 and finishes its
+  // checkpointed remainder there.
+  sim.schedule_cluster_event({50, ClusterEventType::kPreempt, 4, "", /*requeue=*/30});
+  sim.schedule_cluster_event({60, ClusterEventType::kNodeRestore, 4});
+  sim.run_to_completion();
+  EXPECT_EQ(sim.status(0), JobStatus::kCompleted);
+  EXPECT_EQ(sim.start_time(0), 80);      // restart instant
+  EXPECT_EQ(sim.end_time(0), 130);       // 50 s remained after the checkpoint
+  EXPECT_EQ(sim.preempted_jobs(), 1u);
+  EXPECT_EQ(sim.killed_jobs(), 0u);
+}
+
+TEST(Preemption, StalePrePreemptionFinishDoesNotCompleteRestartedJob) {
+  Simulator sim(4);
+  sim.load_workload({make_job(1, 0, 4, 100, 200)});
+  // Preempt at t=30 with instant requeue and instant restore: the job
+  // restarts at t=30 with 70 s left -> must end at 100... which is exactly
+  // when the stale pre-preemption finish event fires. The guard must let
+  // only the matching finish complete it (end == 30 + 70 here, so both
+  // coincide — also run a shifted variant below).
+  sim.schedule_cluster_event({30, ClusterEventType::kPreempt, 4, "", 0});
+  sim.schedule_cluster_event({30, ClusterEventType::kNodeRestore, 4});
+  sim.run_to_completion();
+  EXPECT_EQ(sim.status(0), JobStatus::kCompleted);
+  EXPECT_EQ(sim.end_time(0), 100);
+
+  // Shifted: requeue delay 25 pushes the real end past the stale finish.
+  Simulator sim2(4);
+  sim2.load_workload({make_job(1, 0, 4, 100, 200)});
+  sim2.schedule_cluster_event({30, ClusterEventType::kPreempt, 4, "", 25});
+  sim2.schedule_cluster_event({40, ClusterEventType::kNodeRestore, 4});
+  sim2.run_to_completion();
+  EXPECT_EQ(sim2.status(0), JobStatus::kCompleted);
+  EXPECT_EQ(sim2.start_time(0), 55);
+  EXPECT_EQ(sim2.end_time(0), 125);  // stale finish at t=100 must not fire
+}
+
+// ------------------------------------------------------ Correlated failures
+
+TEST(CorrelatedDown, ExpansionIsDeterministicAndRackSized) {
+  const auto run_once = [](std::uint64_t seed) {
+    ClusterModel model(std::vector<Partition>{{"a", 4}, {"b", 4}, {"c", 4}});
+    Simulator sim(model);
+    ClusterEvent ev{10, ClusterEventType::kCorrelatedDown, 8};
+    ev.rack_size = 4;
+    ev.seed = seed;
+    sim.schedule_cluster_event(ev);
+    sim.run_to_completion();
+    return std::tuple{sim.total_nodes(), sim.total_nodes(0), sim.total_nodes(1),
+                      sim.total_nodes(2)};
+  };
+  // Same seed -> same burst, bitwise.
+  EXPECT_EQ(run_once(7), run_once(7));
+  // The burst removes 1..2 whole racks of 4.
+  const auto [total, a, b, c] = run_once(7);
+  EXPECT_TRUE(total == 8 || total == 4) << total;
+  for (const std::int32_t part : {a, b, c}) {
+    EXPECT_TRUE(part == 0 || part == 4) << part;
+  }
+}
+
+TEST(CorrelatedDown, TargetedBurstStaysInsidePartition) {
+  ClusterModel model(std::vector<Partition>{{"a", 4}, {"b", 8}});
+  Simulator sim(model);
+  ClusterEvent ev{10, ClusterEventType::kCorrelatedDown, 8, "b"};
+  ev.rack_size = 4;
+  ev.seed = 99;
+  sim.schedule_cluster_event(ev);
+  sim.run_to_completion();
+  EXPECT_EQ(sim.total_nodes(0), 4);     // partition a untouched
+  EXPECT_LT(sim.total_nodes(1), 8);     // b lost at least one rack
+  EXPECT_EQ(sim.total_nodes(1) % 4, 0); // in whole racks
+}
+
+// ------------------------------------------------- Event string round-trip
+
+TEST(ClusterEventText, RoundTripCoversEveryType) {
+  ClusterEvent ev{100, ClusterEventType::kPreempt, 4, "gpu", 60};
+  EXPECT_EQ(to_string(ev), "preempt,100,4,partition=gpu,requeue_delay=60");
+  ClusterEvent parsed;
+  std::string error;
+  ASSERT_TRUE(parse_cluster_event(to_string(ev), parsed, &error)) << error;
+  EXPECT_EQ(parsed.type, ev.type);
+  EXPECT_EQ(parsed.time, ev.time);
+  EXPECT_EQ(parsed.nodes, ev.nodes);
+  EXPECT_EQ(parsed.partition, ev.partition);
+  EXPECT_EQ(parsed.requeue_delay, ev.requeue_delay);
+
+  for (const auto type :
+       {ClusterEventType::kNodeDown, ClusterEventType::kDrain, ClusterEventType::kNodeRestore,
+        ClusterEventType::kPreempt, ClusterEventType::kCorrelatedDown}) {
+    ClusterEvent original{42, type, 3, "pool", 5};
+    original.rack_size = 2;
+    original.seed = 17;
+    ClusterEvent back;
+    ASSERT_TRUE(parse_cluster_event(to_string(original), back, &error)) << error;
+    EXPECT_EQ(back.type, original.type);
+    EXPECT_EQ(to_string(back), to_string(original));
+  }
+}
+
+TEST(ClusterEventText, UnknownNamesAreRejectedWithDiagnostic) {
+  ClusterEvent ev;
+  std::string error;
+  EXPECT_FALSE(parse_cluster_event("explode,5,2", ev, &error));
+  EXPECT_NE(error.find("unknown cluster event type"), std::string::npos) << error;
+  ClusterEventType type;
+  error.clear();
+  EXPECT_FALSE(parse_cluster_event_type("nuke", type, &error));
+  EXPECT_NE(error.find("nuke"), std::string::npos) << error;
+  // Malformed keyword fields are diagnosed, not silently dropped.
+  EXPECT_FALSE(parse_cluster_event("down,5,2,cron=weekly", ev, &error));
+  EXPECT_FALSE(parse_cluster_event("down,5,2,requeue_delay=-3", ev, &error));
+  EXPECT_FALSE(parse_cluster_event("down,-5,2", ev, &error));
+  EXPECT_FALSE(parse_cluster_event("down,5", ev, &error));
+}
+
 // ------------------------------------------------------ Reference simulator
 
 TEST(ReferenceSimulator, MatchesFastOnTrivialWorkload) {
@@ -363,6 +552,103 @@ TEST_P(DifferentialFuzz, FastEqualsReferenceAtFullDepthBoundedAtDefault) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// Partitioned differential fuzz: random multi-partition clusters, random
+// partition-constrained/roaming jobs, and random event storms — outages,
+// drains, restores, preemption bursts, correlated rack failures, both
+// partition-targeted and cluster-wide — through both simulators. At full
+// reservation depth the policies coincide, and events run through the one
+// shared EventKernel, so schedules and victim counts must be bitwise
+// identical.
+class PartitionedDifferentialFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionedDifferentialFuzz, FastEqualsReferenceUnderEventStorms) {
+  util::Rng rng(0xfa57'0000 + GetParam());
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto nparts = static_cast<std::int32_t>(rng.uniform_int(1, 3));
+    std::vector<Partition> parts;
+    std::vector<std::string> names;
+    for (std::int32_t p = 0; p < nparts; ++p) {
+      names.push_back("p" + std::to_string(p));
+      parts.push_back({names.back(), static_cast<std::int32_t>(rng.uniform_int(2, 8))});
+    }
+    const ClusterModel model(parts);
+
+    const auto n = static_cast<std::size_t>(rng.uniform_int(5, 30));
+    Trace w;
+    for (std::size_t i = 0; i < n; ++i) {
+      const SimTime runtime = rng.uniform_int(1, 500);
+      const SimTime limit = runtime + rng.uniform_int(0, 300);
+      std::string constraint;
+      std::int32_t ceiling = model.max_partition_nominal();
+      if (rng.bernoulli(0.7)) {  // 70% pinned, 30% roaming
+        const auto p = static_cast<std::size_t>(rng.uniform_int(0, nparts - 1));
+        constraint = names[p];
+        ceiling = parts[p].nodes;
+      }
+      w.push_back(make_job(static_cast<std::int64_t>(i + 1), rng.uniform_int(0, 2000),
+                           static_cast<std::int32_t>(rng.uniform_int(1, ceiling)), runtime,
+                           limit, constraint));
+    }
+
+    std::vector<ClusterEvent> events;
+    const auto n_events = static_cast<std::size_t>(rng.uniform_int(0, 6));
+    for (std::size_t e = 0; e < n_events; ++e) {
+      ClusterEvent ev;
+      ev.time = rng.uniform_int(0, 2500);
+      ev.nodes = static_cast<std::int32_t>(rng.uniform_int(1, 6));
+      if (rng.bernoulli(0.5)) {
+        ev.partition = names[static_cast<std::size_t>(rng.uniform_int(0, nparts - 1))];
+      }
+      switch (rng.uniform_int(0, 4)) {
+        case 0: ev.type = ClusterEventType::kNodeDown; break;
+        case 1: ev.type = ClusterEventType::kDrain; break;
+        case 2: ev.type = ClusterEventType::kNodeRestore; break;
+        case 3:
+          ev.type = ClusterEventType::kPreempt;
+          ev.requeue_delay = rng.uniform_int(0, 300);
+          break;
+        default:
+          ev.type = ClusterEventType::kCorrelatedDown;
+          ev.rack_size = static_cast<std::int32_t>(rng.uniform_int(1, 3));
+          ev.seed = rng.next_u64();
+          break;
+      }
+      events.push_back(ev);
+    }
+
+    SchedulerConfig cfg;
+    cfg.age_weight = rng.uniform(0.0, 2000.0);
+    cfg.size_weight = rng.uniform(-200.0, 200.0);
+    cfg.age_cap = rng.uniform_int(kHour, 7 * kDay);
+    cfg.reservation_depth = static_cast<std::int32_t>(n);
+    cfg.max_backfill_candidates = static_cast<std::int32_t>(n);
+
+    Simulator fast(model, cfg);
+    fast.load_workload(w);
+    for (const auto& ev : events) fast.schedule_cluster_event(ev);
+    fast.run_to_completion();
+    const auto fast_schedule = fast.export_schedule();
+
+    std::uint64_t passes = 0;
+    std::size_t killed = 0, preempted = 0;
+    const auto ref_schedule =
+        reference_replay(w, model, events, cfg, &passes, &killed, &preempted);
+
+    ASSERT_EQ(fast_schedule.size(), ref_schedule.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(fast_schedule[i].start_time, ref_schedule[i].start_time)
+          << "trial " << trial << " job " << i << " parts " << nparts;
+      EXPECT_EQ(fast_schedule[i].end_time, ref_schedule[i].end_time)
+          << "trial " << trial << " job " << i;
+    }
+    EXPECT_EQ(fast.killed_jobs(), killed) << "trial " << trial;
+    EXPECT_EQ(fast.preempted_jobs(), preempted) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionedDifferentialFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
 // ----------------------------------------------------------------- Fidelity
 
