@@ -1,0 +1,81 @@
+// Counting operator new/delete, linked into every bench executable (see
+// the bench loop in CMakeLists.txt). The benches report total heap
+// allocations and peak RSS in their BENCH_*.json so the simulator's
+// zero-allocation steady-state claim is machine-checked per run instead
+// of asserted in a comment. A relaxed atomic keeps the overhead to one
+// uncontended increment per allocation.
+#include <sys/resource.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace mirage::bench {
+
+namespace detail {
+std::atomic<std::uint64_t> g_allocation_count{0};
+}  // namespace detail
+
+std::uint64_t allocation_count() {
+  return detail::g_allocation_count.load(std::memory_order_relaxed);
+}
+
+long peak_rss_kb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // KiB on Linux
+}
+
+}  // namespace mirage::bench
+
+namespace {
+
+void* counted_alloc(std::size_t size) noexcept {
+  mirage::bench::detail::g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) noexcept {
+  mirage::bench::detail::g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size ? size : 1) != 0) return nullptr;
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  if (void* p = counted_aligned_alloc(size, static_cast<std::size_t>(alignment))) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  if (void* p = counted_aligned_alloc(size, static_cast<std::size_t>(alignment))) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }

@@ -20,6 +20,13 @@
 
 namespace mirage::bench {
 
+/// Total heap allocations so far. Every bench executable links
+/// bench/alloc_hooks.cpp, whose counting operator new feeds this — the
+/// instrument behind the simulator's zero-allocation steady-state gate.
+std::uint64_t allocation_count();
+/// Peak resident set size in KiB (getrusage).
+long peak_rss_kb();
+
 /// Machine-readable bench result: written as BENCH_<name>.json next to
 /// the stdout tables so CI can archive the perf trajectory across PRs.
 /// Values are flat string/double pairs; doubles are emitted with %.17g so
@@ -56,6 +63,14 @@ class BenchJson {
     }
     out << "}\n";
     return out.str();
+  }
+
+  /// Record the process-wide resource footprint (total heap allocations,
+  /// peak RSS). Call once, just before write().
+  BenchJson& add_resource_fields() {
+    add("alloc_total", static_cast<std::int64_t>(allocation_count()));
+    add("peak_rss_kb", static_cast<std::int64_t>(peak_rss_kb()));
+    return *this;
   }
 
   /// Write BENCH_<name>.json into the working directory (CI uploads the

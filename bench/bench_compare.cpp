@@ -1,0 +1,286 @@
+// Bench regression gate: diff the current run's BENCH_*.json artifacts
+// against the previous run's and fail (exit 1) when a throughput metric
+// regressed by more than the threshold. CI downloads the prior run's
+// bench-json artifact and invokes:
+//
+//   bench_compare <baseline dir-or-file> <current dir-or-file>
+//                 [threshold=0.15] [key=cells_per_sec]
+//
+// A missing/empty baseline passes with a note (first run, expired
+// artifacts); a bench present only on one side is reported but does not
+// gate. `bench_compare --self-test` verifies the gate's fail/pass logic
+// against synthetic artifacts (CI runs it so "the gate would catch a
+// regression" is itself tested every run).
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct BenchRecord {
+  std::string name;
+  std::map<std::string, std::string> strings;  ///< includes "params" when emitted
+  std::map<std::string, double> numbers;
+};
+
+/// Parse the flat {"key": "string" | number, ...} JSON the benches emit.
+/// Returns nullopt on malformed input (diagnosed by the caller).
+std::optional<BenchRecord> parse_flat_json(const std::string& text) {
+  BenchRecord rec;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  };
+  const auto parse_string = [&](std::string& out) -> bool {
+    if (i >= text.size() || text[i] != '"') return false;
+    ++i;
+    out.clear();
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\' && i + 1 < text.size()) ++i;
+      out += text[i++];
+    }
+    if (i >= text.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+  skip_ws();
+  if (i >= text.size() || text[i] != '{') return std::nullopt;
+  ++i;
+  while (true) {
+    skip_ws();
+    if (i < text.size() && text[i] == '}') break;
+    std::string key;
+    if (!parse_string(key)) return std::nullopt;
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') return std::nullopt;
+    ++i;
+    skip_ws();
+    if (i < text.size() && text[i] == '"') {
+      std::string value;
+      if (!parse_string(value)) return std::nullopt;
+      if (key == "bench") rec.name = value;
+      rec.strings[key] = value;
+    } else {
+      std::size_t end = i;
+      while (end < text.size() && text[end] != ',' && text[end] != '}') ++end;
+      try {
+        rec.numbers[key] = std::stod(text.substr(i, end - i));
+      } catch (const std::exception&) {
+        return std::nullopt;
+      }
+      i = end;
+    }
+    skip_ws();
+    if (i < text.size() && text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < text.size() && text[i] == '}') break;
+    return std::nullopt;
+  }
+  return rec;
+}
+
+std::vector<fs::path> collect_bench_files(const fs::path& where) {
+  std::vector<fs::path> out;
+  std::error_code ec;
+  if (fs::is_regular_file(where, ec)) {
+    out.push_back(where);
+  } else if (fs::is_directory(where, ec)) {
+    for (const auto& entry : fs::directory_iterator(where, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+          name.substr(name.size() - 5) == ".json") {
+        out.push_back(entry.path());
+      }
+    }
+    std::sort(out.begin(), out.end());
+  }
+  return out;
+}
+
+std::map<std::string, BenchRecord> load_records(const fs::path& where) {
+  std::map<std::string, BenchRecord> out;
+  for (const auto& path : collect_bench_files(where)) {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto rec = parse_flat_json(buffer.str());
+    if (!rec || rec->name.empty()) {
+      std::fprintf(stderr, "warning: could not parse %s; ignoring\n", path.string().c_str());
+      continue;
+    }
+    out[rec->name] = std::move(*rec);
+  }
+  return out;
+}
+
+/// Core gate: returns the number of regressions (0 = pass).
+int compare(const fs::path& baseline_path, const fs::path& current_path, double threshold,
+            const std::string& key) {
+  const auto baseline = load_records(baseline_path);
+  const auto current = load_records(current_path);
+  if (baseline.empty()) {
+    std::printf("bench_compare: no baseline artifacts under %s — first run, gate passes\n",
+                baseline_path.string().c_str());
+    return 0;
+  }
+  if (current.empty()) {
+    std::fprintf(stderr, "bench_compare: no current BENCH_*.json under %s\n",
+                 current_path.string().c_str());
+    return 1;
+  }
+  int regressions = 0;
+  std::printf("bench_compare: gating '%s' at -%.0f%% against %zu baseline bench(es)\n",
+              key.c_str(), threshold * 100.0, baseline.size());
+  for (const auto& [name, cur] : current) {
+    const auto base_rec = baseline.find(name);
+    const auto cur_it = cur.numbers.find(key);
+    if (cur_it == cur.numbers.end()) {
+      // No gated metric in the current record. If the baseline HAD the
+      // metric under identical parameters, the bench silently stopped
+      // emitting it — that would disable the gate forever, so fail loudly
+      // instead of skipping.
+      if (base_rec != baseline.end() && base_rec->second.numbers.count(key)) {
+        std::printf("  %-24s baseline has '%s' but the current record dropped it — "
+                    "gate would be silently disabled: REGRESSION\n",
+                    name.c_str(), key.c_str());
+        ++regressions;
+      }
+      continue;
+    }
+    if (base_rec == baseline.end()) {
+      std::printf("  %-24s %12.2f   (new bench, no baseline)\n", name.c_str(), cur_it->second);
+      continue;
+    }
+    // Throughput is only comparable when the workload is: both sides
+    // record their bench parameters, and a parameter change (e.g. this
+    // commit resizing the CI preset) resets the baseline rather than
+    // producing a guaranteed spurious verdict in either direction.
+    const auto base_params = base_rec->second.strings.find("params");
+    const auto cur_params = cur.strings.find("params");
+    const bool base_has = base_params != base_rec->second.strings.end();
+    const bool cur_has = cur_params != cur.strings.end();
+    if (base_has != cur_has || (base_has && base_params->second != cur_params->second)) {
+      std::printf("  %-24s %12.2f   (bench parameters changed — baseline not "
+                  "comparable, not gated)\n",
+                  name.c_str(), cur_it->second);
+      continue;
+    }
+    const auto base_it = base_rec->second.numbers.find(key);
+    if (base_it == base_rec->second.numbers.end()) {
+      std::printf("  %-24s %12.2f   (baseline lacks '%s')\n", name.c_str(), cur_it->second,
+                  key.c_str());
+      continue;
+    }
+    const double base = base_it->second, now = cur_it->second;
+    const double change = base > 0 ? (now - base) / base : 0.0;
+    const bool regressed = base > 0 && now < base * (1.0 - threshold);
+    std::printf("  %-24s %12.2f -> %12.2f   %+6.1f%%  %s\n", name.c_str(), base, now,
+                change * 100.0, regressed ? "REGRESSION" : "ok");
+    if (regressed) ++regressions;
+  }
+  for (const auto& [name, base_rec] : baseline) {
+    if (current.find(name) == current.end() && base_rec.numbers.count(key)) {
+      std::printf("  %-24s (present in baseline only — not gated)\n", name.c_str());
+    }
+  }
+  return regressions;
+}
+
+void write_file(const fs::path& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+}
+
+/// Verify the gate fails on an injected synthetic regression and passes on
+/// a within-threshold change. Exercised by CI on every run.
+int self_test() {
+  const fs::path root = fs::temp_directory_path() / "bench_compare_selftest";
+  std::error_code ec;
+  fs::remove_all(root, ec);
+  for (const char* dir : {"base", "bad", "good", "resized", "keyless"}) {
+    fs::create_directories(root / dir);
+  }
+  write_file(root / "base" / "BENCH_selftest.json",
+             "{\"bench\": \"selftest\", \"params\": \"cells=16\", \"cells_per_sec\": 100.0}\n");
+  write_file(root / "bad" / "BENCH_selftest.json",
+             "{\"bench\": \"selftest\", \"params\": \"cells=16\", \"cells_per_sec\": 50.0}\n");
+  write_file(root / "good" / "BENCH_selftest.json",
+             "{\"bench\": \"selftest\", \"params\": \"cells=16\", \"cells_per_sec\": 95.0}\n");
+  // Same bench, different workload parameters: numbers are incomparable
+  // and must reset the baseline instead of flagging.
+  write_file(root / "resized" / "BENCH_selftest.json",
+             "{\"bench\": \"selftest\", \"params\": \"cells=32\", \"cells_per_sec\": 20.0}\n");
+  // Same bench, gated metric silently dropped: must FAIL, or the gate
+  // could be disabled forever by a rename.
+  write_file(root / "keyless" / "BENCH_selftest.json",
+             "{\"bench\": \"selftest\", \"params\": \"cells=16\"}\n");
+  const int on_regression = compare(root / "base", root / "bad", 0.15, "cells_per_sec");
+  const int on_parity = compare(root / "base", root / "good", 0.15, "cells_per_sec");
+  const int on_no_baseline = compare(root / "missing", root / "good", 0.15, "cells_per_sec");
+  const int on_resize = compare(root / "base", root / "resized", 0.15, "cells_per_sec");
+  const int on_dropped_key = compare(root / "base", root / "keyless", 0.15, "cells_per_sec");
+  fs::remove_all(root, ec);
+  if (on_regression <= 0) {
+    std::fprintf(stderr, "self-test FAILED: 50%% regression was not flagged\n");
+    return 1;
+  }
+  if (on_parity != 0 || on_no_baseline != 0) {
+    std::fprintf(stderr, "self-test FAILED: gate flagged a non-regression\n");
+    return 1;
+  }
+  if (on_resize != 0) {
+    std::fprintf(stderr, "self-test FAILED: parameter change was gated as a regression\n");
+    return 1;
+  }
+  if (on_dropped_key <= 0) {
+    std::fprintf(stderr, "self-test FAILED: silently dropped gate metric not flagged\n");
+    return 1;
+  }
+  std::printf("bench_compare self-test: PASS (regression + dropped-metric flagged; parity, "
+              "missing-baseline, and parameter-change pass)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  double threshold = 0.15;
+  std::string key = "cells_per_sec";
+  std::vector<std::string> paths;
+  for (const auto& arg : args) {
+    if (arg == "--self-test") return self_test();
+    if (arg.rfind("threshold=", 0) == 0) {
+      threshold = std::stod(arg.substr(10));
+    } else if (arg.rfind("key=", 0) == 0) {
+      key = arg.substr(4);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline dir|file> <current dir|file> "
+                 "[threshold=0.15] [key=cells_per_sec] | --self-test\n");
+    return 2;
+  }
+  const int regressions = compare(paths[0], paths[1], threshold, key);
+  if (regressions > 0) {
+    std::fprintf(stderr, "bench_compare: %d metric(s) regressed more than %.0f%%\n",
+                 regressions, threshold * 100.0);
+    return 1;
+  }
+  std::printf("bench_compare: gate passed\n");
+  return 0;
+}

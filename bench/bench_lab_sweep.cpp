@@ -122,6 +122,14 @@ int main(int argc, char** argv) {
               resume_ok ? "yes" : "NO");
 
   bench::BenchJson json("lab_sweep");
+  // Workload fingerprint for bench_compare (parameter changes reset the
+  // cells_per_sec baseline instead of tripping the gate).
+  json.add("params", "cells=" + std::to_string(cells.size()) +
+                         ",methods=" + std::to_string(plan.methods.size()) +
+                         ",months=" + std::to_string(base.months_end) +
+                         ",scale=" + std::to_string(base.job_count_scale) +
+                         ",nodes=" + std::to_string(base.nodes_override) +
+                         ",threads=" + std::to_string(threads));
   json.add("cells", static_cast<std::int64_t>(cells.size()))
       .add("jobs", static_cast<std::int64_t>(parallel.jobs_total))
       .add("threads", static_cast<std::int64_t>(threads))
@@ -131,6 +139,7 @@ int main(int argc, char** argv) {
       .add("jobs_per_sec",
            parallel_s > 0 ? static_cast<double>(parallel.jobs_total) / parallel_s : 0.0)
       .add("resume_wall_seconds", resumed_s);
+  json.add_resource_fields();
   json.write();
 
   if (!static_cast<bool>(cli.get_int("keep", 0))) fs::remove_all(root);

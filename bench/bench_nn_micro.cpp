@@ -27,6 +27,23 @@ void BM_Matmul(benchmark::State& state) {
 }
 BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
 
+void BM_MatmulNT(benchmark::State& state) {
+  // A * B^T — the attention-score / backward-dX shape. Covers the
+  // register-blocked kernel (tensor.cpp) whose results stay bitwise
+  // identical to the plain dot-per-column form.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  nn::Tensor a(n, 32), b(n, 32), c;
+  for (float& v : a.flat()) v = static_cast<float>(rng.normal());
+  for (float& v : b.flat()) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    nn::matmul_nt(a, b, c, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(2 * n * n * 32));
+}
+BENCHMARK(BM_MatmulNT)->Arg(48)->Arg(144)->Arg(512);
+
 nn::FoundationConfig bench_net(std::size_t k) {
   nn::FoundationConfig cfg;
   cfg.history_len = k;

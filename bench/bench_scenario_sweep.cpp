@@ -14,9 +14,48 @@
 #include "bench_common.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/sweep.hpp"
+#include "sim/simulator.hpp"
 #include "util/config.hpp"
 #include "util/rng.hpp"
 #include "util/time_utils.hpp"
+
+namespace {
+
+/// Steady-state allocation audit: replay one cell's simulation, warm up to
+/// the midpoint of its horizon (every hot container has reached its high-
+/// water capacity by then), and count heap allocations per scheduler pass
+/// over the remainder. The incremental scheduling kernel's contract is
+/// that this is exactly zero — machine-checked here via the counting
+/// operator new in bench/alloc_hooks.cpp, not asserted in a comment.
+/// Returns false (and the bench exits nonzero) when the contract is
+/// broken, so an allocation regression fails CI rather than landing as a
+/// silently changed JSON field. The tolerance of 0.01 allocations/pass
+/// separates a genuine per-pass allocation (>= 1.0) from stray amortized
+/// container growth.
+bool audit_steady_state_allocs(const mirage::scenario::ScenarioSpec& spec,
+                               mirage::bench::BenchJson& json) {
+  using namespace mirage;
+  auto workload = scenario::build_workload(spec);
+  sim::Simulator sim(scenario::to_cluster_model(spec.resolved_preset()), spec.scheduler);
+  sim.load_workload(std::move(workload));
+  for (const auto& ev : scenario::capacity_events(spec)) sim.schedule_cluster_event(ev);
+  sim.run_until(static_cast<util::SimTime>(spec.months_end) * util::kMonth / 2);
+  const std::uint64_t allocs_before = bench::allocation_count();
+  const std::uint64_t passes_before = sim.scheduler_passes();
+  sim.run_to_completion();
+  const std::uint64_t allocs = bench::allocation_count() - allocs_before;
+  const std::uint64_t passes = sim.scheduler_passes() - passes_before;
+  const double per_pass = passes ? static_cast<double>(allocs) / static_cast<double>(passes) : 0.0;
+  std::printf("steady state: %llu heap allocations over %llu scheduler passes (%.4f/pass)\n",
+              static_cast<unsigned long long>(allocs), static_cast<unsigned long long>(passes),
+              per_pass);
+  json.add("steady_allocs", static_cast<std::int64_t>(allocs));
+  json.add("steady_passes", static_cast<std::int64_t>(passes));
+  json.add("steady_allocs_per_pass", per_pass);
+  return per_pass <= 0.01;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mirage;
@@ -67,6 +106,12 @@ int main(int argc, char** argv) {
   double base_seconds = 0.0;
   std::uint64_t base_hash = 0;
   bench::BenchJson json("scenario_sweep");
+  // Workload fingerprint: bench_compare only gates cells_per_sec between
+  // runs whose parameters match (a resized preset resets the baseline).
+  json.add("params", "cells=" + std::to_string(cells.size()) +
+                         ",months=" + std::to_string(matrix.base.months_end) +
+                         ",scale=" + std::to_string(matrix.base.job_count_scale) +
+                         ",cluster=" + matrix.base.cluster);
   json.add("cells", static_cast<std::int64_t>(cells.size()));
   double best_cells_per_sec = 0.0;
   std::size_t best_threads = 0;
@@ -98,6 +143,15 @@ int main(int argc, char** argv) {
   }
   json.add("threads", static_cast<std::int64_t>(best_threads));
   json.add("cells_per_sec", best_cells_per_sec);
+  // Audit the heaviest expanded cell (last in expansion order: highest
+  // utilization axis value, eventful profile) for steady-state allocations.
+  const bool zero_alloc = audit_steady_state_allocs(cells.back(), json);
+  json.add_resource_fields();
   json.write();
+  if (!zero_alloc) {
+    std::printf("ERROR: steady-state scheduler passes allocated on the heap "
+                "(zero-allocation contract broken)\n");
+    return 1;
+  }
   return 0;
 }

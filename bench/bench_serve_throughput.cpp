@@ -201,6 +201,7 @@ int main(int argc, char** argv) {
       .add("engine_decisions_per_sec", engine_dps)
       .add("latency_p99_ms", stats.latency.p99_ms)
       .add("target_met", static_cast<std::int64_t>(target_met ? 1 : 0));
+  json.add_resource_fields();
   json.write();
 
   std::filesystem::remove(ckpt);

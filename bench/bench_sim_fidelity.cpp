@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
     json.add("wall_seconds_d" + std::to_string(depth), total_fast);
     json.add("months_per_minute_d" + std::to_string(depth), months_per_minute);
   }
+  json.add_resource_fields();
   json.write();
 
   std::printf("\npaper §5.2 reference: makespan diff < 2.5%%, JCT geomean diff < 15%%, 3-26x\n"

@@ -44,8 +44,8 @@ void Evaluator::prepare(SimTime range_begin, SimTime range_end) {
 
   std::vector<rl::EpisodeOutcome> outcomes(anchors_.size());
   auto run_one = [&](std::size_t i) {
-    const trace::Trace window = slice_for_episode(full_, anchors_[i].t0, episode_config_);
-    rl::ProvisionEnv env(window, nodes_, episode_config_, anchors_[i].t0);
+    trace::Trace window = slice_for_episode(full_, anchors_[i].t0, episode_config_);
+    rl::ProvisionEnv env(std::move(window), nodes_, episode_config_, anchors_[i].t0);
     ReactiveProvisioner reactive;
     util::Rng episode_rng(config_.seed ^ (0x517cc1b7ull * (i + 1)));
     drive_episode(reactive, env, episode_rng);
@@ -71,8 +71,8 @@ MethodEval Evaluator::evaluate(const std::string& name, const ProvisionerFactory
 
   std::vector<rl::EpisodeOutcome> outcomes(anchors_.size());
   auto run_one = [&](std::size_t i) {
-    const trace::Trace window = slice_for_episode(full_, anchors_[i].t0, episode_config_);
-    rl::ProvisionEnv env(window, nodes_, episode_config_, anchors_[i].t0);
+    trace::Trace window = slice_for_episode(full_, anchors_[i].t0, episode_config_);
+    rl::ProvisionEnv env(std::move(window), nodes_, episode_config_, anchors_[i].t0);
     auto provisioner = factory();
     util::Rng episode_rng(config_.seed ^ (0x2545f491ull * (i + 1)));
     drive_episode(*provisioner, env, episode_rng);

@@ -95,15 +95,37 @@ Tensor MultiHeadSelfAttention::backward(const Tensor& grad_out) {
       for (std::size_t s = 0; s < seq_; ++s) {
         const float* go = d_concat.row(base + s) + off;
         const float* ar = attn.row(s);
-        std::vector<float> d_attn(seq_);
-        float dot = 0.0f;
-        for (std::size_t t = 0; t < seq_; ++t) {
-          const float* vr = v_.row(base + t) + off;
+        d_attn_.assign(seq_, 0.0f);  // reused scratch: no per-row allocation
+        float* d_attn = d_attn_.data();
+        // Same 4-row blocking as the forward scores: independent chains
+        // per (s,t) dot, bitwise-identical sums.
+        std::size_t tb = 0;
+        for (; tb + 4 <= seq_; tb += 4) {
+          const float* v0 = v_.row(base + tb) + off;
+          const float* v1 = v_.row(base + tb + 1) + off;
+          const float* v2 = v_.row(base + tb + 2) + off;
+          const float* v3 = v_.row(base + tb + 3) + off;
+          float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+          for (std::size_t d = 0; d < d_head_; ++d) {
+            const float gv = go[d];
+            a0 += gv * v0[d];
+            a1 += gv * v1[d];
+            a2 += gv * v2[d];
+            a3 += gv * v3[d];
+          }
+          d_attn[tb] = a0;
+          d_attn[tb + 1] = a1;
+          d_attn[tb + 2] = a2;
+          d_attn[tb + 3] = a3;
+        }
+        for (; tb < seq_; ++tb) {
+          const float* vr = v_.row(base + tb) + off;
           float acc = 0.0f;
           for (std::size_t d = 0; d < d_head_; ++d) acc += go[d] * vr[d];
-          d_attn[t] = acc;
-          dot += acc * ar[t];
+          d_attn[tb] = acc;
         }
+        float dot = 0.0f;
+        for (std::size_t t = 0; t < seq_; ++t) dot += d_attn[t] * ar[t];
         float* dqr = dq.row(base + s) + off;
         const float* qr = q_.row(base + s) + off;
         for (std::size_t t = 0; t < seq_; ++t) {

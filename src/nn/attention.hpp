@@ -31,6 +31,7 @@ class MultiHeadSelfAttention : public Module {
   // Caches for backward.
   Tensor q_, k_, v_;                 ///< [B*S, D]
   std::vector<Tensor> attn_;         ///< per (item, head): [S, S] softmax weights
+  std::vector<float> d_attn_;        ///< backward per-row scratch (reused)
   std::size_t batch_ = 0;
 };
 

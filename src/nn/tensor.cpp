@@ -41,18 +41,27 @@ float Tensor::squared_norm() const {
 }
 
 namespace {
-/// ikj-order GEMM: streams B rows, vectorizes the inner j loop.
-void gemm_ikj(const float* a, const float* b, float* out, std::size_t m, std::size_t k,
-              std::size_t n, bool accumulate) {
+/// ikj-order GEMM: streams B rows, vectorizes the inner j loop. The k loop
+/// is cache-blocked so one block of B rows stays hot across every row of
+/// A instead of re-streaming all of B per row. For each output element the
+/// products still accumulate in strictly ascending k order (blocks ascend,
+/// k ascends within a block), so results are bitwise identical to the
+/// unblocked form.
+void gemm_ikj(const float* __restrict a, const float* __restrict b, float* __restrict out,
+              std::size_t m, std::size_t k, std::size_t n, bool accumulate) {
   if (!accumulate) std::fill(out, out + m * n, 0.0f);
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* orow = out + i * n;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * n;
-      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  constexpr std::size_t kBlockK = 128;  // ~n*512 B of B per block: L1/L2-resident
+  for (std::size_t p0 = 0; p0 < k; p0 += kBlockK) {
+    const std::size_t p1 = std::min(k, p0 + kBlockK);
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* __restrict arow = a + i * k;
+      float* __restrict orow = out + i * n;
+      for (std::size_t p = p0; p < p1; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* __restrict brow = b + p * n;
+        for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
   }
 }
@@ -89,7 +98,13 @@ void matmul_tn(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
 }
 
 void matmul_nt(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
-  // out[MxN] = A * B^T where A is [MxK], B is [NxK].
+  // out[MxN] = A * B^T where A is [MxK], B is [NxK]. The j loop is
+  // register-blocked: kBlockJ rows of B are dotted against one A row in
+  // the same sweep, giving kBlockJ independent accumulation chains (ILP)
+  // and one pass over the A row per block instead of per column. Each
+  // (i, j) element still accumulates its k products in ascending order
+  // into its own scalar before the single += into out, so results are
+  // bitwise identical to the plain dot-per-column form.
   assert(a.cols() == b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   if (out.rows() != m || out.cols() != n) {
@@ -97,11 +112,26 @@ void matmul_nt(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
     out = Tensor(m, n);
   }
   if (!accumulate) out.zero();
+  constexpr std::size_t kBlockJ = 8;
   for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out.row(i);
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = b.row(j);
+    const float* __restrict arow = a.row(i);
+    float* __restrict orow = out.row(i);
+    std::size_t j = 0;
+    for (; j + kBlockJ <= n; j += kBlockJ) {
+      const float* __restrict brows[kBlockJ];
+      float acc[kBlockJ];
+      for (std::size_t jj = 0; jj < kBlockJ; ++jj) {
+        brows[jj] = b.row(j + jj);
+        acc[jj] = 0.0f;
+      }
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        for (std::size_t jj = 0; jj < kBlockJ; ++jj) acc[jj] += av * brows[jj][p];
+      }
+      for (std::size_t jj = 0; jj < kBlockJ; ++jj) orow[j + jj] += acc[jj];
+    }
+    for (; j < n; ++j) {
+      const float* __restrict brow = b.row(j);
       float acc = 0.0f;
       for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
       orow[j] += acc;

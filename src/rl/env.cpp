@@ -32,13 +32,13 @@ sim::ClusterModel episode_cluster(const EpisodeConfig& config, std::int32_t clus
 }
 }  // namespace
 
-ProvisionEnv::ProvisionEnv(const trace::Trace& background, std::int32_t cluster_nodes,
+ProvisionEnv::ProvisionEnv(trace::Trace background, std::int32_t cluster_nodes,
                            const EpisodeConfig& config, SimTime t0, sim::SchedulerConfig sched)
     : config_(config),
       sim_(episode_cluster(config, cluster_nodes), sched),
       encoder_(config.history_len, std::max<std::size_t>(1, config.partitions.size())),
       t0_(t0) {
-  sim_.load_workload(background);
+  sim_.load_workload(std::move(background));
   for (const auto& ev : config_.cluster_events) sim_.schedule_cluster_event(ev);
 
   // Warm up the cluster, then record exactly k frames of pre-episode
@@ -81,7 +81,10 @@ JobPairContext ProvisionEnv::context() const {
   return ctx;
 }
 
-void ProvisionEnv::record_frame() { encoder_.push(sim_.sample(), context()); }
+void ProvisionEnv::record_frame() {
+  sim_.sample_into(sample_scratch_);  // reuses the scratch's vector storage
+  encoder_.push(sample_scratch_, context());
+}
 
 std::vector<float> ProvisionEnv::features() const {
   return summary_features(sim_.sample(), context());

@@ -59,8 +59,10 @@ class ProvisionEnv {
  public:
   /// `background` must cover [t0 - warmup - history, t0 + horizon]; jobs
   /// outside the window are fine (they are simply replayed too) but cost
-  /// simulation time — callers should pre-slice long traces.
-  ProvisionEnv(const trace::Trace& background, std::int32_t cluster_nodes,
+  /// simulation time — callers should pre-slice long traces. Taken by
+  /// value: pass a freshly sliced window with std::move to skip the copy,
+  /// or an lvalue to keep it (the collector reuses one window per anchor).
+  ProvisionEnv(trace::Trace background, std::int32_t cluster_nodes,
                const EpisodeConfig& config, util::SimTime t0,
                sim::SchedulerConfig sched = {});
 
@@ -70,6 +72,8 @@ class ProvisionEnv {
   bool done() const { return done_; }
 
   /// Current flattened model input with the given action-channel value.
+  /// Returns an owned vector on purpose: every consumer (replay buffers,
+  /// the batched engine) moves it into longer-lived storage.
   std::vector<float> observation(float action_value) const {
     return encoder_.flatten(action_value);
   }
@@ -124,6 +128,7 @@ class ProvisionEnv {
   double reward_ = 0.0;
   util::SimTime successor_wait_ = 0;
   util::SimTime submit_offset_ = 0;
+  sim::StateSample sample_scratch_;  ///< reused by record_frame every tick
 };
 
 /// Slice `full` to the window an episode at t0 needs (plus margin for jobs

@@ -23,16 +23,21 @@ void push_summary(std::vector<float>& out, const std::vector<double>& values, bo
 
 std::vector<float> encode_frame(const sim::StateSample& sample, const JobPairContext& ctx) {
   std::vector<float> f;
+  encode_frame_into(f, sample, ctx);
+  return f;
+}
+
+void encode_frame_into(std::vector<float>& f, const sim::StateSample& sample,
+                       const JobPairContext& ctx) {
+  f.clear();
   f.reserve(frame_vars(sample.partition_count()));
   const float inv_nodes = 1.0f / static_cast<float>(std::max(1, sample.total_nodes));
 
   // --- Queue state (16 vars) ---
   f.push_back(norm_count(static_cast<double>(sample.queue_length())));         // var 1
   {
-    std::vector<float> sizes;                                                  // var 2-6
-    const auto s = util::five_number_summary(sample.queued_sizes);
-    for (double v : s) sizes.push_back(static_cast<float>(v) * inv_nodes);
-    f.insert(f.end(), sizes.begin(), sizes.end());
+    const auto s = util::five_number_summary(sample.queued_sizes);             // var 2-6
+    for (double v : s) f.push_back(static_cast<float>(v) * inv_nodes);
   }
   push_summary(f, sample.queued_ages, /*time_scale=*/true);                    // var 7-11
   push_summary(f, sample.queued_limits, /*time_scale=*/true);                  // var 12-16
@@ -70,8 +75,6 @@ std::vector<float> encode_frame(const sim::StateSample& sample, const JobPairCon
                             : 0.0f);
     }
   }
-
-  return f;
 }
 
 std::vector<float> summary_features(const sim::StateSample& sample, const JobPairContext& ctx) {
@@ -121,41 +124,54 @@ std::vector<float> summary_features(const sim::StateSample& sample, const JobPai
 std::size_t summary_feature_count() { return 21; }
 
 StateEncoder::StateEncoder(std::size_t history_len, std::size_t partition_count)
-    : k_(history_len), frame_vars_(frame_vars(partition_count)) {}
+    : k_(history_len), frame_vars_(frame_vars(partition_count)) {
+  ring_.resize(k_ * frame_vars_, 0.0f);
+  scratch_.reserve(frame_vars_);
+}
 
 void StateEncoder::reset() {
-  frames_.clear();
   frames_seen_ = 0;
+  count_ = 0;
+  next_ = 0;
 }
 
 void StateEncoder::push(const sim::StateSample& sample, const JobPairContext& ctx) {
-  auto frame = encode_frame(sample, ctx);
+  encode_frame_into(scratch_, sample, ctx);
   // A width mismatch must fail loudly in every build: flatten() copies
   // frames at the configured stride, so an oversized frame would write out
   // of bounds. The serving path feeds samples from external sessions,
   // where this is a real (mis)configuration, not a programming error.
-  if (frame.size() != frame_vars_) {
+  if (scratch_.size() != frame_vars_) {
     throw std::invalid_argument(
-        "StateEncoder: frame width " + std::to_string(frame.size()) +
+        "StateEncoder: frame width " + std::to_string(scratch_.size()) +
         " (sample covers " + std::to_string(sample.partition_count()) +
         " partitions) != configured width " + std::to_string(frame_vars_));
   }
-  frames_.push_back(std::move(frame));
   ++frames_seen_;
-  while (frames_.size() > k_) frames_.pop_front();
+  if (k_ == 0) return;  // zero-history encoder: frames are counted, not kept
+  std::copy(scratch_.begin(), scratch_.end(), ring_.begin() + next_ * frame_vars_);
+  next_ = (next_ + 1) % k_;
+  if (count_ < k_) ++count_;
 }
 
 std::vector<float> StateEncoder::flatten(float action_value) const {
+  std::vector<float> out;
+  flatten_into(out, action_value);
+  return out;
+}
+
+void StateEncoder::flatten_into(std::vector<float>& out, float action_value) const {
   const std::size_t stride = frame_dim();
-  std::vector<float> out(k_ * stride, 0.0f);
+  out.assign(k_ * stride, 0.0f);
+  if (k_ == 0) return;
   // Right-align history: the newest frame occupies the last slot; missing
   // history at the start of an episode stays zero.
-  const std::size_t have = frames_.size();
-  const std::size_t offset = k_ - have;
-  for (std::size_t i = 0; i < have; ++i) {
+  const std::size_t offset = k_ - count_;
+  const std::size_t oldest = (next_ + k_ - count_) % k_;
+  for (std::size_t i = 0; i < count_; ++i) {
     float* dst = out.data() + (offset + i) * stride;
-    const auto& frame = frames_[i];
-    std::copy(frame.begin(), frame.end(), dst);
+    const float* frame = ring_.data() + ((oldest + i) % k_) * frame_vars_;
+    std::copy(frame, frame + frame_vars_, dst);
     dst[frame_vars_] = action_value;
   }
   // Action channel also set on padding frames so the Q-head sees the query
@@ -163,7 +179,6 @@ std::vector<float> StateEncoder::flatten(float action_value) const {
   for (std::size_t i = 0; i < offset; ++i) {
     out[i * stride + frame_vars_] = action_value;
   }
-  return out;
 }
 
 }  // namespace mirage::rl

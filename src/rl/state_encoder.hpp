@@ -22,7 +22,6 @@
 // by the 48 h wall limit, counts by log1p/8.
 #pragma once
 
-#include <deque>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -56,6 +55,10 @@ struct JobPairContext {
 /// Compute one normalized frame: kStateVars base variables, plus the
 /// per-partition free fractions when the sample covers >1 partition.
 std::vector<float> encode_frame(const sim::StateSample& sample, const JobPairContext& ctx);
+/// In-place variant (clear + refill, reusing `out`'s storage) — the
+/// allocation-free form the episode loop calls every decision tick.
+void encode_frame_into(std::vector<float>& out, const sim::StateSample& sample,
+                       const JobPairContext& ctx);
 
 /// Compact summary features for the tree-based baselines (~22 dims):
 /// the decision-relevant aggregates of the same state.
@@ -63,6 +66,8 @@ std::vector<float> summary_features(const sim::StateSample& sample, const JobPai
 std::size_t summary_feature_count();
 
 /// Ring buffer of the last k frames; zero-padded until k frames are seen.
+/// Frames live in one flat [k * frame_vars] buffer sized at construction,
+/// so a steady-state push performs zero heap allocations.
 class StateEncoder {
  public:
   explicit StateEncoder(std::size_t history_len, std::size_t partition_count = 1);
@@ -76,14 +81,19 @@ class StateEncoder {
   std::size_t frame_dim() const { return frame_vars_ + 1; }
 
   /// Flatten to [k * frame_dim()] with the given action channel value
-  /// written into every frame (oldest frame first).
+  /// written into every frame (oldest frame first). The in-place variant
+  /// reuses `out`'s storage for callers that hold a reusable buffer.
   std::vector<float> flatten(float action_value) const;
+  void flatten_into(std::vector<float>& out, float action_value) const;
 
  private:
   std::size_t k_;
   std::size_t frame_vars_;
   std::size_t frames_seen_ = 0;
-  std::deque<std::vector<float>> frames_;  ///< newest at back, size <= k
+  std::size_t count_ = 0;          ///< frames held, <= k
+  std::size_t next_ = 0;           ///< ring slot the next push writes
+  std::vector<float> ring_;        ///< k_ * frame_vars_, slot-major
+  std::vector<float> scratch_;     ///< per-push frame assembly buffer
 };
 
 }  // namespace mirage::rl

@@ -54,8 +54,8 @@ Rollout rollout_dqn(DqnAgent& policy, const trace::Trace& full, std::int32_t nod
                     const EpisodeConfig& ec, SimTime t0, std::size_t episode_index,
                     std::size_t max_no_submit, util::Rng rng) {
   Rollout r;
-  const trace::Trace window = slice_for_episode(full, t0, ec);
-  ProvisionEnv env(window, nodes, ec, t0);
+  trace::Trace window = slice_for_episode(full, t0, ec);
+  ProvisionEnv env(std::move(window), nodes, ec, t0);
   std::vector<Experience> no_submit;
   for (;;) {
     std::vector<float> obs = env.observation(0.0f);
@@ -82,8 +82,8 @@ Rollout rollout_dqn(DqnAgent& policy, const trace::Trace& full, std::int32_t nod
 Rollout rollout_pg(PgAgent& policy, const trace::Trace& full, std::int32_t nodes,
                    const EpisodeConfig& ec, SimTime t0, util::Rng rng) {
   Rollout r;
-  const trace::Trace window = slice_for_episode(full, t0, ec);
-  ProvisionEnv env(window, nodes, ec, t0);
+  trace::Trace window = slice_for_episode(full, t0, ec);
+  ProvisionEnv env(std::move(window), nodes, ec, t0);
   for (;;) {
     std::vector<float> obs = env.observation(0.0f);
     const int action = policy.act_sample(obs, rng);

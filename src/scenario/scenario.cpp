@@ -548,9 +548,9 @@ bool ScenarioResult::operator==(const ScenarioResult& o) const {
 
 ScenarioResult run_scenario(const ScenarioSpec& spec) {
   const auto preset = spec.resolved_preset();
-  const auto workload = build_workload(spec);
+  auto workload = build_workload(spec);
   sim::Simulator sim(to_cluster_model(preset), spec.scheduler);
-  sim.load_workload(workload);
+  sim.load_workload(std::move(workload));  // cells own their workloads; skip the copy
   for (const auto& ev : capacity_events(spec)) sim.schedule_cluster_event(ev);
   sim.run_to_completion();
   return assemble_result(spec, sim.export_schedule(), preset.node_count, sim.killed_jobs(),

@@ -2,8 +2,28 @@
 // structure behind backfill scheduling. Shared by the fast simulator
 // (capped-depth reservations) and the reference simulator (a reservation
 // for every queued job, i.e. textbook conservative backfill).
+//
+// The fast simulator maintains one *base* profile per partition
+// incrementally — O(Δ) updates on job start/finish instead of a from-
+// scratch rebuild over every running job on every scheduler pass:
+//
+//   job starts    occupy(now, limit, nodes): free drops over
+//                 [now, now+limit) and returns at the limit-based release;
+//   job finishes  release_early(now, start+limit, nodes): the nodes that
+//                 were scheduled to return at the limit return now;
+//   time passes   advance_to(now, free_now): steps at or before `now`
+//                 collapse into the head and redundant steps (left behind
+//                 by early releases) are compacted away.
+//
+// The canonical form — a head step at `now` followed by strictly
+// increasing release steps — is exactly what the from-scratch
+// construction (head + add_release per running job) produces, so an
+// incrementally maintained profile is bitwise interchangeable with a
+// rebuilt one (operator== makes that checkable; the simulator cross-
+// checks it in debug / validated runs).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -20,17 +40,77 @@ class AvailabilityProfile {
     steps_.push_back({now, free_now});
   }
 
+  /// Reinitialize in place (keeps the step storage — no allocation).
+  void reset(util::SimTime now, std::int32_t free_now) {
+    steps_.clear();
+    steps_.push_back({now, free_now});
+  }
+
+  /// Copy another profile's steps into this one's storage (no allocation
+  /// once capacity has warmed up) — the per-pass scratch copy that
+  /// reservations are applied to, leaving the base profile untouched.
+  void assign(const AvailabilityProfile& other) { steps_ = other.steps_; }
+
   /// `nodes` become free at time t (a running job's limit-based release).
   void add_release(util::SimTime t, std::int32_t nodes) { adjust(t, kFar, nodes); }
 
+  /// A job starts now: free drops by `nodes` over [now, now+limit) and the
+  /// limit-based release appears at now+limit. Identical to reserve().
+  void occupy(util::SimTime now, util::SimTime limit, std::int32_t nodes) {
+    reserve(now, limit, nodes);
+  }
+
+  /// A job leaves (finish) before its limit: the nodes scheduled to return
+  /// at `release_time` return at `now` instead. No-op when the job runs to
+  /// its limit exactly (the release step is already due).
+  void release_early(util::SimTime now, util::SimTime release_time, std::int32_t nodes) {
+    if (release_time <= now) return;
+    adjust(now, release_time, nodes);
+  }
+
+  /// Advance the head to `now`: steps at or before `now` collapse into the
+  /// head (whose free count the caller supplies from the cluster model),
+  /// and redundant steps left by early releases are compacted, restoring
+  /// the canonical strictly-increasing form.
+  void advance_to(util::SimTime now, std::int32_t free_now) {
+    std::size_t keep = 0;
+    while (keep < steps_.size() && steps_[keep].time <= now) ++keep;
+    assert(keep > 0 && "profile head can never be in the future");
+    assert(steps_[keep - 1].free == free_now &&
+           "incremental profile free count diverged from the cluster model");
+    steps_.erase(steps_.begin(), steps_.begin() + static_cast<std::ptrdiff_t>(keep - 1));
+    steps_.front() = {now, free_now};
+    compact();
+  }
+
   /// Earliest start >= `from` such that free >= req over [start, start+len).
+  ///
+  /// Single forward sweep, O(steps) amortized: a candidate start is `from`
+  /// or a step time; when the window starting at a candidate hits a step
+  /// with free < req, every candidate up to and including that violating
+  /// step provably fails too (its window still covers the violation, or
+  /// starts on it), so the scan jumps straight past it. Visits the same
+  /// candidates the quadratic candidate-times-window scan did and returns
+  /// the identical earliest fit.
   util::SimTime earliest_fit(util::SimTime from, std::int32_t req, util::SimTime len) const {
-    for (std::size_t i = 0; i < steps_.size(); ++i) {
-      const util::SimTime candidate = std::max(from, steps_[i].time);
-      if (i + 1 < steps_.size() && candidate >= steps_[i + 1].time) continue;
-      if (window_fits(candidate, req, len)) return candidate;
+    const std::size_t n = steps_.size();
+    std::size_t i = 0;  // step containing the current candidate
+    while (i + 1 < n && steps_[i + 1].time <= from) ++i;
+    util::SimTime candidate = std::max(from, steps_[i].time);
+    while (true) {
+      if (steps_[i].free >= req) {
+        const util::SimTime end = (len >= kFar) ? kFar : candidate + len;
+        std::size_t v = i + 1;
+        while (v < n && steps_[v].time < end && steps_[v].free >= req) ++v;
+        if (v >= n || steps_[v].time >= end) return candidate;
+        if (v + 1 >= n) return kFar;  // violation extends to infinity
+        i = v + 1;  // first candidate past the violating step
+      } else {
+        if (i + 1 >= n) return kFar;  // unreachable within cluster capacity
+        ++i;
+      }
+      candidate = steps_[i].time;
     }
-    return kFar;  // unreachable for requests within cluster capacity
   }
 
   /// Subtract req nodes over [start, start+len) (a reservation or a start).
@@ -38,31 +118,24 @@ class AvailabilityProfile {
     adjust(start, len >= kFar ? kFar : start + len, -req);
   }
 
+  std::size_t step_count() const { return steps_.size(); }
+  void reserve_steps(std::size_t n) { steps_.reserve(n); }
+
+  friend bool operator==(const AvailabilityProfile& a, const AvailabilityProfile& b) {
+    if (a.steps_.size() != b.steps_.size()) return false;
+    for (std::size_t i = 0; i < a.steps_.size(); ++i) {
+      if (a.steps_[i].time != b.steps_[i].time || a.steps_[i].free != b.steps_[i].free) {
+        return false;
+      }
+    }
+    return true;
+  }
+
  private:
   struct Step {
     util::SimTime time;
     std::int32_t free;
   };
-
-  bool window_fits(util::SimTime start, std::int32_t req, util::SimTime len) const {
-    const util::SimTime end = (len >= kFar) ? kFar : start + len;
-    if (free_at(start) < req) return false;
-    for (const auto& s : steps_) {
-      if (s.time <= start) continue;
-      if (s.time >= end) break;
-      if (s.free < req) return false;
-    }
-    return true;
-  }
-
-  std::int32_t free_at(util::SimTime t) const {
-    std::int32_t free = steps_.front().free;
-    for (const auto& s : steps_) {
-      if (s.time > t) break;
-      free = s.free;
-    }
-    return free;
-  }
 
   void adjust(util::SimTime from, util::SimTime to, std::int32_t delta) {
     ensure_step(from);
@@ -82,6 +155,18 @@ class AvailabilityProfile {
       }
     }
     steps_.push_back({t, steps_.back().free});
+  }
+
+  /// Remove steps whose free count equals their predecessor's. The base
+  /// profile's free counts are nondecreasing in time, so equal-adjacent
+  /// steps carry no information and the compacted form is the canonical
+  /// strictly-increasing one the from-scratch construction yields.
+  void compact() {
+    std::size_t w = 1;
+    for (std::size_t i = 1; i < steps_.size(); ++i) {
+      if (steps_[i].free != steps_[w - 1].free) steps_[w++] = steps_[i];
+    }
+    steps_.resize(w);
   }
 
   std::vector<Step> steps_;

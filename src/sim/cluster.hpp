@@ -109,6 +109,14 @@ class ClusterModel {
   std::int32_t busy_nodes(PartitionId p) const { return part(p).total - part(p).free; }
   std::int32_t nominal_nodes(PartitionId p) const { return part(p).nominal; }
 
+  /// Monotone counter bumped on every capacity change (add_capacity /
+  /// remove_capacity) of partition p. The fast simulator snapshots it to
+  /// detect event-kernel capacity edits — the changes it cannot mirror
+  /// incrementally into its availability profiles — without the kernel
+  /// having to call back per partition. allocate/release (the simulator's
+  /// own job starts/finishes) intentionally do NOT bump it.
+  std::uint64_t capacity_epoch(PartitionId p) const { return part(p).epoch; }
+
   bool can_allocate(PartitionId p, std::int32_t nodes) const { return nodes <= part(p).free; }
 
   void allocate(PartitionId p, std::int32_t nodes) {
@@ -124,16 +132,20 @@ class ClusterModel {
   /// Nodes return to service (restore / expansion); may exceed nominal.
   void add_capacity(PartitionId p, std::int32_t nodes) {
     assert(nodes >= 0);
+    if (nodes == 0) return;
     part(p).total += nodes;
     part(p).free += nodes;
+    ++part(p).epoch;
   }
 
   /// Nodes leave service. Only *free* nodes can be removed — the caller
   /// kills, preempts, or drains running jobs first to free them.
   void remove_capacity(PartitionId p, std::int32_t nodes) {
     assert(nodes >= 0 && nodes <= part(p).free);
+    if (nodes == 0) return;
     part(p).total -= nodes;
     part(p).free -= nodes;
+    ++part(p).epoch;
   }
 
  private:
@@ -142,6 +154,7 @@ class ClusterModel {
     std::int32_t total;
     std::int32_t free;
     std::int32_t nominal;
+    std::uint64_t epoch = 0;
   };
 
   Part& part(PartitionId p) {

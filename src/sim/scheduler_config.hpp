@@ -31,6 +31,12 @@ struct SchedulerConfig {
   /// Cap on how many queued jobs one backfill pass examines past the first
   /// blocked job; keeps overloaded-month passes cheap.
   std::int32_t max_backfill_candidates = 128;
+
+  /// Cross-check the incrementally maintained availability profiles
+  /// against a from-scratch rebuild on every scheduler pass and throw on
+  /// any divergence. Always on in assert-enabled (debug) builds; this flag
+  /// lets release-built tests (the property storms) run the same check.
+  bool validate_profiles = false;
 };
 
 }  // namespace mirage::sim

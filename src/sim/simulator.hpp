@@ -14,6 +14,15 @@
 // to the partition with the earliest fit. Single-partition clusters
 // reproduce the pre-partition scheduler bitwise.
 //
+// The scheduling hot path is incremental: per-partition base availability
+// profiles are maintained in O(Δ) on job start/finish (from-scratch
+// rebuilds happen only after kills/preemptions/capacity events), every
+// per-pass buffer is a reused member (steady-state passes perform zero
+// heap allocations), and a partition with no freed capacity, no new
+// pending candidates, and an unchanged priority order is skipped outright
+// — all bitwise-identical to the from-scratch scheduler by construction
+// (and cross-checked every pass in debug / validate_profiles runs).
+//
 // The agent-facing API matches the paper: submit() injects a job at the
 // current instant, step(dt) advances simulated time, sample() snapshots the
 // queue/server state for the RL state encoder.
@@ -28,7 +37,6 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "sim/availability_profile.hpp"
@@ -86,8 +94,11 @@ class Simulator : private EventKernel::Host {
   Simulator(ClusterModel cluster, SchedulerConfig config = {});
 
   /// Register a background workload before (or while) running. Jobs whose
-  /// submit_time is in the past are enqueued immediately.
+  /// submit_time is in the past are enqueued immediately. The rvalue
+  /// overload moves the records in (scenario cells and episode loops build
+  /// throwaway traces; moving skips one string-heavy copy per job).
   void load_workload(const Trace& workload);
+  void load_workload(Trace&& workload);
 
   /// Inject one job at the current instant (the agent's submit()). Returns
   /// its JobId for status queries.
@@ -112,6 +123,9 @@ class Simulator : private EventKernel::Host {
 
   SimTime now() const { return now_; }
   StateSample sample() const;
+  /// Fill `out` in place (clear + refill, reusing its vector storage) —
+  /// the allocation-free variant episode loops call every decision tick.
+  void sample_into(StateSample& out) const;
 
   JobStatus status(JobId id) const;
   SimTime start_time(JobId id) const;
@@ -174,6 +188,14 @@ class Simulator : private EventKernel::Host {
     }
   };
 
+  /// Per-pass sort key; caching the priority once per job replaces the
+  /// O(n log n) recomputation the in-comparator form paid per pass.
+  struct SortKey {
+    double priority;
+    SimTime submit;
+    JobId id;
+  };
+
   // EventKernel::Host — LIFO victim bookkeeping against the job table.
   std::int32_t kill_one(PartitionId p) override;
   std::int32_t preempt_one(PartitionId p, SimTime requeue_delay) override;
@@ -184,11 +206,24 @@ class Simulator : private EventKernel::Host {
   void process_event(const Event& e);
   void validate_record(const JobRecord& record, PartitionId constraint) const;
   PartitionId resolve_constraint(const JobRecord& record) const;
+  JobId enqueue_record(JobRecord&& record);
   /// Priority+backfill pass; starts every job the policy admits now.
   void schedule_pass();
+  void schedule_pass_no_backfill();
   void start_job(JobId id, PartitionId p);
   /// `total_nodes_denom` = max(cluster total, 1), hoisted per pass.
   double priority(const SimJob& j, double total_nodes_denom) const;
+
+  /// A new pending candidate appeared: its partition (or every partition,
+  /// for a roaming job) must be rescanned on the next pass.
+  void mark_candidate(PartitionId constraint);
+  /// Sort pending_ by priority (cached keys; bitwise-identical order to
+  /// the in-comparator form). Returns true if any pending job roams.
+  bool sort_pending();
+  /// Rebuild / advance partition p's incremental base profile for a pass
+  /// at now_, cross-checking against a from-scratch build when validated.
+  void sync_profile(PartitionId p);
+  void rebuild_profile_into(AvailabilityProfile& out, PartitionId p) const;
 
   EventKernel kernel_;
   SchedulerConfig config_;
@@ -196,14 +231,41 @@ class Simulator : private EventKernel::Host {
   std::uint64_t event_seq_ = 0;
   std::uint64_t scheduler_passes_ = 0;
   bool needs_schedule_ = false;
+  bool validate_profiles_ = false;
 
   std::vector<ClusterEvent> cluster_events_;  ///< indexed by Event::job
 
   std::vector<SimJob> jobs_;
-  std::vector<JobId> pending_;  ///< queued job ids (unordered; sorted per pass)
+  std::vector<JobId> pending_;  ///< queued job ids (sorted order after a pass)
   std::vector<JobId> running_;  ///< running job ids
   std::vector<std::pair<SimTime, SimTime>> start_log_;  ///< (start, wait) per started job
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::vector<Event> events_;   ///< min-heap (std::push_heap/pop_heap, operator>)
+
+  // ----- incremental scheduling state (sized once per partition) -----
+  // Base availability profiles mirror running jobs' limit-based releases
+  // and are updated in O(Δ) on start/finish; pass_profiles_ receive the
+  // per-pass copy that reservations scribble on. profile_stale_ forces a
+  // from-scratch rebuild after events the simulator cannot mirror (kills,
+  // preemptions, capacity edits — the latter detected via the cluster's
+  // capacity_epoch). scan_dirty_ marks partitions whose pending set gained
+  // candidates or whose capacity was freed; a clean partition whose queue
+  // subsequence is unchanged is provably a no-op and is skipped.
+  std::vector<AvailabilityProfile> base_profiles_;
+  std::vector<AvailabilityProfile> pass_profiles_;
+  std::vector<std::uint64_t> profile_epoch_;
+  std::vector<char> profile_stale_;
+  std::vector<char> scan_dirty_;
+  std::vector<char> scan_now_;
+  std::vector<std::vector<JobId>> part_queue_;  ///< this pass's pinned subsequences
+  std::vector<std::vector<JobId>> last_queue_;  ///< post-scan subsequences
+  std::vector<JobId> last_full_order_;          ///< post-scan pending order
+  // Per-pass scratch, hoisted so steady-state passes allocate nothing.
+  std::vector<SortKey> sort_keys_;
+  std::vector<JobId> still_pending_;
+  std::vector<char> blocked_;
+  std::vector<std::int32_t> reservations_;
+  std::vector<std::int32_t> scanned_past_blocked_;
+  AvailabilityProfile check_profile_{0, 0};  ///< validated-mode oracle scratch
 };
 
 /// Replay a workload through the fast simulator and return a copy of the

@@ -123,13 +123,35 @@ std::size_t Rng::categorical(const std::vector<double>& weights) {
 
 std::int64_t Rng::zipf(std::int64_t n, double s) {
   assert(n >= 1);
-  // Inverse-CDF on the (cached-free) harmonic weights; n is small for our
-  // user pools so the linear scan is fine.
-  double h = 0.0;
-  for (std::int64_t k = 1; k <= n; ++k) h += 1.0 / std::pow(static_cast<double>(k), s);
-  double r = uniform() * h;
+  // Inverse-CDF on the harmonic weights. The weights (and their sum) are
+  // a pure function of (n, s), so they are cached per thread instead of
+  // recomputed with O(n) std::pow calls per draw — the workload generator
+  // draws one user id per job from the same pool. The cached terms are
+  // the identical doubles accumulated in the identical order, so every
+  // draw (and the golden trace hashes downstream) is bitwise unchanged.
+  struct HarmonicTable {
+    std::int64_t n = -1;
+    double s = 0.0;
+    double total = 0.0;
+    std::vector<double> terms;
+  };
+  thread_local HarmonicTable cache;
+  if (cache.n != n || cache.s != s) {
+    cache.terms.clear();
+    cache.terms.reserve(static_cast<std::size_t>(n));
+    double h = 0.0;
+    for (std::int64_t k = 1; k <= n; ++k) {
+      const double term = 1.0 / std::pow(static_cast<double>(k), s);
+      cache.terms.push_back(term);
+      h += term;
+    }
+    cache.n = n;
+    cache.s = s;
+    cache.total = h;
+  }
+  double r = uniform() * cache.total;
   for (std::int64_t k = 1; k <= n; ++k) {
-    r -= 1.0 / std::pow(static_cast<double>(k), s);
+    r -= cache.terms[static_cast<std::size_t>(k - 1)];
     if (r <= 0.0) return k;
   }
   return n;

@@ -450,6 +450,194 @@ TEST(ClusterEventText, UnknownNamesAreRejectedWithDiagnostic) {
   EXPECT_FALSE(parse_cluster_event("down,5", ev, &error));
 }
 
+// ------------------------------------- Incremental availability profiles
+
+// The incremental earliest_fit sweep must return exactly what the
+// pre-incremental quadratic candidate scan returned, on any profile the
+// scheduler can build. The oracle below *is* that old algorithm, run
+// against a mirror profile built by the same operations.
+namespace oracle {
+
+struct Step {
+  SimTime time;
+  std::int32_t free;
+};
+
+struct Profile {
+  std::vector<Step> steps;
+  static constexpr SimTime kFar = AvailabilityProfile::kFar;
+
+  explicit Profile(SimTime now, std::int32_t free) { steps.push_back({now, free}); }
+
+  void ensure_step(SimTime t) {
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      if (steps[i].time == t) return;
+      if (steps[i].time > t) {
+        const std::int32_t inherited = (i == 0) ? steps[0].free : steps[i - 1].free;
+        steps.insert(steps.begin() + static_cast<std::ptrdiff_t>(i), {t, inherited});
+        return;
+      }
+    }
+    steps.push_back({t, steps.back().free});
+  }
+  void adjust(SimTime from, SimTime to, std::int32_t delta) {
+    ensure_step(from);
+    if (to < kFar) ensure_step(to);
+    for (auto& s : steps) {
+      if (s.time >= from && s.time < to) s.free += delta;
+    }
+  }
+  void add_release(SimTime t, std::int32_t nodes) { adjust(t, kFar, nodes); }
+  void reserve(SimTime start, SimTime len, std::int32_t req) {
+    adjust(start, len >= kFar ? kFar : start + len, -req);
+  }
+  std::int32_t free_at(SimTime t) const {
+    std::int32_t free = steps.front().free;
+    for (const auto& s : steps) {
+      if (s.time > t) break;
+      free = s.free;
+    }
+    return free;
+  }
+  bool window_fits(SimTime start, std::int32_t req, SimTime len) const {
+    const SimTime end = (len >= kFar) ? kFar : start + len;
+    if (free_at(start) < req) return false;
+    for (const auto& s : steps) {
+      if (s.time <= start) continue;
+      if (s.time >= end) break;
+      if (s.free < req) return false;
+    }
+    return true;
+  }
+  SimTime earliest_fit(SimTime from, std::int32_t req, SimTime len) const {
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      const SimTime candidate = std::max(from, steps[i].time);
+      if (i + 1 < steps.size() && candidate >= steps[i + 1].time) continue;
+      if (window_fits(candidate, req, len)) return candidate;
+    }
+    return kFar;
+  }
+};
+
+}  // namespace oracle
+
+TEST(AvailabilityProfile, EarliestFitMatchesQuadraticOracle) {
+  util::Rng rng(0xfee7);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::int32_t free0 = static_cast<std::int32_t>(rng.uniform_int(0, 8));
+    AvailabilityProfile prof(0, free0);
+    oracle::Profile ref(0, free0);
+    // Build a random but scheduler-shaped profile: positive releases at
+    // random times, then reservations placed exactly where the scheduler
+    // would (at the earliest fit), which can carve non-monotone dips.
+    const int releases = static_cast<int>(rng.uniform_int(0, 8));
+    for (int r = 0; r < releases; ++r) {
+      const SimTime t = rng.uniform_int(1, 500);
+      const auto nodes = static_cast<std::int32_t>(rng.uniform_int(1, 6));
+      prof.add_release(t, nodes);
+      ref.add_release(t, nodes);
+    }
+    const int reservations = static_cast<int>(rng.uniform_int(0, 6));
+    for (int r = 0; r < reservations; ++r) {
+      const auto req = static_cast<std::int32_t>(rng.uniform_int(1, 6));
+      const SimTime len = rng.uniform_int(1, 300);
+      const SimTime at = ref.earliest_fit(0, req, len);
+      if (at >= oracle::Profile::kFar) continue;
+      prof.reserve(at, len, req);
+      ref.reserve(at, len, req);
+    }
+    for (int q = 0; q < 20; ++q) {
+      const SimTime from = rng.uniform_int(0, 600);
+      const auto req = static_cast<std::int32_t>(rng.uniform_int(1, 10));
+      const SimTime len = rng.uniform_int(1, 400);
+      ASSERT_EQ(prof.earliest_fit(from, req, len), ref.earliest_fit(from, req, len))
+          << "trial " << trial << " from=" << from << " req=" << req << " len=" << len;
+    }
+  }
+}
+
+// Randomized event storms with the per-pass incremental==from-scratch
+// cross-check enabled (SchedulerConfig::validate_profiles): the simulator
+// rebuilds every scanned partition's availability profile from its running
+// set each pass and throws std::logic_error on any divergence from the
+// incrementally maintained one. Any bug in the O(Δ) updates — job starts,
+// early releases, preemption checkpoints, kill/drain/restore/correlated
+// capacity edits, or the advance-and-compact resync — fails loudly here.
+class IncrementalProfileStorm : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalProfileStorm, IncrementalMatchesFromScratchUnderEventStorms) {
+  util::Rng rng(0x19c4'0000 + GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto nparts = static_cast<std::int32_t>(rng.uniform_int(1, 3));
+    std::vector<Partition> parts;
+    std::vector<std::string> names;
+    for (std::int32_t p = 0; p < nparts; ++p) {
+      names.push_back("p" + std::to_string(p));
+      parts.push_back({names.back(), static_cast<std::int32_t>(rng.uniform_int(2, 8))});
+    }
+    const ClusterModel model(parts);
+
+    const auto n = static_cast<std::size_t>(rng.uniform_int(10, 50));
+    Trace w;
+    for (std::size_t i = 0; i < n; ++i) {
+      const SimTime runtime = rng.uniform_int(1, 500);
+      const SimTime limit = runtime + rng.uniform_int(0, 300);
+      std::string constraint;
+      std::int32_t ceiling = model.max_partition_nominal();
+      if (rng.bernoulli(0.7)) {
+        const auto p = static_cast<std::size_t>(rng.uniform_int(0, nparts - 1));
+        constraint = names[p];
+        ceiling = parts[p].nodes;
+      }
+      w.push_back(make_job(static_cast<std::int64_t>(i + 1), rng.uniform_int(0, 3000),
+                           static_cast<std::int32_t>(rng.uniform_int(1, ceiling)), runtime,
+                           limit, constraint));
+    }
+
+    SchedulerConfig cfg;
+    cfg.validate_profiles = true;  // cross-check every scanned partition, every pass
+    cfg.age_weight = rng.uniform(0.0, 2000.0);
+    cfg.size_weight = rng.uniform(-200.0, 200.0);
+    cfg.reservation_depth = static_cast<std::int32_t>(rng.uniform_int(1, 16));
+    cfg.max_backfill_candidates = static_cast<std::int32_t>(rng.uniform_int(1, 64));
+
+    Simulator sim(model, cfg);
+    sim.load_workload(w);
+    const auto n_events = static_cast<std::size_t>(rng.uniform_int(0, 8));
+    for (std::size_t e = 0; e < n_events; ++e) {
+      ClusterEvent ev;
+      ev.time = rng.uniform_int(0, 3500);
+      ev.nodes = static_cast<std::int32_t>(rng.uniform_int(1, 6));
+      if (rng.bernoulli(0.5)) {
+        ev.partition = names[static_cast<std::size_t>(rng.uniform_int(0, nparts - 1))];
+      }
+      switch (rng.uniform_int(0, 4)) {
+        case 0: ev.type = ClusterEventType::kNodeDown; break;
+        case 1: ev.type = ClusterEventType::kDrain; break;
+        case 2: ev.type = ClusterEventType::kNodeRestore; break;
+        case 3:
+          ev.type = ClusterEventType::kPreempt;
+          ev.requeue_delay = rng.uniform_int(0, 300);
+          break;
+        default:
+          ev.type = ClusterEventType::kCorrelatedDown;
+          ev.rack_size = static_cast<std::int32_t>(rng.uniform_int(1, 3));
+          ev.seed = rng.next_u64();
+          break;
+      }
+      sim.schedule_cluster_event(ev);
+    }
+    // A divergence throws std::logic_error and fails the test with it.
+    // (Jobs pinned to a downed-and-never-restored partition legitimately
+    // stay pending, so completion itself is not asserted.)
+    sim.run_to_completion();
+    EXPECT_EQ(sim.job_count(), n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalProfileStorm,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
 // ------------------------------------------------------ Reference simulator
 
 TEST(ReferenceSimulator, MatchesFastOnTrivialWorkload) {
@@ -564,7 +752,7 @@ class PartitionedDifferentialFuzz : public ::testing::TestWithParam<std::uint64_
 
 TEST_P(PartitionedDifferentialFuzz, FastEqualsReferenceUnderEventStorms) {
   util::Rng rng(0xfa57'0000 + GetParam());
-  for (int trial = 0; trial < 6; ++trial) {
+  for (int trial = 0; trial < 8; ++trial) {
     const auto nparts = static_cast<std::int32_t>(rng.uniform_int(1, 3));
     std::vector<Partition> parts;
     std::vector<std::string> names;
@@ -592,7 +780,7 @@ TEST_P(PartitionedDifferentialFuzz, FastEqualsReferenceUnderEventStorms) {
     }
 
     std::vector<ClusterEvent> events;
-    const auto n_events = static_cast<std::size_t>(rng.uniform_int(0, 6));
+    const auto n_events = static_cast<std::size_t>(rng.uniform_int(0, 8));
     for (std::size_t e = 0; e < n_events; ++e) {
       ClusterEvent ev;
       ev.time = rng.uniform_int(0, 2500);
@@ -623,6 +811,10 @@ TEST_P(PartitionedDifferentialFuzz, FastEqualsReferenceUnderEventStorms) {
     cfg.age_cap = rng.uniform_int(kHour, 7 * kDay);
     cfg.reservation_depth = static_cast<std::int32_t>(n);
     cfg.max_backfill_candidates = static_cast<std::int32_t>(n);
+    // Also cross-check the incremental profiles against the from-scratch
+    // construction on every pass of the fast simulator (the reference
+    // ignores the flag), so the fuzz pins both contracts at once.
+    cfg.validate_profiles = true;
 
     Simulator fast(model, cfg);
     fast.load_workload(w);
@@ -648,7 +840,7 @@ TEST_P(PartitionedDifferentialFuzz, FastEqualsReferenceUnderEventStorms) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PartitionedDifferentialFuzz,
-                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12));
 
 // ----------------------------------------------------------------- Fidelity
 
