@@ -5,13 +5,24 @@
 // clear 4x over 1 thread (the acceptance bar); results are asserted
 // bitwise identical across all thread counts.
 //
+// The observability satellite adds two gates on top of the scaling runs:
+// the steady-state allocation audit executes with metrics, spans and a
+// trace ring all enabled (the zero-alloc contract must hold with
+// instrumentation ON), and a tracing-off vs tracing-on pair at the best
+// thread count must agree bitwise while costing < obs_overhead_max
+// (default 3%) in cells/sec.
+//
 //   ./bench_scenario_sweep [threads=1,2,4,8] [cells=16] [months=3] [scale=0.4]
+//                          [obs_overhead_max=0.03] [obs_reps=3]
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/sweep.hpp"
 #include "sim/simulator.hpp"
@@ -35,8 +46,15 @@ namespace {
 bool audit_steady_state_allocs(const mirage::scenario::ScenarioSpec& spec,
                                mirage::bench::BenchJson& json) {
   using namespace mirage;
+  // The contract must hold with instrumentation ON: spans recording into
+  // registry histograms and a fixed-capacity trace ring attached. Both are
+  // pre-allocated (ring at construction, span sites during warmup), so the
+  // steady-state count stays zero with metrics enabled.
+  obs::set_enabled(true);
+  obs::TraceRing ring(1 << 16);
   auto workload = scenario::build_workload(spec);
   sim::Simulator sim(scenario::to_cluster_model(spec.resolved_preset()), spec.scheduler);
+  sim.set_trace(&ring);
   sim.load_workload(std::move(workload));
   for (const auto& ev : scenario::capacity_events(spec)) sim.schedule_cluster_event(ev);
   sim.run_until(static_cast<util::SimTime>(spec.months_end) * util::kMonth / 2);
@@ -46,13 +64,40 @@ bool audit_steady_state_allocs(const mirage::scenario::ScenarioSpec& spec,
   const std::uint64_t allocs = bench::allocation_count() - allocs_before;
   const std::uint64_t passes = sim.scheduler_passes() - passes_before;
   const double per_pass = passes ? static_cast<double>(allocs) / static_cast<double>(passes) : 0.0;
-  std::printf("steady state: %llu heap allocations over %llu scheduler passes (%.4f/pass)\n",
+  std::printf("steady state (metrics on): %llu heap allocations over %llu scheduler passes "
+              "(%.4f/pass), %llu trace events\n",
               static_cast<unsigned long long>(allocs), static_cast<unsigned long long>(passes),
-              per_pass);
+              per_pass, static_cast<unsigned long long>(ring.recorded()));
   json.add("steady_allocs", static_cast<std::int64_t>(allocs));
   json.add("steady_passes", static_cast<std::int64_t>(passes));
   json.add("steady_allocs_per_pass", per_pass);
+  json.add("steady_trace_events", static_cast<std::int64_t>(ring.recorded()));
   return per_pass <= 0.01;
+}
+
+/// Best (max) cells/sec over `reps` sweep runs at a fixed thread count —
+/// min-time repetition damps scheduler noise around the <3% overhead gate.
+/// Every run's combined hash is checked against `expect_hash`, so this
+/// doubles as the tracing-on == tracing-off bitwise determinism check.
+double measure_cells_per_sec(const std::vector<mirage::scenario::ScenarioSpec>& cells,
+                             std::size_t threads, int reps, std::uint64_t expect_hash,
+                             mirage::scenario::SweepTrace* trace, bool* hashes_ok) {
+  using namespace mirage;
+  // Ring allocation is one-time setup, not steady-state tracing cost —
+  // keep it outside the timed region so the overhead gate measures the
+  // per-event price, not a 25 MB calloc amortized over the first rep.
+  if (trace != nullptr) trace->prepare(cells);
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = util::wall_seconds();
+    const auto report = scenario::SweepRunner(threads).run(cells, trace);
+    const double seconds = util::wall_seconds() - t0;
+    std::uint64_t combined = util::kFnv1a64Basis;
+    for (const auto& c : report.cells) combined ^= c.schedule_hash;
+    if (combined != expect_hash) *hashes_ok = false;
+    best = std::max(best, static_cast<double>(cells.size()) / seconds);
+  }
+  return best;
 }
 
 }  // namespace
@@ -103,6 +148,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The thread-scaling loop is the instrumentation-off baseline; the
+  // overhead pair below re-enables obs explicitly.
+  obs::set_enabled(false);
   double base_seconds = 0.0;
   std::uint64_t base_hash = 0;
   bench::BenchJson json("scenario_sweep");
@@ -143,14 +191,49 @@ int main(int argc, char** argv) {
   }
   json.add("threads", static_cast<std::int64_t>(best_threads));
   json.add("cells_per_sec", best_cells_per_sec);
+
+  // ---- observability overhead gate: tracing off vs on at best_threads ----
+  // Same cells, same thread count; the only difference is obs::enabled()
+  // plus a per-cell trace ring. Results must stay bitwise identical and
+  // the throughput cost must stay under obs_overhead_max.
+  const double overhead_max = cli.get_double("obs_overhead_max", 0.03);
+  const int reps = static_cast<int>(cli.get_int("obs_reps", 3));
+  bool hashes_ok = true;
+  obs::set_enabled(false);
+  const double off_cps = measure_cells_per_sec(cells, best_threads, reps, base_hash, nullptr,
+                                               &hashes_ok);
+  obs::set_enabled(true);
+  scenario::SweepTrace trace;
+  const double on_cps = measure_cells_per_sec(cells, best_threads, reps, base_hash, &trace,
+                                              &hashes_ok);
+  const double overhead = off_cps > 0.0 ? std::max(0.0, (off_cps - on_cps) / off_cps) : 0.0;
+  std::printf("obs overhead: off %6.2f cells/s, on %6.2f cells/s (%.2f%%, max %.0f%%), "
+              "%llu trace events, identical=%s\n",
+              off_cps, on_cps, 100.0 * overhead, 100.0 * overhead_max,
+              static_cast<unsigned long long>(trace.total_events()), hashes_ok ? "yes" : "NO");
+  json.add("cells_per_sec_obs_off", off_cps);
+  json.add("cells_per_sec_obs_on", on_cps);
+  json.add("obs_overhead_frac", overhead);
+  json.add("obs_trace_events", static_cast<std::int64_t>(trace.total_events()));
+
   // Audit the heaviest expanded cell (last in expansion order: highest
-  // utilization axis value, eventful profile) for steady-state allocations.
+  // utilization axis value, eventful profile) for steady-state allocations
+  // — with instrumentation enabled.
   const bool zero_alloc = audit_steady_state_allocs(cells.back(), json);
   json.add_resource_fields();
   json.write();
+  if (!hashes_ok) {
+    std::printf("ERROR: sweep results diverged between tracing off and on\n");
+    return 1;
+  }
+  if (overhead > overhead_max) {
+    std::printf("ERROR: observability overhead %.2f%% exceeds the %.0f%% budget\n",
+                100.0 * overhead, 100.0 * overhead_max);
+    return 1;
+  }
   if (!zero_alloc) {
-    std::printf("ERROR: steady-state scheduler passes allocated on the heap "
-                "(zero-allocation contract broken)\n");
+    std::printf("ERROR: steady-state scheduler passes allocated on the heap with metrics "
+                "enabled (zero-allocation contract broken)\n");
     return 1;
   }
   return 0;

@@ -7,13 +7,24 @@
 // queue-wait/utilization report.
 //
 //   ./scenario_sweep [cluster=a100] [months=2] [scale=0.15] [threads=0]
+//                    [trace=out.json]
 //
 // threads=0 uses hardware concurrency. The parallel-vs-serial check is the
 // determinism contract the sweep harness guarantees: per-cell RNG streams
 // are pre-assigned at expansion time, so thread count never changes results.
+//
+// trace=out.json (or --trace out.json) attaches a per-cell trace ring to
+// every simulation and writes the merged Chrome trace-event JSON — open it
+// in Perfetto / chrome://tracing. Tracing must not perturb results: both
+// runs re-execute with rings attached and the serial and parallel trace
+// bytes are asserted identical.
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/sweep.hpp"
 #include "util/config.hpp"
@@ -24,7 +35,13 @@ int main(int argc, char** argv) {
   using scenario::ScenarioEvent;
   using scenario::ScenarioEventKind;
 
-  const auto cli = util::Config::from_args(argc, argv);
+  auto cli = util::Config::from_args(argc, argv);
+  // Conventional spelling of the trace flag: --trace out.json / --trace=out.json.
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) cli.set("trace", argv[i + 1]);
+    if (arg.rfind("--trace=", 0) == 0) cli.set("trace", arg.substr(8));
+  }
 
   scenario::SweepMatrix matrix;
   matrix.base.cluster = cli.get_string("cluster", "a100");
@@ -99,6 +116,43 @@ int main(int argc, char** argv) {
   if (mismatches != 0) {
     std::printf("ERROR: %zu cells diverged between serial and parallel runs\n", mismatches);
     return 1;
+  }
+
+  const std::string trace_path = cli.get_string("trace", "");
+  if (!trace_path.empty()) {
+    obs::set_enabled(true);
+    scenario::SweepTrace serial_trace;
+    scenario::SweepTrace parallel_trace;
+    const auto traced_serial = scenario::SweepRunner::run_serial(cells, &serial_trace);
+    const auto traced_parallel = scenario::SweepRunner(threads).run(cells, &parallel_trace);
+    std::size_t traced_mismatches = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (!(traced_serial.cells[i] == serial.cells[i])) ++traced_mismatches;
+      if (!(traced_parallel.cells[i] == serial.cells[i])) ++traced_mismatches;
+    }
+    const std::string json = parallel_trace.to_chrome_json();
+    const bool trace_identical = json == serial_trace.to_chrome_json();
+    std::string validation_error;
+    const bool valid = obs::validate_chrome_trace(json, &validation_error);
+    std::ofstream out(trace_path, std::ios::binary);
+    if (!out || !(out << json)) {
+      std::printf("ERROR: cannot write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+    out.close();
+    std::printf(
+        "trace: %zu events -> %s (%zu bytes) | schema valid: %s | serial==parallel bytes: %s | "
+        "results unperturbed: %s\n",
+        parallel_trace.total_events(), trace_path.c_str(), json.size(), valid ? "yes" : "NO",
+        trace_identical ? "yes" : "NO", traced_mismatches == 0 ? "yes" : "NO");
+    if (!valid) {
+      std::printf("ERROR: emitted trace failed schema validation: %s\n", validation_error.c_str());
+      return 1;
+    }
+    if (!trace_identical || traced_mismatches != 0) {
+      std::printf("ERROR: tracing perturbed the sweep (trace or results diverged)\n");
+      return 1;
+    }
   }
   return 0;
 }

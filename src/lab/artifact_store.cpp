@@ -122,6 +122,17 @@ std::optional<JobResult> ArtifactStore::load(const ExperimentPlan& plan, const L
   if (!parse_f64(get("cell_p95_wait_h"), r.cell_p95_wait_h)) return std::nullopt;
   if (!parse_f64(get("cell_utilization"), r.cell_utilization)) return std::nullopt;
   r.cell_load = get("cell_load");
+  // Strict parse of the per-partition victim counts (added with src/obs/):
+  // manifests written before these keys existed fail here and recompute —
+  // a silent zero would disagree with the cell's traces.
+  std::uint64_t cell_killed = 0;
+  std::uint64_t cell_preempted = 0;
+  if (!parse_u64(get("cell_killed"), cell_killed)) return std::nullopt;
+  if (!parse_u64(get("cell_preempted"), cell_preempted)) return std::nullopt;
+  r.cell_killed = cell_killed;
+  r.cell_preempted = cell_preempted;
+  if (kv.find("cell_partition_counts") == kv.end()) return std::nullopt;
+  r.cell_partition_counts = get("cell_partition_counts");
   r.checkpoint = get("checkpoint");
   r.resumed = true;
 
@@ -159,6 +170,9 @@ bool ArtifactStore::save(const ExperimentPlan& plan, const LabJob& job, const Jo
     out << "cell_p95_wait_h=" << format_double_exact(result.cell_p95_wait_h) << '\n';
     out << "cell_utilization=" << format_double_exact(result.cell_utilization) << '\n';
     out << "cell_load=" << result.cell_load << '\n';
+    out << "cell_killed=" << result.cell_killed << '\n';
+    out << "cell_preempted=" << result.cell_preempted << '\n';
+    out << "cell_partition_counts=" << result.cell_partition_counts << '\n';
     out << "checkpoint=" << result.checkpoint << '\n';
     out << "status=complete\n";
     if (!out) return fail(error, "cannot write " + tmp.string());

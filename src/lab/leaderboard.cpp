@@ -16,7 +16,9 @@ bool JobResult::operator==(const JobResult& o) const {
          max_interruption_h == o.max_interruption_h && mean_overlap_h == o.mean_overlap_h &&
          zero_fraction == o.zero_fraction && cell_mean_wait_h == o.cell_mean_wait_h &&
          cell_p95_wait_h == o.cell_p95_wait_h && cell_utilization == o.cell_utilization &&
-         cell_load == o.cell_load && checkpoint == o.checkpoint;
+         cell_load == o.cell_load && cell_killed == o.cell_killed &&
+         cell_preempted == o.cell_preempted &&
+         cell_partition_counts == o.cell_partition_counts && checkpoint == o.checkpoint;
 }
 
 Leaderboard Leaderboard::build(std::vector<JobResult> rows) {
@@ -106,14 +108,16 @@ std::string Leaderboard::to_csv() const {
   writer.write_row({"cell_index", "cell", "cluster", "seed", "method", "eventful", "episodes",
                     "mean_interruption_h", "max_interruption_h", "mean_overlap_h",
                     "zero_fraction", "cell_mean_wait_h", "cell_p95_wait_h", "cell_utilization",
-                    "cell_load", "checkpoint"});
+                    "cell_load", "cell_killed", "cell_preempted", "cell_partition_counts",
+                    "checkpoint"});
   for (const auto& r : rows) {
     writer.write_row({std::to_string(r.cell_index), r.cell, r.cluster, std::to_string(r.seed),
                       r.method, r.eventful ? "1" : "0", std::to_string(r.episodes),
                       fmt6(r.mean_interruption_h), fmt6(r.max_interruption_h),
                       fmt6(r.mean_overlap_h), fmt6(r.zero_fraction), fmt6(r.cell_mean_wait_h),
                       fmt6(r.cell_p95_wait_h), fmt6(r.cell_utilization), r.cell_load,
-                      r.checkpoint});
+                      std::to_string(r.cell_killed), std::to_string(r.cell_preempted),
+                      r.cell_partition_counts, r.checkpoint});
   }
   return out.str();
 }

@@ -37,6 +37,12 @@ struct JobResult {
   double cell_p95_wait_h = 0.0;
   double cell_utilization = 0.0;
   std::string cell_load;           ///< heavy | medium | light
+  std::size_t cell_killed = 0;     ///< jobs killed by outage events
+  std::size_t cell_preempted = 0;  ///< jobs checkpointed/requeued
+  /// Per-partition "name:killed:preempted" split, ';'-joined (the
+  /// ScenarioResult::partition_counts_text encoding) — lets the
+  /// leaderboard agree with per-partition traces on multi-pool cells.
+  std::string cell_partition_counts;
 
   std::string checkpoint;          ///< artifact-relative ckpt name ("" = none)
   bool resumed = false;            ///< loaded from an artifact, not computed

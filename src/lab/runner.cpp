@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/evaluator.hpp"
+#include "obs/span.hpp"
 #include "scenario/scenario.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
@@ -34,6 +35,9 @@ JobResult make_result(const LabJob& job, const core::MethodEval& eval,
   r.cell_p95_wait_h = cell_ctx.metrics.p95_wait_hours;
   r.cell_utilization = cell_ctx.metrics.average_utilization;
   r.cell_load = core::load_class_name(cell_ctx.load);
+  r.cell_killed = cell_ctx.killed_jobs;
+  r.cell_preempted = cell_ctx.preempted_jobs;
+  r.cell_partition_counts = cell_ctx.partition_counts_text();
   return r;
 }
 
@@ -74,8 +78,14 @@ CellOutcome run_cell(const ExperimentPlan& plan, std::uint64_t plan_hash, Artifa
       need_offline = need_offline || core::is_rl_method(m) || core::is_statistical_method(m);
     }
     if (need_offline) pipeline.collect_offline();
-    for (const core::Method m : missing) pipeline.train(m);
-    const auto evals = pipeline.evaluate(missing);
+    {
+      OBS_SPAN("lab_train_job");
+      for (const core::Method m : missing) pipeline.train(m);
+    }
+    const auto evals = [&] {
+      OBS_SPAN("lab_eval_job");
+      return pipeline.evaluate(missing);
+    }();
 
     fresh.reserve(missing.size());
     for (std::size_t i = 0; i < missing.size(); ++i) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/span.hpp"
+
 namespace mirage::nn {
 
 Tensor Tensor::row_vector(std::span<const float> values) {
@@ -68,6 +70,7 @@ void gemm_ikj(const float* __restrict a, const float* __restrict b, float* __res
 }  // namespace
 
 void matmul(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
+  OBS_SPAN_SAMPLED("nn_gemm", 4);
   assert(a.cols() == b.rows());
   if (out.rows() != a.rows() || out.cols() != b.cols()) {
     assert(!accumulate);
@@ -105,6 +108,7 @@ void matmul_nt(const Tensor& a, const Tensor& b, Tensor& out, bool accumulate) {
   // (i, j) element still accumulates its k products in ascending order
   // into its own scalar before the single += into out, so results are
   // bitwise identical to the plain dot-per-column form.
+  OBS_SPAN_SAMPLED("nn_gemm", 4);
   assert(a.cols() == b.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   if (out.rows() != m || out.cols() != n) {

@@ -1,0 +1,262 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "util/strconv.hpp"
+
+namespace mirage::obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+std::atomic<std::size_t> g_next_shard{0};
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+namespace detail {
+std::size_t thread_shard() {
+  thread_local const std::size_t slot =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+}  // namespace detail
+
+std::uint64_t Gauge::to_bits(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+double Gauge::from_bits(std::uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+namespace {
+
+/// Exponential bucket index for a duration in seconds: bucket 0 is < 1us,
+/// bucket i in [2^(i-1), 2^i) us, last bucket overflow. Pure integer math
+/// after the seconds->us conversion.
+std::size_t bucket_index(double seconds) {
+  if (!(seconds > 0.0)) return 0;
+  const double us = seconds * 1e6;
+  if (us < 1.0) return 0;
+  const auto n = static_cast<std::uint64_t>(us);
+  const std::size_t log2 = 63 - static_cast<std::size_t>(__builtin_clzll(n | 1));
+  return std::min(log2 + 1, Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+void Histogram::record(double seconds) {
+  auto& shard = shards_[detail::thread_shard()];
+  shard.counts[bucket_index(seconds)].fetch_add(1, std::memory_order_relaxed);
+  shard.n.fetch_add(1, std::memory_order_relaxed);
+  const double us = seconds > 0.0 ? seconds * 1e6 : 0.0;
+  shard.sum_us.fetch_add(static_cast<std::uint64_t>(us), std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s.n.load(std::memory_order_relaxed);
+  return n;
+}
+
+double Histogram::sum() const {
+  std::uint64_t us = 0;
+  for (const auto& s : shards_) us += s.sum_us.load(std::memory_order_relaxed);
+  return static_cast<double>(us) * 1e-6;
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s.counts[i].load(std::memory_order_relaxed);
+  return n;
+}
+
+double Histogram::bucket_upper_seconds(std::size_t i) {
+  if (i + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(1ull << i) * 1e-6;  // bucket i upper bound: 2^i us
+}
+
+double Histogram::percentile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(std::clamp(q, 0.0, 100.0) / 100.0 * static_cast<double>(n)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = bucket(i);
+    if (seen + c >= std::max<std::uint64_t>(rank, 1)) {
+      // Interpolate within the bucket [lower, upper).
+      const double lower = i == 0 ? 0.0 : bucket_upper_seconds(i - 1);
+      const double upper = i + 1 >= kBuckets ? lower * 2.0 : bucket_upper_seconds(i);
+      const double frac =
+          c ? (static_cast<double>(rank - seen)) / static_cast<double>(c) : 1.0;
+      return lower + (upper - lower) * frac;
+    }
+    seen += c;
+  }
+  return bucket_upper_seconds(kBuckets - 2);
+}
+
+void Histogram::reset() {
+  for (auto& s : shards_) {
+    for (auto& c : s.counts) c.store(0, std::memory_order_relaxed);
+    s.n.store(0, std::memory_order_relaxed);
+    s.sum_us.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ------------------------------------------------------------- reservoir
+
+ReservoirHistogram::ReservoirHistogram(std::size_t capacity) : capacity_(capacity) {
+  samples_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+void ReservoirHistogram::record(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++count_;
+  sum_ += value;
+  if (value > max_) max_ = value;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(value);
+    return;
+  }
+  // Reservoir: keep each of the `count_` samples with probability
+  // capacity/count. splitmix64 keeps this allocation-free and lock-local.
+  rng_state_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  const std::uint64_t slot = z % count_;
+  if (slot < samples_.size()) samples_[slot] = value;
+}
+
+namespace {
+double percentile_of_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+}  // namespace
+
+ReservoirSnapshot ReservoirHistogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ReservoirSnapshot s;
+  s.count = count_;
+  if (count_ == 0) return s;
+  s.mean = sum_ / static_cast<double>(count_);
+  s.max = max_;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  s.p50 = percentile_of_sorted(sorted, 50.0);
+  s.p95 = percentile_of_sorted(sorted, 95.0);
+  s.p99 = percentile_of_sorted(sorted, 99.0);
+  return s;
+}
+
+void ReservoirHistogram::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  count_ = 0;
+  sum_ = 0.0;
+  max_ = 0.0;
+  samples_.clear();
+}
+
+// -------------------------------------------------------------- registry
+
+Counter* MetricsRegistry::counter(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& e : entries_) {
+    if (e.name == name && e.kind == Kind::kCounter) return e.counter;
+  }
+  counters_.emplace_back();
+  entries_.push_back(Entry{name, help, Kind::kCounter, &counters_.back(), nullptr, nullptr});
+  return &counters_.back();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& e : entries_) {
+    if (e.name == name && e.kind == Kind::kGauge) return e.gauge;
+  }
+  gauges_.emplace_back();
+  entries_.push_back(Entry{name, help, Kind::kGauge, nullptr, &gauges_.back(), nullptr});
+  return &gauges_.back();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& e : entries_) {
+    if (e.name == name && e.kind == Kind::kHistogram) return e.histogram;
+  }
+  histograms_.emplace_back();
+  entries_.push_back(Entry{name, help, Kind::kHistogram, nullptr, nullptr, &histograms_.back()});
+  return &histograms_.back();
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& e : entries_) {
+    if (!e.help.empty()) out << "# HELP " << e.name << ' ' << e.help << '\n';
+    switch (e.kind) {
+      case Kind::kCounter:
+        out << "# TYPE " << e.name << " counter\n";
+        out << e.name << ' ' << e.counter->value() << '\n';
+        break;
+      case Kind::kGauge:
+        out << "# TYPE " << e.name << " gauge\n";
+        out << e.name << ' ' << util::format_double_exact(e.gauge->value()) << '\n';
+        break;
+      case Kind::kHistogram: {
+        out << "# TYPE " << e.name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+          cumulative += e.histogram->bucket(i);
+          const double upper = Histogram::bucket_upper_seconds(i);
+          out << e.name << "_bucket{le=\"";
+          if (std::isinf(upper)) {
+            out << "+Inf";
+          } else {
+            out << util::format_double_exact(upper);
+          }
+          out << "\"} " << cumulative << '\n';
+        }
+        out << e.name << "_count " << e.histogram->count() << '\n';
+        out << e.name << "_sum " << util::format_double_exact(e.histogram->sum()) << '\n';
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+void MetricsRegistry::reset_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& c : counters_) c.reset();
+  for (auto& g : gauges_) g.set(0.0);
+  for (auto& h : histograms_) h.reset();
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+MetricsRegistry& registry() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+}  // namespace mirage::obs

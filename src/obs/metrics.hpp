@@ -1,0 +1,191 @@
+// Unified observability: process-wide metrics registry (ISSUE 6 tentpole).
+//
+// Three instrument kinds, all allocation-free and lock-free on the update
+// path so instrumented hot loops (the simulator's zero-steady-state-alloc
+// contract, the serve tick) keep their guarantees with metrics ON:
+//
+//   Counter    monotonically increasing u64; updates are relaxed atomic
+//              adds into one of kShards cache-line-separated slots picked
+//              by a per-thread id, so concurrent writers do not bounce one
+//              line. value() sums the shards.
+//   Gauge      last-written double (free nodes, queue depth, sessions).
+//   Histogram  fixed exponential buckets (power-of-2 in microseconds up to
+//              ~1 hour) plus sharded count/sum; bucket index is computed
+//              from the exponent bits, so record() is a handful of integer
+//              ops and two relaxed adds. percentile() interpolates within
+//              the bucket — coarse but monotone, good enough for per-phase
+//              profiling. For exact tail percentiles (serve latency) use
+//              ReservoirHistogram below.
+//   ReservoirHistogram
+//              bounded reservoir with exact percentiles over the retained
+//              sample (mutex-guarded; the migration target for
+//              serve::LatencyRecorder). Not allocation-free past warmup of
+//              its reservoir, but O(1) memory forever.
+//
+// Registration (registry().counter("name") etc.) allocates and takes a
+// mutex — do it once at startup or via a function-local static, never per
+// update. Handles are stable for the registry's lifetime (deque storage).
+//
+// Instrumentation is runtime-toggleable: obs::set_enabled(false) turns
+// every OBS_SPAN and trace hook into a relaxed load + branch. Metrics
+// never feed back into simulation results — the registry is write-only
+// from the domain's point of view, which is what keeps parallel==serial
+// sweep results bitwise identical with metrics on or off.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mirage::obs {
+
+/// Global instrumentation switch (spans + trace hooks). Metrics handles
+/// stay usable either way; the flag gates the hooks sprinkled through hot
+/// paths. Relaxed: toggling mid-flight is best-effort by design.
+bool enabled();
+void set_enabled(bool on);
+
+namespace detail {
+inline constexpr std::size_t kShards = 16;
+/// Dense per-thread slot in [0, kShards) — stable for the thread's life.
+std::size_t thread_shard();
+
+struct alignas(64) PaddedCount {
+  std::atomic<std::uint64_t> v{0};
+};
+}  // namespace detail
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    shards_[detail::thread_shard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const auto& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+  void reset() {
+    for (auto& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  detail::PaddedCount shards_[detail::kShards];
+};
+
+class Gauge {
+ public:
+  void set(double v) { bits_.store(to_bits(v), std::memory_order_relaxed); }
+  double value() const { return from_bits(bits_.load(std::memory_order_relaxed)); }
+
+ private:
+  static std::uint64_t to_bits(double v);
+  static double from_bits(std::uint64_t b);
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed exponential buckets over seconds: bucket i holds samples in
+/// [2^(i-1), 2^i) microseconds; bucket 0 is < 1us, the last is overflow
+/// (>= ~1.2 hours). 33 buckets cover the whole range with one clz.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 33;
+
+  void record(double seconds);
+  std::uint64_t count() const;
+  double sum() const;
+  double mean() const {
+    const auto n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
+  }
+  std::uint64_t bucket(std::size_t i) const;
+  /// Upper bound of bucket i in seconds (+inf for the overflow bucket).
+  static double bucket_upper_seconds(std::size_t i);
+  /// Monotone bucket-interpolated percentile estimate, q in [0,100].
+  double percentile(double q) const;
+  void reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> counts[kBuckets] = {};
+    std::atomic<std::uint64_t> n{0};
+    std::atomic<std::uint64_t> sum_us{0};
+  };
+  Shard shards_[detail::kShards];
+};
+
+struct ReservoirSnapshot {
+  std::size_t count = 0;  ///< total recorded (not just retained) samples
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Thread-safe accumulator with reservoir sampling past `capacity`: exact
+/// percentiles over a uniformly drawn retained sample, O(1) memory for
+/// unbounded streams. This is the engine behind serve::LatencyRecorder.
+class ReservoirHistogram {
+ public:
+  explicit ReservoirHistogram(std::size_t capacity = 1 << 16);
+
+  void record(double value);
+  ReservoirSnapshot snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;  ///< reservoir replacement
+  std::vector<double> samples_;
+};
+
+/// Named metric directory. register-once / update-forever: handles are
+/// stable pointers into deque storage. Lookup by name takes the registry
+/// mutex — cache the handle (e.g. in a function-local static).
+class MetricsRegistry {
+ public:
+  Counter* counter(const std::string& name, const std::string& help = "");
+  Gauge* gauge(const std::string& name, const std::string& help = "");
+  Histogram* histogram(const std::string& name, const std::string& help = "");
+
+  /// Prometheus text exposition (counters, gauges, histogram buckets with
+  /// cumulative "le" semantics + _count/_sum). Deterministic order
+  /// (registration order).
+  std::string to_prometheus() const;
+
+  /// Reset every instrument to zero (tests and bench phases).
+  void reset_all();
+
+  std::size_t size() const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+  };
+
+  mutable std::mutex mutex_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::vector<Entry> entries_;
+};
+
+/// Process-wide registry (sim passes, serve ticks, lab jobs all land here).
+MetricsRegistry& registry();
+
+}  // namespace mirage::obs

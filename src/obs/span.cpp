@@ -1,0 +1,28 @@
+#include "obs/span.hpp"
+
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "util/time_utils.hpp"
+
+namespace mirage::obs {
+
+double span_clock_seconds() { return util::wall_seconds(); }
+
+SpanSite* span_site(const char* name) {
+  // Sites are few (one per instrumented phase) and resolved once per call
+  // site; a linear scan under a mutex is plenty and keeps handles stable.
+  static std::mutex mutex;
+  static std::deque<SpanSite> sites;
+  std::lock_guard<std::mutex> lock(mutex);
+  for (auto& site : sites) {
+    if (std::string(site.name) == name) return &site;
+  }
+  sites.push_back(SpanSite{
+      name, registry().histogram(std::string("obs_span_seconds_") + name,
+                                 "wall-clock seconds per pass of this profiling scope")});
+  return &sites.back();
+}
+
+}  // namespace mirage::obs

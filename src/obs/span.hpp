@@ -1,0 +1,94 @@
+// Profiling scopes (ISSUE 6 tentpole): OBS_SPAN("phase") times the
+// enclosing scope on the wall clock and aggregates the duration into a
+// per-phase obs::Histogram ("obs_span_seconds_<phase>") in the global
+// registry, plus a kSpan slice in the wall-clock profiling ring.
+//
+// Cost model: the phase handle is resolved once per call site (function-
+// local static — the only allocation, at first hit). Each pass through an
+// *enabled* scope is two clock_gettime calls plus two relaxed atomic adds;
+// a *disabled* scope (obs::set_enabled(false)) is one relaxed load and a
+// branch.
+//
+// Scopes on µs-scale hot paths (the simulator's scheduling pass) use
+// OBS_SPAN_SAMPLED(phase, shift): a per-call-site thread_local tick times
+// only every 2^shift-th entry, so a skipped pass costs one increment and a
+// branch. Sampled histograms stay statistically representative of the
+// latency distribution but their counts are hits/2^shift — coarse phases
+// (cells, lab jobs) use plain OBS_SPAN, which records every entry. This
+// split is what keeps the scheduling pass inside the <3% tracing-overhead
+// budget bench_scenario_sweep enforces without starving rare phases.
+//
+// Wall-clock only: spans never touch sim-domain time, so enabling them
+// cannot perturb simulation results (the bitwise on==off sweep contract).
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mirage::obs {
+
+/// Immutable per-call-site handle: the phase name (static string) and its
+/// registry histogram. Resolve once via span_site(), reuse forever.
+struct SpanSite {
+  const char* name;
+  Histogram* histogram;
+};
+
+/// Register (or look up) the histogram for a phase. `name` must be a
+/// string literal / static string — the handle and trace events keep the
+/// pointer.
+SpanSite* span_site(const char* name);
+
+double span_clock_seconds();
+
+class Span {
+ public:
+  explicit Span(const SpanSite* site, bool sampled = true)
+      : site_(site), t0_(sampled && enabled() ? span_clock_seconds() : -1.0) {}
+  ~Span() {
+    if (t0_ < 0.0) return;
+    const double dt = span_clock_seconds() - t0_;
+    site_->histogram->record(dt);
+    TraceEvent ev;
+    ev.kind = TraceEventKind::kSpan;
+    ev.name = site_->name;
+    ev.ts = static_cast<std::int64_t>(t0_ * 1e6);
+    ev.dur = static_cast<std::int64_t>(dt * 1e6);
+    ev.tid = static_cast<std::uint32_t>(detail::thread_shard());
+    global_trace().record(ev);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const SpanSite* site_;
+  double t0_;
+};
+
+}  // namespace mirage::obs
+
+#define MIRAGE_OBS_CONCAT_(a, b) a##b
+#define MIRAGE_OBS_CONCAT(a, b) MIRAGE_OBS_CONCAT_(a, b)
+
+/// Time the enclosing scope under `phase` (a string literal). Every entry
+/// is recorded — use on coarse phases (cells, batches, train/eval jobs).
+#define OBS_SPAN(phase)                                                           \
+  static ::mirage::obs::SpanSite* MIRAGE_OBS_CONCAT(obs_span_site_, __LINE__) =   \
+      ::mirage::obs::span_site(phase);                                            \
+  ::mirage::obs::Span MIRAGE_OBS_CONCAT(obs_span_, __LINE__)(                     \
+      MIRAGE_OBS_CONCAT(obs_span_site_, __LINE__))
+
+/// Time every 2^shift-th entry of the enclosing scope (per thread). For
+/// µs-scale hot paths where timing every pass would blow the overhead
+/// budget; the histogram's count is hits/2^shift.
+#define OBS_SPAN_SAMPLED(phase, shift)                                            \
+  static ::mirage::obs::SpanSite* MIRAGE_OBS_CONCAT(obs_span_site_, __LINE__) =   \
+      ::mirage::obs::span_site(phase);                                            \
+  thread_local std::uint32_t MIRAGE_OBS_CONCAT(obs_span_tick_, __LINE__) = 0;     \
+  ::mirage::obs::Span MIRAGE_OBS_CONCAT(obs_span_, __LINE__)(                     \
+      MIRAGE_OBS_CONCAT(obs_span_site_, __LINE__),                                \
+      (MIRAGE_OBS_CONCAT(obs_span_tick_, __LINE__)++ &                            \
+       ((1u << (shift)) - 1u)) == 0u)

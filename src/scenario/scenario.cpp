@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/reference_simulator.hpp"
 #include "sim/simulator.hpp"
 #include "trace/generator.hpp"
@@ -512,14 +514,26 @@ trace::Trace build_workload(const ScenarioSpec& spec) {
 namespace {
 
 ScenarioResult assemble_result(const ScenarioSpec& spec, const trace::Trace& schedule,
-                               std::int32_t nominal_nodes, std::size_t killed,
-                               std::size_t preempted, std::uint64_t passes) {
+                               const trace::ClusterPreset& preset, std::size_t killed,
+                               std::size_t preempted, std::uint64_t passes,
+                               const std::vector<std::size_t>& killed_by_partition,
+                               const std::vector<std::size_t>& preempted_by_partition) {
+  const std::int32_t nominal_nodes = preset.node_count;
   ScenarioResult r;
   r.name = spec.name;
   r.total_nodes = nominal_nodes;
   r.jobs = schedule.size();
   r.killed_jobs = killed;
   r.preempted_jobs = preempted;
+  const auto layout = preset.partitions_or_default();
+  r.partition_counts.reserve(layout.size());
+  for (std::size_t p = 0; p < layout.size(); ++p) {
+    PartitionCounts pc;
+    pc.partition = layout[p].name;
+    pc.killed = p < killed_by_partition.size() ? killed_by_partition[p] : 0;
+    pc.preempted = p < preempted_by_partition.size() ? preempted_by_partition[p] : 0;
+    r.partition_counts.push_back(std::move(pc));
+  }
   r.scheduler_passes = passes;
   std::uint64_t h = util::kFnv1a64Basis;
   for (const auto& j : schedule) {
@@ -538,7 +552,7 @@ ScenarioResult assemble_result(const ScenarioSpec& spec, const trace::Trace& sch
 bool ScenarioResult::operator==(const ScenarioResult& o) const {
   return name == o.name && total_nodes == o.total_nodes && jobs == o.jobs &&
          unscheduled == o.unscheduled && killed_jobs == o.killed_jobs &&
-         preempted_jobs == o.preempted_jobs &&
+         preempted_jobs == o.preempted_jobs && partition_counts == o.partition_counts &&
          scheduler_passes == o.scheduler_passes && schedule_hash == o.schedule_hash &&
          metrics.mean_wait_hours == o.metrics.mean_wait_hours &&
          metrics.p95_wait_hours == o.metrics.p95_wait_hours &&
@@ -546,15 +560,49 @@ bool ScenarioResult::operator==(const ScenarioResult& o) const {
          metrics.makespan_hours == o.metrics.makespan_hours && load == o.load;
 }
 
-ScenarioResult run_scenario(const ScenarioSpec& spec) {
+std::string ScenarioResult::partition_counts_text() const {
+  std::string out;
+  for (const auto& pc : partition_counts) {
+    if (!out.empty()) out += ';';
+    out += pc.partition;
+    out += ':';
+    out += std::to_string(pc.killed);
+    out += ':';
+    out += std::to_string(pc.preempted);
+  }
+  return out;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) { return run_scenario(spec, nullptr); }
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, obs::TraceRing* trace) {
+  OBS_SPAN("scenario_cell");
   const auto preset = spec.resolved_preset();
   auto workload = build_workload(spec);
   sim::Simulator sim(to_cluster_model(preset), spec.scheduler);
+  sim.set_trace(trace);
   sim.load_workload(std::move(workload));  // cells own their workloads; skip the copy
   for (const auto& ev : capacity_events(spec)) sim.schedule_cluster_event(ev);
   sim.run_to_completion();
-  return assemble_result(spec, sim.export_schedule(), preset.node_count, sim.killed_jobs(),
-                         sim.preempted_jobs(), sim.scheduler_passes());
+  auto result = assemble_result(spec, sim.export_schedule(), preset, sim.killed_jobs(),
+                                sim.preempted_jobs(), sim.scheduler_passes(),
+                                sim.killed_by_partition(), sim.preempted_by_partition());
+  if (obs::enabled()) {
+    auto& reg = obs::registry();
+    static obs::Counter* cells =
+        reg.counter("mirage_scenario_cells_total", "scenario cells completed");
+    static obs::Counter* jobs =
+        reg.counter("mirage_scenario_jobs_total", "jobs scheduled across scenario cells");
+    static obs::Counter* killed =
+        reg.counter("mirage_scenario_killed_total", "jobs killed by outage events");
+    static obs::Counter* preempted =
+        reg.counter("mirage_scenario_preempted_total", "jobs preempted by capacity events");
+    cells->add(1);
+    jobs->add(result.jobs);
+    killed->add(result.killed_jobs);
+    preempted->add(result.preempted_jobs);
+  }
+  return result;
 }
 
 ScenarioResult run_scenario_reference(const ScenarioSpec& spec) {
@@ -563,10 +611,13 @@ ScenarioResult run_scenario_reference(const ScenarioSpec& spec) {
   std::uint64_t passes = 0;
   std::size_t killed = 0;
   std::size_t preempted = 0;
+  std::vector<std::size_t> killed_by;
+  std::vector<std::size_t> preempted_by;
   const auto schedule =
       reference_replay(workload, to_cluster_model(preset), capacity_events(spec),
-                       spec.scheduler, &passes, &killed, &preempted);
-  return assemble_result(spec, schedule, preset.node_count, killed, preempted, passes);
+                       spec.scheduler, &passes, &killed, &preempted, &killed_by, &preempted_by);
+  return assemble_result(spec, schedule, preset, killed, preempted, passes, killed_by,
+                         preempted_by);
 }
 
 core::PipelineConfig to_pipeline_config(const ScenarioSpec& spec, std::int32_t job_nodes) {

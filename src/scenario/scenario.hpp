@@ -21,6 +21,7 @@
 
 #include "core/evaluator.hpp"
 #include "core/pipeline.hpp"
+#include "obs/trace.hpp"
 #include "sim/cluster.hpp"
 #include "sim/cluster_event.hpp"
 #include "sim/metrics.hpp"
@@ -153,6 +154,20 @@ std::optional<ScenarioSpec> load_scenario_file(const std::string& path,
 /// Write spec.to_text() to a file; false when the file cannot be written.
 bool save_scenario_file(const ScenarioSpec& spec, const std::string& path);
 
+/// Per-partition victim counts of one cell (indexed in partition layout
+/// order). Sums over partitions equal ScenarioResult::killed_jobs /
+/// preempted_jobs by construction — the split comes straight from
+/// sim::EventKernel, which drains one partition at a time.
+struct PartitionCounts {
+  std::string partition;
+  std::size_t killed = 0;
+  std::size_t preempted = 0;
+
+  bool operator==(const PartitionCounts& o) const {
+    return partition == o.partition && killed == o.killed && preempted == o.preempted;
+  }
+};
+
 /// Aggregated outcome of one scenario cell.
 struct ScenarioResult {
   std::string name;
@@ -161,10 +176,16 @@ struct ScenarioResult {
   std::size_t unscheduled = 0;         ///< jobs never started (capacity lost)
   std::size_t killed_jobs = 0;         ///< killed by outage events
   std::size_t preempted_jobs = 0;      ///< checkpointed/requeued by preempt events
+  /// Per-partition split of killed/preempted (partition layout order).
+  std::vector<PartitionCounts> partition_counts;
   std::uint64_t scheduler_passes = 0;
   sim::ScheduleMetrics metrics;        ///< waits, utilization, makespan
   core::LoadClass load = core::LoadClass::kLight;  ///< paper §6 class of the mean wait
   std::uint64_t schedule_hash = 0;     ///< FNV-1a over (start, end) pairs
+
+  /// "name:killed:preempted" per partition, ';'-joined — the encoding used
+  /// in sweep/leaderboard CSV columns and artifact manifests.
+  std::string partition_counts_text() const;
 
   bool operator==(const ScenarioResult& o) const;
 };
@@ -184,6 +205,13 @@ sim::ClusterModel to_cluster_model(const trace::ClusterPreset& preset);
 
 /// Run one cell through the fast simulator (pure function of the spec).
 ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+/// As above, recording sim-time trace events (job runs/kills/preemptions/
+/// requeues, cluster events) into `trace` when non-null. The ring is a
+/// write-only side channel: the returned result is bitwise identical to
+/// run_scenario(spec) whether or not a ring is attached — the contract the
+/// tracing-on == tracing-off sweep determinism test pins.
+ScenarioResult run_scenario(const ScenarioSpec& spec, obs::TraceRing* trace);
 
 /// Run one cell through the reference (conservative backfill) simulator —
 /// the fidelity cross-check for event-bearing scenarios.

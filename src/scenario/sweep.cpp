@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -97,20 +98,81 @@ void finalize_report(SweepReport& report) {
   report.mean_utilization /= n;
 }
 
-SweepReport SweepRunner::run(const std::vector<ScenarioSpec>& specs) const {
+void SweepTrace::prepare(const std::vector<ScenarioSpec>& specs, std::size_t ring_capacity) {
+  rings_.clear();
+  labels_.clear();
+  rings_.reserve(specs.size());
+  labels_.reserve(specs.size());
+  for (const auto& spec : specs) {
+    rings_.push_back(std::make_unique<obs::TraceRing>(ring_capacity));
+    labels_.push_back(spec.name);
+  }
+}
+
+std::vector<obs::TraceTrack> SweepTrace::tracks() const {
+  std::vector<obs::TraceTrack> out;
+  out.reserve(rings_.size());
+  for (std::size_t i = 0; i < rings_.size(); ++i) {
+    out.push_back(obs::TraceTrack{labels_[i], static_cast<std::uint32_t>(i), rings_[i].get()});
+  }
+  return out;
+}
+
+std::uint64_t SweepTrace::total_events() const {
+  std::uint64_t n = 0;
+  for (const auto& ring : rings_) n += ring->recorded();
+  return n;
+}
+
+namespace {
+
+/// Run one cell, bracketed by deterministic sim-time lifecycle events in
+/// its ring: kCellStart at t=0 and a kCellFinish slice spanning the cell's
+/// makespan (arg0 = cell index, arg1 = jobs).
+ScenarioResult run_traced_cell(const ScenarioSpec& spec, std::size_t index,
+                               obs::TraceRing* ring) {
+  if (ring == nullptr || !obs::enabled()) return run_scenario(spec);
+  {
+    obs::TraceEvent ev;
+    ev.kind = obs::TraceEventKind::kCellStart;
+    ev.name = "cell_start";
+    ev.arg0 = static_cast<std::int64_t>(index);
+    ring->record(ev);
+  }
+  ScenarioResult result = run_scenario(spec, ring);
+  {
+    obs::TraceEvent ev;
+    ev.kind = obs::TraceEventKind::kCellFinish;
+    ev.name = "cell";
+    ev.dur = static_cast<std::int64_t>(result.metrics.makespan_hours * 3600.0);
+    ev.arg0 = static_cast<std::int64_t>(index);
+    ev.arg1 = static_cast<std::int64_t>(result.jobs);
+    ring->record(ev);
+  }
+  return result;
+}
+
+}  // namespace
+
+SweepReport SweepRunner::run(const std::vector<ScenarioSpec>& specs, SweepTrace* trace) const {
+  if (trace != nullptr && trace->cell_count() != specs.size()) trace->prepare(specs);
   SweepReport report;
   report.cells.resize(specs.size());
   util::ThreadPool pool(threads_);
-  pool.parallel_for(specs.size(),
-                    [&](std::size_t i) { report.cells[i] = run_scenario(specs[i]); });
+  pool.parallel_for(specs.size(), [&](std::size_t i) {
+    report.cells[i] = run_traced_cell(specs[i], i, trace ? trace->ring(i) : nullptr);
+  });
   finalize_report(report);
   return report;
 }
 
-SweepReport SweepRunner::run_serial(const std::vector<ScenarioSpec>& specs) {
+SweepReport SweepRunner::run_serial(const std::vector<ScenarioSpec>& specs, SweepTrace* trace) {
+  if (trace != nullptr && trace->cell_count() != specs.size()) trace->prepare(specs);
   SweepReport report;
   report.cells.reserve(specs.size());
-  for (const auto& spec : specs) report.cells.push_back(run_scenario(spec));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    report.cells.push_back(run_traced_cell(specs[i], i, trace ? trace->ring(i) : nullptr));
+  }
   finalize_report(report);
   return report;
 }
@@ -118,9 +180,9 @@ SweepReport SweepRunner::run_serial(const std::vector<ScenarioSpec>& specs) {
 std::string SweepReport::to_csv() const {
   std::ostringstream out;
   util::CsvWriter writer(out);
-  writer.write_row({"scenario", "nodes", "jobs", "unscheduled", "killed", "preempted", "load",
-                    "mean_wait_h", "p95_wait_h", "utilization", "makespan_h", "passes",
-                    "schedule_hash"});
+  writer.write_row({"scenario", "nodes", "jobs", "unscheduled", "killed", "preempted",
+                    "partition_counts", "load", "mean_wait_h", "p95_wait_h", "utilization",
+                    "makespan_h", "passes", "schedule_hash"});
   char num[48];
   for (const auto& c : cells) {
     std::vector<std::string> row;
@@ -130,6 +192,7 @@ std::string SweepReport::to_csv() const {
     row.push_back(std::to_string(c.unscheduled));
     row.push_back(std::to_string(c.killed_jobs));
     row.push_back(std::to_string(c.preempted_jobs));
+    row.push_back(c.partition_counts_text());
     row.push_back(core::load_class_name(c.load));
     std::snprintf(num, sizeof(num), "%.6f", c.metrics.mean_wait_hours);
     row.push_back(num);

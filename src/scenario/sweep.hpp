@@ -8,9 +8,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "scenario/scenario.hpp"
 
 namespace mirage::scenario {
@@ -68,17 +71,50 @@ struct SweepReport {
 /// Compute the aggregate fields of a report from its cells.
 void finalize_report(SweepReport& report);
 
+/// Per-cell sim-time trace capture for one sweep run. One fixed-capacity
+/// obs::TraceRing per cell, allocated up front (prepare), written by the
+/// cell's simulator during the run, and exported afterwards in expansion
+/// order (pid = cell index, tid = partition id). Because every ring holds
+/// only deterministic sim-time events and tracks are merged in expansion
+/// order, the exported bytes are identical whether the sweep ran serial
+/// or parallel — the contract the obs determinism test pins.
+class SweepTrace {
+ public:
+  /// Allocate one ring per cell (labels come from the specs). Re-entrant:
+  /// re-preparing resets the capture.
+  void prepare(const std::vector<ScenarioSpec>& specs, std::size_t ring_capacity = 1 << 16);
+
+  std::size_t cell_count() const { return rings_.size(); }
+  obs::TraceRing* ring(std::size_t i) { return rings_[i].get(); }
+  const obs::TraceRing* ring(std::size_t i) const { return rings_[i].get(); }
+
+  /// Export tracks in expansion order. The rings stay owned by this object.
+  std::vector<obs::TraceTrack> tracks() const;
+  std::string to_chrome_json() const { return obs::to_chrome_json(tracks()); }
+  std::string to_csv() const { return obs::to_trace_csv(tracks()); }
+
+  /// Total events recorded across all cells (incl. overwritten ones).
+  std::uint64_t total_events() const;
+
+ private:
+  std::vector<std::unique_ptr<obs::TraceRing>> rings_;
+  std::vector<std::string> labels_;
+};
+
 class SweepRunner {
  public:
   /// threads == 0 means hardware concurrency.
   explicit SweepRunner(std::size_t threads = 0) : threads_(threads) {}
 
   /// Run every cell on the thread pool; cells[i] of the report corresponds
-  /// to specs[i] regardless of completion order.
-  SweepReport run(const std::vector<ScenarioSpec>& specs) const;
+  /// to specs[i] regardless of completion order. When `trace` is non-null
+  /// each cell records sim-time events into its own ring (the trace is
+  /// prepared automatically if its cell count does not match).
+  SweepReport run(const std::vector<ScenarioSpec>& specs, SweepTrace* trace = nullptr) const;
 
   /// Single-threaded reference run (same per-cell computation).
-  static SweepReport run_serial(const std::vector<ScenarioSpec>& specs);
+  static SweepReport run_serial(const std::vector<ScenarioSpec>& specs,
+                                SweepTrace* trace = nullptr);
 
  private:
   std::size_t threads_;

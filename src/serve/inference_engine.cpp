@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/span.hpp"
 #include "util/thread_pool.hpp"
 #include "util/time_utils.hpp"
 
@@ -109,6 +110,15 @@ void BatchedInferenceEngine::run() {
 }
 
 void BatchedInferenceEngine::serve_batch(std::vector<Request>& batch) {
+  OBS_SPAN("serve_batch");
+  if (obs::enabled()) {
+    obs::TraceEvent ev;
+    ev.kind = obs::TraceEventKind::kBatchFormed;
+    ev.ts = static_cast<std::int64_t>(util::wall_seconds() * 1e6);
+    ev.arg0 = static_cast<std::int64_t>(batch.size());
+    ev.tid = static_cast<std::uint32_t>(obs::detail::thread_shard());
+    obs::global_trace().record(ev);
+  }
   ModelSnapshot model = resolver_ ? resolver_() : nullptr;
   std::vector<Decision> decisions;
   std::exception_ptr failure;

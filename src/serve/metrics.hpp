@@ -1,12 +1,15 @@
-// Serving-side latency/throughput metrics. Latencies are kept in a
-// bounded reservoir so a service that answers millions of requests keeps
-// O(1) memory while p50/p95/p99 stay representative of the full run.
+// Serving-side latency metrics, backed by the unified observability
+// layer: LatencyRecorder is a millisecond-unit view over
+// obs::ReservoirHistogram (bounded reservoir, exact p50/p95/p99 over the
+// retained sample, O(1) memory for unbounded request streams). The
+// snapshot shape predates src/obs/ and is kept for the serving API;
+// the accumulator itself lives in obs so serve, bench and tests share
+// one implementation.
 #pragma once
 
 #include <cstddef>
-#include <cstdint>
-#include <mutex>
-#include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace mirage::serve {
 
@@ -22,20 +25,26 @@ struct LatencySnapshot {
 /// Thread-safe latency accumulator with reservoir sampling past `capacity`.
 class LatencyRecorder {
  public:
-  explicit LatencyRecorder(std::size_t capacity = 1 << 16);
+  explicit LatencyRecorder(std::size_t capacity = 1 << 16) : reservoir_(capacity) {}
 
-  void record_seconds(double seconds);
-  LatencySnapshot snapshot() const;
-  void reset();
+  void record_seconds(double seconds) { reservoir_.record(seconds * 1e3); }
+
+  LatencySnapshot snapshot() const {
+    const obs::ReservoirSnapshot s = reservoir_.snapshot();
+    LatencySnapshot out;
+    out.count = s.count;
+    out.mean_ms = s.mean;
+    out.p50_ms = s.p50;
+    out.p95_ms = s.p95;
+    out.p99_ms = s.p99;
+    out.max_ms = s.max;
+    return out;
+  }
+
+  void reset() { reservoir_.reset(); }
 
  private:
-  mutable std::mutex mutex_;
-  std::size_t capacity_;
-  std::size_t count_ = 0;
-  double sum_ms_ = 0.0;
-  double max_ms_ = 0.0;
-  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;  ///< reservoir replacement
-  std::vector<double> samples_ms_;
+  obs::ReservoirHistogram reservoir_;  ///< samples in milliseconds
 };
 
 }  // namespace mirage::serve

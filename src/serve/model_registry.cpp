@@ -4,8 +4,11 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rl/replay_buffer.hpp"
 #include "rl/state_encoder.hpp"
+#include "util/time_utils.hpp"
 
 namespace mirage::serve {
 
@@ -159,6 +162,17 @@ ModelRegistry::LoadResult ModelRegistry::load_file(const std::string& path,
   }
   res.ok = true;
   res.version = version;
+  if (obs::enabled()) {
+    static obs::Counter* reloads = obs::registry().counter(
+        "mirage_serve_checkpoint_reloads_total", "model checkpoints loaded or hot-swapped");
+    reloads->add(1);
+    obs::TraceEvent ev;
+    ev.kind = obs::TraceEventKind::kCheckpointReload;
+    ev.ts = static_cast<std::int64_t>(util::wall_seconds() * 1e6);
+    ev.arg1 = static_cast<std::int64_t>(version);
+    ev.tid = static_cast<std::uint32_t>(obs::detail::thread_shard());
+    obs::global_trace().record(ev);
+  }
   return res;
 }
 

@@ -1,8 +1,10 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/time_utils.hpp"
 
 namespace mirage::serve {
@@ -110,6 +112,61 @@ ServiceReport ProvisioningService::report() const {
     }
   }
   return r;
+}
+
+std::string ProvisioningService::metrics_text() const {
+  const ServiceReport r = report();
+  std::string out;
+  out.reserve(1 << 12);
+  char line[160];
+  const auto emit = [&](const char* name, const char* help, const char* type, double value) {
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += help;
+    out += "\n# TYPE ";
+    out += name;
+    out += ' ';
+    out += type;
+    out += '\n';
+    std::snprintf(line, sizeof(line), "%s %.17g\n", name, value);
+    out += line;
+  };
+  emit("mirage_serve_open_sessions", "currently open sessions", "gauge",
+       static_cast<double>(r.open_sessions));
+  emit("mirage_serve_sessions_total", "sessions opened since start", "counter",
+       static_cast<double>(r.total_sessions));
+  emit("mirage_serve_decisions_total", "decisions served", "counter",
+       static_cast<double>(r.decisions));
+  emit("mirage_serve_submits_total", "decisions that said submit", "counter",
+       static_cast<double>(r.submits));
+  emit("mirage_serve_requests_total", "engine requests served", "counter",
+       static_cast<double>(r.engine.requests));
+  emit("mirage_serve_ticks_total", "engine batch ticks", "counter",
+       static_cast<double>(r.engine.ticks));
+  emit("mirage_serve_mean_batch", "mean batch size", "gauge", r.engine.mean_batch);
+  emit("mirage_serve_busy_seconds", "engine busy time", "counter", r.engine.busy_seconds);
+  emit("mirage_serve_uptime_seconds", "seconds since start()", "gauge", r.uptime_seconds);
+  // Latency as a Prometheus summary (exact reservoir quantiles, seconds).
+  out += "# HELP mirage_serve_latency_seconds request latency (reservoir quantiles)\n";
+  out += "# TYPE mirage_serve_latency_seconds summary\n";
+  const auto quantile = [&](const char* q, double ms) {
+    std::snprintf(line, sizeof(line), "mirage_serve_latency_seconds{quantile=\"%s\"} %.17g\n", q,
+                  ms * 1e-3);
+    out += line;
+  };
+  quantile("0.5", r.engine.latency.p50_ms);
+  quantile("0.95", r.engine.latency.p95_ms);
+  quantile("0.99", r.engine.latency.p99_ms);
+  std::snprintf(line, sizeof(line), "mirage_serve_latency_seconds_sum %.17g\n",
+                r.engine.latency.mean_ms * 1e-3 * static_cast<double>(r.engine.latency.count));
+  out += line;
+  std::snprintf(line, sizeof(line), "mirage_serve_latency_seconds_count %zu\n",
+                r.engine.latency.count);
+  out += line;
+  // Process-wide instruments (span histograms, scenario/serve counters).
+  out += obs::registry().to_prometheus();
+  return out;
 }
 
 }  // namespace mirage::serve

@@ -79,6 +79,12 @@ class ProvisioningService {
   std::size_t session_count() const;
   ServiceReport report() const;
 
+  /// Prometheus text exposition: service counters/gauges, engine batch and
+  /// latency stats (latency quantiles as a summary block), followed by the
+  /// process-wide obs registry dump (span histograms, scenario counters).
+  /// This is the scrape endpoint body for an HTTP layer above the service.
+  std::string metrics_text() const;
+
  private:
   struct Session {
     Session(std::size_t k, std::size_t partition_count) : encoder(k, partition_count) {}

@@ -38,8 +38,10 @@ std::int32_t EventKernel::take_down(PartitionId p, std::int32_t deficit, Host& h
     if (freed <= 0) break;  // nothing left running in this partition
     if (preempt) {
       ++preempted_;
+      ++preempted_by_partition_[static_cast<std::size_t>(p)];
     } else {
       ++killed_;
+      ++killed_by_partition_[static_cast<std::size_t>(p)];
     }
     const std::int32_t take = std::min(model_.free_nodes(p), deficit);
     model_.remove_capacity(p, take);

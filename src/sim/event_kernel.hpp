@@ -59,7 +59,9 @@ class EventKernel {
 
   explicit EventKernel(ClusterModel model)
       : model_(std::move(model)),
-        drain_debt_(static_cast<std::size_t>(model_.partition_count()), 0) {}
+        drain_debt_(static_cast<std::size_t>(model_.partition_count()), 0),
+        killed_by_partition_(static_cast<std::size_t>(model_.partition_count()), 0),
+        preempted_by_partition_(static_cast<std::size_t>(model_.partition_count()), 0) {}
 
   ClusterModel& cluster() { return model_; }
   const ClusterModel& cluster() const { return model_; }
@@ -85,6 +87,19 @@ class EventKernel {
   }
   std::size_t killed_jobs() const { return killed_; }
   std::size_t preempted_jobs() const { return preempted_; }
+  /// Per-partition victim counts (indexed by PartitionId). take_down knows
+  /// the partition it is draining, so the split is exact — the sums equal
+  /// killed_jobs()/preempted_jobs() by construction.
+  std::size_t killed_jobs(PartitionId p) const {
+    return killed_by_partition_[static_cast<std::size_t>(p)];
+  }
+  std::size_t preempted_jobs(PartitionId p) const {
+    return preempted_by_partition_[static_cast<std::size_t>(p)];
+  }
+  const std::vector<std::size_t>& killed_by_partition() const { return killed_by_partition_; }
+  const std::vector<std::size_t>& preempted_by_partition() const {
+    return preempted_by_partition_;
+  }
 
  private:
   /// Remove up to `deficit` nodes from partition p, killing or preempting
@@ -98,6 +113,8 @@ class EventKernel {
   std::vector<std::int32_t> drain_debt_;
   std::size_t killed_ = 0;
   std::size_t preempted_ = 0;
+  std::vector<std::size_t> killed_by_partition_;
+  std::vector<std::size_t> preempted_by_partition_;
 };
 
 }  // namespace mirage::sim

@@ -114,7 +114,8 @@ Trace reference_replay(const Trace& workload, ClusterModel cluster, SchedulerCon
 Trace reference_replay(const Trace& workload, ClusterModel cluster,
                        const std::vector<ClusterEvent>& events, SchedulerConfig config,
                        std::uint64_t* scheduler_passes, std::size_t* killed_jobs,
-                       std::size_t* preempted_jobs) {
+                       std::size_t* preempted_jobs, std::vector<std::size_t>* killed_by_partition,
+                       std::vector<std::size_t>* preempted_by_partition) {
   EventKernel kernel(std::move(cluster));
   const auto& model = kernel.cluster();
   const std::int32_t nparts = model.partition_count();
@@ -251,6 +252,8 @@ Trace reference_replay(const Trace& workload, ClusterModel cluster,
   if (scheduler_passes) *scheduler_passes = passes;
   if (killed_jobs) *killed_jobs = kernel.killed_jobs();
   if (preempted_jobs) *preempted_jobs = kernel.preempted_jobs();
+  if (killed_by_partition) *killed_by_partition = kernel.killed_by_partition();
+  if (preempted_by_partition) *preempted_by_partition = kernel.preempted_by_partition();
 
   Trace out;
   out.reserve(jobs.size());

@@ -34,11 +34,15 @@ trace::Trace reference_replay(const trace::Trace& workload, ClusterModel cluster
 
 /// As above, with timed cluster capacity events (EventKernel semantics,
 /// identical to Simulator::schedule_cluster_event). `killed_jobs` /
-/// `preempted_jobs` (optional outs) count event victims.
+/// `preempted_jobs` (optional outs) count event victims;
+/// `killed_by_partition` / `preempted_by_partition` (optional outs) are
+/// assigned the per-partition split, indexed by PartitionId.
 trace::Trace reference_replay(const trace::Trace& workload, ClusterModel cluster,
                               const std::vector<ClusterEvent>& events, SchedulerConfig config = {},
                               std::uint64_t* scheduler_passes = nullptr,
                               std::size_t* killed_jobs = nullptr,
-                              std::size_t* preempted_jobs = nullptr);
+                              std::size_t* preempted_jobs = nullptr,
+                              std::vector<std::size_t>* killed_by_partition = nullptr,
+                              std::vector<std::size_t>* preempted_by_partition = nullptr);
 
 }  // namespace mirage::sim

@@ -6,6 +6,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace mirage::sim {
 
 Simulator::Simulator(ClusterModel cluster, SchedulerConfig config)
@@ -172,7 +175,20 @@ void Simulator::process_event(const Event& e) {
   // For kCluster events e.job indexes cluster_events_, not jobs_ — do not
   // form a job reference before dispatching.
   if (e.type == EventType::kCluster) {
-    kernel_.apply(cluster_events_[static_cast<std::size_t>(e.job)], *this);
+    const ClusterEvent& cev = cluster_events_[static_cast<std::size_t>(e.job)];
+    if (trace_ != nullptr && obs::enabled()) {
+      obs::TraceEvent ev;
+      ev.kind = obs::TraceEventKind::kClusterEvent;
+      ev.name = cluster_event_name(cev.type);
+      ev.ts = now_;
+      ev.arg0 = static_cast<std::int64_t>(cev.type);
+      ev.arg1 = cev.nodes;
+      const PartitionId p =
+          cev.partition.empty() ? kAnyPartition : kernel_.cluster().index_of(cev.partition);
+      ev.tid = p == kAnyPartition ? 0 : static_cast<std::uint32_t>(p);
+      trace_->record(ev);
+    }
+    kernel_.apply(cev, *this);
     // Capacity edits surface through the cluster's capacity_epoch (checked
     // per partition at the next pass); kills/preemptions mark their
     // partitions stale in the host callbacks below.
@@ -198,6 +214,7 @@ void Simulator::process_event(const Event& e) {
       j.status = JobStatus::kCompleted;
       j.end = now_;
       j.record.end_time = now_;
+      trace_job_event(obs::TraceEventKind::kJobRun, j, e.job);
       const PartitionId p = j.placed;
       kernel_.cluster().release(p, j.record.num_nodes);
       if (config_.backfill && !profile_stale_[static_cast<std::size_t>(p)]) {
@@ -215,12 +232,32 @@ void Simulator::process_event(const Event& e) {
       if (j.status != JobStatus::kPreempted) return;
       j.status = JobStatus::kPending;
       pending_.push_back(e.job);
+      trace_job_event(obs::TraceEventKind::kJobRequeue, j, e.job);
       mark_candidate(j.constraint);
       needs_schedule_ = true;
       break;
     case EventType::kCluster:
       break;  // handled above
   }
+}
+
+void Simulator::trace_job_event(obs::TraceEventKind kind, const SimJob& j, JobId id) const {
+  if (trace_ == nullptr || !obs::enabled()) return;
+  obs::TraceEvent ev;
+  ev.kind = kind;
+  ev.arg0 = id;
+  ev.arg1 = j.record.num_nodes;
+  ev.tid = static_cast<std::uint32_t>(j.placed);
+  if (kind == obs::TraceEventKind::kJobRun) {
+    // Complete slice for one (possibly truncated) run of the job. Callers
+    // record it before start is reset, so [start, now] is always valid.
+    ev.name = "job_run";
+    ev.ts = j.start;
+    ev.dur = now_ - j.start;
+  } else {
+    ev.ts = now_;
+  }
+  trace_->record(ev);
 }
 
 JobId Simulator::pick_victim(PartitionId p) const {
@@ -246,6 +283,8 @@ std::int32_t Simulator::kill_one(PartitionId p) {
   j.status = JobStatus::kKilled;
   j.end = now_;
   j.record.end_time = now_;
+  trace_job_event(obs::TraceEventKind::kJobRun, j, id);  // the truncated run
+  trace_job_event(obs::TraceEventKind::kJobKill, j, id);
   kernel_.cluster().release(j.placed, j.record.num_nodes);
   running_.erase(std::find(running_.begin(), running_.end(), id));
   profile_stale_[static_cast<std::size_t>(p)] = 1;
@@ -257,6 +296,8 @@ std::int32_t Simulator::preempt_one(PartitionId p, SimTime requeue_delay) {
   const JobId id = pick_victim(p);
   if (id < 0) return 0;
   auto& j = jobs_[static_cast<std::size_t>(id)];
+  trace_job_event(obs::TraceEventKind::kJobRun, j, id);  // run up to the checkpoint
+  trace_job_event(obs::TraceEventKind::kJobPreempt, j, id);
   // Checkpoint: the remaining runtime survives; the limit is unchanged
   // (Slurm requeue semantics). start/end are reassigned on restart.
   j.record.actual_runtime = std::max<SimTime>(0, j.duration() - (now_ - j.start));
@@ -416,6 +457,9 @@ void Simulator::schedule_pass_no_backfill() {
 }
 
 void Simulator::schedule_pass() {
+  // Sampled: a pass runs in ~1 µs, so timing every one costs ~10% of the
+  // pass itself; 1-in-16 keeps the histogram representative at <1% cost.
+  OBS_SPAN_SAMPLED("sim_schedule_pass", 4);
   needs_schedule_ = false;
   ++scheduler_passes_;
   if (pending_.empty()) return;

@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/availability_profile.hpp"
 #include "sim/cluster.hpp"
 #include "sim/cluster_event.hpp"
@@ -149,6 +150,23 @@ class Simulator : private EventKernel::Host {
   std::size_t killed_jobs() const { return kernel_.killed_jobs(); }
   /// Jobs checkpointed/requeued by kPreempt events so far.
   std::size_t preempted_jobs() const { return kernel_.preempted_jobs(); }
+  /// Per-partition victim counts (sums equal the totals by construction).
+  std::size_t killed_jobs(PartitionId p) const { return kernel_.killed_jobs(p); }
+  std::size_t preempted_jobs(PartitionId p) const { return kernel_.preempted_jobs(p); }
+  const std::vector<std::size_t>& killed_by_partition() const {
+    return kernel_.killed_by_partition();
+  }
+  const std::vector<std::size_t>& preempted_by_partition() const {
+    return kernel_.preempted_by_partition();
+  }
+
+  /// Attach a sim-time trace ring (obs/trace.hpp). Job lifecycle and
+  /// cluster events are recorded with deterministic simulated-seconds
+  /// timestamps; the ring is a write-only side channel, so attaching one
+  /// cannot change scheduling results. Pass nullptr to detach. The ring
+  /// must outlive the simulator (or the next set_trace call).
+  void set_trace(obs::TraceRing* ring) { trace_ = ring; }
+  obs::TraceRing* trace() const { return trace_; }
   /// Drain debt: nodes that will be withheld as running jobs release them.
   std::int32_t drain_pending() const { return kernel_.drain_pending(); }
   std::int32_t drain_pending(PartitionId p) const { return kernel_.drain_pending(p); }
@@ -225,8 +243,13 @@ class Simulator : private EventKernel::Host {
   void sync_profile(PartitionId p);
   void rebuild_profile_into(AvailabilityProfile& out, PartitionId p) const;
 
+  /// Record a sim-time trace event into the attached ring (no-op when
+  /// detached or obs is globally disabled).
+  void trace_job_event(obs::TraceEventKind kind, const SimJob& j, JobId id) const;
+
   EventKernel kernel_;
   SchedulerConfig config_;
+  obs::TraceRing* trace_ = nullptr;
   SimTime now_ = 0;
   std::uint64_t event_seq_ = 0;
   std::uint64_t scheduler_passes_ = 0;

@@ -1,0 +1,325 @@
+// Observability layer: metrics registry concurrency, trace-ring semantics,
+// Chrome trace-event export + validation, profiling spans, and the
+// tracing-cannot-perturb-results contract on the sweep harness.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/sweep.hpp"
+#include "util/time_utils.hpp"
+
+namespace mirage::obs {
+namespace {
+
+/// Tests toggle the global instrumentation switch; restore it so suites
+/// sharing the process (and the default-on contract) are unaffected.
+class ObsEnabledGuard {
+ public:
+  ObsEnabledGuard() : was_(enabled()) {}
+  ~ObsEnabledGuard() { set_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+// ----------------------------------------------------------- instruments
+
+TEST(Metrics, CounterConcurrentAddsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, GaugeStoresArbitraryDoubles) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(42.5);
+  EXPECT_EQ(g.value(), 42.5);
+  g.set(-1e-9);
+  EXPECT_EQ(g.value(), -1e-9);
+}
+
+TEST(Metrics, HistogramCountsSumsAndBucketsSamples) {
+  Histogram h;
+  // 1 ms x 100 and 1 s x 100: counts split across two distinct buckets.
+  for (int i = 0; i < 100; ++i) h.record(1e-3);
+  for (int i = 0; i < 100; ++i) h.record(1.0);
+  EXPECT_EQ(h.count(), 200u);
+  EXPECT_NEAR(h.sum(), 100.1, 0.5);
+  EXPECT_NEAR(h.mean(), 100.1 / 200.0, 0.01);
+  // The percentile estimate is bucket-interpolated: p25 lands in the 1 ms
+  // bucket neighborhood, p75 in the 1 s one, and it is monotone in q.
+  EXPECT_LT(h.percentile(25.0), 0.01);
+  EXPECT_GT(h.percentile(75.0), 0.5);
+  EXPECT_LE(h.percentile(50.0), h.percentile(90.0));
+  std::uint64_t bucketed = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    bucketed += h.bucket(i);
+    if (i > 0) {
+      EXPECT_LT(Histogram::bucket_upper_seconds(i - 1), Histogram::bucket_upper_seconds(i));
+    }
+  }
+  EXPECT_EQ(bucketed, 200u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Metrics, HistogramConcurrentRecordsAreExact) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) h.record(1e-6 * (t + 1));
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, ReservoirPercentilesAreExactUnderCapacity) {
+  ReservoirHistogram r(1024);
+  for (int i = 1; i <= 100; ++i) r.record(static_cast<double>(i));
+  const auto s = r.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.mean, 50.5, 1e-9);
+  EXPECT_NEAR(s.p50, 50.0, 1.0);
+  EXPECT_NEAR(s.p95, 95.0, 1.0);
+  EXPECT_NEAR(s.p99, 99.0, 1.0);
+  EXPECT_EQ(s.max, 100.0);
+  r.reset();
+  EXPECT_EQ(r.snapshot().count, 0u);
+}
+
+TEST(Metrics, RegistryHandlesAreStableAndPrometheusExportIsStructured) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("test_ops_total", "operations");
+  EXPECT_EQ(reg.counter("test_ops_total"), c);  // register-once semantics
+  c->add(7);
+  reg.gauge("test_depth", "queue depth")->set(3.5);
+  reg.histogram("test_latency_seconds", "latency")->record(0.25);
+  EXPECT_EQ(reg.size(), 3u);
+
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("# HELP test_ops_total operations"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE test_ops_total counter"), std::string::npos);
+  EXPECT_NE(text.find("test_ops_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("test_depth 3.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_latency_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("test_latency_seconds_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("test_latency_seconds_count 1"), std::string::npos);
+
+  reg.reset_all();
+  EXPECT_EQ(c->value(), 0u);
+}
+
+// ------------------------------------------------------------ trace ring
+
+TEST(Trace, RingOverwritesOldestAndCountsDrops) {
+  TraceRing ring(8);
+  for (std::int64_t i = 0; i < 20; ++i) {
+    TraceEvent ev;
+    ev.arg0 = i;
+    ring.record(ev);
+  }
+  EXPECT_EQ(ring.capacity(), 8u);
+  EXPECT_EQ(ring.recorded(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].arg0, static_cast<std::int64_t>(12 + i));  // oldest surviving first
+  }
+  ring.clear();
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(Trace, DisabledRingRecordsNothing) {
+  TraceRing ring(8);
+  ring.set_recording(false);
+  ring.record(TraceEvent{});
+  EXPECT_EQ(ring.recorded(), 0u);
+  ring.set_recording(true);
+  ring.record(TraceEvent{});
+  EXPECT_EQ(ring.recorded(), 1u);
+}
+
+TEST(Trace, ChromeJsonExportValidatesAndCoversEveryKind) {
+  TraceRing ring(64);
+  const TraceEventKind kinds[] = {
+      TraceEventKind::kJobRun,      TraceEventKind::kJobKill,
+      TraceEventKind::kJobPreempt,  TraceEventKind::kJobRequeue,
+      TraceEventKind::kClusterEvent, TraceEventKind::kCellStart,
+      TraceEventKind::kCellFinish,  TraceEventKind::kBatchFormed,
+      TraceEventKind::kCheckpointReload, TraceEventKind::kSpan,
+  };
+  std::int64_t ts = 0;
+  for (const auto kind : kinds) {
+    TraceEvent ev;
+    ev.kind = kind;
+    ev.name = trace_event_kind_name(kind);
+    ev.ts = ts++;
+    ev.dur = ev.is_slice() ? 5 : 0;
+    ev.arg0 = 1;
+    ev.arg1 = 2;
+    ring.record(ev);
+  }
+  const std::vector<TraceTrack> tracks = {{"cell 0: unit", 0, &ring}};
+  const std::string json = to_chrome_json(tracks);
+  std::string error;
+  EXPECT_TRUE(validate_chrome_trace(json, &error)) << error;
+  // Slices export as complete events, instants as "i".
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("cell 0: unit"), std::string::npos);
+
+  const std::string csv = to_trace_csv(tracks);
+  EXPECT_NE(csv.find("track,pid,tid,kind,name,ts,dur,arg0,arg1"), std::string::npos);
+  for (const auto kind : kinds) {
+    EXPECT_NE(csv.find(trace_event_kind_name(kind)), std::string::npos)
+        << trace_event_kind_name(kind);
+  }
+}
+
+TEST(Trace, ValidatorRejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",                                  // not JSON
+      "42",                                // not an object
+      "{}",                                // no traceEvents
+      "{\"traceEvents\":[]}",              // empty capture
+      "{\"traceEvents\":{}}",              // not an array
+      "{\"traceEvents\":[42]}",            // element not an object
+      "{\"traceEvents\":[{\"name\":\"x\"}]}",  // missing ph/ts/pid/tid
+      "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"i\",\"ts\":0,\"pid\":0,\"tid\":0}]} junk",
+  };
+  for (const char* doc : bad) {
+    std::string error;
+    EXPECT_FALSE(validate_chrome_trace(doc, &error)) << doc;
+    EXPECT_FALSE(error.empty()) << doc;
+  }
+  std::string error;
+  EXPECT_TRUE(validate_chrome_trace(
+      "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"i\",\"ts\":0,\"pid\":0,\"tid\":0,"
+      "\"s\":\"t\"}],\"displayTimeUnit\":\"ms\"}",
+      &error))
+      << error;
+}
+
+// ----------------------------------------------------------------- spans
+
+TEST(Span, RecordsIntoPhaseHistogramWhenEnabled) {
+  ObsEnabledGuard guard;
+  set_enabled(true);
+  Histogram* h = registry().histogram("obs_span_seconds_obs_test_phase");
+  const std::uint64_t before = h->count();
+  for (int i = 0; i < 10; ++i) {
+    OBS_SPAN("obs_test_phase");
+  }
+  EXPECT_EQ(h->count(), before + 10);
+
+  set_enabled(false);
+  for (int i = 0; i < 10; ++i) {
+    OBS_SPAN("obs_test_phase");
+  }
+  EXPECT_EQ(h->count(), before + 10);  // disabled scopes record nothing
+}
+
+TEST(Span, SampledSpanRecordsEverySecondToTheShiftEntry) {
+  ObsEnabledGuard guard;
+  set_enabled(true);
+  Histogram* h = registry().histogram("obs_span_seconds_obs_test_sampled");
+  const std::uint64_t before = h->count();
+  // This call site is unique to the test, so its thread_local tick starts
+  // at zero here: 32 entries at shift 2 time exactly every 4th one.
+  for (int i = 0; i < 32; ++i) {
+    OBS_SPAN_SAMPLED("obs_test_sampled", 2);
+  }
+  EXPECT_EQ(h->count(), before + 8);
+}
+
+// ---------------------------------- tracing cannot perturb sweep results
+
+scenario::SweepMatrix tiny_matrix() {
+  scenario::SweepMatrix matrix;
+  matrix.base.cluster = "a100";
+  matrix.base.months_begin = 0;
+  matrix.base.months_end = 1;
+  matrix.base.seed = 11;
+  matrix.base.job_count_scale = 0.05;
+  matrix.utilization_scales = {1.0, 1.3};
+  matrix.reservation_depths = {1, 8};
+  matrix.event_profiles = {
+      {"none", {}},
+      {"outage",
+       {{scenario::ScenarioEventKind::kNodeDown, 5 * util::kDay, 30, 0, 0, 0, 600},
+        {scenario::ScenarioEventKind::kNodeRestore, 7 * util::kDay, 30, 0, 0, 0, 600}}},
+  };
+  return matrix;
+}
+
+TEST(SweepTracing, ResultsAreBitwiseIdenticalTracingOnOrOff) {
+  ObsEnabledGuard guard;
+  const auto cells = tiny_matrix().expand();
+
+  set_enabled(false);
+  const auto baseline = scenario::SweepRunner::run_serial(cells);
+
+  set_enabled(true);
+  scenario::SweepTrace trace;
+  const auto traced = scenario::SweepRunner::run_serial(cells, &trace);
+
+  ASSERT_EQ(traced.cells.size(), baseline.cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_TRUE(traced.cells[i] == baseline.cells[i]) << "cell " << i;
+  }
+  EXPECT_GT(trace.total_events(), 0u);
+}
+
+TEST(SweepTracing, ParallelTraceBytesMatchSerialAndValidate) {
+  ObsEnabledGuard guard;
+  set_enabled(true);
+  const auto cells = tiny_matrix().expand();
+
+  scenario::SweepTrace serial_trace;
+  const auto serial = scenario::SweepRunner::run_serial(cells, &serial_trace);
+  scenario::SweepTrace parallel_trace;
+  const auto parallel = scenario::SweepRunner(4).run(cells, &parallel_trace);
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_TRUE(serial.cells[i] == parallel.cells[i]) << "cell " << i;
+  }
+  // Sim-time rings are per cell and merged in expansion order, so the
+  // exported bytes are independent of the thread count.
+  const std::string serial_json = serial_trace.to_chrome_json();
+  EXPECT_EQ(serial_json, parallel_trace.to_chrome_json());
+  EXPECT_EQ(serial_trace.to_csv(), parallel_trace.to_csv());
+
+  std::string error;
+  EXPECT_TRUE(validate_chrome_trace(serial_json, &error)) << error;
+  ASSERT_EQ(serial_trace.cell_count(), cells.size());
+  // The outage profile saturates at u=1.3: cells record job activity.
+  EXPECT_GT(serial_trace.total_events(), cells.size() * 2);  // beyond lifecycle markers
+}
+
+}  // namespace
+}  // namespace mirage::obs

@@ -3,6 +3,8 @@
 // serial bitwise determinism contract.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "scenario/scenario.hpp"
 #include "scenario/sweep.hpp"
 #include "sim/reference_simulator.hpp"
@@ -570,6 +572,62 @@ TEST(PartitionedScenario, FastTracksReferenceBitwiseAtFullDepth) {
   EXPECT_EQ(fast.killed_jobs, ref.killed_jobs);
   EXPECT_EQ(fast.preempted_jobs, ref.preempted_jobs);
   EXPECT_GT(fast.preempted_jobs + fast.killed_jobs, 0u);
+}
+
+TEST(PartitionedScenario, PerPartitionVictimCountsMatchReferenceAndSumToTotals) {
+  // The obs layer surfaces per-partition kill/preempt splits via
+  // sim::EventKernel; they must agree between fast and reference paths and
+  // sum to the scenario totals.
+  ScenarioSpec spec = partitioned_spec();
+  spec.job_count_scale = 0.3;
+  spec.utilization_scale = 2.0;
+  ScenarioEvent preempt{ScenarioEventKind::kPreempt, 5 * util::kDay, 8};
+  preempt.partition = "v100";
+  preempt.requeue_delay = 3600;
+  spec.events.push_back(preempt);
+  ScenarioEvent correlated{ScenarioEventKind::kCorrelatedDown, 9 * util::kDay, 8};
+  correlated.rack_size = 4;
+  spec.events.push_back(correlated);
+
+  const auto fast = run_scenario(spec);
+  const auto ref = run_scenario_reference(spec);
+  ASSERT_EQ(fast.partition_counts.size(), 3u);
+  EXPECT_EQ(fast.partition_counts[0].partition, "v100");
+  EXPECT_EQ(fast.partition_counts[1].partition, "rtx");
+  EXPECT_EQ(fast.partition_counts[2].partition, "a100");
+  ASSERT_EQ(ref.partition_counts.size(), fast.partition_counts.size());
+  std::size_t killed = 0;
+  std::size_t preempted = 0;
+  for (std::size_t p = 0; p < fast.partition_counts.size(); ++p) {
+    EXPECT_TRUE(fast.partition_counts[p] == ref.partition_counts[p]) << "partition " << p;
+    killed += fast.partition_counts[p].killed;
+    preempted += fast.partition_counts[p].preempted;
+  }
+  EXPECT_EQ(killed, fast.killed_jobs);
+  EXPECT_EQ(preempted, fast.preempted_jobs);
+  EXPECT_GT(killed + preempted, 0u);
+  // The preempt event targeted v100 only.
+  EXPECT_EQ(fast.partition_counts[0].preempted, fast.preempted_jobs);
+
+  // The text encoding (CSV / lab manifest currency) lists every partition.
+  const std::string text = fast.partition_counts_text();
+  EXPECT_NE(text.find("v100:"), std::string::npos) << text;
+  EXPECT_EQ(std::count(text.begin(), text.end(), ';'), 2) << text;
+}
+
+TEST(PartitionedScenario, SweepCsvCarriesPartitionCounts) {
+  ScenarioSpec spec = partitioned_spec();
+  spec.job_count_scale = 0.3;
+  spec.utilization_scale = 2.0;
+  ScenarioEvent preempt{ScenarioEventKind::kPreempt, 5 * util::kDay, 8};
+  preempt.partition = "rtx";
+  preempt.requeue_delay = 3600;
+  spec.events.push_back(preempt);
+
+  const auto report = SweepRunner::run_serial({spec});
+  const std::string csv = report.to_csv();
+  EXPECT_NE(csv.find("partition_counts"), std::string::npos) << csv;
+  EXPECT_NE(csv.find(report.cells[0].partition_counts_text()), std::string::npos) << csv;
 }
 
 TEST(PartitionedScenario, MultiPartitionSweepParallelEqualsSerialBitwise) {

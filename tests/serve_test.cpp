@@ -526,6 +526,35 @@ TEST(ProvisioningService, DeterministicSessionReplay) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+TEST(ProvisioningService, MetricsTextExposesPrometheusCountersAndLatency) {
+  TempDir dir("metrics");
+  auto agent = make_dqn(71);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+
+  ServiceConfig cfg;
+  cfg.history_len = test_net().history_len;
+  ProvisioningService service(registry, {"v100", "dqn", "moe"}, cfg);
+  service.start();
+  const SessionId id = service.open_session();
+  for (std::size_t t = 0; t < 5; ++t) {
+    service.observe(id, make_sample(0, t), make_ctx(0));
+    service.decide(id);
+  }
+  service.drain_and_stop();
+
+  const std::string text = service.metrics_text();
+  EXPECT_NE(text.find("# TYPE mirage_serve_decisions_total counter"), std::string::npos) << text;
+  EXPECT_NE(text.find("mirage_serve_decisions_total 5"), std::string::npos) << text;
+  EXPECT_NE(text.find("mirage_serve_sessions_total 1"), std::string::npos);
+  EXPECT_NE(text.find("mirage_serve_latency_seconds{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("mirage_serve_latency_seconds_count 5"), std::string::npos);
+  // The service exposition appends the process-wide obs registry, so span
+  // histograms (serve_batch at minimum) ride along.
+  EXPECT_NE(text.find("obs_span_seconds_serve_batch"), std::string::npos);
+}
+
 TEST(ProvisioningService, GracefulDrainCompletesInFlight) {
   TempDir dir("gdrain");
   auto agent = make_dqn(71);
