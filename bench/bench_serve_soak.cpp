@@ -1,0 +1,301 @@
+// Million-session serve soak (ISSUE 7 tentpole gate): drive the sharded
+// ProvisioningService through every steady-state contract at once and
+// fail loudly when any regresses:
+//
+//   1. scale     — open `sessions` (default 100k) live sessions across the
+//                  sharded table and seed each history ring;
+//   2. zero-alloc— closed-loop blocking decides over a hot session set,
+//                  audited by the counting allocator: the steady-state
+//                  decide path must perform ZERO heap allocations
+//                  (observation buffers, ring slots and latency reservoir
+//                  are all preallocated / circulating). This is the gated
+//                  decisions_per_sec measurement;
+//   3. latency   — a paced async phase feeds the latency reservoir, then
+//                  p50/p99/p99.9 come from the engine snapshot with the
+//                  p99 bounded by `p99_limit_ms`;
+//   4. TTL       — the cold sessions (everything outside the hot set) sit
+//                  idle past `ttl` and must be reaped by the lazy check +
+//                  one-shard-per-tick background sweeper (+ a final
+//                  explicit sweep), evictions >= sessions - hot;
+//   5. backpressure — a deliberately slow model behind a tiny bounded
+//                  queue must reject a burst with BackpressureRejected,
+//                  never grow the queue without bound.
+//
+// The service is measured around an allocation-free stub model so the
+// audit isolates the serving layers (shards, engine ring, waiter pool)
+// from NN-forward internals; bench_serve_throughput covers the real
+// model. Emits BENCH_serve_soak.json (decisions_per_sec is the
+// bench_compare-gated key).
+//
+//   ./bench_serve_soak [sessions=100000] [hot=1024] [steady=40000]
+//                      [clients=4] [qps=4000] [qps_seconds=2] [ttl=8]
+//                      [shards=16] [k=4] [p99_limit_ms=250]
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/service.hpp"
+#include "util/config.hpp"
+#include "util/time_utils.hpp"
+
+using namespace mirage;
+
+namespace {
+
+/// Allocation-free decision stub: the serving layers see a real
+/// ServableModel (virtual infer_into) whose forward touches no heap.
+struct StubModel : serve::ServableModel {
+  static core::CheckpointInfo stub_info(std::size_t k) {
+    core::CheckpointInfo info;
+    info.history_len = k;
+    info.state_dim = rl::kFrameDim;
+    return info;
+  }
+  explicit StubModel(std::size_t k)
+      : ServableModel({"soak", "stub", "none"}, stub_info(k), "<stub>", 1, nullptr, nullptr) {}
+  void infer_into(const std::vector<std::vector<float>>& observations,
+                  std::vector<serve::Decision>& out) const override {
+    out.resize(observations.size());
+    for (std::size_t i = 0; i < observations.size(); ++i) {
+      float acc = 0.0f;
+      for (const float v : observations[i]) acc += v;
+      out[i].action = acc > 0.0f ? 1 : 0;
+      out[i].score_submit = acc;
+      out[i].score_wait = -acc;
+      out[i].model_version = version();
+    }
+  }
+};
+
+/// Slow variant for the backpressure phase: each tick stalls long enough
+/// for a submission burst to overflow the bounded queue.
+struct SlowStubModel : StubModel {
+  SlowStubModel(std::size_t k, std::chrono::microseconds stall)
+      : StubModel(k), stall_(stall) {}
+  void infer_into(const std::vector<std::vector<float>>& observations,
+                  std::vector<serve::Decision>& out) const override {
+    std::this_thread::sleep_for(stall_);
+    StubModel::infer_into(observations, out);
+  }
+  std::chrono::microseconds stall_;
+};
+
+sim::StateSample soak_sample(std::uint64_t step) {
+  sim::StateSample s;
+  s.now = static_cast<util::SimTime>(step) * 600;
+  s.total_nodes = 88;
+  s.free_nodes = static_cast<std::int32_t>(step % 89);
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = util::Config::from_args(argc, argv);
+  const auto sessions = static_cast<std::size_t>(cli.get_int("sessions", 100000));
+  const auto hot = std::min(sessions, static_cast<std::size_t>(cli.get_int("hot", 1024)));
+  const auto steady = static_cast<std::size_t>(cli.get_int("steady", 40000));
+  const auto clients = static_cast<std::size_t>(cli.get_int("clients", 4));
+  const auto qps = static_cast<std::size_t>(cli.get_int("qps", 4000));
+  const double qps_seconds = cli.get_double("qps_seconds", 2.0);
+  const double ttl = cli.get_double("ttl", 8.0);
+  const auto shards = static_cast<std::size_t>(cli.get_int("shards", 16));
+  const auto k = static_cast<std::size_t>(cli.get_int("k", 4));
+  const double p99_limit_ms = cli.get_double("p99_limit_ms", 250.0);
+
+  serve::ServiceConfig cfg;
+  cfg.history_len = k;
+  cfg.shards = shards;
+  cfg.session_ttl_seconds = ttl;
+  cfg.sweep_interval_seconds = cli.get_double("sweep_interval", 0.01);
+  cfg.engine.max_batch = static_cast<std::size_t>(cli.get_int("max_batch", 256));
+  cfg.engine.coalesce_wait = std::chrono::microseconds(cli.get_int("coalesce_us", 100));
+  cfg.engine.max_queue = static_cast<std::size_t>(cli.get_int("max_queue", 8192));
+  // The audited window must not ride the shared pool: pool submission
+  // allocates a task per tick. The engine thread runs the stub inline.
+  cfg.engine.use_thread_pool = false;
+
+  auto model = std::make_shared<const StubModel>(k);
+  serve::ProvisioningService service(serve::ModelSnapshot(model), cfg);
+  service.start();
+  std::printf("serve soak: %zu sessions, %zu shards, hot set %zu, ttl %.1fs\n\n",
+              sessions, shards, hot, ttl);
+
+  // ---- phase 1: open the fleet -------------------------------------------
+  double t0 = util::wall_seconds();
+  std::vector<serve::SessionId> ids;
+  ids.reserve(sessions);
+  const rl::JobPairContext ctx;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const auto id = service.open_session();
+    service.observe(id, soak_sample(i), ctx);
+    ids.push_back(id);
+  }
+  const double open_seconds = util::wall_seconds() - t0;
+  const double open_end = util::wall_seconds();
+  const std::size_t open_sessions_peak = service.session_count();
+  std::printf("open        %zu sessions in %.2f s (%.0f opens/s), table holds %zu\n",
+              sessions, open_seconds, static_cast<double>(sessions) / open_seconds,
+              open_sessions_peak);
+
+  // ---- phase 2: zero-alloc closed-loop steady state ----------------------
+  // Warmup grows every thread_local buffer, ring-slot capacity and the
+  // latency reservoir to steady size; then the measured window must not
+  // allocate at all.
+  const std::size_t per_client = std::max<std::size_t>(1, steady / std::max<std::size_t>(1, clients));
+  std::atomic<std::size_t> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<std::uint64_t> steady_served{0};
+  std::vector<std::thread> workers;
+  for (std::size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      serve::Decision d;
+      // Warmup must cycle the ENTIRE engine ring: every slot's observation
+      // buffer starts empty and allocates once when it first circulates
+      // back to a caller, so the audited window only starts after each of
+      // the max_queue slots has carried at least one request.
+      const std::size_t warm = cfg.engine.max_queue / clients + 1024;
+      for (std::size_t i = 0; i < warm; ++i) {
+        service.try_decide(ids[(c * 7919 + i) % hot], d);
+      }
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      std::uint64_t served = 0;
+      for (std::size_t i = 0; i < per_client; ++i) {
+        if (service.try_decide(ids[(c * 104729 + i) % hot], d) ==
+            serve::BatchedInferenceEngine::SubmitResult::kOk) {
+          ++served;
+        }
+      }
+      steady_served.fetch_add(served);
+    });
+  }
+  while (ready.load() < clients) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));  // engine settles
+  const std::uint64_t alloc0 = bench::allocation_count();
+  t0 = util::wall_seconds();
+  go.store(true, std::memory_order_release);
+  for (auto& t : workers) t.join();
+  const double steady_seconds = util::wall_seconds() - t0;
+  const std::uint64_t alloc_delta = bench::allocation_count() - alloc0;
+  const double decisions_per_sec = static_cast<double>(steady_served.load()) / steady_seconds;
+  const double allocs_per_decide =
+      steady_served.load() ? static_cast<double>(alloc_delta) / static_cast<double>(steady_served.load())
+                           : static_cast<double>(alloc_delta);
+  std::printf("steady      %llu decides in %.2f s -> %.0f decisions/s, %llu allocs (%.4f/decide)\n",
+              static_cast<unsigned long long>(steady_served.load()), steady_seconds,
+              decisions_per_sec, static_cast<unsigned long long>(alloc_delta), allocs_per_decide);
+
+  // ---- phase 3: paced async latency --------------------------------------
+  const std::size_t burst = std::max<std::size_t>(1, qps / 1000);
+  std::vector<std::future<serve::Decision>> in_flight;
+  in_flight.reserve(2048);
+  std::size_t paced = 0;
+  const double pace_end = util::wall_seconds() + qps_seconds;
+  while (util::wall_seconds() < pace_end) {
+    for (std::size_t b = 0; b < burst; ++b) {
+      in_flight.push_back(service.decide_async(ids[paced++ % hot]));
+    }
+    if (in_flight.size() >= 1024) {
+      for (auto& f : in_flight) f.get();
+      in_flight.clear();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& f : in_flight) f.get();
+  auto report = service.report();
+  std::printf("latency     p50 %.3f ms  p99 %.3f ms  p99.9 %.3f ms  (%zu samples, %zu paced)\n",
+              report.engine.latency.p50_ms, report.engine.latency.p99_ms,
+              report.engine.latency.p999_ms, report.engine.latency.count, paced);
+
+  // ---- phase 4: TTL eviction of the cold fleet ---------------------------
+  // Cold sessions were last touched when opened; once the TTL has passed,
+  // the lazy check + background sweeper + one explicit sweep must reap
+  // them all. (The hot set may expire too once the pacing stops — the
+  // gate is on the cold majority.)
+  const double ttl_deadline = open_end + ttl + 0.5;
+  while (util::wall_seconds() < ttl_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  service.evict_expired();
+  const auto evict_wait_deadline = util::wall_seconds() + 10.0;
+  while (service.session_count() > hot && util::wall_seconds() < evict_wait_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    service.evict_expired();
+  }
+  report = service.report();
+  std::printf("ttl         %llu evictions, %zu sessions remain\n",
+              static_cast<unsigned long long>(report.evictions), report.open_sessions);
+  service.drain_and_stop();
+
+  // ---- phase 5: backpressure under a saturated engine --------------------
+  serve::ServiceConfig bp_cfg;
+  bp_cfg.history_len = k;
+  bp_cfg.shards = 1;
+  bp_cfg.engine.max_batch = 1;
+  bp_cfg.engine.max_queue = static_cast<std::size_t>(cli.get_int("bp_queue", 8));
+  bp_cfg.engine.coalesce_wait = std::chrono::microseconds(0);
+  bp_cfg.engine.use_thread_pool = false;
+  auto slow = std::make_shared<const SlowStubModel>(
+      k, std::chrono::microseconds(cli.get_int("bp_stall_us", 2000)));
+  serve::ProvisioningService bp_service(serve::ModelSnapshot(slow), bp_cfg);
+  bp_service.start();
+  const auto bp_id = bp_service.open_session();
+  bp_service.observe(bp_id, soak_sample(0), ctx);
+  std::vector<std::future<serve::Decision>> bp_futures;
+  const auto bp_burst = static_cast<std::size_t>(cli.get_int("bp_burst", 64));
+  for (std::size_t i = 0; i < bp_burst; ++i) {
+    bp_futures.push_back(bp_service.decide_async(bp_id));
+  }
+  std::size_t bp_rejected = 0;
+  for (auto& f : bp_futures) {
+    try {
+      f.get();
+    } catch (const serve::BackpressureRejected&) {
+      ++bp_rejected;
+    }
+  }
+  bp_service.drain_and_stop();
+  const auto bp_report = bp_service.report();
+  std::printf("backpressure %zu of %zu burst requests rejected (engine counted %llu)\n\n",
+              bp_rejected, bp_burst, static_cast<unsigned long long>(bp_report.engine.rejected));
+
+  // ---- gates --------------------------------------------------------------
+  bool ok = true;
+  const auto gate = [&](bool pass, const char* what) {
+    std::printf("  [%s] %s\n", pass ? "PASS" : "FAIL", what);
+    ok = ok && pass;
+  };
+  gate(open_sessions_peak == sessions, "all sessions opened and held concurrently");
+  gate(alloc_delta == 0, "zero steady-state heap allocations per decide");
+  gate(report.engine.latency.p99_ms <= p99_limit_ms, "p99 latency within bound");
+  gate(report.evictions >= sessions - hot, "TTL reaped the cold fleet");
+  gate(bp_rejected > 0 && bp_report.engine.rejected >= bp_rejected,
+       "bounded queue rejected the burst with backpressure");
+
+  bench::BenchJson json("serve_soak");
+  json.add("params", "sessions=" + std::to_string(sessions) + ",hot=" + std::to_string(hot) +
+                         ",steady=" + std::to_string(steady) + ",clients=" +
+                         std::to_string(clients) + ",shards=" + std::to_string(shards) +
+                         ",k=" + std::to_string(k))
+      .add("sessions", static_cast<std::int64_t>(sessions))
+      .add("shards", static_cast<std::int64_t>(shards))
+      .add("open_sessions_peak", static_cast<std::int64_t>(open_sessions_peak))
+      .add("opens_per_sec", static_cast<double>(sessions) / open_seconds)
+      .add("decisions_per_sec", decisions_per_sec)
+      .add("steady_allocs_per_decide", allocs_per_decide)
+      .add("latency_p50_ms", report.engine.latency.p50_ms)
+      .add("latency_p99_ms", report.engine.latency.p99_ms)
+      .add("latency_p999_ms", report.engine.latency.p999_ms)
+      .add("evictions", static_cast<std::int64_t>(report.evictions))
+      .add("rejected", static_cast<std::int64_t>(bp_report.engine.rejected))
+      .add("target_met", static_cast<std::int64_t>(ok ? 1 : 0));
+  json.add_resource_fields();
+  json.write();
+
+  std::printf("\nserve soak: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 2;
+}

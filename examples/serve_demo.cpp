@@ -11,6 +11,11 @@
 //      gracefully and print the serving metrics.
 //
 //   ./serve_demo [cluster=v100] [sessions=200] [rounds=12] [seed=42]
+//               [shards=0] [ttl=0] [max_queue=8192]
+//
+// shards=0 picks hardware_concurrency session shards; ttl>0 turns on idle
+// session eviction (lazy on access + background sweep); max_queue bounds
+// the engine queue (overflow is rejected with BackpressureRejected).
 #include <cstdio>
 #include <filesystem>
 #include <future>
@@ -69,7 +74,10 @@ int main(int argc, char** argv) {
   // ---- 3. serve ----------------------------------------------------------
   serve::ServiceConfig svc_cfg;
   svc_cfg.history_len = cfg.net.history_len;
+  svc_cfg.shards = static_cast<std::size_t>(cli.get_int("shards", 0));
+  svc_cfg.session_ttl_seconds = cli.get_double("ttl", 0.0);
   svc_cfg.engine.max_batch = 64;
+  svc_cfg.engine.max_queue = static_cast<std::size_t>(cli.get_int("max_queue", 8192));
   serve::ProvisioningService service(registry, key, svc_cfg);
   service.start();
 
@@ -126,8 +134,12 @@ int main(int argc, char** argv) {
   service.drain_and_stop();
   const auto report = service.report();
   std::printf("\n=== metrics ===\n");
-  std::printf("sessions            %zu open / %llu total\n", report.open_sessions,
-              static_cast<unsigned long long>(report.total_sessions));
+  std::printf("sessions            %zu open / %llu total across %zu shards\n",
+              report.open_sessions, static_cast<unsigned long long>(report.total_sessions),
+              report.shards);
+  std::printf("admission           %llu evicted by TTL, %llu rejected by backpressure\n",
+              static_cast<unsigned long long>(report.evictions),
+              static_cast<unsigned long long>(report.engine.rejected));
   std::printf("decisions           %llu (%.1f%% submit), %llu model versions served\n",
               static_cast<unsigned long long>(report.decisions),
               report.decisions ? 100.0 * static_cast<double>(submits) /
@@ -137,9 +149,10 @@ int main(int argc, char** argv) {
   std::printf("throughput          %.0f decisions/s sustained, %llu ticks, mean batch %.1f\n",
               report.decisions_per_second,
               static_cast<unsigned long long>(report.engine.ticks), report.engine.mean_batch);
-  std::printf("request latency     p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  max %.2f ms\n",
+  std::printf("request latency     p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  p99.9 %.2f ms  max %.2f ms\n",
               report.engine.latency.p50_ms, report.engine.latency.p95_ms,
-              report.engine.latency.p99_ms, report.engine.latency.max_ms);
+              report.engine.latency.p99_ms, report.engine.latency.p999_ms,
+              report.engine.latency.max_ms);
   std::printf("\ngraceful drain complete; all in-flight decisions answered.\n");
   return 0;
 }

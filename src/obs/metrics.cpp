@@ -116,7 +116,10 @@ void Histogram::reset() {
 // ------------------------------------------------------------- reservoir
 
 ReservoirHistogram::ReservoirHistogram(std::size_t capacity) : capacity_(capacity) {
-  samples_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+  // Full reservation up front: record() must never allocate, because the
+  // serve engine records a latency sample inside the zero-allocation
+  // steady-state window the soak bench audits.
+  samples_.reserve(capacity_);
 }
 
 void ReservoirHistogram::record(double value) {
@@ -162,6 +165,7 @@ ReservoirSnapshot ReservoirHistogram::snapshot() const {
   s.p50 = percentile_of_sorted(sorted, 50.0);
   s.p95 = percentile_of_sorted(sorted, 95.0);
   s.p99 = percentile_of_sorted(sorted, 99.0);
+  s.p999 = percentile_of_sorted(sorted, 99.9);
   return s;
 }
 

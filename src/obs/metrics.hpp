@@ -18,9 +18,10 @@
 //              ReservoirHistogram below.
 //   ReservoirHistogram
 //              bounded reservoir with exact percentiles over the retained
-//              sample (mutex-guarded; the migration target for
-//              serve::LatencyRecorder). Not allocation-free past warmup of
-//              its reservoir, but O(1) memory forever.
+//              sample (mutex-guarded; the engine behind
+//              serve::LatencyRecorder). The reservoir is fully reserved at
+//              construction, so record() never allocates — O(1) memory and
+//              allocation-free forever (the serve soak gate depends on it).
 //
 // Registration (registry().counter("name") etc.) allocates and takes a
 // mutex — do it once at startup or via a function-local static, never per
@@ -124,6 +125,7 @@ struct ReservoirSnapshot {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;  ///< tail the serve soak gate watches
   double max = 0.0;
 };
 

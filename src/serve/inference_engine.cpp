@@ -1,16 +1,35 @@
 #include "serve/inference_engine.hpp"
 
 #include <stdexcept>
+#include <string>
 
+#include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "util/thread_pool.hpp"
 #include "util/time_utils.hpp"
 
 namespace mirage::serve {
 
+namespace {
+/// Process-wide backpressure counter (also surfaced per-engine via
+/// EngineStats::rejected); registered once, bumped lock-free.
+obs::Counter& rejected_counter() {
+  static obs::Counter* c = obs::registry().counter(
+      "mirage_serve_engine_rejected_total",
+      "engine submissions rejected by bounded-queue backpressure");
+  return *c;
+}
+}  // namespace
+
 BatchedInferenceEngine::BatchedInferenceEngine(ModelResolver resolver, EngineConfig config)
     : resolver_(std::move(resolver)), config_(config) {
   if (config_.max_batch == 0) config_.max_batch = 1;
+  if (config_.max_queue == 0) config_.max_queue = 1;
+  ring_.resize(config_.max_queue);
+  batch_.resize(config_.max_batch);
+  observations_.reserve(config_.max_batch);
+  row_pool_.reserve(config_.max_batch);
+  decisions_.reserve(config_.max_batch);
 }
 
 BatchedInferenceEngine::BatchedInferenceEngine(const ModelRegistry& registry, ModelKey key,
@@ -27,24 +46,80 @@ void BatchedInferenceEngine::start() {
   worker_ = std::thread([this] { run(); });
 }
 
+BatchedInferenceEngine::Request* BatchedInferenceEngine::reserve_slot_locked() {
+  if (queued_ == ring_.size()) return nullptr;
+  Request& slot = ring_[(head_ + queued_) % ring_.size()];
+  ++queued_;
+  return &slot;
+}
+
 std::future<Decision> BatchedInferenceEngine::submit(
     std::vector<float> observation, std::function<void(const Decision&)> on_complete) {
-  Request req;
-  req.observation = std::move(observation);
-  req.on_complete = std::move(on_complete);
-  req.enqueue_seconds = util::wall_seconds();
-  auto fut = req.promise.get_future();
+  std::promise<Decision> promise;
+  auto fut = promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (draining_) {
-      req.promise.set_exception(std::make_exception_ptr(
+      promise.set_exception(std::make_exception_ptr(
           std::runtime_error("BatchedInferenceEngine: draining, request rejected")));
       return fut;
     }
-    queue_.push_back(std::move(req));
+    Request* slot = reserve_slot_locked();
+    if (!slot) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_counter().add();
+      promise.set_exception(std::make_exception_ptr(BackpressureRejected()));
+      return fut;
+    }
+    slot->observation = std::move(observation);
+    slot->promise.emplace(std::move(promise));
+    slot->on_complete = std::move(on_complete);
+    slot->waiter = nullptr;
+    slot->enqueue_seconds = util::wall_seconds();
   }
   cv_.notify_one();
   return fut;
+}
+
+BatchedInferenceEngine::SubmitResult BatchedInferenceEngine::try_decide_blocking(
+    std::vector<float>& observation, Decision& out) {
+  thread_local detail::BlockingWaiter waiter;
+  waiter.done = false;
+  waiter.error = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) return SubmitResult::kDraining;
+    Request* slot = reserve_slot_locked();
+    if (!slot) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      rejected_counter().add();
+      return SubmitResult::kRejectedBackpressure;
+    }
+    slot->observation.swap(observation);  // capacities circulate, no alloc
+    slot->promise.reset();
+    slot->on_complete = nullptr;
+    slot->waiter = &waiter;
+    slot->enqueue_seconds = util::wall_seconds();
+  }
+  cv_.notify_one();
+  std::unique_lock<std::mutex> lk(waiter.mutex);
+  waiter.cv.wait(lk, [&] { return waiter.done; });
+  if (waiter.error) std::rethrow_exception(waiter.error);
+  out = waiter.decision;
+  return SubmitResult::kOk;
+}
+
+Decision BatchedInferenceEngine::decide_blocking(std::vector<float>& observation) {
+  Decision out;
+  switch (try_decide_blocking(observation, out)) {
+    case SubmitResult::kOk:
+      return out;
+    case SubmitResult::kRejectedBackpressure:
+      throw BackpressureRejected();
+    case SubmitResult::kDraining:
+      break;
+  }
+  throw std::runtime_error("BatchedInferenceEngine: draining, request rejected");
 }
 
 void BatchedInferenceEngine::drain() {
@@ -58,14 +133,23 @@ void BatchedInferenceEngine::drain() {
   cv_.notify_all();
   if (worker.joinable()) worker.join();
   // Never-started engines (or races with start) may still hold requests.
-  std::deque<Request> leftover;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    leftover.swap(queue_);
-  }
-  for (auto& req : leftover) {
-    req.promise.set_exception(std::make_exception_ptr(
-        std::runtime_error("BatchedInferenceEngine: stopped before serving")));
+  const auto stopped = std::make_exception_ptr(
+      std::runtime_error("BatchedInferenceEngine: stopped before serving"));
+  for (;;) {
+    Request leftover;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (queued_ == 0) break;
+      Request& slot = ring_[head_];
+      leftover.promise = std::move(slot.promise);
+      slot.promise.reset();
+      leftover.waiter = slot.waiter;
+      slot.waiter = nullptr;
+      slot.on_complete = nullptr;
+      head_ = (head_ + 1) % ring_.size();
+      --queued_;
+    }
+    fulfill(leftover, nullptr, stopped);
   }
 }
 
@@ -74,11 +158,17 @@ bool BatchedInferenceEngine::accepting() const {
   return !draining_;
 }
 
+std::size_t BatchedInferenceEngine::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
 EngineStats BatchedInferenceEngine::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   EngineStats s;
   s.requests = requests_;
   s.ticks = ticks_;
+  s.rejected = rejected_.load(std::memory_order_relaxed);
   s.mean_batch = ticks_ ? static_cast<double>(batch_sum_) / static_cast<double>(ticks_) : 0.0;
   s.max_batch = batch_max_;
   s.busy_seconds = busy_seconds_;
@@ -88,57 +178,124 @@ EngineStats BatchedInferenceEngine::stats() const {
 
 void BatchedInferenceEngine::run() {
   for (;;) {
-    std::vector<Request> batch;
+    std::size_t take = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return draining_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // draining with nothing left
-      if (!draining_ && queue_.size() < config_.max_batch &&
-          config_.coalesce_wait.count() > 0) {
+      cv_.wait(lock, [this] { return draining_ || queued_ > 0; });
+      if (queued_ == 0) return;  // draining with nothing left
+      if (!draining_ && queued_ < config_.max_batch && config_.coalesce_wait.count() > 0) {
         cv_.wait_for(lock, config_.coalesce_wait,
-                     [this] { return draining_ || queue_.size() >= config_.max_batch; });
+                     [this] { return draining_ || queued_ >= config_.max_batch; });
       }
-      const std::size_t take = std::min(queue_.size(), config_.max_batch);
-      batch.reserve(take);
+      take = std::min(queued_, config_.max_batch);
+      // Move requests out of the ring into the tick scratch. Observation
+      // buffers SWAP between ring slots and the reusable rows, so their
+      // capacities circulate instead of being reallocated every tick.
+      while (observations_.size() < take) {
+        if (!row_pool_.empty()) {
+          observations_.push_back(std::move(row_pool_.back()));
+          row_pool_.pop_back();
+        } else {
+          observations_.emplace_back();
+        }
+      }
+      while (observations_.size() > take) {
+        row_pool_.push_back(std::move(observations_.back()));
+        observations_.pop_back();
+      }
       for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+        Request& slot = ring_[head_];
+        observations_[i].swap(slot.observation);
+        batch_[i].promise = std::move(slot.promise);
+        slot.promise.reset();
+        batch_[i].on_complete = std::move(slot.on_complete);
+        slot.on_complete = nullptr;
+        batch_[i].waiter = slot.waiter;
+        slot.waiter = nullptr;
+        batch_[i].enqueue_seconds = slot.enqueue_seconds;
+        head_ = (head_ + 1) % ring_.size();
+        --queued_;
       }
     }
-    serve_batch(batch);
+    serve_batch(take);
   }
 }
 
-void BatchedInferenceEngine::serve_batch(std::vector<Request>& batch) {
+void BatchedInferenceEngine::fulfill(Request& req, const Decision* decision,
+                                     const std::exception_ptr& failure) {
+  std::exception_ptr resolve_error = failure;
+  if (!resolve_error && req.on_complete) {
+    try {
+      req.on_complete(*decision);
+    } catch (...) {
+      // A throwing callback must not take down the engine thread or
+      // starve the rest of the batch — it fails only its own request.
+      resolve_error = std::current_exception();
+    }
+  }
+  if (req.waiter) {
+    detail::BlockingWaiter* w = req.waiter;
+    {
+      std::lock_guard<std::mutex> lock(w->mutex);
+      if (resolve_error) {
+        w->error = resolve_error;
+      } else {
+        w->decision = *decision;
+      }
+      w->done = true;
+      // Notify INSIDE the lock: the waiter is a caller thread_local, and
+      // once it observes done it may exit and destroy the cv. Holding the
+      // mutex across the notify means the waiter cannot get past its wait
+      // (it must reacquire the mutex) until this touch of the cv is over.
+      w->cv.notify_one();
+    }
+    req.waiter = nullptr;
+  } else if (req.promise.has_value()) {
+    if (resolve_error) {
+      req.promise->set_exception(resolve_error);
+    } else {
+      req.promise->set_value(*decision);
+    }
+    req.promise.reset();  // release the shared state promptly
+  }
+  req.on_complete = nullptr;
+}
+
+void BatchedInferenceEngine::serve_batch(std::size_t take) {
   OBS_SPAN("serve_batch");
   if (obs::enabled()) {
     obs::TraceEvent ev;
     ev.kind = obs::TraceEventKind::kBatchFormed;
     ev.ts = static_cast<std::int64_t>(util::wall_seconds() * 1e6);
-    ev.arg0 = static_cast<std::int64_t>(batch.size());
+    ev.arg0 = static_cast<std::int64_t>(take);
     ev.tid = static_cast<std::uint32_t>(obs::detail::thread_shard());
     obs::global_trace().record(ev);
   }
   ModelSnapshot model = resolver_ ? resolver_() : nullptr;
-  std::vector<Decision> decisions;
   std::exception_ptr failure;
   const double t0 = util::wall_seconds();
   if (!model) {
     failure = std::make_exception_ptr(
         std::runtime_error("BatchedInferenceEngine: no model resolved for tick"));
   } else {
-    std::vector<std::vector<float>> observations;
-    observations.reserve(batch.size());
-    for (auto& req : batch) observations.push_back(std::move(req.observation));
     try {
       if (config_.use_thread_pool) {
         // One batched forward per tick on the shared compute pool; the
         // engine thread just awaits it.
         util::ThreadPool::global()
-            .submit([&] { decisions = model->infer(observations); })
+            .submit([&] { model->infer_into(observations_, decisions_); })
             .get();
       } else {
-        decisions = model->infer(observations);
+        model->infer_into(observations_, decisions_);
+      }
+      // A model returning the wrong number of decisions (e.g. a
+      // hot-reloaded implementation whose infer truncates) must fail the
+      // whole batch loudly, never index out of bounds.
+      if (decisions_.size() != take) {
+        failure = std::make_exception_ptr(std::runtime_error(
+            "BatchedInferenceEngine: model returned " + std::to_string(decisions_.size()) +
+            " decisions for a batch of " + std::to_string(take) +
+            " — refusing to serve a truncated batch"));
       }
     } catch (...) {
       failure = std::current_exception();
@@ -146,27 +303,18 @@ void BatchedInferenceEngine::serve_batch(std::vector<Request>& batch) {
   }
   const double t1 = util::wall_seconds();
 
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (failure) {
-      batch[i].promise.set_exception(failure);
-    } else {
-      try {
-        if (batch[i].on_complete) batch[i].on_complete(decisions[i]);
-        batch[i].promise.set_value(decisions[i]);
-      } catch (...) {
-        // A throwing callback must not take down the engine thread or
-        // starve the rest of the batch — it fails only its own request.
-        batch[i].promise.set_exception(std::current_exception());
-      }
-    }
-    latency_.record_seconds(t1 - batch[i].enqueue_seconds);
+  for (std::size_t i = 0; i < take; ++i) {
+    fulfill(batch_[i], failure ? nullptr : &decisions_[i], failure);
+    // Latency reflects SERVED decisions only: a failed batch must not
+    // drag the latency quantiles the soak gate asserts on.
+    if (!failure) latency_.record_seconds(t1 - batch_[i].enqueue_seconds);
   }
 
   std::lock_guard<std::mutex> lock(stats_mutex_);
-  requests_ += batch.size();
+  requests_ += take;
   ++ticks_;
-  batch_sum_ += batch.size();
-  batch_max_ = std::max(batch_max_, batch.size());
+  batch_sum_ += take;
+  batch_max_ = std::max(batch_max_, take);
   busy_seconds_ += t1 - t0;
 }
 

@@ -5,16 +5,30 @@
 // the model lock over whole batches is the headline throughput win
 // (measured by bench_serve_throughput).
 //
+// The request queue is a BOUNDED preallocated ring (EngineConfig::
+// max_queue): when the inference engine saturates, new submissions are
+// rejected with BackpressureRejected and counted in EngineStats::rejected
+// instead of growing the heap without limit — admission control, not an
+// allocation storm. Two submission paths share the ring:
+//
+//   submit()          future-based async path (allocates the promise's
+//                     shared state per request — the price of a future);
+//   decide_blocking() pooled synchronous path: the observation buffer is
+//                     swapped into a ring slot and the caller parks on a
+//                     thread_local waiter, so a steady-state decision
+//                     performs ZERO heap allocations end to end (audited
+//                     by bench_serve_soak with a stub model).
+//
 // The tick's forward executes on util::ThreadPool::global() so serving
 // shares the process-wide compute pool with training/evaluation work; the
-// engine's own thread only coalesces, dispatches and fulfills promises.
+// engine's own thread only coalesces, dispatches and fulfills requests.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
-#include <deque>
 #include <functional>
 #include <future>
+#include <optional>
 #include <thread>
 
 #include "serve/metrics.hpp"
@@ -22,6 +36,14 @@
 #include "util/stats.hpp"
 
 namespace mirage::serve {
+
+/// Thrown (or carried by the future) when the bounded request queue is
+/// full — the backpressure signal callers retry or shed load on.
+struct BackpressureRejected : std::runtime_error {
+  BackpressureRejected()
+      : std::runtime_error("BatchedInferenceEngine: queue full, request rejected "
+                           "(backpressure)") {}
+};
 
 struct EngineConfig {
   std::size_t max_batch = 64;
@@ -32,16 +54,35 @@ struct EngineConfig {
   /// the engine thread itself; useful under sanitizers or in benchmarks
   /// that want isolated timing).
   bool use_thread_pool = true;
+  /// Bounded request queue: submissions past this depth are rejected with
+  /// BackpressureRejected (admission control when the engine saturates).
+  /// The ring is preallocated, so queueing never allocates. Clamped >= 1.
+  std::size_t max_queue = 8192;
 };
 
 struct EngineStats {
   std::uint64_t requests = 0;      ///< fulfilled (including failed) requests
   std::uint64_t ticks = 0;         ///< batched forwards executed
+  std::uint64_t rejected = 0;      ///< submissions refused by backpressure
   double mean_batch = 0.0;
   std::size_t max_batch = 0;
   double busy_seconds = 0.0;       ///< wall time spent inside forwards
-  LatencySnapshot latency;         ///< submit() -> promise fulfilled
+  LatencySnapshot latency;         ///< submit() -> fulfilled (served only)
 };
+
+namespace detail {
+/// Parking slot for one blocking decision; thread_local in the caller, so
+/// it is reused forever and never allocated per request. The caller is
+/// parked inside decide_blocking() for the slot's whole in-flight life,
+/// which is what makes the thread_local lifetime safe.
+struct BlockingWaiter {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  Decision decision;
+  std::exception_ptr error;
+};
+}  // namespace detail
 
 class BatchedInferenceEngine {
  public:
@@ -64,40 +105,77 @@ class BatchedInferenceEngine {
 
   /// Enqueue one observation (flattened [k*(m+1)], action channel
   /// ignored). The future resolves after the batch containing it runs;
-  /// it carries an exception if the engine is draining or no model
-  /// resolves. `on_complete`, when set, runs on the engine thread right
-  /// before the promise is fulfilled (successful decisions only) — the
-  /// service uses it for per-session accounting on the async path.
+  /// it carries an exception if the engine is draining, the queue is full
+  /// (BackpressureRejected) or no model resolves. `on_complete`, when
+  /// set, runs on the engine thread right before the promise is fulfilled
+  /// (successful decisions only — a drained or failed request is never
+  /// counted as served) — the service uses it for per-shard accounting on
+  /// the async path.
   std::future<Decision> submit(std::vector<float> observation,
                                std::function<void(const Decision&)> on_complete = nullptr);
+
+  /// Outcome of a non-throwing blocking decision.
+  enum class SubmitResult { kOk, kRejectedBackpressure, kDraining };
+
+  /// Pooled synchronous path: swap `observation` into a ring slot (the
+  /// caller gets the displaced buffer back for reuse — capacities
+  /// circulate, nothing is freed) and block until the batch containing it
+  /// runs. Zero steady-state heap allocations. On kOk, `out` holds the
+  /// decision; on rejection/drain the observation is swapped back
+  /// untouched. A batch failure (no model, short decision vector, bad
+  /// input dim) rethrows the batch's exception.
+  SubmitResult try_decide_blocking(std::vector<float>& observation, Decision& out);
+
+  /// Throwing convenience over try_decide_blocking: BackpressureRejected
+  /// on a full queue, std::runtime_error when draining.
+  Decision decide_blocking(std::vector<float>& observation);
 
   /// Graceful drain: reject new requests, serve everything queued, then
   /// stop the engine thread (idempotent).
   void drain();
 
   bool accepting() const;
+  std::size_t queue_depth() const;
   EngineStats stats() const;
 
  private:
+  /// One ring slot / in-flight request. Exactly one of {promise, waiter}
+  /// is set: promise for the future path, waiter for the blocking path.
   struct Request {
-    std::vector<float> observation;
-    std::promise<Decision> promise;
+    std::vector<float> observation;  ///< buffer owned by the slot, reused
+    std::optional<std::promise<Decision>> promise;
     std::function<void(const Decision&)> on_complete;
+    detail::BlockingWaiter* waiter = nullptr;
     double enqueue_seconds = 0.0;
   };
 
   void run();
-  void serve_batch(std::vector<Request>& batch);
+  void serve_batch(std::size_t take);
+  /// Deliver one fulfilled request (engine thread). Success runs
+  /// on_complete then resolves; failure resolves with `failure`.
+  void fulfill(Request& req, const Decision* decision, const std::exception_ptr& failure);
+  /// Reserve the next ring slot or report why not (caller holds mutex_).
+  Request* reserve_slot_locked();
 
   ModelResolver resolver_;
   EngineConfig config_;
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Request> queue_;
+  std::vector<Request> ring_;      ///< bounded queue, preallocated
+  std::size_t head_ = 0;           ///< oldest queued request
+  std::size_t queued_ = 0;         ///< live entries in the ring
   bool draining_ = false;
   bool started_ = false;
   std::thread worker_;
+  std::atomic<std::uint64_t> rejected_{0};
+
+  // Engine-thread tick scratch (no locks needed): extracted requests and
+  // the reusable observation/decision buffers for the batched forward.
+  std::vector<Request> batch_;                     ///< metadata, <= max_batch
+  std::vector<std::vector<float>> observations_;   ///< rows for infer_into
+  std::vector<std::vector<float>> row_pool_;       ///< spare row capacities
+  std::vector<Decision> decisions_;
 
   // Stats (guarded by stats_mutex_ so snapshots don't contend with the
   // request path).

@@ -19,6 +19,7 @@ struct LatencySnapshot {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+  double p999_ms = 0.0;
   double max_ms = 0.0;
 };
 
@@ -37,6 +38,7 @@ class LatencyRecorder {
     out.p50_ms = s.p50;
     out.p95_ms = s.p95;
     out.p99_ms = s.p99;
+    out.p999_ms = s.p999;
     out.max_ms = s.max;
     return out;
   }

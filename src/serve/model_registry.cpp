@@ -21,8 +21,16 @@ constexpr float kNoSubmitOrdinal = -1.0f;
 
 std::vector<Decision> ServableModel::infer(
     const std::vector<std::vector<float>>& observations) const {
-  std::vector<Decision> out(observations.size());
-  if (observations.empty()) return out;
+  std::vector<Decision> out;
+  infer_into(observations, out);
+  return out;
+}
+
+void ServableModel::infer_into(const std::vector<std::vector<float>>& observations,
+                               std::vector<Decision>& out) const {
+  out.clear();
+  out.resize(observations.size());
+  if (observations.empty()) return;
   const std::size_t dim = observation_dim();
   const std::size_t k = info_.history_len;
   const std::size_t batch = observations.size();
@@ -34,7 +42,6 @@ std::vector<Decision> ServableModel::infer(
                                   std::to_string(dim) + " (history_len/state_dim mismatch)");
     }
   }
-
   std::lock_guard<std::mutex> lock(infer_mutex_);
   if (is_dqn()) {
     // One [2B, dim] Q-pass: row 2i is "wait", row 2i+1 is "submit".
@@ -73,7 +80,6 @@ std::vector<Decision> ServableModel::infer(
       out[i].model_version = version_;
     }
   }
-  return out;
 }
 
 // ----------------------------------------------------------- ModelRegistry

@@ -57,7 +57,9 @@ struct Decision {
 /// A loaded agent plus its provenance. Inference serializes on an internal
 /// mutex (the dual-head model caches activations), so a snapshot is safe
 /// to share across threads; the batched engine amortizes that lock over
-/// whole batches.
+/// whole batches. The inference entry points are virtual so harnesses
+/// (e.g. the serve soak bench) can substitute an allocation-free stub and
+/// audit the service layer in isolation from the NN forward.
 class ServableModel {
  public:
   ServableModel(ModelKey key, core::CheckpointInfo info, std::string path, std::uint64_t version,
@@ -68,6 +70,7 @@ class ServableModel {
         version_(version),
         dqn_(std::move(dqn)),
         pg_(std::move(pg)) {}
+  virtual ~ServableModel() = default;
 
   const ModelKey& key() const { return key_; }
   const core::CheckpointInfo& info() const { return info_; }
@@ -81,7 +84,16 @@ class ServableModel {
   /// channel is overwritten per model kind (±1 rows for the DQN Q-head,
   /// 0 for the PG P-head). Per-row results are bitwise identical to a
   /// B=1 pass over the same observation.
-  std::vector<Decision> infer(const std::vector<std::vector<float>>& observations) const;
+  virtual std::vector<Decision> infer(
+      const std::vector<std::vector<float>>& observations) const;
+
+  /// Same pass writing into a caller-owned buffer (resized to match); the
+  /// batched engine reuses one buffer across ticks so the decision vector
+  /// itself never churns the heap. The default NN-backed implementation
+  /// still allocates tensors inside the forward; an override (soak-bench
+  /// stub) can be fully allocation-free.
+  virtual void infer_into(const std::vector<std::vector<float>>& observations,
+                          std::vector<Decision>& out) const;
 
  private:
   ModelKey key_;

@@ -1,6 +1,7 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <stdexcept>
 
@@ -9,12 +10,29 @@
 
 namespace mirage::serve {
 
+namespace {
+
+std::size_t resolve_shards(std::size_t configured) {
+  if (configured > 0) return configured;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+[[noreturn]] void throw_unknown_session(SessionId id) {
+  throw std::out_of_range("ProvisioningService: unknown session " + std::to_string(id));
+}
+
+}  // namespace
+
 ProvisioningService::ProvisioningService(const ModelRegistry& registry, ModelKey key,
                                          ServiceConfig config)
-    : config_(config), engine_(registry, std::move(key), config.engine) {}
+    : config_(config),
+      engine_(registry, std::move(key), config.engine),
+      shards_(resolve_shards(config.shards)) {}
 
 ProvisioningService::ProvisioningService(ModelSnapshot model, ServiceConfig config)
-    : config_(config), engine_([model = std::move(model)] { return model; }, config.engine) {}
+    : config_(config),
+      engine_([model = std::move(model)] { return model; }, config.engine),
+      shards_(resolve_shards(config.shards)) {}
 
 ProvisioningService::~ProvisioningService() { drain_and_stop(); }
 
@@ -22,32 +40,106 @@ void ProvisioningService::start() {
   double expected = 0.0;
   started_seconds_.compare_exchange_strong(expected, util::wall_seconds());
   engine_.start();
+  if (config_.session_ttl_seconds > 0.0) {
+    std::lock_guard<std::mutex> lock(sweeper_mutex_);
+    if (!sweeper_.joinable() && !sweeper_stop_) {
+      sweeper_ = std::thread([this] { sweeper_loop(); });
+    }
+  }
 }
 
-void ProvisioningService::drain_and_stop() { engine_.drain(); }
+void ProvisioningService::drain_and_stop() {
+  engine_.drain();
+  std::thread sweeper;
+  {
+    std::lock_guard<std::mutex> lock(sweeper_mutex_);
+    sweeper_stop_ = true;
+    sweeper = std::move(sweeper_);
+  }
+  sweeper_cv_.notify_all();
+  if (sweeper.joinable()) sweeper.join();
+}
 
 SessionId ProvisioningService::open_session() {
-  std::unique_lock lock(sessions_mutex_);
-  const SessionId id = next_session_++;
-  sessions_.emplace(id, std::make_shared<Session>(config_.history_len,
-                                                  std::max<std::size_t>(1, config_.partition_count)));
-  ++total_sessions_;
+  const SessionId id = next_session_.fetch_add(1, std::memory_order_relaxed);
+  auto session = std::make_shared<Session>(config_.history_len,
+                                           std::max<std::size_t>(1, config_.partition_count));
+  session->last_access_seconds.store(util::wall_seconds(), std::memory_order_relaxed);
+  Shard& shard = shard_of(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.sessions.emplace(id, std::move(session));
+  ++shard.total_sessions;
   return id;
 }
 
 void ProvisioningService::close_session(SessionId id) {
-  std::unique_lock lock(sessions_mutex_);
-  sessions_.erase(id);
+  Shard& shard = shard_of(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.sessions.erase(id);
 }
 
 std::shared_ptr<ProvisioningService::Session> ProvisioningService::find_session(
     SessionId id) const {
-  std::shared_lock lock(sessions_mutex_);
-  const auto it = sessions_.find(id);
-  if (it == sessions_.end()) {
-    throw std::out_of_range("ProvisioningService: unknown session " + std::to_string(id));
+  Shard& shard = shard_of(id);
+  const bool ttl_on = config_.session_ttl_seconds > 0.0;
+  const double now = ttl_on ? util::wall_seconds() : 0.0;
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.sessions.find(id);
+  if (it == shard.sessions.end()) throw_unknown_session(id);
+  if (ttl_on) {
+    const double last = it->second->last_access_seconds.load(std::memory_order_relaxed);
+    if (now - last > config_.session_ttl_seconds) {
+      // Lazy expiry: reap on touch, then report it exactly like a closed
+      // session so a late observe/decide fails loudly instead of serving
+      // a zombie ring.
+      shard.sessions.erase(it);
+      shard.evictions.fetch_add(1, std::memory_order_relaxed);
+      throw_unknown_session(id);
+    }
+    it->second->last_access_seconds.store(now, std::memory_order_relaxed);
   }
   return it->second;
+}
+
+std::size_t ProvisioningService::sweep_shard(Shard& shard) const {
+  if (config_.session_ttl_seconds <= 0.0) return 0;
+  const double now = util::wall_seconds();
+  std::size_t evicted = 0;
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  for (auto it = shard.sessions.begin(); it != shard.sessions.end();) {
+    const double last = it->second->last_access_seconds.load(std::memory_order_relaxed);
+    if (now - last > config_.session_ttl_seconds) {
+      it = shard.sessions.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  if (evicted) shard.evictions.fetch_add(evicted, std::memory_order_relaxed);
+  return evicted;
+}
+
+void ProvisioningService::sweeper_loop() {
+  const auto interval = std::chrono::duration<double>(
+      std::max(1e-4, config_.sweep_interval_seconds));
+  std::unique_lock<std::mutex> lock(sweeper_mutex_);
+  while (!sweeper_stop_) {
+    if (sweeper_cv_.wait_for(lock, interval, [this] { return sweeper_stop_; })) break;
+    // Amortized background expiry: one shard per tick, round-robin, so
+    // sweep cost stays O(sessions / shards) per wakeup no matter how
+    // large the table grows (lazy expiry covers touched sessions).
+    const std::size_t cursor = sweep_cursor_;
+    sweep_cursor_ = (sweep_cursor_ + 1) % shards_.size();
+    lock.unlock();
+    sweep_shard(shards_[cursor]);
+    lock.lock();
+  }
+}
+
+std::size_t ProvisioningService::evict_expired() {
+  std::size_t evicted = 0;
+  for (auto& shard : shards_) evicted += sweep_shard(shard);
+  return evicted;
 }
 
 void ProvisioningService::observe(SessionId id, const sim::StateSample& sample,
@@ -57,22 +149,59 @@ void ProvisioningService::observe(SessionId id, const sim::StateSample& sample,
   session->encoder.push(sample, ctx);
 }
 
+void ProvisioningService::record_served(Shard& shard, Session& session,
+                                        const Decision& d) const {
+  session.decisions.fetch_add(1, std::memory_order_relaxed);
+  shard.decisions.fetch_add(1, std::memory_order_relaxed);
+  if (d.action == 1) shard.submits.fetch_add(1, std::memory_order_relaxed);
+}
+
 std::future<Decision> ProvisioningService::decide_async(SessionId id) {
   const auto session = find_session(id);
   std::vector<float> observation;
   {
     std::lock_guard<std::mutex> lock(session->mutex);
     observation = session->encoder.flatten(0.0f);
-    ++session->decisions;
   }
-  return engine_.submit(std::move(observation), [this](const Decision& d) {
-    std::lock_guard<std::mutex> lock(counters_mutex_);
-    ++decisions_;
-    submits_ += (d.action == 1);
-  });
+  // Served-decision accounting happens in the engine's completion hook,
+  // which runs only when the request actually produced a decision — a
+  // drained, rejected or failed request never inflates the counters.
+  Shard* shard = &shard_of(id);
+  return engine_.submit(std::move(observation),
+                        [this, shard, session](const Decision& d) {
+                          record_served(*shard, *session, d);
+                        });
 }
 
-Decision ProvisioningService::decide(SessionId id) { return decide_async(id).get(); }
+Decision ProvisioningService::decide(SessionId id) {
+  Decision out;
+  switch (try_decide(id, out)) {
+    case BatchedInferenceEngine::SubmitResult::kOk:
+      return out;
+    case BatchedInferenceEngine::SubmitResult::kRejectedBackpressure:
+      throw BackpressureRejected();
+    case BatchedInferenceEngine::SubmitResult::kDraining:
+      break;
+  }
+  throw std::runtime_error("ProvisioningService: draining, decision rejected");
+}
+
+BatchedInferenceEngine::SubmitResult ProvisioningService::try_decide(SessionId id,
+                                                                     Decision& out) {
+  const auto session = find_session(id);
+  // Reused per calling thread: flatten_into + the engine's slot swap keep
+  // the steady-state decide path free of heap allocations.
+  thread_local std::vector<float> observation;
+  {
+    std::lock_guard<std::mutex> lock(session->mutex);
+    session->encoder.flatten_into(observation, 0.0f);
+  }
+  const auto result = engine_.try_decide_blocking(observation, out);
+  if (result == BatchedInferenceEngine::SubmitResult::kOk) {
+    record_served(shard_of(id), *session, out);
+  }
+  return result;
+}
 
 std::vector<float> ProvisioningService::session_history(SessionId id) const {
   const auto session = find_session(id);
@@ -87,21 +216,26 @@ std::size_t ProvisioningService::session_frames_seen(SessionId id) const {
 }
 
 std::size_t ProvisioningService::session_count() const {
-  std::shared_lock lock(sessions_mutex_);
-  return sessions_.size();
+  std::size_t count = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    count += shard.sessions.size();
+  }
+  return count;
 }
 
 ServiceReport ProvisioningService::report() const {
   ServiceReport r;
-  {
-    std::shared_lock lock(sessions_mutex_);
-    r.open_sessions = sessions_.size();
-    r.total_sessions = total_sessions_;
-  }
-  {
-    std::lock_guard<std::mutex> lock(counters_mutex_);
-    r.decisions = decisions_;
-    r.submits = submits_;
+  r.shards = shards_.size();
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      r.open_sessions += shard.sessions.size();
+      r.total_sessions += shard.total_sessions;
+    }
+    r.decisions += shard.decisions.load(std::memory_order_relaxed);
+    r.submits += shard.submits.load(std::memory_order_relaxed);
+    r.evictions += shard.evictions.load(std::memory_order_relaxed);
   }
   r.engine = engine_.stats();
   const double started = started_seconds_.load();
@@ -134,12 +268,19 @@ std::string ProvisioningService::metrics_text() const {
   };
   emit("mirage_serve_open_sessions", "currently open sessions", "gauge",
        static_cast<double>(r.open_sessions));
+  emit("mirage_serve_session_shards", "session table shard count", "gauge",
+       static_cast<double>(r.shards));
   emit("mirage_serve_sessions_total", "sessions opened since start", "counter",
        static_cast<double>(r.total_sessions));
   emit("mirage_serve_decisions_total", "decisions served", "counter",
        static_cast<double>(r.decisions));
   emit("mirage_serve_submits_total", "decisions that said submit", "counter",
        static_cast<double>(r.submits));
+  emit("mirage_serve_evictions_total", "sessions evicted by the idle TTL", "counter",
+       static_cast<double>(r.evictions));
+  emit("mirage_serve_rejected_backpressure_total",
+       "decision requests rejected by engine backpressure", "counter",
+       static_cast<double>(r.engine.rejected));
   emit("mirage_serve_requests_total", "engine requests served", "counter",
        static_cast<double>(r.engine.requests));
   emit("mirage_serve_ticks_total", "engine batch ticks", "counter",
@@ -158,11 +299,15 @@ std::string ProvisioningService::metrics_text() const {
   quantile("0.5", r.engine.latency.p50_ms);
   quantile("0.95", r.engine.latency.p95_ms);
   quantile("0.99", r.engine.latency.p99_ms);
+  quantile("0.999", r.engine.latency.p999_ms);
   std::snprintf(line, sizeof(line), "mirage_serve_latency_seconds_sum %.17g\n",
                 r.engine.latency.mean_ms * 1e-3 * static_cast<double>(r.engine.latency.count));
   out += line;
-  std::snprintf(line, sizeof(line), "mirage_serve_latency_seconds_count %zu\n",
-                r.engine.latency.count);
+  // The count is size_t-typed today but printed via a fixed-width cast:
+  // %zu would silently mismatch if the counter ever widens to uint64_t on
+  // an ILP32 target, and PRIu64 keeps the format portable either way.
+  std::snprintf(line, sizeof(line), "mirage_serve_latency_seconds_count %" PRIu64 "\n",
+                static_cast<std::uint64_t>(r.engine.latency.count));
   out += line;
   // Process-wide instruments (span histograms, scenario/serve counters).
   out += obs::registry().to_prometheus();

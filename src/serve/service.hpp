@@ -7,14 +7,37 @@
 // so a thousand concurrent sessions cost a handful of batched forwards
 // per decision interval instead of a thousand B=1 passes.
 //
+// Million-session scaling: the session table is SHARDED. Each of the N
+// shards (default hardware_concurrency; session_id % N) owns its mutex,
+// session map and served/submit/eviction counters, so open/observe/decide
+// on different sessions never contend on one lock and completed decisions
+// never funnel through a global counters mutex — report()/metrics_text()
+// aggregate the shards at read time. shards=1 reproduces the original
+// single-map service exactly.
+//
+// Idle sessions are evicted by TTL (session_ttl_seconds > 0): lazily on
+// access — a lookup that finds an expired session erases it and throws
+// std::out_of_range, exactly like a closed session — plus an amortized
+// background sweep that scans ONE shard per tick (the lazy + background
+// expiry split of snkv's ttl-support design), so a million abandoned
+// sessions cost one shard-sized scan per sweep interval, not a stall.
+//
+// Backpressure: the engine queue is bounded (EngineConfig::max_queue);
+// when the engine saturates, decide paths fail fast with
+// BackpressureRejected (counted in EngineStats::rejected) instead of
+// growing an unbounded backlog.
+//
 // Shutdown is a graceful drain: new decisions are rejected, everything
-// in flight completes, then the engine thread stops.
+// in flight completes, then the engine thread and TTL sweeper stop.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
-#include <shared_mutex>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "rl/state_encoder.hpp"
 #include "serve/inference_engine.hpp"
@@ -32,14 +55,25 @@ struct ServiceConfig {
   /// served checkpoint's frame width (rl::frame_dim(partition_count)).
   /// 1 = classic single-pool frames (exactly rl::kFrameDim wide).
   std::size_t partition_count = 1;
+  /// Session shards (0 = hardware_concurrency). Shard = session_id % N.
+  /// 1 gives the original single-map behavior.
+  std::size_t shards = 0;
+  /// Evict sessions idle (no open/observe/decide/history access) longer
+  /// than this; 0 disables eviction. Expired sessions behave exactly like
+  /// closed ones: any access throws std::out_of_range.
+  double session_ttl_seconds = 0.0;
+  /// Background sweep cadence; each tick scans one shard round-robin.
+  double sweep_interval_seconds = 0.1;
   EngineConfig engine;
 };
 
 struct ServiceReport {
   std::size_t open_sessions = 0;
+  std::size_t shards = 0;
   std::uint64_t total_sessions = 0;
   std::uint64_t decisions = 0;
   std::uint64_t submits = 0;       ///< decisions that said "submit now"
+  std::uint64_t evictions = 0;     ///< sessions reaped by the idle TTL
   EngineStats engine;
   double uptime_seconds = 0.0;
   double decisions_per_second = 0.0;
@@ -57,19 +91,29 @@ class ProvisioningService {
 
   void start();
   /// Graceful drain: stop admitting decisions, complete in-flight ones,
-  /// stop the engine (idempotent).
+  /// stop the engine and the TTL sweeper (idempotent).
   void drain_and_stop();
 
   SessionId open_session();
   void close_session(SessionId id);
 
-  /// Append one state frame to the session's history ring.
+  /// Append one state frame to the session's history ring. Zero
+  /// steady-state heap allocations.
   void observe(SessionId id, const sim::StateSample& sample, const rl::JobPairContext& ctx);
 
-  /// Batched async decision on the session's current history.
+  /// Batched async decision on the session's current history (allocates
+  /// the future's shared state; use decide()/try_decide() on paths that
+  /// must not touch the heap).
   std::future<Decision> decide_async(SessionId id);
-  /// Blocking convenience wrapper.
+  /// Blocking decision via the engine's pooled path: zero steady-state
+  /// heap allocations per call (audited by bench_serve_soak). Throws
+  /// BackpressureRejected when the engine queue is full.
   Decision decide(SessionId id);
+  /// Non-throwing blocking variant for load-shedding callers (the soak
+  /// bench's hot loop): kOk fills `out`; rejection/drain report status
+  /// without exception traffic. Unknown/expired sessions still throw
+  /// std::out_of_range, and a failed batch rethrows its error.
+  BatchedInferenceEngine::SubmitResult try_decide(SessionId id, Decision& out);
 
   /// The session's flattened history (action channel zeroed) — the exact
   /// tensor row the next decision would see. Test/debug hook.
@@ -77,6 +121,10 @@ class ProvisioningService {
   std::size_t session_frames_seen(SessionId id) const;
 
   std::size_t session_count() const;
+  /// Sweep every shard now, evicting expired sessions; returns the number
+  /// evicted. Test hook — production relies on the lazy check plus the
+  /// background one-shard-per-tick sweeper.
+  std::size_t evict_expired();
   ServiceReport report() const;
 
   /// Prometheus text exposition: service counters/gauges, engine batch and
@@ -90,23 +138,42 @@ class ProvisioningService {
     Session(std::size_t k, std::size_t partition_count) : encoder(k, partition_count) {}
     mutable std::mutex mutex;
     rl::StateEncoder encoder;
-    std::uint64_t decisions = 0;
+    std::atomic<std::uint64_t> decisions{0};
+    std::atomic<double> last_access_seconds{0.0};
   };
 
+  /// One shard: its own lock, session map and counters. The counters are
+  /// relaxed atomics so the engine-thread completion callback and the
+  /// blocking decide path never serialize on a shard (or global) mutex.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<SessionId, std::shared_ptr<Session>> sessions;
+    std::uint64_t total_sessions = 0;  ///< guarded by mutex
+    std::atomic<std::uint64_t> decisions{0};
+    std::atomic<std::uint64_t> submits{0};
+    std::atomic<std::uint64_t> evictions{0};
+  };
+
+  Shard& shard_of(SessionId id) const { return shards_[id % shards_.size()]; }
+  /// Locate a live session; refresh its TTL clock. Expired sessions are
+  /// erased here (lazy expiry) and reported exactly like closed ones.
   std::shared_ptr<Session> find_session(SessionId id) const;
+  std::size_t sweep_shard(Shard& shard) const;
+  void sweeper_loop();
+  void record_served(Shard& shard, Session& session, const Decision& d) const;
 
   ServiceConfig config_;
   BatchedInferenceEngine engine_;
   std::atomic<double> started_seconds_{0.0};
 
-  mutable std::shared_mutex sessions_mutex_;
-  std::map<SessionId, std::shared_ptr<Session>> sessions_;
-  SessionId next_session_ = 1;
-  std::uint64_t total_sessions_ = 0;
+  mutable std::vector<Shard> shards_;  ///< fixed size after construction
+  std::atomic<SessionId> next_session_{1};
 
-  mutable std::mutex counters_mutex_;
-  std::uint64_t decisions_ = 0;
-  std::uint64_t submits_ = 0;
+  std::thread sweeper_;
+  std::mutex sweeper_mutex_;
+  std::condition_variable sweeper_cv_;
+  bool sweeper_stop_ = false;
+  std::size_t sweep_cursor_ = 0;  ///< next shard the background sweep scans
 };
 
 }  // namespace mirage::serve

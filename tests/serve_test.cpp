@@ -100,6 +100,33 @@ rl::JobPairContext make_ctx(std::uint64_t session) {
   return ctx;
 }
 
+/// Allocation-free stub model: decision = sign of the first element.
+/// `short_batch` mimics a broken hot-reloaded model whose infer truncates
+/// its output vector — the engine must refuse to serve such a batch.
+struct StubModel : ServableModel {
+  static core::CheckpointInfo stub_info(std::size_t dim) {
+    core::CheckpointInfo info;
+    info.history_len = 1;
+    info.state_dim = dim;
+    return info;
+  }
+  explicit StubModel(std::size_t dim, bool short_batch = false)
+      : ServableModel({"stub", "dqn", "moe"}, stub_info(dim), "<stub>", 1, nullptr, nullptr),
+        short_batch_(short_batch) {}
+  void infer_into(const std::vector<std::vector<float>>& observations,
+                  std::vector<Decision>& out) const override {
+    out.resize(observations.size());
+    for (std::size_t i = 0; i < observations.size(); ++i) {
+      out[i].action = !observations[i].empty() && observations[i][0] > 0.0f ? 1 : 0;
+      out[i].score_submit = out[i].action ? 1.0f : 0.0f;
+      out[i].score_wait = 1.0f - out[i].score_submit;
+      out[i].model_version = version();
+    }
+    if (short_batch_ && out.size() > 1) out.pop_back();
+  }
+  bool short_batch_;
+};
+
 // ---------------------------------------------------------------- Registry
 
 TEST(ModelRegistry, ScanLoadsAndKeysCheckpoints) {
@@ -371,6 +398,69 @@ TEST(InferenceEngine, SubmitAfterDrainIsRejected) {
   EXPECT_THROW(fut.get(), std::runtime_error);
 }
 
+TEST(InferenceEngine, BoundedQueueRejectsWithBackpressure) {
+  TempDir dir("backpressure");
+  auto agent = make_dqn(33);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+
+  EngineConfig cfg;
+  cfg.max_queue = 4;
+  cfg.coalesce_wait = std::chrono::microseconds(0);
+  BatchedInferenceEngine engine(registry, {"v100", "dqn", "moe"}, cfg);
+
+  // Engine not started: the ring fills deterministically.
+  const std::size_t dim = test_net().history_len * test_net().state_dim;
+  std::vector<std::future<Decision>> queued;
+  for (int i = 0; i < 4; ++i) queued.push_back(engine.submit(std::vector<float>(dim, 0.1f)));
+  EXPECT_EQ(engine.queue_depth(), 4u);
+
+  auto over = engine.submit(std::vector<float>(dim, 0.1f));
+  EXPECT_THROW(over.get(), BackpressureRejected);
+
+  Decision out;
+  std::vector<float> obs(dim, 0.2f);
+  EXPECT_EQ(engine.try_decide_blocking(obs, out),
+            BatchedInferenceEngine::SubmitResult::kRejectedBackpressure);
+  EXPECT_EQ(obs.size(), dim);  // rejected submission hands the buffer back
+  EXPECT_EQ(engine.stats().rejected, 2u);
+
+  // The queued four are unharmed and get served once the engine runs.
+  engine.start();
+  for (auto& f : queued) EXPECT_NO_THROW(f.get());
+  engine.drain();
+  EXPECT_EQ(engine.stats().requests, 4u);
+}
+
+TEST(InferenceEngine, TruncatedModelOutputFailsWholeBatchLoudly) {
+  // A model returning fewer decisions than observations (e.g. a broken
+  // hot-reload) must fail every request in the batch with a descriptive
+  // error — never index out of bounds or serve a partial batch.
+  auto model = std::make_shared<const StubModel>(4, /*short_batch=*/true);
+  EngineConfig cfg;
+  cfg.coalesce_wait = std::chrono::microseconds(0);
+  cfg.use_thread_pool = false;
+  BatchedInferenceEngine engine([model] { return ModelSnapshot(model); }, cfg);
+
+  std::vector<std::future<Decision>> futures;
+  for (int i = 0; i < 3; ++i) futures.push_back(engine.submit(std::vector<float>(4, 1.0f)));
+  engine.start();
+  for (auto& f : futures) {
+    try {
+      f.get();
+      FAIL() << "truncated batch must fail";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos) << e.what();
+    }
+  }
+  engine.drain();
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.requests, 3u);
+  // Latency reflects SERVED decisions only — the failed batch recorded none.
+  EXPECT_EQ(stats.latency.count, 0u);
+}
+
 // --------------------------------------------------------------- Hot reload
 
 TEST(ModelRegistry, HotReloadUnderConcurrentRequests) {
@@ -549,7 +639,10 @@ TEST(ProvisioningService, MetricsTextExposesPrometheusCountersAndLatency) {
   EXPECT_NE(text.find("mirage_serve_decisions_total 5"), std::string::npos) << text;
   EXPECT_NE(text.find("mirage_serve_sessions_total 1"), std::string::npos);
   EXPECT_NE(text.find("mirage_serve_latency_seconds{quantile=\"0.99\"}"), std::string::npos);
+  EXPECT_NE(text.find("mirage_serve_latency_seconds{quantile=\"0.999\"}"), std::string::npos);
   EXPECT_NE(text.find("mirage_serve_latency_seconds_count 5"), std::string::npos);
+  EXPECT_NE(text.find("mirage_serve_session_shards"), std::string::npos);
+  EXPECT_NE(text.find("mirage_serve_rejected_backpressure_total 0"), std::string::npos);
   // The service exposition appends the process-wide obs registry, so span
   // histograms (serve_batch at minimum) ride along.
   EXPECT_NE(text.find("obs_span_seconds_serve_batch"), std::string::npos);
@@ -615,6 +708,266 @@ TEST(ProvisioningService, HistoryLenMismatchFailsLoudly) {
   const SessionId id = service.open_session();
   service.observe(id, make_sample(0, 0), make_ctx(0));
   EXPECT_THROW(service.decide(id), std::invalid_argument);
+  service.drain_and_stop();
+}
+
+TEST(ProvisioningService, DecideThrowsBackpressureWhenEngineSaturated) {
+  TempDir dir("svc_bp");
+  auto agent = make_dqn(93);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+
+  ServiceConfig cfg;
+  cfg.history_len = test_net().history_len;
+  cfg.engine.max_queue = 1;
+  ProvisioningService service(registry, {"v100", "dqn", "moe"}, cfg);
+  // Deliberately not started: the single queue slot stays occupied.
+  const SessionId id = service.open_session();
+  service.observe(id, make_sample(0, 0), make_ctx(0));
+  auto parked = service.decide_async(id);  // fills the only slot
+
+  EXPECT_THROW(service.decide(id), BackpressureRejected);
+  Decision out;
+  EXPECT_EQ(service.try_decide(id, out),
+            BatchedInferenceEngine::SubmitResult::kRejectedBackpressure);
+
+  service.start();
+  EXPECT_NO_THROW(parked.get());
+  service.drain_and_stop();
+  const auto report = service.report();
+  EXPECT_EQ(report.decisions, 1u);  // rejected requests never counted served
+  EXPECT_EQ(report.engine.rejected, 2u);
+  const std::string text = service.metrics_text();
+  EXPECT_NE(text.find("mirage_serve_rejected_backpressure_total 2"), std::string::npos) << text;
+}
+
+// --------------------------------------------------------------------- TTL
+
+TEST(ProvisioningService, TtlEvictsIdleSessionsLazilyAndOnSweep) {
+  TempDir dir("ttl");
+  auto agent = make_dqn(95);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+
+  ServiceConfig cfg;
+  cfg.history_len = test_net().history_len;
+  cfg.shards = 4;
+  cfg.session_ttl_seconds = 0.03;
+  cfg.sweep_interval_seconds = 100.0;  // background sweeper effectively off
+  ProvisioningService service(registry, {"v100", "dqn", "moe"}, cfg);
+  service.start();
+
+  std::vector<SessionId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(service.open_session());
+  EXPECT_EQ(service.session_count(), 8u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  // Lazy path: touching an expired session reaps it and reports it exactly
+  // like a closed one (std::out_of_range, not a crash or a stale serve).
+  EXPECT_THROW(service.observe(ids[0], make_sample(0, 0), make_ctx(0)), std::out_of_range);
+  // Explicit sweep reaps the remaining seven across all four shards.
+  EXPECT_EQ(service.evict_expired(), 7u);
+  EXPECT_EQ(service.session_count(), 0u);
+  EXPECT_EQ(service.report().evictions, 8u);
+
+  // A session kept warm by periodic access survives several TTL windows.
+  const SessionId live = service.open_session();
+  for (int i = 0; i < 5; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    EXPECT_NO_THROW(service.observe(live, make_sample(9, i), make_ctx(9)));
+  }
+  EXPECT_EQ(service.evict_expired(), 0u);
+  EXPECT_EQ(service.session_count(), 1u);
+  service.drain_and_stop();
+}
+
+TEST(ProvisioningService, BackgroundSweeperReapsAbandonedSessions) {
+  TempDir dir("sweeper");
+  auto agent = make_dqn(97);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+
+  ServiceConfig cfg;
+  cfg.history_len = test_net().history_len;
+  cfg.shards = 4;
+  cfg.session_ttl_seconds = 0.02;
+  cfg.sweep_interval_seconds = 0.005;
+  ProvisioningService service(registry, {"v100", "dqn", "moe"}, cfg);
+  service.start();
+  for (int i = 0; i < 12; ++i) service.open_session();
+
+  // Nobody ever touches these sessions again; the one-shard-per-tick
+  // background sweep alone must reap all of them.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (service.session_count() > 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(service.session_count(), 0u);
+  EXPECT_EQ(service.report().evictions, 12u);
+  service.drain_and_stop();
+}
+
+// -------------------------------------------------------------- Race storm
+
+TEST(ProvisioningService, ShardedRaceStormStaysConsistent) {
+  TempDir dir("storm");
+  auto agent = make_dqn(99);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+
+  ServiceConfig cfg;
+  cfg.history_len = test_net().history_len;
+  cfg.shards = 8;                    // force real sharding on any host
+  cfg.session_ttl_seconds = 0.03;    // evictions race live traffic
+  cfg.sweep_interval_seconds = 0.005;
+  cfg.engine.max_batch = 16;
+  cfg.engine.coalesce_wait = std::chrono::microseconds(100);
+  ProvisioningService service(registry, {"v100", "dqn", "moe"}, cfg);
+  service.start();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<std::uint64_t> gone{0};  // closed/evicted under our feet
+  std::mutex pool_mutex;
+  std::vector<SessionId> pool;
+
+  // Workers mix every session-layer operation on a shared id pool while
+  // the TTL sweeper runs hot: open, observe, async decide, blocking
+  // decide and close all race across shards. The invariants are (a) no
+  // crash/UB, (b) the only session-level failure is std::out_of_range,
+  // (c) served-decision accounting balances exactly.
+  const auto worker = [&](unsigned seed) {
+    util::Rng rng(seed);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto pick = rng.uniform_int(0, 9);
+      if (pick < 3) {
+        const SessionId id = service.open_session();
+        std::lock_guard<std::mutex> lock(pool_mutex);
+        pool.push_back(id);
+        continue;
+      }
+      SessionId id = 0;
+      {
+        std::lock_guard<std::mutex> lock(pool_mutex);
+        if (pool.empty()) continue;
+        id = pool[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
+      }
+      try {
+        if (pick < 6) {
+          service.observe(id, make_sample(id, 0), make_ctx(id));
+        } else if (pick < 8) {
+          service.decide_async(id).get();
+          served.fetch_add(1, std::memory_order_relaxed);
+        } else if (pick == 8) {
+          Decision d;
+          if (service.try_decide(id, d) == BatchedInferenceEngine::SubmitResult::kOk) {
+            served.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          service.close_session(id);
+        }
+      } catch (const std::out_of_range&) {
+        gone.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (unsigned w = 0; w < 8; ++w) threads.emplace_back(worker, 1234 + w);
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  service.drain_and_stop();
+
+  const auto report = service.report();
+  EXPECT_EQ(report.shards, 8u);
+  EXPECT_GT(served.load(), 0u);
+  EXPECT_EQ(report.decisions, served.load());  // exact: served only, each once
+  EXPECT_EQ(report.open_sessions, service.session_count());
+  EXPECT_GE(report.total_sessions, report.open_sessions + report.evictions);
+}
+
+TEST(ProvisioningService, CloseSessionRacesInFlightDecide) {
+  TempDir dir("closerace");
+  auto agent = make_dqn(101);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+
+  ServiceConfig cfg;
+  cfg.history_len = test_net().history_len;
+  cfg.engine.coalesce_wait = std::chrono::microseconds(5000);
+  ProvisioningService service(registry, {"v100", "dqn", "moe"}, cfg);
+  service.start();
+  const SessionId id = service.open_session();
+  service.observe(id, make_sample(0, 0), make_ctx(0));
+
+  // Close while the decision is (likely) still queued: the session object
+  // is kept alive by the in-flight request, which completes normally.
+  auto fut = service.decide_async(id);
+  service.close_session(id);
+  EXPECT_NO_THROW(fut.get());
+  service.drain_and_stop();
+  EXPECT_EQ(service.report().decisions, 1u);
+  EXPECT_EQ(service.session_count(), 0u);
+}
+
+TEST(ProvisioningService, DrainWhileSubmittingShedsCleanly) {
+  TempDir dir("drainrace");
+  auto agent = make_dqn(103);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+
+  ServiceConfig cfg;
+  cfg.history_len = test_net().history_len;
+  cfg.shards = 4;
+  ProvisioningService service(registry, {"v100", "dqn", "moe"}, cfg);
+  service.start();
+
+  std::vector<SessionId> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(service.open_session());
+  std::atomic<std::uint64_t> served{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (;;) {
+        try {
+          service.decide(ids[static_cast<std::size_t>(c)]);
+          served.fetch_add(1, std::memory_order_relaxed);
+        } catch (const std::runtime_error&) {
+          return;  // draining (or backpressure near shutdown): clean shed
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  service.drain_and_stop();  // races the submitting clients
+  for (auto& t : clients) t.join();
+
+  const auto report = service.report();
+  EXPECT_GT(served.load(), 0u);
+  EXPECT_EQ(report.decisions, served.load());
+}
+
+TEST(ProvisioningService, ShardCountIsReportedAndConfigurable) {
+  auto model = std::make_shared<const StubModel>(test_net().history_len * rl::kFrameDim);
+  ServiceConfig cfg;
+  cfg.history_len = test_net().history_len;
+  cfg.shards = 5;
+  ProvisioningService service(ModelSnapshot(model), cfg);
+  service.start();
+  for (int i = 0; i < 10; ++i) service.open_session();
+  const auto report = service.report();
+  EXPECT_EQ(report.shards, 5u);
+  EXPECT_EQ(report.open_sessions, 10u);
+  const std::string text = service.metrics_text();
+  EXPECT_NE(text.find("mirage_serve_session_shards 5"), std::string::npos) << text;
+  EXPECT_NE(text.find("mirage_serve_evictions_total 0"), std::string::npos);
   service.drain_and_stop();
 }
 
