@@ -11,11 +11,20 @@
 //      gracefully and print the serving metrics.
 //
 //   ./serve_demo [cluster=v100] [sessions=200] [rounds=12] [seed=42]
-//               [shards=0] [ttl=0] [max_queue=8192]
+//               [shards=0] [ttl=0] [max_queue=8192] [slo=1]
+//               [force_breach=0] [flight_dir=flight_demo]
 //
 // shards=0 picks hardware_concurrency session shards; ttl>0 turns on idle
 // session eviction (lazy on access + background sweep); max_queue bounds
 // the engine queue (overflow is rejected with BackpressureRejected).
+//
+// slo=1 (default) turns on the serving SLOs (p99 latency + reject-rate
+// burn alerts) and prints health_text() after the drain. force_breach=1
+// swaps in an unmeetable latency target so the alert must transition to
+// firing mid-traffic and auto-dump a flight-recorder bundle under
+// flight_dir; the demo then schema-validates the bundle and exits
+// non-zero if the breach did not fire or the bundle is invalid (the CI
+// smoke gate).
 #include <cstdio>
 #include <filesystem>
 #include <future>
@@ -23,6 +32,7 @@
 
 #include "core/checkpoint.hpp"
 #include "core/pipeline.hpp"
+#include "obs/flight_recorder.hpp"
 #include "serve/service.hpp"
 #include "sim/simulator.hpp"
 #include "util/config.hpp"
@@ -78,6 +88,25 @@ int main(int argc, char** argv) {
   svc_cfg.session_ttl_seconds = cli.get_double("ttl", 0.0);
   svc_cfg.engine.max_batch = 64;
   svc_cfg.engine.max_queue = static_cast<std::size_t>(cli.get_int("max_queue", 8192));
+  const bool force_breach = cli.get_int("force_breach", 0) != 0;
+  const std::string flight_dir = cli.get_string("flight_dir", "flight_demo");
+  if (cli.get_int("slo", 1) != 0) {
+    svc_cfg.slo.enabled = true;
+    svc_cfg.sweep_interval_seconds = 0.02;
+    if (force_breach) {
+      // Unmeetable latency objective: every decision is "bad", both burn
+      // windows saturate, the alert must fire mid-traffic and the fire
+      // hook dumps a flight-recorder bundle under flight_dir.
+      svc_cfg.slo.latency_target_seconds = 1e-9;
+      svc_cfg.slo.latency_quantile = 50.0;
+      svc_cfg.slo.short_window_seconds = 0.1;
+      svc_cfg.slo.long_window_seconds = 0.3;
+      svc_cfg.slo.resolve_seconds = 60.0;
+      obs::FlightRecorderConfig frc;
+      frc.directory = flight_dir;
+      obs::flight_recorder().configure(frc);
+    }
+  }
   serve::ProvisioningService service(registry, key, svc_cfg);
   service.start();
 
@@ -153,6 +182,41 @@ int main(int argc, char** argv) {
               report.engine.latency.p50_ms, report.engine.latency.p95_ms,
               report.engine.latency.p99_ms, report.engine.latency.p999_ms,
               report.engine.latency.max_ms);
+
+  if (svc_cfg.slo.enabled) {
+    std::printf("\n=== health ===\n%s", service.health_text().c_str());
+  }
+
+  // ---- 4c. forced-breach smoke gate (CI) ---------------------------------
+  if (force_breach) {
+    std::uint64_t fires = 0;
+    for (const auto& st : service.slo_statuses()) fires += st.fires;
+    std::string newest;
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(flight_dir, ec)) {
+      const auto name = entry.path().filename().string();
+      if (entry.is_directory() && name.rfind("bundle_", 0) == 0 && name > newest)
+        newest = name;
+    }
+    if (fires == 0) {
+      std::fprintf(stderr, "force_breach: SLO never fired (fires=0)\n");
+      return 2;
+    }
+    if (newest.empty()) {
+      std::fprintf(stderr, "force_breach: no flight bundle under %s\n", flight_dir.c_str());
+      return 2;
+    }
+    std::string err;
+    const auto bundle = (std::filesystem::path(flight_dir) / newest).string();
+    if (!obs::FlightRecorder::validate_bundle(bundle, &err)) {
+      std::fprintf(stderr, "force_breach: invalid bundle %s: %s\n", bundle.c_str(),
+                   err.c_str());
+      return 2;
+    }
+    std::printf("\nforce_breach: %llu SLO fire(s); valid flight bundle at %s\n",
+                static_cast<unsigned long long>(fires), bundle.c_str());
+  }
+
   std::printf("\ngraceful drain complete; all in-flight decisions answered.\n");
   return 0;
 }

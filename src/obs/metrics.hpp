@@ -92,11 +92,28 @@ class Gauge {
 /// Fixed exponential buckets over seconds: bucket i holds samples in
 /// [2^(i-1), 2^i) microseconds; bucket 0 is < 1us, the last is overflow
 /// (>= ~1.2 hours). 33 buckets cover the whole range with one clz.
+///
+/// Buckets can carry EXEMPLARS: record(seconds, exemplar_id) stamps the
+/// sample's bucket with the id (a trace/request id), last-writer-wins.
+/// That is the link from an aggregate percentile back to one concrete
+/// request journey in the trace ring: exemplar_for_percentile(99.9)
+/// returns the id of a real request that landed in (or nearest to) the
+/// p99.9 bucket. Exemplar stores are relaxed and deliberately unsharded —
+/// a torn id/value pair under contention is acceptable for a diagnostic
+/// pointer and keeps record() allocation-free.
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 33;
 
+  struct Exemplar {
+    std::uint64_t id = 0;      ///< trace/request id stamped by record()
+    double seconds = 0.0;      ///< the exemplar sample's value
+    bool valid = false;
+  };
+
   void record(double seconds);
+  /// Record and stamp the sample's bucket with `exemplar_id`.
+  void record(double seconds, std::uint64_t exemplar_id);
   std::uint64_t count() const;
   double sum() const;
   double mean() const {
@@ -108,6 +125,12 @@ class Histogram {
   static double bucket_upper_seconds(std::size_t i);
   /// Monotone bucket-interpolated percentile estimate, q in [0,100].
   double percentile(double q) const;
+  /// Exemplar stamped on bucket i (valid=false when none recorded).
+  Exemplar exemplar(std::size_t i) const;
+  /// Exemplar of the bucket holding the q-th percentile rank, falling back
+  /// to the nearest stamped bucket (below first, then above). The returned
+  /// id is a concrete trace/request id behind that latency region.
+  Exemplar exemplar_for_percentile(double q) const;
   void reset();
 
  private:
@@ -116,7 +139,15 @@ class Histogram {
     std::atomic<std::uint64_t> n{0};
     std::atomic<std::uint64_t> sum_us{0};
   };
+  /// One slot per bucket, unsharded: stamp > 0 marks a recorded exemplar.
+  struct ExemplarSlot {
+    std::atomic<std::uint64_t> id{0};
+    std::atomic<std::uint64_t> value_bits{0};  ///< double bit pattern
+    std::atomic<std::uint64_t> stamp{0};
+  };
+  std::size_t percentile_bucket(double q) const;
   Shard shards_[detail::kShards];
+  ExemplarSlot exemplars_[kBuckets];
 };
 
 struct ReservoirSnapshot {
@@ -189,5 +220,24 @@ class MetricsRegistry {
 
 /// Process-wide registry (sim passes, serve ticks, lab jobs all land here).
 MetricsRegistry& registry();
+
+/// Line-level validity check over a Prometheus text exposition (the output
+/// of to_prometheus() / serve's metrics_text()). Enforced rules:
+///   - every sample line parses: name{labels} value, labels properly
+///     quoted with only \\ \" \n escapes inside quoted values;
+///   - at most one # TYPE and one # HELP per metric family, TYPE naming a
+///     known type, both preceding the family's first sample;
+///   - every sample belongs to a TYPE-declared family (histogram samples
+///     match <family>_bucket/_count/_sum, summaries <family>{quantile=}/
+///     _count/_sum);
+///   - histogram bucket series are cumulative (non-decreasing in le order,
+///     ending at le="+Inf") and bucket{+Inf} == _count;
+///   - summary quantile values are non-decreasing in the quantile;
+///   - OpenMetrics-style exemplars (" # {key=\"v\"} value" after a bucket
+///     sample) are accepted and their payload validated.
+/// Returns false with a line-numbered diagnostic in *error on violation.
+/// This is the scrape-format gate the obs tests and the future lab canary
+/// daemon run over health/metrics endpoints.
+bool lint_prometheus_exposition(const std::string& text, std::string* error = nullptr);
 
 }  // namespace mirage::obs

@@ -19,6 +19,9 @@ const char* trace_event_kind_name(TraceEventKind k) {
     case TraceEventKind::kBatchFormed: return "batch_formed";
     case TraceEventKind::kCheckpointReload: return "checkpoint_reload";
     case TraceEventKind::kSpan: return "span";
+    case TraceEventKind::kRequestBegin: return "request_begin";
+    case TraceEventKind::kRequestEnqueue: return "request_enqueue";
+    case TraceEventKind::kRequestComplete: return "request_complete";
   }
   return "?";
 }

@@ -44,9 +44,12 @@ enum class TraceEventKind : std::uint8_t {
   kClusterEvent,      ///< instant: capacity event applied (arg0 = type)
   kCellStart,         ///< sweep-cell lifecycle begin
   kCellFinish,        ///< sweep-cell lifecycle end (dur = wall us)
-  kBatchFormed,       ///< serve: one engine tick (arg0 = batch size)
+  kBatchFormed,       ///< serve: one engine tick (arg0 = batch size, arg1 = tick id)
   kCheckpointReload,  ///< serve: registry loaded/hot-swapped a model
   kSpan,              ///< OBS_SPAN profiling scope: slice [ts, ts+dur]
+  kRequestBegin,      ///< serve: request minted (arg0 = request id, arg1 = session id)
+  kRequestEnqueue,    ///< serve: request entered the engine ring (arg0 = id, arg1 = slot)
+  kRequestComplete,   ///< serve: journey slice [enqueue, served] (arg0 = id, arg1 = tick id)
 };
 
 const char* trace_event_kind_name(TraceEventKind k);
@@ -62,7 +65,8 @@ struct TraceEvent {
 
   bool is_slice() const {
     return kind == TraceEventKind::kJobRun || kind == TraceEventKind::kSpan ||
-           kind == TraceEventKind::kCellStart || kind == TraceEventKind::kCellFinish;
+           kind == TraceEventKind::kCellStart || kind == TraceEventKind::kCellFinish ||
+           kind == TraceEventKind::kRequestComplete;
   }
 };
 

@@ -5,19 +5,45 @@
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 #include "util/time_utils.hpp"
 
 namespace mirage::serve {
 
-namespace {
 /// Process-wide backpressure counter (also surfaced per-engine via
 /// EngineStats::rejected); registered once, bumped lock-free.
-obs::Counter& rejected_counter() {
+obs::Counter& engine_rejected_counter() {
   static obs::Counter* c = obs::registry().counter(
       "mirage_serve_engine_rejected_total",
       "engine submissions rejected by bounded-queue backpressure");
   return *c;
+}
+
+obs::Counter& engine_served_counter() {
+  static obs::Counter* c = obs::registry().counter(
+      "mirage_serve_engine_served_total",
+      "decisions successfully served by the batched engine");
+  return *c;
+}
+
+obs::Histogram& decision_latency_histogram() {
+  static obs::Histogram* h = obs::registry().histogram(
+      "mirage_serve_decision_latency_seconds",
+      "enqueue-to-served decision latency (buckets carry request-id exemplars)");
+  return *h;
+}
+
+namespace {
+/// Journey breadcrumb: request `id` landed in engine ring slot `slot`.
+void record_enqueue_event(std::uint64_t id, std::size_t slot, double enqueue_seconds) {
+  obs::TraceEvent ev;
+  ev.kind = obs::TraceEventKind::kRequestEnqueue;
+  ev.ts = static_cast<std::int64_t>(enqueue_seconds * 1e6);
+  ev.arg0 = static_cast<std::int64_t>(id);
+  ev.arg1 = static_cast<std::int64_t>(slot);
+  ev.tid = static_cast<std::uint32_t>(obs::detail::thread_shard());
+  obs::global_trace().record(ev);
 }
 }  // namespace
 
@@ -54,9 +80,12 @@ BatchedInferenceEngine::Request* BatchedInferenceEngine::reserve_slot_locked() {
 }
 
 std::future<Decision> BatchedInferenceEngine::submit(
-    std::vector<float> observation, std::function<void(const Decision&)> on_complete) {
+    std::vector<float> observation, std::function<void(const Decision&)> on_complete,
+    std::uint64_t request_id) {
   std::promise<Decision> promise;
   auto fut = promise.get_future();
+  std::size_t slot_index = 0;
+  double enqueue_seconds = 0.0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (draining_) {
@@ -67,7 +96,7 @@ std::future<Decision> BatchedInferenceEngine::submit(
     Request* slot = reserve_slot_locked();
     if (!slot) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
-      rejected_counter().add();
+      engine_rejected_counter().add();
       promise.set_exception(std::make_exception_ptr(BackpressureRejected()));
       return fut;
     }
@@ -75,33 +104,45 @@ std::future<Decision> BatchedInferenceEngine::submit(
     slot->promise.emplace(std::move(promise));
     slot->on_complete = std::move(on_complete);
     slot->waiter = nullptr;
-    slot->enqueue_seconds = util::wall_seconds();
+    slot->enqueue_seconds = enqueue_seconds = util::wall_seconds();
+    slot->request_id = request_id;
+    slot_index = static_cast<std::size_t>(slot - ring_.data());
   }
   cv_.notify_one();
+  if (request_id != 0 && obs::enabled()) {
+    record_enqueue_event(request_id, slot_index, enqueue_seconds);
+  }
   return fut;
 }
 
 BatchedInferenceEngine::SubmitResult BatchedInferenceEngine::try_decide_blocking(
-    std::vector<float>& observation, Decision& out) {
+    std::vector<float>& observation, Decision& out, std::uint64_t request_id) {
   thread_local detail::BlockingWaiter waiter;
   waiter.done = false;
   waiter.error = nullptr;
+  std::size_t slot_index = 0;
+  double enqueue_seconds = 0.0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (draining_) return SubmitResult::kDraining;
     Request* slot = reserve_slot_locked();
     if (!slot) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
-      rejected_counter().add();
+      engine_rejected_counter().add();
       return SubmitResult::kRejectedBackpressure;
     }
     slot->observation.swap(observation);  // capacities circulate, no alloc
     slot->promise.reset();
     slot->on_complete = nullptr;
     slot->waiter = &waiter;
-    slot->enqueue_seconds = util::wall_seconds();
+    slot->enqueue_seconds = enqueue_seconds = util::wall_seconds();
+    slot->request_id = request_id;
+    slot_index = static_cast<std::size_t>(slot - ring_.data());
   }
   cv_.notify_one();
+  if (request_id != 0 && obs::enabled()) {
+    record_enqueue_event(request_id, slot_index, enqueue_seconds);
+  }
   std::unique_lock<std::mutex> lk(waiter.mutex);
   waiter.cv.wait(lk, [&] { return waiter.done; });
   if (waiter.error) std::rethrow_exception(waiter.error);
@@ -109,9 +150,10 @@ BatchedInferenceEngine::SubmitResult BatchedInferenceEngine::try_decide_blocking
   return SubmitResult::kOk;
 }
 
-Decision BatchedInferenceEngine::decide_blocking(std::vector<float>& observation) {
+Decision BatchedInferenceEngine::decide_blocking(std::vector<float>& observation,
+                                                 std::uint64_t request_id) {
   Decision out;
-  switch (try_decide_blocking(observation, out)) {
+  switch (try_decide_blocking(observation, out, request_id)) {
     case SubmitResult::kOk:
       return out;
     case SubmitResult::kRejectedBackpressure:
@@ -213,6 +255,8 @@ void BatchedInferenceEngine::run() {
         batch_[i].waiter = slot.waiter;
         slot.waiter = nullptr;
         batch_[i].enqueue_seconds = slot.enqueue_seconds;
+        batch_[i].request_id = slot.request_id;
+        slot.request_id = 0;
         head_ = (head_ + 1) % ring_.size();
         --queued_;
       }
@@ -263,11 +307,13 @@ void BatchedInferenceEngine::fulfill(Request& req, const Decision* decision,
 
 void BatchedInferenceEngine::serve_batch(std::size_t take) {
   OBS_SPAN("serve_batch");
+  const std::uint64_t tick_id = ++tick_seq_;
   if (obs::enabled()) {
     obs::TraceEvent ev;
     ev.kind = obs::TraceEventKind::kBatchFormed;
     ev.ts = static_cast<std::int64_t>(util::wall_seconds() * 1e6);
     ev.arg0 = static_cast<std::int64_t>(take);
+    ev.arg1 = static_cast<std::int64_t>(tick_id);
     ev.tid = static_cast<std::uint32_t>(obs::detail::thread_shard());
     obs::global_trace().record(ev);
   }
@@ -303,11 +349,36 @@ void BatchedInferenceEngine::serve_batch(std::size_t take) {
   }
   const double t1 = util::wall_seconds();
 
+  const bool tracing = obs::enabled();
   for (std::size_t i = 0; i < take; ++i) {
+    const double enqueue_seconds = batch_[i].enqueue_seconds;
+    const std::uint64_t request_id = batch_[i].request_id;
     fulfill(batch_[i], failure ? nullptr : &decisions_[i], failure);
     // Latency reflects SERVED decisions only: a failed batch must not
     // drag the latency quantiles the soak gate asserts on.
-    if (!failure) latency_.record_seconds(t1 - batch_[i].enqueue_seconds);
+    if (!failure) {
+      const double latency_seconds = t1 - enqueue_seconds;
+      latency_.record_seconds(latency_seconds);
+      engine_served_counter().add();
+      // Journey epilogue: the decision-latency bucket is stamped with the
+      // request id (exemplar), and the [enqueue, served] slice lands in
+      // the wall ring tagged with the tick that carried it.
+      if (request_id != 0) {
+        decision_latency_histogram().record(latency_seconds, request_id);
+        if (tracing) {
+          obs::TraceEvent ev;
+          ev.kind = obs::TraceEventKind::kRequestComplete;
+          ev.ts = static_cast<std::int64_t>(enqueue_seconds * 1e6);
+          ev.dur = static_cast<std::int64_t>(latency_seconds * 1e6);
+          ev.arg0 = static_cast<std::int64_t>(request_id);
+          ev.arg1 = static_cast<std::int64_t>(tick_id);
+          ev.tid = static_cast<std::uint32_t>(obs::detail::thread_shard());
+          obs::global_trace().record(ev);
+        }
+      } else {
+        decision_latency_histogram().record(latency_seconds);
+      }
+    }
   }
 
   std::lock_guard<std::mutex> lock(stats_mutex_);

@@ -35,6 +35,11 @@
 #include "serve/model_registry.hpp"
 #include "util/stats.hpp"
 
+namespace mirage::obs {
+class Counter;
+class Histogram;
+}  // namespace mirage::obs
+
 namespace mirage::serve {
 
 /// Thrown (or carried by the future) when the bounded request queue is
@@ -110,9 +115,13 @@ class BatchedInferenceEngine {
   /// set, runs on the engine thread right before the promise is fulfilled
   /// (successful decisions only — a drained or failed request is never
   /// counted as served) — the service uses it for per-shard accounting on
-  /// the async path.
+  /// the async path. `request_id`, when nonzero, threads the caller's
+  /// journey id through the ring: enqueue/complete trace events and the
+  /// latency histogram's exemplar carry it (ISSUE 8 request-journey
+  /// tracing).
   std::future<Decision> submit(std::vector<float> observation,
-                               std::function<void(const Decision&)> on_complete = nullptr);
+                               std::function<void(const Decision&)> on_complete = nullptr,
+                               std::uint64_t request_id = 0);
 
   /// Outcome of a non-throwing blocking decision.
   enum class SubmitResult { kOk, kRejectedBackpressure, kDraining };
@@ -123,12 +132,14 @@ class BatchedInferenceEngine {
   /// runs. Zero steady-state heap allocations. On kOk, `out` holds the
   /// decision; on rejection/drain the observation is swapped back
   /// untouched. A batch failure (no model, short decision vector, bad
-  /// input dim) rethrows the batch's exception.
-  SubmitResult try_decide_blocking(std::vector<float>& observation, Decision& out);
+  /// input dim) rethrows the batch's exception. Nonzero `request_id`
+  /// threads the journey id exactly as in submit().
+  SubmitResult try_decide_blocking(std::vector<float>& observation, Decision& out,
+                                   std::uint64_t request_id = 0);
 
   /// Throwing convenience over try_decide_blocking: BackpressureRejected
   /// on a full queue, std::runtime_error when draining.
-  Decision decide_blocking(std::vector<float>& observation);
+  Decision decide_blocking(std::vector<float>& observation, std::uint64_t request_id = 0);
 
   /// Graceful drain: reject new requests, serve everything queued, then
   /// stop the engine thread (idempotent).
@@ -147,6 +158,7 @@ class BatchedInferenceEngine {
     std::function<void(const Decision&)> on_complete;
     detail::BlockingWaiter* waiter = nullptr;
     double enqueue_seconds = 0.0;
+    std::uint64_t request_id = 0;    ///< journey id (0 = untraced caller)
   };
 
   void run();
@@ -172,6 +184,7 @@ class BatchedInferenceEngine {
 
   // Engine-thread tick scratch (no locks needed): extracted requests and
   // the reusable observation/decision buffers for the batched forward.
+  std::uint64_t tick_seq_ = 0;                     ///< engine-thread tick id
   std::vector<Request> batch_;                     ///< metadata, <= max_batch
   std::vector<std::vector<float>> observations_;   ///< rows for infer_into
   std::vector<std::vector<float>> row_pool_;       ///< spare row capacities
@@ -187,5 +200,21 @@ class BatchedInferenceEngine {
   double busy_seconds_ = 0.0;
   LatencyRecorder latency_;
 };
+
+/// Process-wide decision-latency histogram
+/// ("mirage_serve_decision_latency_seconds"): exponential buckets with
+/// EXEMPLARS — each bucket remembers the last request id that landed in
+/// it, so a p99.9 reading links back to one concrete journey in the trace
+/// ring. Every engine records served decisions here; the serve SLO
+/// engine's latency objective reads it.
+obs::Histogram& decision_latency_histogram();
+
+/// Process-wide served-decision counter ("mirage_serve_engine_served_total"),
+/// the "good" leg of the reject-rate SLO (its "bad" leg is
+/// "mirage_serve_engine_rejected_total").
+obs::Counter& engine_served_counter();
+
+/// The rejected-submission counter behind "mirage_serve_engine_rejected_total".
+obs::Counter& engine_rejected_counter();
 
 }  // namespace mirage::serve

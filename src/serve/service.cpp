@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/time_utils.hpp"
 
 namespace mirage::serve {
@@ -21,43 +24,133 @@ std::size_t resolve_shards(std::size_t configured) {
   throw std::out_of_range("ProvisioningService: unknown session " + std::to_string(id));
 }
 
+obs::Counter& sweeper_wakeups_counter() {
+  static obs::Counter* c = obs::registry().counter(
+      "mirage_serve_sweeper_wakeups_total", "background sweeper ticks");
+  return *c;
+}
+
+obs::Counter& sweeper_skipped_counter() {
+  static obs::Counter* c = obs::registry().counter(
+      "mirage_serve_sweeper_skipped_total",
+      "sweep scans skipped by the idle-aware cadence");
+  return *c;
+}
+
 }  // namespace
 
 ProvisioningService::ProvisioningService(const ModelRegistry& registry, ModelKey key,
                                          ServiceConfig config)
     : config_(config),
       engine_(registry, std::move(key), config.engine),
-      shards_(resolve_shards(config.shards)) {}
+      shards_(resolve_shards(config.shards)) {
+  init_gauges();
+}
 
 ProvisioningService::ProvisioningService(ModelSnapshot model, ServiceConfig config)
     : config_(config),
       engine_([model = std::move(model)] { return model; }, config.engine),
-      shards_(resolve_shards(config.shards)) {}
+      shards_(resolve_shards(config.shards)) {
+  init_gauges();
+}
 
 ProvisioningService::~ProvisioningService() { drain_and_stop(); }
+
+void ProvisioningService::init_gauges() {
+  auto& reg = obs::registry();
+  queue_depth_gauge_ = reg.gauge("mirage_serve_engine_queue_depth",
+                                 "live engine ring occupancy");
+  reject_rate_gauge_ = reg.gauge("mirage_serve_reject_rate",
+                                 "backpressure rejections per second (last interval)");
+  shard_session_gauges_.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shard_session_gauges_.push_back(
+        reg.gauge("mirage_serve_shard_sessions_" + std::to_string(i),
+                  "live sessions owned by shard " + std::to_string(i)));
+  }
+}
+
+void ProvisioningService::configure_slos() {
+  if (slos_configured_.load(std::memory_order_relaxed) || !config_.slo.enabled) return;
+  const ServiceSloConfig& c = config_.slo;
+
+  obs::SloSpec latency;
+  latency.name = "serve_latency";
+  latency.kind = obs::SloKind::kLatencyQuantile;
+  latency.latency = &decision_latency_histogram();
+  latency.quantile = c.latency_quantile;
+  latency.target_seconds = c.latency_target_seconds;
+  latency.short_window_seconds = c.short_window_seconds;
+  latency.long_window_seconds = c.long_window_seconds;
+  latency.burn_threshold = c.burn_threshold;
+  latency.pending_seconds = c.pending_seconds;
+  latency.resolve_seconds = c.resolve_seconds;
+  slos_.add(std::move(latency));
+
+  obs::SloSpec reject;
+  reject.name = "serve_reject";
+  reject.kind = obs::SloKind::kErrorRate;
+  reject.bad = &engine_rejected_counter();
+  reject.good = &engine_served_counter();
+  reject.budget = c.reject_budget;
+  reject.short_window_seconds = c.short_window_seconds;
+  reject.long_window_seconds = c.long_window_seconds;
+  reject.burn_threshold = c.burn_threshold;
+  reject.pending_seconds = c.pending_seconds;
+  reject.resolve_seconds = c.resolve_seconds;
+  slos_.add(std::move(reject));
+
+  if (c.dump_on_fire) {
+    // Runs on the sweeper thread AFTER the SLO engine releases its lock,
+    // so the dump's health provider can re-enter health_text() safely.
+    slos_.on_fire([](const obs::SloStatus& status) {
+      obs::flight_recorder().dump("slo_" + status.name);
+    });
+  }
+  slos_configured_.store(true, std::memory_order_release);
+}
 
 void ProvisioningService::start() {
   double expected = 0.0;
   started_seconds_.compare_exchange_strong(expected, util::wall_seconds());
   engine_.start();
-  if (config_.session_ttl_seconds > 0.0) {
-    std::lock_guard<std::mutex> lock(sweeper_mutex_);
-    if (!sweeper_.joinable() && !sweeper_stop_) {
-      sweeper_ = std::thread([this] { sweeper_loop(); });
-    }
+  std::lock_guard<std::mutex> lock(sweeper_mutex_);
+  configure_slos();
+  if (!providers_registered_) {
+    providers_registered_ = true;
+    // Flight-recorder documents: dumps triggered anywhere in the process
+    // (SLO fire, fatal signal, operator request) capture this service's
+    // verdicts and scrape body. Unregistered on drain (they capture
+    // `this`).
+    obs::flight_recorder().register_provider("health.txt",
+                                             [this] { return health_text(); });
+    obs::flight_recorder().register_provider("serve_metrics.prom",
+                                             [this] { return metrics_text(); });
+  }
+  const bool need_sweeper = config_.session_ttl_seconds > 0.0 ||
+                            slos_configured_.load(std::memory_order_relaxed);
+  if (need_sweeper && !sweeper_.joinable() && !sweeper_stop_) {
+    sweeper_ = std::thread([this] { sweeper_loop(); });
   }
 }
 
 void ProvisioningService::drain_and_stop() {
   engine_.drain();
   std::thread sweeper;
+  bool unregister = false;
   {
     std::lock_guard<std::mutex> lock(sweeper_mutex_);
     sweeper_stop_ = true;
     sweeper = std::move(sweeper_);
+    unregister = providers_registered_;
+    providers_registered_ = false;
   }
   sweeper_cv_.notify_all();
   if (sweeper.joinable()) sweeper.join();
+  if (unregister) {
+    obs::flight_recorder().unregister_provider("health.txt");
+    obs::flight_recorder().unregister_provider("serve_metrics.prom");
+  }
 }
 
 SessionId ProvisioningService::open_session() {
@@ -106,33 +199,94 @@ std::size_t ProvisioningService::sweep_shard(Shard& shard) const {
   const double now = util::wall_seconds();
   std::size_t evicted = 0;
   std::lock_guard<std::mutex> lock(shard.mutex);
+  double earliest_last = std::numeric_limits<double>::infinity();
   for (auto it = shard.sessions.begin(); it != shard.sessions.end();) {
     const double last = it->second->last_access_seconds.load(std::memory_order_relaxed);
     if (now - last > config_.session_ttl_seconds) {
       it = shard.sessions.erase(it);
       ++evicted;
     } else {
+      earliest_last = std::min(earliest_last, last);
       ++it;
     }
   }
+  // Refresh the idle hint: nothing surviving this scan can expire before
+  // earliest_last + ttl, sessions opened later expire later still, and a
+  // touch only pushes expiry out — so skipping until then is safe.
+  shard.sweep_hint_valid = true;
+  shard.last_sweep_size = shard.sessions.size();
+  shard.next_expiry_hint = shard.sessions.empty()
+                               ? std::numeric_limits<double>::infinity()
+                               : earliest_last + config_.session_ttl_seconds;
   if (evicted) shard.evictions.fetch_add(evicted, std::memory_order_relaxed);
   return evicted;
+}
+
+std::size_t ProvisioningService::sweep_shard_idle_aware(Shard& shard) const {
+  if (config_.session_ttl_seconds <= 0.0) return 0;
+  const double now = util::wall_seconds();
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    // Quiet-table fast path: unchanged size at or below the idle
+    // threshold, and the earliest possible expiry still ahead — a scan
+    // would provably evict nothing, so the tick costs a size check.
+    if (shard.sweep_hint_valid && shard.sessions.size() == shard.last_sweep_size &&
+        shard.sessions.size() <= config_.sweep_idle_threshold &&
+        now < shard.next_expiry_hint) {
+      sweep_skipped_.fetch_add(1, std::memory_order_relaxed);
+      sweeper_skipped_counter().add();
+      return 0;
+    }
+  }
+  return sweep_shard(shard);
 }
 
 void ProvisioningService::sweeper_loop() {
   const auto interval = std::chrono::duration<double>(
       std::max(1e-4, config_.sweep_interval_seconds));
+  const bool ttl_on = config_.session_ttl_seconds > 0.0;
   std::unique_lock<std::mutex> lock(sweeper_mutex_);
   while (!sweeper_stop_) {
     if (sweeper_cv_.wait_for(lock, interval, [this] { return sweeper_stop_; })) break;
     // Amortized background expiry: one shard per tick, round-robin, so
     // sweep cost stays O(sessions / shards) per wakeup no matter how
     // large the table grows (lazy expiry covers touched sessions).
-    const std::size_t cursor = sweep_cursor_;
-    sweep_cursor_ = (sweep_cursor_ + 1) % shards_.size();
+    std::size_t cursor = 0;
+    if (ttl_on) {
+      cursor = sweep_cursor_;
+      sweep_cursor_ = (sweep_cursor_ + 1) % shards_.size();
+    }
     lock.unlock();
-    sweep_shard(shards_[cursor]);
+    sweep_wakeups_.fetch_add(1, std::memory_order_relaxed);
+    sweeper_wakeups_counter().add();
+    if (ttl_on) sweep_shard_idle_aware(shards_[cursor]);
+    // The sweeper doubles as the SLO evaluator and gauge-refresh tick —
+    // both allocation-free in steady state, so the thread can run inside
+    // the soak bench's zero-allocation audit window.
+    if (slos_configured_.load(std::memory_order_acquire)) {
+      slos_.evaluate(util::wall_seconds());
+    }
+    refresh_gauges();
     lock.lock();
+  }
+}
+
+void ProvisioningService::refresh_gauges() const {
+  queue_depth_gauge_->set(static_cast<double>(engine_.queue_depth()));
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::size_t count = 0;
+    {
+      std::lock_guard<std::mutex> lock(shards_[i].mutex);
+      count = shards_[i].sessions.size();
+    }
+    shard_session_gauges_[i]->set(static_cast<double>(count));
+  }
+  const double now = util::wall_seconds();
+  const std::uint64_t rejected = engine_rejected_counter().value();
+  const double prev_t = last_reject_sample_seconds_.exchange(now, std::memory_order_relaxed);
+  const std::uint64_t prev_r = last_rejected_.exchange(rejected, std::memory_order_relaxed);
+  if (prev_t > 0.0 && now > prev_t && rejected >= prev_r) {
+    reject_rate_gauge_->set(static_cast<double>(rejected - prev_r) / (now - prev_t));
   }
 }
 
@@ -156,6 +310,23 @@ void ProvisioningService::record_served(Shard& shard, Session& session,
   if (d.action == 1) shard.submits.fetch_add(1, std::memory_order_relaxed);
 }
 
+std::uint64_t ProvisioningService::begin_request_trace(SessionId id) const {
+  if (!obs::enabled()) return 0;
+  const std::uint64_t request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  // Journey prologue: the id minted here is threaded through the engine
+  // ring (kRequestEnqueue), the batch (kRequestComplete) and the latency
+  // histogram's exemplars — tid is the owning session shard.
+  obs::TraceEvent ev;
+  ev.kind = obs::TraceEventKind::kRequestBegin;
+  ev.ts = static_cast<std::int64_t>(util::wall_seconds() * 1e6);
+  ev.arg0 = static_cast<std::int64_t>(request_id);
+  ev.arg1 = static_cast<std::int64_t>(id);
+  ev.tid = static_cast<std::uint32_t>(id % shards_.size());
+  obs::global_trace().record(ev);
+  return request_id;
+}
+
 std::future<Decision> ProvisioningService::decide_async(SessionId id) {
   const auto session = find_session(id);
   std::vector<float> observation;
@@ -170,7 +341,8 @@ std::future<Decision> ProvisioningService::decide_async(SessionId id) {
   return engine_.submit(std::move(observation),
                         [this, shard, session](const Decision& d) {
                           record_served(*shard, *session, d);
-                        });
+                        },
+                        begin_request_trace(id));
 }
 
 Decision ProvisioningService::decide(SessionId id) {
@@ -196,7 +368,7 @@ BatchedInferenceEngine::SubmitResult ProvisioningService::try_decide(SessionId i
     std::lock_guard<std::mutex> lock(session->mutex);
     session->encoder.flatten_into(observation, 0.0f);
   }
-  const auto result = engine_.try_decide_blocking(observation, out);
+  const auto result = engine_.try_decide_blocking(observation, out, begin_request_trace(id));
   if (result == BatchedInferenceEngine::SubmitResult::kOk) {
     record_served(shard_of(id), *session, out);
   }
@@ -237,6 +409,8 @@ ServiceReport ProvisioningService::report() const {
     r.submits += shard.submits.load(std::memory_order_relaxed);
     r.evictions += shard.evictions.load(std::memory_order_relaxed);
   }
+  r.sweep_wakeups = sweep_wakeups_.load(std::memory_order_relaxed);
+  r.sweep_skipped = sweep_skipped_.load(std::memory_order_relaxed);
   r.engine = engine_.stats();
   const double started = started_seconds_.load();
   if (started > 0.0) {
@@ -249,6 +423,11 @@ ServiceReport ProvisioningService::report() const {
 }
 
 std::string ProvisioningService::metrics_text() const {
+  // Live gauges (queue depth, shard sessions, reject rate) refresh on the
+  // sweeper tick; refreshing here too keeps sweeper-less configurations
+  // current. They are emitted by the registry dump below, NOT by the
+  // explicit block — each family must carry exactly one TYPE line.
+  refresh_gauges();
   const ServiceReport r = report();
   std::string out;
   out.reserve(1 << 12);
@@ -312,6 +491,36 @@ std::string ProvisioningService::metrics_text() const {
   // Process-wide instruments (span histograms, scenario/serve counters).
   out += obs::registry().to_prometheus();
   return out;
+}
+
+std::string ProvisioningService::health_text() const {
+  std::string out;
+  out.reserve(512);
+  out += "# mirage serve health\n";
+  if (!slos_configured_.load(std::memory_order_acquire)) {
+    out += "status: unconfigured\n";
+  } else {
+    out += slos_.health_text();
+  }
+  const ServiceReport r = report();
+  char line[128];
+  std::snprintf(line, sizeof(line), "uptime_seconds: %.3f\n", r.uptime_seconds);
+  out += line;
+  std::snprintf(line, sizeof(line), "open_sessions: %llu\n",
+                static_cast<unsigned long long>(r.open_sessions));
+  out += line;
+  std::snprintf(line, sizeof(line), "queue_depth: %llu\n",
+                static_cast<unsigned long long>(engine_.queue_depth()));
+  out += line;
+  std::snprintf(line, sizeof(line), "rejected_total: %llu\n",
+                static_cast<unsigned long long>(r.engine.rejected));
+  out += line;
+  return out;
+}
+
+std::vector<obs::SloStatus> ProvisioningService::slo_statuses() const {
+  if (!slos_configured_.load(std::memory_order_acquire)) return {};
+  return slos_.statuses();
 }
 
 }  // namespace mirage::serve

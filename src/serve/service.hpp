@@ -39,12 +39,34 @@
 #include <thread>
 #include <vector>
 
+#include "obs/slo.hpp"
 #include "rl/state_encoder.hpp"
 #include "serve/inference_engine.hpp"
 
 namespace mirage::serve {
 
 using SessionId = std::uint64_t;
+
+/// Declarative serving SLOs (ISSUE 8): when enabled, start() registers a
+/// latency-quantile objective over the process-wide decision-latency
+/// histogram and a reject-rate objective over the served/rejected
+/// counters, and the sweeper thread ticks the burn-rate evaluator every
+/// sweep interval. health_text() renders the verdicts.
+struct ServiceSloConfig {
+  bool enabled = false;
+  /// "p<latency_quantile> of decisions under latency_target_seconds".
+  double latency_target_seconds = 0.25;
+  double latency_quantile = 99.0;
+  /// Tolerated backpressure-reject fraction of all submissions.
+  double reject_budget = 0.01;
+  double short_window_seconds = 2.0;
+  double long_window_seconds = 10.0;
+  double burn_threshold = 1.0;
+  double pending_seconds = 0.0;  ///< `for` duration before firing
+  double resolve_seconds = 2.0;  ///< clear hold-down before resolved
+  /// Dump a flight-recorder bundle when an SLO transitions to firing.
+  bool dump_on_fire = true;
+};
 
 struct ServiceConfig {
   /// Frames per session history ring; must match the served checkpoint's
@@ -64,7 +86,14 @@ struct ServiceConfig {
   double session_ttl_seconds = 0.0;
   /// Background sweep cadence; each tick scans one shard round-robin.
   double sweep_interval_seconds = 0.1;
+  /// Idle-aware sweep cadence (ISSUE 8): a shard whose session count is
+  /// unchanged since its last full scan, at or below this threshold, and
+  /// whose earliest possible expiry (tracked per scan) is still in the
+  /// future is SKIPPED — quiet tables cost a size check per tick, not a
+  /// scan. Skips and wakeups are counted in the report and the registry.
+  std::size_t sweep_idle_threshold = 1024;
   EngineConfig engine;
+  ServiceSloConfig slo;
 };
 
 struct ServiceReport {
@@ -74,6 +103,8 @@ struct ServiceReport {
   std::uint64_t decisions = 0;
   std::uint64_t submits = 0;       ///< decisions that said "submit now"
   std::uint64_t evictions = 0;     ///< sessions reaped by the idle TTL
+  std::uint64_t sweep_wakeups = 0; ///< background sweeper ticks
+  std::uint64_t sweep_skipped = 0; ///< ticks skipped by idle-aware cadence
   EngineStats engine;
   double uptime_seconds = 0.0;
   double decisions_per_second = 0.0;
@@ -133,6 +164,15 @@ class ProvisioningService {
   /// This is the scrape endpoint body for an HTTP layer above the service.
   std::string metrics_text() const;
 
+  /// Plain-text health verdict (the SLO engine's burn rates + alert
+  /// states, prefixed with service vitals). With SLOs disabled the body
+  /// reports "status: unconfigured". This is the health endpoint the
+  /// future lab canary daemon polls.
+  std::string health_text() const;
+
+  /// Machine-readable alert states (empty when SLOs are disabled).
+  std::vector<obs::SloStatus> slo_statuses() const;
+
  private:
   struct Session {
     Session(std::size_t k, std::size_t partition_count) : encoder(k, partition_count) {}
@@ -152,6 +192,13 @@ class ProvisioningService {
     std::atomic<std::uint64_t> decisions{0};
     std::atomic<std::uint64_t> submits{0};
     std::atomic<std::uint64_t> evictions{0};
+    // Idle-aware sweep hint (guarded by mutex): the table size after the
+    // last full scan and the earliest instant any session seen then could
+    // expire. Sessions opened or touched later expire strictly later, so
+    // "now < next_expiry_hint" proves a skipped scan would evict nothing.
+    bool sweep_hint_valid = false;
+    std::size_t last_sweep_size = 0;
+    double next_expiry_hint = 0.0;
   };
 
   Shard& shard_of(SessionId id) const { return shards_[id % shards_.size()]; }
@@ -159,8 +206,19 @@ class ProvisioningService {
   /// erased here (lazy expiry) and reported exactly like closed ones.
   std::shared_ptr<Session> find_session(SessionId id) const;
   std::size_t sweep_shard(Shard& shard) const;
+  /// One background tick's sweep of `shard`: consult the idle hint, skip
+  /// or full-scan, refresh the hint. Returns evictions (0 on skip).
+  std::size_t sweep_shard_idle_aware(Shard& shard) const;
   void sweeper_loop();
   void record_served(Shard& shard, Session& session, const Decision& d) const;
+  /// Mint a journey id and record kRequestBegin (0 when tracing is off).
+  std::uint64_t begin_request_trace(SessionId id) const;
+  /// Push live operational gauges (queue depth, per-shard sessions,
+  /// reject rate) into the obs registry. Sweeper-tick cadence; also run
+  /// by metrics_text() so scrapes are current without a sweeper.
+  void refresh_gauges() const;
+  void configure_slos();
+  void init_gauges();
 
   ServiceConfig config_;
   BatchedInferenceEngine engine_;
@@ -168,6 +226,23 @@ class ProvisioningService {
 
   mutable std::vector<Shard> shards_;  ///< fixed size after construction
   std::atomic<SessionId> next_session_{1};
+  mutable std::atomic<std::uint64_t> next_request_id_{1};
+
+  obs::SloEngine slos_;
+  std::atomic<bool> slos_configured_{false};
+  bool providers_registered_ = false;  ///< guarded by sweeper_mutex_
+
+  std::atomic<std::uint64_t> sweep_wakeups_{0};
+  mutable std::atomic<std::uint64_t> sweep_skipped_{0};  ///< bumped in const sweeps
+  // Live operational gauges (registered once at construction; refreshed
+  // on sweeper ticks and by metrics_text()).
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Gauge* reject_rate_gauge_ = nullptr;
+  std::vector<obs::Gauge*> shard_session_gauges_;
+  // Reject-rate sampling state (relaxed: a racing refresh only smears one
+  // diagnostic reading).
+  mutable std::atomic<std::uint64_t> last_rejected_{0};
+  mutable std::atomic<double> last_reject_sample_seconds_{0.0};
 
   std::thread sweeper_;
   std::mutex sweeper_mutex_;

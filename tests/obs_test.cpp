@@ -3,11 +3,16 @@
 // tracing-cannot-perturb-results contract on the sweep harness.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "scenario/scenario.hpp"
@@ -131,6 +136,122 @@ TEST(Metrics, RegistryHandlesAreStableAndPrometheusExportIsStructured) {
   EXPECT_EQ(c->value(), 0u);
 }
 
+// ------------------------------------------------------------- exemplars
+
+TEST(Metrics, HistogramExemplarsLinkBucketsToRequestIds) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(1e-3);  // fast bulk, no exemplar
+  h.record(1e-3, 41);                            // stamp the fast bucket
+  h.record(1.0, 99);                             // one slow outlier, stamped
+
+  // The slow sample owns the tail: its bucket exemplar carries id 99.
+  const auto tail = h.exemplar_for_percentile(99.9);
+  ASSERT_TRUE(tail.valid);
+  EXPECT_EQ(tail.id, 99u);
+  EXPECT_NEAR(tail.seconds, 1.0, 1e-6);
+
+  // The bulk of the mass sits in the 1 ms bucket stamped with 41.
+  const auto body = h.exemplar_for_percentile(50.0);
+  ASSERT_TRUE(body.valid);
+  EXPECT_EQ(body.id, 41u);
+
+  // Last writer wins within one bucket.
+  h.record(1.0, 100);
+  EXPECT_EQ(h.exemplar_for_percentile(99.9).id, 100u);
+
+  h.reset();
+  EXPECT_FALSE(h.exemplar_for_percentile(99.9).valid);
+}
+
+TEST(Metrics, ExemplarFallsBackToNearestStampedBucket) {
+  Histogram h;
+  // Plain records never stamp; the single stamped bucket serves every
+  // percentile query as the nearest diagnostic pointer.
+  for (int i = 0; i < 10; ++i) h.record(1.0);
+  EXPECT_FALSE(h.exemplar_for_percentile(99.0).valid);
+  h.record(1e-3, 7);
+  const auto ex = h.exemplar_for_percentile(99.0);  // p99 bucket unstamped
+  ASSERT_TRUE(ex.valid);
+  EXPECT_EQ(ex.id, 7u);
+}
+
+// ------------------------------------------------- exposition linter
+
+TEST(Metrics, LintAcceptsRegistryExposition) {
+  MetricsRegistry reg;
+  reg.counter("lint_ops_total", "ops")->add(3);
+  reg.gauge("lint_depth", "depth")->set(-2.5);
+  Histogram* h = reg.histogram("lint_latency_seconds", "latency");
+  h->record(1e-3);
+  h->record(0.5, /*exemplar_id=*/1234);  // exemplar renders into the dump
+  std::string error;
+  const std::string text = reg.to_prometheus();
+  EXPECT_TRUE(lint_prometheus_exposition(text, &error)) << error << "\n" << text;
+  EXPECT_NE(text.find("trace_id=\"1234\""), std::string::npos) << text;
+}
+
+TEST(Metrics, LintAcceptsHandwrittenSummaryAndExemplars) {
+  const std::string text =
+      "# TYPE s summary\n"
+      "s{quantile=\"0.5\"} 1\n"
+      "s{quantile=\"0.99\"} 2\n"
+      "s_count 10\n"
+      "s_sum 12\n"
+      "# TYPE h histogram\n"
+      "# HELP h latency\n"
+      "h_bucket{le=\"0.1\"} 1 # {trace_id=\"7\"} 0.05\n"
+      "h_bucket{le=\"+Inf\"} 2\n"
+      "h_count 2\n"
+      "h_sum 0.6\n"
+      "# TYPE g gauge\n"
+      "g{label=\"with \\\"quotes\\\" and \\n\"} NaN\n";
+  std::string error;
+  EXPECT_TRUE(lint_prometheus_exposition(text, &error)) << error;
+}
+
+TEST(Metrics, LintRejectsMalformedExpositions) {
+  const struct {
+    const char* doc;
+    const char* why;  // substring expected in the diagnostic
+  } bad[] = {
+      {"", "no samples"},
+      {"# TYPE a counter\n", "no samples"},
+      {"a 1\n", "no preceding TYPE"},
+      {"# TYPE a counter\n# TYPE a counter\na 1\n", "duplicate TYPE"},
+      {"# TYPE a counter\na 1\na 2\n", "duplicate series"},
+      {"# TYPE a counter\na -1\n", "negative"},
+      {"# TYPE a counter\na one\n", ""},
+      {"# TYPE a counter\na 1 junk\n", "trailing junk"},
+      {"# TYPE a wibble\na 1\n", "unknown TYPE"},
+      {"# TYPE 0bad counter\n0bad 1\n", "bad metric name"},
+      {"# TYPE a counter\na{l=\"unterminated} 1\n", ""},
+      {"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"0.5\"} 2\n"
+       "h_bucket{le=\"+Inf\"} 3\nh_count 3\nh_sum 1\n",
+       "le not increasing"},
+      {"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n"
+       "h_count 3\nh_sum 1\n",
+       "not cumulative"},
+      {"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\nh_sum 1\n",
+       "missing +Inf"},
+      {"# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 3\nh_sum 1\n",
+       "+Inf bucket != _count"},
+      {"# TYPE h histogram\nh_bucket 1\nh_bucket{le=\"+Inf\"} 1\nh_count 1\nh_sum 1\n",
+       "without le"},
+      {"# TYPE s summary\ns{quantile=\"0.9\"} 2\ns{quantile=\"0.5\"} 1\n",
+       "quantiles not increasing"},
+      {"# TYPE s summary\ns 1\n", "without quantile"},
+      {"# TYPE a counter\na 1 # no-label-set 2\n", ""},
+  };
+  for (const auto& c : bad) {
+    std::string error;
+    EXPECT_FALSE(lint_prometheus_exposition(c.doc, &error)) << c.doc;
+    EXPECT_FALSE(error.empty()) << c.doc;
+    if (c.why[0] != '\0') {
+      EXPECT_NE(error.find(c.why), std::string::npos) << error << "\nfor doc:\n" << c.doc;
+    }
+  }
+}
+
 // ------------------------------------------------------------ trace ring
 
 TEST(Trace, RingOverwritesOldestAndCountsDrops) {
@@ -171,6 +292,8 @@ TEST(Trace, ChromeJsonExportValidatesAndCoversEveryKind) {
       TraceEventKind::kClusterEvent, TraceEventKind::kCellStart,
       TraceEventKind::kCellFinish,  TraceEventKind::kBatchFormed,
       TraceEventKind::kCheckpointReload, TraceEventKind::kSpan,
+      TraceEventKind::kRequestBegin, TraceEventKind::kRequestEnqueue,
+      TraceEventKind::kRequestComplete,
   };
   std::int64_t ts = 0;
   for (const auto kind : kinds) {
@@ -255,6 +378,265 @@ TEST(Span, SampledSpanRecordsEverySecondToTheShiftEntry) {
     OBS_SPAN_SAMPLED("obs_test_sampled", 2);
   }
   EXPECT_EQ(h->count(), before + 8);
+}
+
+// ------------------------------------------------------------ SLO engine
+
+TEST(Slo, AddValidatesSpecs) {
+  SloEngine engine;
+  SloSpec no_source;
+  no_source.name = "x";
+  no_source.kind = SloKind::kLatencyQuantile;
+  EXPECT_THROW(engine.add(no_source), std::invalid_argument);
+  no_source.kind = SloKind::kErrorRate;
+  EXPECT_THROW(engine.add(no_source), std::invalid_argument);
+
+  Histogram h;
+  SloSpec bad_window;
+  bad_window.name = "x";
+  bad_window.latency = &h;
+  bad_window.short_window_seconds = 0.0;
+  EXPECT_THROW(engine.add(bad_window), std::invalid_argument);
+  EXPECT_EQ(engine.size(), 0u);
+}
+
+TEST(Slo, ErrorRateStateMachineWalksPendingFiringResolvedInactive) {
+  Counter bad, good;
+  SloEngine engine;
+  SloSpec spec;
+  spec.name = "rej ect!";  // sanitized to rej_ect_
+  spec.kind = SloKind::kErrorRate;
+  spec.bad = &bad;
+  spec.good = &good;
+  spec.budget = 0.1;
+  spec.short_window_seconds = 10.0;
+  spec.long_window_seconds = 30.0;
+  spec.burn_threshold = 1.0;
+  spec.pending_seconds = 10.0;
+  spec.resolve_seconds = 10.0;
+  engine.add(spec);
+
+  std::vector<SloStatus> fired;
+  engine.on_fire([&fired](const SloStatus& s) { fired.push_back(s); });
+
+  // t=0: no traffic at all -> burn 0, inactive.
+  EXPECT_EQ(engine.evaluate(0.0), 0u);
+  auto st = engine.statuses();
+  ASSERT_EQ(st.size(), 1u);
+  EXPECT_EQ(st[0].name, "rej_ect_");
+  EXPECT_EQ(st[0].state, AlertState::kInactive);
+  EXPECT_EQ(st[0].burn_short, 0.0);
+
+  // t=10..15: 50% bad against a 10% budget -> burn 5, condition holds but
+  // `for` (pending_seconds=10) keeps it pending.
+  bad.add(50);
+  good.add(50);
+  EXPECT_EQ(engine.evaluate(10.0), 0u);
+  EXPECT_EQ(engine.statuses()[0].state, AlertState::kPending);
+  EXPECT_NEAR(engine.statuses()[0].burn_short, 5.0, 1e-9);
+  bad.add(25);
+  good.add(25);
+  EXPECT_EQ(engine.evaluate(15.0), 0u);
+  EXPECT_EQ(engine.statuses()[0].state, AlertState::kPending);
+  EXPECT_TRUE(fired.empty());
+
+  // t=20: condition held 10s -> firing; the fire callback sees it.
+  bad.add(25);
+  good.add(25);
+  EXPECT_EQ(engine.evaluate(20.0), 1u);
+  EXPECT_EQ(engine.statuses()[0].state, AlertState::kFiring);
+  EXPECT_EQ(engine.statuses()[0].fires, 1u);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].state, AlertState::kFiring);
+  EXPECT_EQ(fired[0].name, "rej_ect_");
+  EXPECT_NE(engine.health_text().find("status: firing"), std::string::npos);
+
+  // t=25..30: healthy traffic floods both windows below threshold, but the
+  // resolve hold-down (10s) keeps the alert firing.
+  good.add(1000);
+  EXPECT_EQ(engine.evaluate(25.0), 0u);
+  EXPECT_EQ(engine.statuses()[0].state, AlertState::kFiring);
+  good.add(1000);
+  EXPECT_EQ(engine.evaluate(30.0), 0u);
+  EXPECT_EQ(engine.statuses()[0].state, AlertState::kFiring);
+
+  // t=35: clear held 10s -> resolved; t=40: -> inactive.
+  good.add(1000);
+  EXPECT_EQ(engine.evaluate(35.0), 0u);
+  EXPECT_EQ(engine.statuses()[0].state, AlertState::kResolved);
+  good.add(1000);
+  EXPECT_EQ(engine.evaluate(40.0), 0u);
+  EXPECT_EQ(engine.statuses()[0].state, AlertState::kInactive);
+  EXPECT_EQ(engine.statuses()[0].fires, 1u);  // one incident, one fire
+  EXPECT_EQ(fired.size(), 1u);
+}
+
+TEST(Slo, ShortSpikeAloneDoesNotFireMultiWindowAlert) {
+  Counter bad, good;
+  SloEngine engine;
+  SloSpec spec;
+  spec.name = "spike";
+  spec.kind = SloKind::kErrorRate;
+  spec.bad = &bad;
+  spec.good = &good;
+  spec.budget = 0.05;
+  spec.short_window_seconds = 5.0;
+  spec.long_window_seconds = 100.0;
+  spec.pending_seconds = 0.0;
+  engine.add(spec);
+
+  // A minute of clean traffic, then one bad burst: the short window burns
+  // hot but the long window stays under threshold -> no fire.
+  for (int t = 0; t <= 50; t += 10) {
+    good.add(1000);
+    EXPECT_EQ(engine.evaluate(static_cast<double>(t)), 0u);
+  }
+  bad.add(100);
+  EXPECT_EQ(engine.evaluate(60.0), 0u);
+  const auto st = engine.statuses()[0];
+  EXPECT_GE(st.burn_short, 1.0);
+  EXPECT_LT(st.burn_long, 1.0);
+  EXPECT_EQ(st.state, AlertState::kInactive);
+}
+
+TEST(Slo, LatencyQuantileObjectiveCountsBadBuckets) {
+  Histogram h;
+  SloEngine engine;
+  SloSpec spec;
+  spec.name = "lat";
+  spec.latency = &h;
+  spec.quantile = 50.0;  // effective budget = 0.5
+  spec.target_seconds = 0.25;
+  spec.short_window_seconds = 1.0;
+  spec.long_window_seconds = 2.0;
+  spec.pending_seconds = 0.0;  // fire straight from inactive
+  engine.add(spec);
+
+  // All samples over target: burn = (10/10)/0.5 = 2 in both windows.
+  for (int i = 0; i < 10; ++i) h.record(1.0);
+  EXPECT_EQ(engine.evaluate(100.0), 1u);
+  const auto st = engine.statuses()[0];
+  EXPECT_EQ(st.state, AlertState::kFiring);
+  EXPECT_NEAR(st.burn_short, 2.0, 1e-9);
+  EXPECT_NEAR(st.budget, 0.5, 1e-9);
+  const std::string health = engine.health_text();
+  EXPECT_NE(health.find("slo lat kind=latency state=firing"), std::string::npos) << health;
+
+  // The registry carries the live alert instruments.
+  EXPECT_EQ(registry().gauge("mirage_slo_lat_state")->value(), 2.0);
+  EXPECT_EQ(registry().counter("mirage_slo_lat_fires_total")->value(), 1u);
+}
+
+// -------------------------------------------------------- flight recorder
+
+class FlightDirGuard {
+ public:
+  explicit FlightDirGuard(const char* leaf)
+      : dir_(std::filesystem::temp_directory_path() / leaf) {
+    std::filesystem::remove_all(dir_);
+  }
+  ~FlightDirGuard() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+TEST(FlightRecorder, DumpsValidatedBundlesWithProvidersAndPrunes) {
+  FlightDirGuard guard("mirage_obs_flight_test");
+  auto& fr = flight_recorder();
+  FlightRecorderConfig cfg;
+  cfg.directory = guard.dir().string();
+  cfg.max_events = 64;
+  cfg.max_bundles = 2;
+  fr.configure(cfg);
+  const auto dumps_before = fr.dumps();
+
+  global_trace().record(TraceEvent{});  // at least one wall-clock event
+  fr.register_provider("health.txt", [] { return std::string("status: ok\n"); });
+  fr.register_provider("broken.txt", []() -> std::string {
+    throw std::runtime_error("provider exploded");
+  });
+
+  const std::string bundle = fr.dump("unit test/../reason");
+  ASSERT_FALSE(bundle.empty());
+  EXPECT_NE(bundle.find("unit_test"), std::string::npos);       // sanitized
+  EXPECT_EQ(bundle.find(".."), std::string::npos);              // no traversal
+  std::string error;
+  EXPECT_TRUE(FlightRecorder::validate_bundle(bundle, &error)) << error;
+
+  const auto slurp = [&](const char* leaf) {
+    std::ifstream in(std::filesystem::path(bundle) / leaf);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  EXPECT_EQ(slurp("health.txt"), "status: ok\n");
+  EXPECT_NE(slurp("broken.txt").find("provider error"), std::string::npos);
+  EXPECT_NE(slurp("MANIFEST.txt").find("reason: "), std::string::npos);
+
+  // Prune: a third dump leaves only the newest max_bundles directories.
+  fr.dump("two");
+  const std::string third = fr.dump("three");
+  EXPECT_EQ(fr.dumps(), dumps_before + 3);
+  std::size_t bundles = 0;
+  bool third_survives = false;
+  for (const auto& e : std::filesystem::directory_iterator(guard.dir())) {
+    bundles += e.is_directory() ? 1 : 0;
+    third_survives = third_survives || e.path().string() == third;
+  }
+  EXPECT_EQ(bundles, 2u);
+  EXPECT_TRUE(third_survives);
+
+  fr.unregister_provider("health.txt");
+  fr.unregister_provider("broken.txt");
+  const std::string after = fr.dump("four");
+  EXPECT_FALSE(std::filesystem::exists(std::filesystem::path(after) / "health.txt"));
+}
+
+TEST(FlightRecorder, ValidateBundleRejectsMissingOrCorruptPieces) {
+  FlightDirGuard guard("mirage_obs_flight_invalid");
+  std::string error;
+  EXPECT_FALSE(FlightRecorder::validate_bundle(guard.dir().string(), &error));
+  EXPECT_FALSE(error.empty());
+
+  // A real bundle stops validating when its trace is corrupted.
+  auto& fr = flight_recorder();
+  FlightRecorderConfig cfg;
+  cfg.directory = guard.dir().string();
+  fr.configure(cfg);
+  const std::string bundle = fr.dump("corruptme");
+  ASSERT_FALSE(bundle.empty());
+  ASSERT_TRUE(FlightRecorder::validate_bundle(bundle, &error)) << error;
+  std::ofstream(std::filesystem::path(bundle) / "trace.json") << "{not json";
+  EXPECT_FALSE(FlightRecorder::validate_bundle(bundle, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FlightRecorder, FatalSignalPathDumpsASignalBundle) {
+  FlightDirGuard guard("mirage_obs_flight_signal");
+  auto& fr = flight_recorder();
+  FlightRecorderConfig cfg;
+  cfg.directory = guard.dir().string();
+  fr.configure(cfg);
+
+  detail::dump_on_fatal_signal(6);  // dump body only; nothing is raised
+
+  bool found = false;
+  for (const auto& e : std::filesystem::directory_iterator(guard.dir())) {
+    if (e.path().filename().string().find("signal_6") != std::string::npos) {
+      found = true;
+      std::string error;
+      EXPECT_TRUE(FlightRecorder::validate_bundle(e.path().string(), &error)) << error;
+    }
+  }
+  EXPECT_TRUE(found);
+  // The crash path deliberately freezes the ring (the process was dying);
+  // restore the gate for the suites sharing this process.
+  EXPECT_FALSE(global_trace().recording());
+  global_trace().set_recording(true);
 }
 
 // ---------------------------------- tracing cannot perturb sweep results

@@ -11,6 +11,10 @@
 #include <thread>
 
 #include "core/checkpoint.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
 #include "rl/state_encoder.hpp"
 #include "serve/inference_engine.hpp"
 #include "serve/model_registry.hpp"
@@ -808,6 +812,197 @@ TEST(ProvisioningService, BackgroundSweeperReapsAbandonedSessions) {
   EXPECT_EQ(service.session_count(), 0u);
   EXPECT_EQ(service.report().evictions, 12u);
   service.drain_and_stop();
+}
+
+TEST(ProvisioningService, IdleAwareSweeperSkipsQuietTablesButStillReaps) {
+  TempDir dir("idlesweep");
+  auto agent = make_dqn(99);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+
+  ServiceConfig cfg;
+  cfg.history_len = test_net().history_len;
+  cfg.shards = 1;  // every tick visits the same table
+  cfg.session_ttl_seconds = 0.06;
+  cfg.sweep_interval_seconds = 0.002;
+  cfg.sweep_idle_threshold = 1024;
+  ProvisioningService service(registry, {"v100", "dqn", "moe"}, cfg);
+  service.start();
+  for (int i = 0; i < 6; ++i) service.open_session();
+
+  // Quiet phase: nothing expires for 60ms, so after the first full scan
+  // establishes the expiry hint, ticks skip instead of rescanning.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const auto quiet = service.report();
+  EXPECT_GT(quiet.sweep_wakeups, 0u);
+  EXPECT_GT(quiet.sweep_skipped, 0u);
+  EXPECT_EQ(quiet.evictions, 0u);
+
+  // The skip cadence must not delay actual expiry: once the hint passes,
+  // the sweeper rescans and reaps every abandoned session.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (service.session_count() > 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(service.session_count(), 0u);
+  EXPECT_EQ(service.report().evictions, 6u);
+  EXPECT_GE(service.report().sweep_skipped, quiet.sweep_skipped);
+  service.drain_and_stop();
+
+  // Control: sweep_idle_threshold=0 disables skipping for non-empty
+  // tables — the same quiet phase full-scans every tick.
+  ServiceConfig busy_cfg = cfg;
+  busy_cfg.session_ttl_seconds = 10.0;
+  busy_cfg.sweep_idle_threshold = 0;
+  ProvisioningService busy(registry, {"v100", "dqn", "moe"}, busy_cfg);
+  busy.start();
+  for (int i = 0; i < 4; ++i) busy.open_session();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  const auto report = busy.report();
+  EXPECT_GT(report.sweep_wakeups, 0u);
+  EXPECT_EQ(report.sweep_skipped, 0u);
+  busy.drain_and_stop();
+}
+
+TEST(ProvisioningService, MetricsTextPassesLintAndCarriesLiveGauges) {
+  TempDir dir("lint");
+  auto agent = make_dqn(101);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+
+  ServiceConfig cfg;
+  cfg.history_len = test_net().history_len;
+  cfg.shards = 2;
+  ProvisioningService service(registry, {"v100", "dqn", "moe"}, cfg);
+  service.start();
+  const SessionId id = service.open_session();
+  for (std::size_t t = 0; t < 5; ++t) {
+    service.observe(id, make_sample(0, t), make_ctx(0));
+    service.decide(id);
+  }
+  // No report()/sweeper needed: the scrape itself refreshes the gauges.
+  const std::string text = service.metrics_text();
+  EXPECT_NE(text.find("mirage_serve_engine_queue_depth"), std::string::npos) << text;
+  EXPECT_NE(text.find("mirage_serve_shard_sessions_0"), std::string::npos);
+  EXPECT_NE(text.find("mirage_serve_shard_sessions_1"), std::string::npos);
+  EXPECT_NE(text.find("mirage_serve_reject_rate"), std::string::npos);
+
+  // The whole exposition — handwritten families plus the registry dump —
+  // must survive the strict linter (duplicate families, broken histogram
+  // invariants or malformed exemplars would all fail here).
+  std::string error;
+  EXPECT_TRUE(obs::lint_prometheus_exposition(text, &error)) << error << "\n" << text;
+  service.drain_and_stop();
+}
+
+TEST(ProvisioningService, RequestJourneysLinkTraceEventsAndExemplars) {
+  TempDir dir("journey");
+  auto agent = make_dqn(103);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+
+  obs::set_enabled(true);
+  obs::global_trace().clear();
+  decision_latency_histogram().reset();
+
+  ServiceConfig cfg;
+  cfg.history_len = test_net().history_len;
+  ProvisioningService service(registry, {"v100", "dqn", "moe"}, cfg);
+  service.start();
+  const SessionId id = service.open_session();
+  for (std::size_t t = 0; t < 20; ++t) {
+    service.observe(id, make_sample(0, t), make_ctx(0));
+    service.decide(id);
+  }
+  service.drain_and_stop();
+
+  // Every decision minted a request id and left begin/enqueue/complete
+  // events whose arg0 ids line up across the journey.
+  std::set<std::int64_t> begun, enqueued, completed;
+  for (const auto& ev : obs::global_trace().snapshot()) {
+    switch (ev.kind) {
+      case obs::TraceEventKind::kRequestBegin: begun.insert(ev.arg0); break;
+      case obs::TraceEventKind::kRequestEnqueue: enqueued.insert(ev.arg0); break;
+      case obs::TraceEventKind::kRequestComplete:
+        completed.insert(ev.arg0);
+        EXPECT_GE(ev.dur, 0);  // journey slice [enqueue, served]
+        break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(begun.size(), 20u);
+  for (const auto req : completed) {
+    EXPECT_TRUE(begun.count(req)) << "completed id " << req << " never began";
+    EXPECT_TRUE(enqueued.count(req)) << "completed id " << req << " never enqueued";
+  }
+  EXPECT_EQ(completed.size(), 20u);
+
+  // The latency histogram's tail exemplar names one of those journeys: the
+  // aggregate p99.9 bucket points at a concrete request id in the ring.
+  const auto ex = decision_latency_histogram().exemplar_for_percentile(99.9);
+  ASSERT_TRUE(ex.valid);
+  EXPECT_TRUE(begun.count(static_cast<std::int64_t>(ex.id)))
+      << "exemplar id " << ex.id << " is not a traced request";
+}
+
+TEST(ProvisioningService, SloBreachFiresHealthEndpointAndFlightBundle) {
+  TempDir dir("slofire");
+  TempDir flight_dir("slofire_bundles");
+  auto agent = make_dqn(105);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+
+  obs::FlightRecorderConfig frc;
+  frc.directory = flight_dir.path.string();
+  obs::flight_recorder().configure(frc);
+
+  ServiceConfig cfg;
+  cfg.history_len = test_net().history_len;
+  cfg.sweep_interval_seconds = 0.005;
+  cfg.slo.enabled = true;
+  cfg.slo.latency_target_seconds = 1e-9;  // unmeetable: every decision is bad
+  cfg.slo.latency_quantile = 50.0;
+  cfg.slo.short_window_seconds = 0.05;
+  cfg.slo.long_window_seconds = 0.1;
+  cfg.slo.resolve_seconds = 60.0;
+  cfg.slo.dump_on_fire = true;
+  ProvisioningService service(registry, {"v100", "dqn", "moe"}, cfg);
+
+  // Before start the SLO engine is unconfigured.
+  EXPECT_NE(service.health_text().find("status: unconfigured"), std::string::npos);
+  EXPECT_TRUE(service.slo_statuses().empty());
+
+  service.start();
+  const SessionId id = service.open_session();
+  std::uint64_t fires = 0;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (fires == 0 && std::chrono::steady_clock::now() < deadline) {
+    service.observe(id, make_sample(0, 0), make_ctx(0));
+    service.decide(id);
+    for (const auto& st : service.slo_statuses()) fires += st.fires;
+  }
+  ASSERT_GT(fires, 0u) << "forced SLO breach never fired";
+  const std::string health = service.health_text();
+  EXPECT_NE(health.find("status: firing"), std::string::npos) << health;
+  EXPECT_NE(health.find("slo serve_latency"), std::string::npos) << health;
+  service.drain_and_stop();
+
+  // The fire hook dumped a validated bundle into the configured directory.
+  std::string newest;
+  for (const auto& e : fs::directory_iterator(flight_dir.path)) {
+    const auto name = e.path().filename().string();
+    if (e.is_directory() && name.rfind("bundle_", 0) == 0 && name > newest) newest = name;
+  }
+  ASSERT_FALSE(newest.empty()) << "SLO fire produced no flight bundle";
+  EXPECT_NE(newest.find("slo_serve_latency"), std::string::npos);
+  std::string error;
+  EXPECT_TRUE(obs::FlightRecorder::validate_bundle(
+      (flight_dir.path / newest).string(), &error))
+      << error;
 }
 
 // -------------------------------------------------------------- Race storm
