@@ -70,6 +70,10 @@ std::string ExperimentPlan::to_text() const {
   out << "warmup=" << budget.warmup << '\n';
   out << "max_horizon=" << budget.max_horizon << '\n';
   out << "job_runtime=" << budget.job_runtime << '\n';
+  // Emitted only when set: nn_threads never changes results (bitwise
+  // determinism contract), and keeping it out of default plan text keeps
+  // pre-existing plan hashes — and their resumable artifacts — valid.
+  if (budget.nn_threads != 0) out << "nn_threads=" << budget.nn_threads << '\n';
   if (!matrix.clusters.empty()) {
     out << "clusters="
         << join_csv<std::string>(matrix.clusters, +[](std::string s) { return s; }) << '\n';
@@ -178,6 +182,9 @@ std::optional<ExperimentPlan> parse_plan(const std::string& text, std::string* e
     } else if (key == "job_runtime") {
       ok = parse_i64(value, i) && i > 0;
       plan.budget.job_runtime = i;
+    } else if (key == "nn_threads") {
+      ok = parse_i64(value, i) && i >= 0;
+      plan.budget.nn_threads = static_cast<std::size_t>(i);
     } else if (key == "clusters") {
       plan.matrix.clusters = util::parse_csv_line(value);
     } else if (key == "utilization_scales") {

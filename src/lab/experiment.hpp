@@ -34,6 +34,13 @@ struct TrainBudget {
   util::SimTime warmup = 12 * util::kHour;
   util::SimTime max_horizon = 3 * util::kDay;
   util::SimTime job_runtime = 24 * util::kHour;
+  /// GEMM threads per cell forward/backward (nn::ScopedNumThreads). 0 =
+  /// pick per run mode: serial runs use every core inside each cell,
+  /// parallel cell sweeps pin cells to 1 GEMM thread (the sweep already
+  /// saturates the machine). Results are bitwise identical either way —
+  /// the parallel-GEMM determinism contract keeps leaderboards stable
+  /// across this knob.
+  std::size_t nn_threads = 0;
 
   bool operator==(const TrainBudget& o) const = default;
 };

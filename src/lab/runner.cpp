@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/evaluator.hpp"
+#include "nn/parallel.hpp"
 #include "obs/span.hpp"
 #include "scenario/scenario.hpp"
 #include "util/logging.hpp"
@@ -140,7 +141,16 @@ LabRunReport run_impl(const ExperimentPlan& plan, ArtifactStore& store, std::siz
   const std::uint64_t plan_hash = plan.hash();
   const auto cells = plan.matrix.expand();
   std::vector<CellOutcome> outcomes(cells.size());
+  // GEMM threads per cell: the plan's explicit value wins; otherwise serial
+  // runs fan each forward across the machine while parallel sweeps pin
+  // cells to 1 GEMM thread (the cells themselves already saturate the
+  // cores). Either way results are bitwise identical — the GEMM tile
+  // partition is thread-count-invariant — which is exactly why run() and
+  // run_serial() can keep producing identical leaderboards.
+  const std::size_t gemm_threads =
+      plan.budget.nn_threads != 0 ? plan.budget.nn_threads : (serial ? 0 : 1);
   const auto run_one = [&](std::size_t i) {
+    nn::ScopedNumThreads nn_scope(gemm_threads);
     outcomes[i] = run_cell(plan, plan_hash, store, i, cells[i]);
   };
   if (serial) {

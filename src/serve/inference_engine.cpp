@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "nn/parallel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "obs/trace.hpp"
@@ -327,11 +328,17 @@ void BatchedInferenceEngine::serve_batch(std::size_t take) {
     try {
       if (config_.use_thread_pool) {
         // One batched forward per tick on the shared compute pool; the
-        // engine thread just awaits it.
+        // engine thread just awaits it. The GEMM thread override is scoped
+        // INSIDE the submitted task — nn::ScopedNumThreads is thread-local,
+        // so it must wrap the thread that actually runs the forward.
         util::ThreadPool::global()
-            .submit([&] { model->infer_into(observations_, decisions_); })
+            .submit([&] {
+              nn::ScopedNumThreads gemm_threads(config_.nn_threads);
+              model->infer_into(observations_, decisions_);
+            })
             .get();
       } else {
+        nn::ScopedNumThreads gemm_threads(config_.nn_threads);
         model->infer_into(observations_, decisions_);
       }
       // A model returning the wrong number of decisions (e.g. a

@@ -37,6 +37,13 @@ obs::Counter& sweeper_skipped_counter() {
   return *c;
 }
 
+obs::Counter& sweeper_stretches_counter() {
+  static obs::Counter* c = obs::registry().counter(
+      "mirage_serve_sweeper_stretches_total",
+      "sweeper wakeup-interval doublings on quiet tables");
+  return *c;
+}
+
 }  // namespace
 
 ProvisioningService::ProvisioningService(const ModelRegistry& registry, ModelKey key,
@@ -222,7 +229,8 @@ std::size_t ProvisioningService::sweep_shard(Shard& shard) const {
   return evicted;
 }
 
-std::size_t ProvisioningService::sweep_shard_idle_aware(Shard& shard) const {
+std::size_t ProvisioningService::sweep_shard_idle_aware(Shard& shard, bool* skipped) const {
+  if (skipped) *skipped = false;
   if (config_.session_ttl_seconds <= 0.0) return 0;
   const double now = util::wall_seconds();
   {
@@ -235,6 +243,7 @@ std::size_t ProvisioningService::sweep_shard_idle_aware(Shard& shard) const {
         now < shard.next_expiry_hint) {
       sweep_skipped_.fetch_add(1, std::memory_order_relaxed);
       sweeper_skipped_counter().add();
+      if (skipped) *skipped = true;
       return 0;
     }
   }
@@ -242,11 +251,14 @@ std::size_t ProvisioningService::sweep_shard_idle_aware(Shard& shard) const {
 }
 
 void ProvisioningService::sweeper_loop() {
-  const auto interval = std::chrono::duration<double>(
-      std::max(1e-4, config_.sweep_interval_seconds));
+  const double base_seconds = std::max(1e-4, config_.sweep_interval_seconds);
   const bool ttl_on = config_.session_ttl_seconds > 0.0;
+  const double max_factor = std::max(1.0, config_.sweep_backoff_max_factor);
+  double backoff = 1.0;        ///< current interval multiplier
+  std::size_t quiet_streak = 0;  ///< consecutive hint-skipped ticks
   std::unique_lock<std::mutex> lock(sweeper_mutex_);
   while (!sweeper_stop_) {
+    const auto interval = std::chrono::duration<double>(base_seconds * backoff);
     if (sweeper_cv_.wait_for(lock, interval, [this] { return sweeper_stop_; })) break;
     // Amortized background expiry: one shard per tick, round-robin, so
     // sweep cost stays O(sessions / shards) per wakeup no matter how
@@ -259,14 +271,33 @@ void ProvisioningService::sweeper_loop() {
     lock.unlock();
     sweep_wakeups_.fetch_add(1, std::memory_order_relaxed);
     sweeper_wakeups_counter().add();
-    if (ttl_on) sweep_shard_idle_aware(shards_[cursor]);
+    bool skipped = false;
+    if (ttl_on) sweep_shard_idle_aware(shards_[cursor], &skipped);
     // The sweeper doubles as the SLO evaluator and gauge-refresh tick —
     // both allocation-free in steady state, so the thread can run inside
     // the soak bench's zero-allocation audit window.
-    if (slos_configured_.load(std::memory_order_acquire)) {
-      slos_.evaluate(util::wall_seconds());
-    }
+    const bool slos_on = slos_configured_.load(std::memory_order_acquire);
+    if (slos_on) slos_.evaluate(util::wall_seconds());
     refresh_gauges();
+    // Quiet-table backoff, pure-TTL configurations only: with SLOs
+    // configured the evaluator needs its steady base cadence. Once every
+    // shard in a full rotation has declined its scan via the min-expiry
+    // hint, the table is provably quiet until the earliest hint, so the
+    // wakeup interval doubles (bounded); the first real scan — any
+    // activity invalidates a hint — snaps it back to base.
+    if (ttl_on && !slos_on && max_factor > 1.0) {
+      if (skipped) {
+        ++quiet_streak;
+        if (quiet_streak % shards_.size() == 0 && backoff < max_factor) {
+          backoff = std::min(max_factor, backoff * 2.0);
+          sweep_stretches_.fetch_add(1, std::memory_order_relaxed);
+          sweeper_stretches_counter().add();
+        }
+      } else {
+        quiet_streak = 0;
+        backoff = 1.0;
+      }
+    }
     lock.lock();
   }
 }
@@ -411,6 +442,7 @@ ServiceReport ProvisioningService::report() const {
   }
   r.sweep_wakeups = sweep_wakeups_.load(std::memory_order_relaxed);
   r.sweep_skipped = sweep_skipped_.load(std::memory_order_relaxed);
+  r.sweep_stretches = sweep_stretches_.load(std::memory_order_relaxed);
   r.engine = engine_.stats();
   const double started = started_seconds_.load();
   if (started > 0.0) {

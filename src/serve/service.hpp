@@ -92,6 +92,14 @@ struct ServiceConfig {
   /// future is SKIPPED — quiet tables cost a size check per tick, not a
   /// scan. Skips and wakeups are counted in the report and the registry.
   std::size_t sweep_idle_threshold = 1024;
+  /// Quiet-table wakeup backoff: when a full round-robin rotation of
+  /// shards skips its scan via the min-expiry hint, the sweeper doubles
+  /// its wakeup interval, up to sweep_interval_seconds * this factor;
+  /// any non-skipped scan snaps it back to the base cadence. <= 1
+  /// disables stretching. Only active in pure-TTL configurations — with
+  /// SLOs configured the sweeper doubles as the SLO evaluator and must
+  /// hold its base cadence.
+  double sweep_backoff_max_factor = 8.0;
   EngineConfig engine;
   ServiceSloConfig slo;
 };
@@ -105,6 +113,7 @@ struct ServiceReport {
   std::uint64_t evictions = 0;     ///< sessions reaped by the idle TTL
   std::uint64_t sweep_wakeups = 0; ///< background sweeper ticks
   std::uint64_t sweep_skipped = 0; ///< ticks skipped by idle-aware cadence
+  std::uint64_t sweep_stretches = 0; ///< quiet-streak wakeup-interval doublings
   EngineStats engine;
   double uptime_seconds = 0.0;
   double decisions_per_second = 0.0;
@@ -207,8 +216,10 @@ class ProvisioningService {
   std::shared_ptr<Session> find_session(SessionId id) const;
   std::size_t sweep_shard(Shard& shard) const;
   /// One background tick's sweep of `shard`: consult the idle hint, skip
-  /// or full-scan, refresh the hint. Returns evictions (0 on skip).
-  std::size_t sweep_shard_idle_aware(Shard& shard) const;
+  /// or full-scan, refresh the hint. Returns evictions (0 on skip);
+  /// `skipped`, when non-null, reports whether the hint declined the scan
+  /// (the sweeper's quiet-streak backoff input).
+  std::size_t sweep_shard_idle_aware(Shard& shard, bool* skipped = nullptr) const;
   void sweeper_loop();
   void record_served(Shard& shard, Session& session, const Decision& d) const;
   /// Mint a journey id and record kRequestBegin (0 when tracing is off).
@@ -234,6 +245,7 @@ class ProvisioningService {
 
   std::atomic<std::uint64_t> sweep_wakeups_{0};
   mutable std::atomic<std::uint64_t> sweep_skipped_{0};  ///< bumped in const sweeps
+  std::atomic<std::uint64_t> sweep_stretches_{0};  ///< backoff doublings
   // Live operational gauges (registered once at construction; refreshed
   // on sweeper ticks and by metrics_text()).
   obs::Gauge* queue_depth_gauge_ = nullptr;

@@ -74,6 +74,35 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   if (error) std::rethrow_exception(error);
 }
 
+void ThreadPool::run_static(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1) {
+    fn(0);
+    return;
+  }
+  std::vector<std::future<void>> futs;
+  futs.reserve(count - 1);
+  for (std::size_t w = 1; w < count; ++w) {
+    futs.push_back(submit([&fn, w] { fn(w); }));
+  }
+  // Every slot must finish before fn (and anything it captures) leaves
+  // scope, so collect the first error and rethrow only after the joins.
+  std::exception_ptr error;
+  try {
+    fn(0);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;

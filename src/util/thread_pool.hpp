@@ -32,6 +32,17 @@ class ThreadPool {
   /// and low contention). fn must be safe to call concurrently.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Run fn(w) exactly once for every w in [0, count), blocking until all
+  /// complete: a STATIC dispatch where each index is one pre-assigned
+  /// share of work (no chunk stealing, no dynamic rebalancing). The caller
+  /// runs slot 0 itself; slots 1..count-1 are submitted to the pool, so
+  /// `count` may exceed size() — excess slots queue and never block on
+  /// each other. This is the dispatch under the deterministic parallel
+  /// GEMM partition (nn/tensor.cpp): which thread executes a slot is
+  /// irrelevant to results because slots own disjoint output tiles.
+  /// The first exception thrown by any slot is rethrown after all return.
+  void run_static(std::size_t count, const std::function<void(std::size_t)>& fn);
+
   /// Global shared pool sized to the machine (lazy-initialized).
   static ThreadPool& global();
 

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "nn/attention.hpp"
+#include "nn/parallel.hpp"
 #include "nn/dual_head.hpp"
 #include "nn/foundation.hpp"
 #include "nn/loss.hpp"
@@ -127,6 +129,121 @@ TEST(TensorTest, AddBiasRows) {
   add_bias_rows(x, b);
   EXPECT_FLOAT_EQ(x.at(0, 0), 11.0f);
   EXPECT_FLOAT_EQ(x.at(1, 1), 21.0f);
+}
+
+// ---------------------------------------------------------- ParallelGemm
+//
+// The parallel GEMM's contract is bitwise: for every thread count the
+// output must be byte-identical to the single-threaded run (fixed output
+// tile grid, ascending-k accumulation — see nn/parallel.hpp). These
+// suites compare raw bytes with memcmp, not EXPECT_NEAR.
+
+/// ~10% exact zeros so the kernels' a==0 skip paths are exercised.
+Tensor random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Tensor t(rows, cols);
+  for (float& v : t.flat()) {
+    v = rng.uniform() < 0.1 ? 0.0f : static_cast<float>(rng.normal());
+  }
+  return t;
+}
+
+void expect_bitwise_equal(const Tensor& got, const Tensor& want, const char* what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  EXPECT_EQ(std::memcmp(got.data(), want.data(), want.size() * sizeof(float)), 0) << what;
+}
+
+/// Naive jik reference — a different loop order entirely, so agreement is
+/// approximate (EXPECT_NEAR), unlike the bitwise T-invariance checks.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  Tensor out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < a.cols(); ++p) acc += double(a.at(i, p)) * double(b.at(p, j));
+      out.at(i, j) = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+TEST(ParallelGemm, BitwiseIdenticalAcrossThreadCounts) {
+  // Ragged shapes chosen above the serial cutoff (m*k*n >= 64^3) so the
+  // parallel path actually engages; they split tiles unevenly in both
+  // dimensions (m=5 exercises a single ragged row-tile, n=401 a ragged
+  // column split).
+  const struct { std::size_t m, k, n; } shapes[] = {
+      {67, 129, 65}, {128, 128, 128}, {30, 200, 77}, {5, 300, 401}};
+  Rng rng(7);
+  for (const auto& s : shapes) {
+    const Tensor a = random_matrix(s.m, s.k, rng);
+    const Tensor b = random_matrix(s.k, s.n, rng);
+    const Tensor at = random_matrix(s.k, s.m, rng);  // matmul_tn input
+    const Tensor bt = random_matrix(s.n, s.k, rng);  // matmul_nt input
+
+    Tensor ref_nn, ref_tn, ref_nt;
+    {
+      ScopedNumThreads serial(1);
+      matmul(a, b, ref_nn);
+      matmul_tn(at, b, ref_tn);
+      matmul_nt(a, bt, ref_nt);
+    }
+    for (const std::size_t threads : {2, 3, 4, 8}) {
+      ScopedNumThreads scope(threads);
+      Tensor out;
+      matmul(a, b, out);
+      expect_bitwise_equal(out, ref_nn, "matmul");
+      matmul_tn(at, b, out);
+      expect_bitwise_equal(out, ref_tn, "matmul_tn");
+      matmul_nt(a, bt, out);
+      expect_bitwise_equal(out, ref_nt, "matmul_nt");
+    }
+    // And the parallel result is the RIGHT answer, not just a stable one.
+    const Tensor naive = naive_matmul(a, b);
+    for (std::size_t i = 0; i < naive.size(); ++i) {
+      EXPECT_NEAR(ref_nn.flat()[i], naive.flat()[i], 2e-3f);
+    }
+  }
+}
+
+TEST(ParallelGemm, AccumulateIsBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(11);
+  const Tensor a = random_matrix(70, 130, rng);
+  const Tensor b = random_matrix(130, 90, rng);
+  const Tensor base = random_matrix(70, 90, rng);
+
+  Tensor ref = base;
+  {
+    ScopedNumThreads serial(1);
+    matmul(a, b, ref, /*accumulate=*/true);
+  }
+  for (const std::size_t threads : {2, 4, 8}) {
+    ScopedNumThreads scope(threads);
+    Tensor out = base;
+    matmul(a, b, out, /*accumulate=*/true);
+    expect_bitwise_equal(out, ref, "matmul accumulate");
+  }
+}
+
+TEST(ParallelGemm, ThreadCountKnobResolution) {
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3u);
+  {
+    ScopedNumThreads outer(2);
+    EXPECT_EQ(num_threads(), 2u);
+    {
+      ScopedNumThreads inner(5);
+      EXPECT_EQ(num_threads(), 5u);
+    }
+    EXPECT_EQ(num_threads(), 2u);  // nesting restores the outer override
+  }
+  EXPECT_EQ(num_threads(), 3u);
+  {
+    ScopedNumThreads inherit(0);  // 0 = defer to the process default
+    EXPECT_EQ(num_threads(), 3u);
+  }
+  set_num_threads(0);  // restore: 0 = hardware_concurrency
+  EXPECT_GE(num_threads(), 1u);
 }
 
 // -------------------------------------------------------- Gradient checks

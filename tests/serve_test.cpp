@@ -838,6 +838,9 @@ TEST(ProvisioningService, IdleAwareSweeperSkipsQuietTablesButStillReaps) {
   EXPECT_GT(quiet.sweep_wakeups, 0u);
   EXPECT_GT(quiet.sweep_skipped, 0u);
   EXPECT_EQ(quiet.evictions, 0u);
+  // Every tick of this single-shard table declines its scan, so the
+  // sweeper stretches its wakeup interval (bounded backoff).
+  EXPECT_GT(quiet.sweep_stretches, 0u);
 
   // The skip cadence must not delay actual expiry: once the hint passes,
   // the sweeper rescans and reaps every abandoned session.
@@ -862,6 +865,8 @@ TEST(ProvisioningService, IdleAwareSweeperSkipsQuietTablesButStillReaps) {
   const auto report = busy.report();
   EXPECT_GT(report.sweep_wakeups, 0u);
   EXPECT_EQ(report.sweep_skipped, 0u);
+  // No skips means no quiet streak: the wakeup interval never stretches.
+  EXPECT_EQ(report.sweep_stretches, 0u);
   busy.drain_and_stop();
 }
 
