@@ -34,6 +34,21 @@
 //                  flight-recorder bundle that passes validate_bundle
 //                  (Chrome-trace + Prometheus-lint checks inside).
 //
+// ISSUE 10 additions: the durability and pooled-token layers must not
+// disturb the steady-state contracts (both run on dedicated TTL-free
+// services after the main fleet drains, so sweeper evictions cannot
+// pollute the allocation audit):
+//
+//   4b. pooled   — a windowed decide_async_pooled loop over recycled
+//                  completion tokens is audited for ZERO allocations (the
+//                  token pool must recirculate, never grow, once warm);
+//   4c. journal  — a second service runs the same steady window with
+//                  session-state WAL journaling ON (sync=none, the serving
+//                  configuration); throughput must stay within 5% of the
+//                  un-journaled tracing-on baseline, the audited window
+//                  must stay allocation-free, and the journal must never
+//                  enter the failed state.
+//
 // The service is measured around an allocation-free stub model so the
 // audit isolates the serving layers (shards, engine ring, waiter pool)
 // from NN-forward internals; bench_serve_throughput covers the real
@@ -42,7 +57,8 @@
 //
 //   ./bench_serve_soak [sessions=100000] [hot=1024] [steady=40000]
 //                      [clients=4] [qps=4000] [qps_seconds=2] [ttl=8]
-//                      [shards=16] [k=4] [p99_limit_ms=250]
+//                      [shards=16] [k=4] [p99_limit_ms=250] [pooled=8192]
+#include <array>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -184,7 +200,8 @@ int main(int argc, char** argv) {
   };
   const std::size_t per_client =
       std::max<std::size_t>(1, steady / std::max<std::size_t>(1, clients));
-  const auto run_steady = [&](bool tracing_on) {
+  const auto run_steady = [&](serve::ProvisioningService& svc,
+                              const std::vector<serve::SessionId>& sids, bool tracing_on) {
     obs::set_enabled(tracing_on);
     std::atomic<std::size_t> ready{0};
     std::atomic<bool> go{false};
@@ -200,14 +217,15 @@ int main(int argc, char** argv) {
         // one request. Fresh client threads each rep also need their
         // thread_local observation buffers and waiter slots grown.
         const std::size_t warm = cfg.engine.max_queue / clients + 1024;
+        const std::size_t pool = std::min(hot, sids.size());
         for (std::size_t i = 0; i < warm; ++i) {
-          service.try_decide(ids[(c * 7919 + i) % hot], d);
+          svc.try_decide(sids[(c * 7919 + i) % pool], d);
         }
         ready.fetch_add(1);
         while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
         std::uint64_t served = 0;
         for (std::size_t i = 0; i < per_client; ++i) {
-          if (service.try_decide(ids[(c * 104729 + i) % hot], d) ==
+          if (svc.try_decide(sids[(c * 104729 + i) % pool], d) ==
               serve::BatchedInferenceEngine::SubmitResult::kOk) {
             ++served;
           }
@@ -234,8 +252,8 @@ int main(int argc, char** argv) {
   std::uint64_t traced_allocs = 0, traced_served = 0;
   const auto reps = static_cast<std::size_t>(cli.get_int("steady_reps", 2));
   for (std::size_t r = 0; r < reps; ++r) {
-    const SteadyRep off = run_steady(/*tracing_on=*/false);
-    const SteadyRep on = run_steady(/*tracing_on=*/true);
+    const SteadyRep off = run_steady(service, ids, /*tracing_on=*/false);
+    const SteadyRep on = run_steady(service, ids, /*tracing_on=*/true);
     if (off.decisions_per_sec > best_off.decisions_per_sec) best_off = off;
     if (on.decisions_per_sec > best_on.decisions_per_sec) best_on = on;
     traced_allocs += on.alloc_delta;
@@ -300,6 +318,109 @@ int main(int argc, char** argv) {
   std::printf("ttl         %llu evictions, %zu sessions remain\n",
               static_cast<unsigned long long>(report.evictions), report.open_sessions);
   service.drain_and_stop();
+
+  // The durability/pooled audits below run on dedicated TTL-free services
+  // AFTER the main service drained: a background sweeper reaping the cold
+  // fleet mid-window would charge its eviction bookkeeping to the global
+  // allocation counter and fail the zero-alloc gates spuriously.
+
+  // ---- phase 4b: pooled-token async audit ---------------------------------
+  // decide_async_pooled recycles completion tokens from a pool instead of
+  // allocating a promise/future pair per request. A windowed loop keeps
+  // kPooledWindow handles in flight; after the warmup has grown the pool
+  // to window depth, the audited window must not allocate at all — the
+  // same tokens circulate for every request.
+  double pooled_decisions_per_sec = 0.0;
+  std::uint64_t pooled_allocs = 0;
+  {
+    serve::ServiceConfig pcfg = cfg;
+    pcfg.session_ttl_seconds = 0.0;
+    serve::ProvisioningService pooled_service(serve::ModelSnapshot(model), pcfg);
+    pooled_service.start();
+    std::vector<serve::SessionId> pids;
+    pids.reserve(hot);
+    for (std::size_t i = 0; i < hot; ++i) {
+      const auto id = pooled_service.open_session();
+      pooled_service.observe(id, soak_sample(i), ctx);
+      pids.push_back(id);
+    }
+    constexpr std::size_t kPooledWindow = 8;
+    const auto pooled_n = static_cast<std::size_t>(cli.get_int("pooled", 8192));
+    std::array<serve::AsyncDecision, kPooledWindow> window;
+    const auto pump = [&](std::size_t count, std::size_t phase) {
+      for (std::size_t i = 0; i < count; ++i) {
+        auto& slot = window[i % kPooledWindow];
+        if (slot.valid()) (void)slot.get();
+        slot = pooled_service.decide_async_pooled(pids[(phase * 524287 + i) % hot]);
+      }
+      for (auto& slot : window) {
+        if (slot.valid()) (void)slot.get();
+      }
+    };
+    // Warm the token pool AND the full engine ring: every max_queue slot
+    // allocates its observation buffer the first time it circulates, so
+    // the audited window must start after each slot has carried at least
+    // one request (same sizing rule as the steady phase's warmup).
+    pump(cfg.engine.max_queue + 1024, 0);
+    const std::uint64_t alloc0 = bench::allocation_count();
+    const double pooled_t0 = util::wall_seconds();
+    pump(pooled_n, 1);
+    pooled_decisions_per_sec =
+        static_cast<double>(pooled_n) / (util::wall_seconds() - pooled_t0);
+    pooled_allocs = bench::allocation_count() - alloc0;
+    pooled_service.drain_and_stop();
+    std::printf("pooled      %.0f decides/s over a %zu-deep token window (%llu allocs)\n",
+                pooled_decisions_per_sec, kPooledWindow,
+                static_cast<unsigned long long>(pooled_allocs));
+  }
+
+  // ---- phase 4c: steady state with session journaling ON ------------------
+  // A second service over the same stub runs the identical steady window
+  // with a WAL journal at sync=none (the serving configuration: append on
+  // the decide path, group commit on the sweeper tick). The segment size
+  // is large enough that no roll lands inside the audited window, so the
+  // journaled decide path must also be allocation-free, and throughput
+  // must hold within 5% of the un-journaled tracing-on baseline.
+  SteadyRep best_journal;
+  std::uint64_t journal_allocs = 0;
+  bool journal_failed = true;
+  const std::filesystem::path wal_dir =
+      std::filesystem::temp_directory_path() / "mirage_soak_wal";
+  std::filesystem::remove_all(wal_dir);
+  {
+    serve::ServiceConfig jcfg = cfg;
+    jcfg.session_ttl_seconds = 0.0;
+    jcfg.wal.dir = wal_dir.string();
+    jcfg.wal.wal.sync = util::wal::SyncLevel::kNone;
+    jcfg.wal.wal.segment_bytes = 256u << 20;
+    jcfg.wal.restore = false;
+    serve::ProvisioningService journal_service(serve::ModelSnapshot(model), jcfg);
+    journal_service.start();
+    std::vector<serve::SessionId> jids;
+    jids.reserve(hot);
+    for (std::size_t i = 0; i < hot; ++i) {
+      const auto id = journal_service.open_session();
+      journal_service.observe(id, soak_sample(i), ctx);
+      jids.push_back(id);
+    }
+    for (std::size_t r = 0; r < reps; ++r) {
+      const SteadyRep rep = run_steady(journal_service, jids, /*tracing_on=*/true);
+      if (rep.decisions_per_sec > best_journal.decisions_per_sec) best_journal = rep;
+      journal_allocs += rep.alloc_delta;
+      std::printf("journal rep %.0f/s (%llu allocs)\n", rep.decisions_per_sec,
+                  static_cast<unsigned long long>(rep.alloc_delta));
+    }
+    journal_failed = journal_service.wal_failed();
+    journal_service.drain_and_stop();
+  }
+  std::filesystem::remove_all(wal_dir);
+  const double journal_overhead_pct =
+      best_on.decisions_per_sec > 0.0
+          ? (1.0 - best_journal.decisions_per_sec / best_on.decisions_per_sec) * 100.0
+          : 0.0;
+  std::printf("journal     %.0f/s journaled vs %.0f/s baseline (overhead %.2f%%)\n",
+              best_journal.decisions_per_sec, best_on.decisions_per_sec,
+              journal_overhead_pct);
 
   // ---- phase 5: backpressure under a saturated engine --------------------
   serve::ServiceConfig bp_cfg;
@@ -417,6 +538,11 @@ int main(int argc, char** argv) {
   gate(alloc_delta == 0,
        "zero steady-state heap allocations per decide (tracing + SLO eval on)");
   gate(tracing_overhead_pct <= 3.0, "journey tracing overhead within 3%");
+  gate(pooled_allocs == 0, "pooled-token async window allocation-free once warm");
+  gate(journal_allocs == 0,
+       "zero steady-state heap allocations with session journaling on");
+  gate(journal_overhead_pct <= 5.0, "session journaling overhead within 5% at sync=none");
+  gate(!journal_failed, "session journal stayed healthy through the soak");
   gate(report.engine.latency.p99_ms <= p99_limit_ms, "p99 latency within bound");
   gate(report.evictions >= sessions - hot, "TTL reaped the cold fleet");
   gate(bp_rejected > 0 && bp_report.engine.rejected >= bp_rejected,
@@ -437,6 +563,11 @@ int main(int argc, char** argv) {
       .add("decisions_per_sec_tracing_off", best_off.decisions_per_sec)
       .add("tracing_overhead_pct", tracing_overhead_pct)
       .add("steady_allocs_per_decide", allocs_per_decide)
+      .add("pooled_decisions_per_sec", pooled_decisions_per_sec)
+      .add("pooled_allocs", static_cast<std::int64_t>(pooled_allocs))
+      .add("decisions_per_sec_journaled", best_journal.decisions_per_sec)
+      .add("journal_overhead_pct", journal_overhead_pct)
+      .add("journal_allocs", static_cast<std::int64_t>(journal_allocs))
       .add("slo_fires", static_cast<std::int64_t>(slo_fires))
       .add("bundle_valid", static_cast<std::int64_t>(bundle_valid ? 1 : 0))
       .add("latency_p50_ms", report.engine.latency.p50_ms)

@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "util/strconv.hpp"
@@ -43,6 +44,14 @@ std::map<std::string, std::string> parse_manifest(std::istream& in) {
   return kv;
 }
 
+// ---- run journal records --------------------------------------------------
+// Binary WAL records; RecordReader bounds-checks every field on replay, so
+// a foreign or truncated record is rejected, never mis-parsed.
+constexpr std::uint8_t kRecJobComplete = 1;  ///< u32 manifest_len|bytes|u32 ckpt_len|bytes
+constexpr std::uint8_t kRecLeaderboard = 2;  ///< u32 csv_len|bytes
+
+const char* kJournalDirName = "journal";
+
 }  // namespace
 
 fs::path ArtifactStore::dir_for(const ExperimentPlan& plan, std::uint64_t plan_hash) const {
@@ -70,6 +79,99 @@ bool ArtifactStore::init_run(const ExperimentPlan& plan, std::string* error) {
     if (!out || !(out << plan.to_text())) {
       return fail(error, "cannot write " + plan_file.string());
     }
+  }
+  if (options_.journal && !recover_run(dir, error)) return false;
+  return true;
+}
+
+bool ArtifactStore::recover_run(const fs::path& dir, std::string* error) {
+  recovery_ = RunRecovery{};
+  const fs::path journal_dir = dir / kJournalDirName;
+
+  util::wal::RecoveryInfo info;
+  const auto replay = [this](const void* data, std::size_t size) {
+    util::wal::RecordReader r(data, size);
+    switch (r.u8()) {
+      case kRecJobComplete: {
+        r.str(r.u32());  // manifest name
+        r.str(r.u32());  // checkpoint name ("" for non-checkpointable)
+        if (r.ok) ++recovery_.journaled_jobs;
+        break;
+      }
+      case kRecLeaderboard: {
+        std::string csv = r.str(r.u32());
+        if (r.ok) {
+          ++recovery_.leaderboard_snapshots;
+          recovery_.last_leaderboard_csv = std::move(csv);
+        }
+        break;
+      }
+      default:
+        break;  // unknown record type: skip (forward compatibility)
+    }
+  };
+  std::string wal_error;
+  if (!util::wal::recover(journal_dir.string(), replay, &info, &wal_error)) {
+    return fail(error, "run journal recovery failed: " + wal_error);
+  }
+  recovery_.torn_tail = info.torn_tail;
+
+  // Purge stranded partial artifacts: a kill -9 can leave a *.tmp mid-write
+  // or a committed checkpoint whose manifest never landed (run_cell renames
+  // the checkpoint BEFORE the manifest commit). Both would otherwise sit in
+  // the run dir forever; neither is resumable. Manifested checkpoints are
+  // the ones to keep — the manifest is the commit point.
+  std::set<std::string> referenced;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 9 || name.substr(name.size() - 9) != ".manifest") continue;
+    std::ifstream in(entry.path());
+    if (!in) continue;
+    const auto kv = parse_manifest(in);
+    const auto status = kv.find("status");
+    const auto ckpt = kv.find("checkpoint");
+    if (status != kv.end() && status->second == "complete" && ckpt != kv.end() &&
+        !ckpt->second.empty()) {
+      referenced.insert(ckpt->second);
+    }
+  }
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    const bool stranded_tmp = name.size() > 4 && name.substr(name.size() - 4) == ".tmp";
+    const bool orphan_ckpt = name.size() > 5 && name.substr(name.size() - 5) == ".ckpt" &&
+                             referenced.find(name) == referenced.end();
+    if (stranded_tmp || orphan_ckpt) {
+      std::error_code rm_ec;
+      fs::remove(entry.path(), rm_ec);
+      if (!rm_ec) ++recovery_.stranded_removed;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  if (!journal_.open(journal_dir.string(), options_.wal, &wal_error)) {
+    return fail(error, "cannot open run journal: " + wal_error);
+  }
+  return true;
+}
+
+bool ArtifactStore::journal_record(const fs::path& run_dir, const util::wal::Chunk* chunks,
+                                   std::size_t count, std::string* error) {
+  const fs::path journal_dir = run_dir / kJournalDirName;
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  // One store can serve several plans; reopen if a different run's journal
+  // is current (rare — init_run normally opened the right one already).
+  if (!journal_.is_open() || journal_.dir() != journal_dir.string()) {
+    std::string wal_error;
+    if (!journal_.open(journal_dir.string(), options_.wal, &wal_error)) {
+      return fail(error, "cannot open run journal: " + wal_error);
+    }
+  }
+  std::string wal_error;
+  if (!journal_.append(chunks, count, &wal_error) || !journal_.commit(&wal_error)) {
+    return fail(error, "run journal append failed: " + wal_error);
   }
   return true;
 }
@@ -177,10 +279,41 @@ bool ArtifactStore::save(const ExperimentPlan& plan, const LabJob& job, const Jo
     out << "status=complete\n";
     if (!out) return fail(error, "cannot write " + tmp.string());
   }
-  std::error_code ec;
-  fs::rename(tmp, manifest, ec);
-  if (ec) return fail(error, "cannot commit " + manifest.string() + ": " + ec.message());
+  // Harden the commit: fsync the temp file so its bytes are durable before
+  // the rename publishes them, then fsync the directory so the rename
+  // itself survives power loss — not merely process death.
+  std::string io_error;
+  if (!util::wal::fsync_path(tmp.string(), &io_error)) return fail(error, io_error);
+  if (!util::wal::rename_durable(tmp.string(), manifest.string(), &io_error)) {
+    return fail(error, "cannot commit " + manifest.string() + ": " + io_error);
+  }
+
+  if (options_.journal) {
+    const std::string manifest_name = manifest.filename().string();
+    std::uint8_t head[5], mid[4];
+    head[0] = kRecJobComplete;
+    util::wal::store_u32_le(head + 1, static_cast<std::uint32_t>(manifest_name.size()));
+    util::wal::store_u32_le(mid, static_cast<std::uint32_t>(result.checkpoint.size()));
+    const util::wal::Chunk chunks[] = {
+        {head, sizeof(head)},
+        {manifest_name.data(), manifest_name.size()},
+        {mid, sizeof(mid)},
+        {result.checkpoint.data(), result.checkpoint.size()},
+    };
+    if (!journal_record(manifest.parent_path(), chunks, 4, error)) return false;
+  }
   return true;
+}
+
+bool ArtifactStore::snapshot_leaderboard(const ExperimentPlan& plan, const Leaderboard& leaderboard,
+                                         std::string* error) {
+  if (!options_.journal) return true;
+  const std::string csv = leaderboard.to_csv();
+  std::uint8_t head[5];
+  head[0] = kRecLeaderboard;
+  util::wal::store_u32_le(head + 1, static_cast<std::uint32_t>(csv.size()));
+  const util::wal::Chunk chunks[] = {{head, sizeof(head)}, {csv.data(), csv.size()}};
+  return journal_record(run_dir(plan), chunks, 2, error);
 }
 
 std::size_t ArtifactStore::count_complete(const ExperimentPlan& plan) const {

@@ -10,6 +10,7 @@
 #include "scenario/scenario.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
+#include "util/wal.hpp"
 
 namespace mirage::lab {
 
@@ -99,10 +100,12 @@ CellOutcome run_cell(const ExperimentPlan& plan, std::uint64_t plan_hash, Artifa
           outcome.error = "cannot write checkpoint " + tmp;
           return outcome;
         }
-        std::error_code ec;
-        std::filesystem::rename(tmp, path, ec);
-        if (ec) {
-          outcome.error = "cannot commit checkpoint " + path + ": " + ec.message();
+        // Same durable commit the manifests use: bytes fsynced before the
+        // rename publishes them, directory entry fsynced after.
+        std::string io_error;
+        if (!util::wal::fsync_path(tmp, &io_error) ||
+            !util::wal::rename_durable(tmp, path, &io_error)) {
+          outcome.error = "cannot commit checkpoint " + path + ": " + io_error;
           return outcome;
         }
         row.checkpoint = std::filesystem::path(path).filename().string();
@@ -171,6 +174,13 @@ LabRunReport run_impl(const ExperimentPlan& plan, ArtifactStore& store, std::siz
   }
   report.jobs_run = report.jobs_total - report.jobs_resumed;
   report.leaderboard = Leaderboard::build(std::move(rows));
+  // Journaled stores snapshot the final standings; a crash-recovered
+  // resume can then diff its rebuilt leaderboard against the last one the
+  // journal saw (no-op when journaling is off).
+  std::string snapshot_error;
+  if (!store.snapshot_leaderboard(plan, report.leaderboard, &snapshot_error)) {
+    throw std::runtime_error(snapshot_error);
+  }
   util::log_info("lab[", plan.name, "]: ", report.jobs_total, " jobs (", report.jobs_run,
                  " run, ", report.jobs_resumed, " resumed) across ", cells.size(), " cells");
   return report;

@@ -124,7 +124,7 @@ std::vector<float> summary_features(const sim::StateSample& sample, const JobPai
 std::size_t summary_feature_count() { return 21; }
 
 StateEncoder::StateEncoder(std::size_t history_len, std::size_t partition_count)
-    : k_(history_len), frame_vars_(frame_vars(partition_count)) {
+    : k_(history_len), frame_vars_(mirage::rl::frame_vars(partition_count)) {
   ring_.resize(k_ * frame_vars_, 0.0f);
   scratch_.reserve(frame_vars_);
 }
@@ -147,9 +147,21 @@ void StateEncoder::push(const sim::StateSample& sample, const JobPairContext& ct
         " (sample covers " + std::to_string(sample.partition_count()) +
         " partitions) != configured width " + std::to_string(frame_vars_));
   }
+  store_frame(scratch_.data());
+}
+
+void StateEncoder::push_encoded(const float* frame, std::size_t size) {
+  if (size != frame_vars_) {
+    throw std::invalid_argument("StateEncoder: encoded frame width " + std::to_string(size) +
+                                " != configured width " + std::to_string(frame_vars_));
+  }
+  store_frame(frame);
+}
+
+void StateEncoder::store_frame(const float* frame) {
   ++frames_seen_;
   if (k_ == 0) return;  // zero-history encoder: frames are counted, not kept
-  std::copy(scratch_.begin(), scratch_.end(), ring_.begin() + next_ * frame_vars_);
+  std::copy(frame, frame + frame_vars_, ring_.begin() + next_ * frame_vars_);
   next_ = (next_ + 1) % k_;
   if (count_ < k_) ++count_;
 }

@@ -74,11 +74,21 @@ class StateEncoder {
 
   void reset();
   void push(const sim::StateSample& sample, const JobPairContext& ctx);
+  /// Store one already-encoded frame (must be frame_vars() wide). This is
+  /// the WAL-replay path: re-pushing the journaled frame bytes reproduces
+  /// the ring — count, slot position and float bits — exactly.
+  void push_encoded(const float* frame, std::size_t size);
 
   std::size_t history_len() const { return k_; }
   std::size_t frames_seen() const { return frames_seen_; }
+  /// Per-frame width excluding the action channel.
+  std::size_t frame_vars() const { return frame_vars_; }
   /// Per-frame width including the action channel.
   std::size_t frame_dim() const { return frame_vars_ + 1; }
+  /// The most recently pushed frame's encoded variables (the assembly
+  /// scratch; valid until the next push). Journaling hook: lets a client
+  /// log the exact bits the ring stored without re-encoding.
+  const std::vector<float>& last_frame() const { return scratch_; }
 
   /// Flatten to [k * frame_dim()] with the given action channel value
   /// written into every frame (oldest frame first). The in-place variant
@@ -87,6 +97,8 @@ class StateEncoder {
   void flatten_into(std::vector<float>& out, float action_value) const;
 
  private:
+  void store_frame(const float* frame);
+
   std::size_t k_;
   std::size_t frame_vars_;
   std::size_t frames_seen_ = 0;

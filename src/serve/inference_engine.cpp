@@ -48,6 +48,99 @@ void record_enqueue_event(std::uint64_t id, std::size_t slot, double enqueue_sec
 }
 }  // namespace
 
+// ------------------------------------------------ TokenPool / AsyncDecision
+
+namespace detail {
+
+TokenPool::~TokenPool() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (CompletionToken* token : free_) delete token;
+  free_.clear();
+}
+
+CompletionToken* TokenPool::acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      CompletionToken* token = free_.back();
+      free_.pop_back();
+      return token;
+    }
+    ++created_;
+  }
+  return new CompletionToken();  // cold start only; recycled forever after
+}
+
+void TokenPool::release(CompletionToken* token) {
+  token->done = false;
+  token->error = nullptr;
+  token->on_complete = nullptr;
+  token->ctx_a = nullptr;
+  token->ctx_b = nullptr;
+  token->ctx_c = nullptr;
+  token->ctx_id = 0;
+  token->keepalive.reset();
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(token);
+}
+
+std::size_t TokenPool::created() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return created_;
+}
+
+}  // namespace detail
+
+AsyncDecision::AsyncDecision(AsyncDecision&& other) noexcept
+    : token_(other.token_), pool_(other.pool_) {
+  other.token_ = nullptr;
+  other.pool_ = nullptr;
+}
+
+AsyncDecision& AsyncDecision::operator=(AsyncDecision&& other) noexcept {
+  if (this != &other) {
+    abandon();
+    token_ = other.token_;
+    pool_ = other.pool_;
+    other.token_ = nullptr;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+AsyncDecision::~AsyncDecision() { abandon(); }
+
+void AsyncDecision::abandon() {
+  if (token_ == nullptr) return;
+  {
+    // The engine thread may still be about to touch the token; wait for
+    // completion before recycling it.
+    std::unique_lock<std::mutex> lock(token_->mutex);
+    token_->cv.wait(lock, [this] { return token_->done; });
+  }
+  pool_->release(token_);
+  token_ = nullptr;
+}
+
+Decision AsyncDecision::get() {
+  if (token_ == nullptr) {
+    throw std::runtime_error("AsyncDecision: no pending decision (moved-from or already got)");
+  }
+  Decision decision;
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(token_->mutex);
+    token_->cv.wait(lock, [this] { return token_->done; });
+    error = token_->error;
+    decision = token_->decision;
+  }
+  detail::CompletionToken* token = token_;
+  token_ = nullptr;
+  pool_->release(token);
+  if (error) std::rethrow_exception(error);
+  return decision;
+}
+
 BatchedInferenceEngine::BatchedInferenceEngine(ModelResolver resolver, EngineConfig config)
     : resolver_(std::move(resolver)), config_(config) {
   if (config_.max_batch == 0) config_.max_batch = 1;
@@ -105,6 +198,7 @@ std::future<Decision> BatchedInferenceEngine::submit(
     slot->promise.emplace(std::move(promise));
     slot->on_complete = std::move(on_complete);
     slot->waiter = nullptr;
+    slot->token = nullptr;
     slot->enqueue_seconds = enqueue_seconds = util::wall_seconds();
     slot->request_id = request_id;
     slot_index = static_cast<std::size_t>(slot - ring_.data());
@@ -136,6 +230,7 @@ BatchedInferenceEngine::SubmitResult BatchedInferenceEngine::try_decide_blocking
     slot->promise.reset();
     slot->on_complete = nullptr;
     slot->waiter = &waiter;
+    slot->token = nullptr;
     slot->enqueue_seconds = enqueue_seconds = util::wall_seconds();
     slot->request_id = request_id;
     slot_index = static_cast<std::size_t>(slot - ring_.data());
@@ -148,6 +243,48 @@ BatchedInferenceEngine::SubmitResult BatchedInferenceEngine::try_decide_blocking
   waiter.cv.wait(lk, [&] { return waiter.done; });
   if (waiter.error) std::rethrow_exception(waiter.error);
   out = waiter.decision;
+  return SubmitResult::kOk;
+}
+
+BatchedInferenceEngine::SubmitResult BatchedInferenceEngine::submit_pooled(
+    std::vector<float>& observation, AsyncDecision& out, PooledCompletion completion,
+    std::uint64_t request_id) {
+  detail::CompletionToken* token = token_pool_.acquire();
+  token->on_complete = completion.fn;
+  token->ctx_a = completion.ctx_a;
+  token->ctx_b = completion.ctx_b;
+  token->ctx_c = completion.ctx_c;
+  token->ctx_id = completion.ctx_id;
+  token->keepalive = std::move(completion.keepalive);
+  std::size_t slot_index = 0;
+  double enqueue_seconds = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      token_pool_.release(token);
+      return SubmitResult::kDraining;
+    }
+    Request* slot = reserve_slot_locked();
+    if (!slot) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      engine_rejected_counter().add();
+      token_pool_.release(token);
+      return SubmitResult::kRejectedBackpressure;
+    }
+    slot->observation.swap(observation);  // capacities circulate, no alloc
+    slot->promise.reset();
+    slot->on_complete = nullptr;
+    slot->waiter = nullptr;
+    slot->token = token;
+    slot->enqueue_seconds = enqueue_seconds = util::wall_seconds();
+    slot->request_id = request_id;
+    slot_index = static_cast<std::size_t>(slot - ring_.data());
+  }
+  cv_.notify_one();
+  if (request_id != 0 && obs::enabled()) {
+    record_enqueue_event(request_id, slot_index, enqueue_seconds);
+  }
+  out = AsyncDecision(token, &token_pool_);
   return SubmitResult::kOk;
 }
 
@@ -188,6 +325,8 @@ void BatchedInferenceEngine::drain() {
       slot.promise.reset();
       leftover.waiter = slot.waiter;
       slot.waiter = nullptr;
+      leftover.token = slot.token;
+      slot.token = nullptr;
       slot.on_complete = nullptr;
       head_ = (head_ + 1) % ring_.size();
       --queued_;
@@ -255,6 +394,8 @@ void BatchedInferenceEngine::run() {
         slot.on_complete = nullptr;
         batch_[i].waiter = slot.waiter;
         slot.waiter = nullptr;
+        batch_[i].token = slot.token;
+        slot.token = nullptr;
         batch_[i].enqueue_seconds = slot.enqueue_seconds;
         batch_[i].request_id = slot.request_id;
         slot.request_id = 0;
@@ -278,6 +419,14 @@ void BatchedInferenceEngine::fulfill(Request& req, const Decision* decision,
       resolve_error = std::current_exception();
     }
   }
+  if (req.token && !resolve_error && req.token->on_complete) {
+    try {
+      req.token->on_complete(req.token->ctx_a, req.token->ctx_b, req.token->ctx_c,
+                             req.token->ctx_id, *decision);
+    } catch (...) {
+      resolve_error = std::current_exception();
+    }
+  }
   if (req.waiter) {
     detail::BlockingWaiter* w = req.waiter;
     {
@@ -295,6 +444,22 @@ void BatchedInferenceEngine::fulfill(Request& req, const Decision* decision,
       w->cv.notify_one();
     }
     req.waiter = nullptr;
+  } else if (req.token) {
+    detail::CompletionToken* t = req.token;
+    {
+      std::lock_guard<std::mutex> lock(t->mutex);
+      if (resolve_error) {
+        t->error = resolve_error;
+      } else {
+        t->decision = *decision;
+      }
+      t->done = true;
+      // Same done-inside-the-lock discipline as the waiter: once done is
+      // observable the AsyncDecision may release the token to the pool,
+      // where another submit can immediately reset it.
+      t->cv.notify_one();
+    }
+    req.token = nullptr;
   } else if (req.promise.has_value()) {
     if (resolve_error) {
       req.promise->set_exception(resolve_error);

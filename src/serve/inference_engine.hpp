@@ -17,7 +17,14 @@
 //                     swapped into a ring slot and the caller parks on a
 //                     thread_local waiter, so a steady-state decision
 //                     performs ZERO heap allocations end to end (audited
-//                     by bench_serve_soak with a stub model).
+//                     by bench_serve_soak with a stub model);
+//   submit_pooled()   pooled ASYNC path: instead of a promise/future pair
+//                     the request borrows a recycled CompletionToken from
+//                     the engine's token pool and hands back an
+//                     AsyncDecision that waits on it — so pipelined async
+//                     decides are also zero-allocation in steady state
+//                     (audited by bench_serve_soak alongside the blocking
+//                     path).
 //
 // The tick's forward executes on util::ThreadPool::global() so serving
 // shares the process-wide compute pool with training/evaluation work; the
@@ -93,7 +100,77 @@ struct BlockingWaiter {
   Decision decision;
   std::exception_ptr error;
 };
+
+/// Recycled completion state for the pooled async path: plays the role of
+/// a promise/future shared state, but lives in the engine's TokenPool and
+/// circulates instead of being heap-allocated per call. The completion
+/// callback is a raw function pointer plus context slots — assigning a
+/// std::function here could allocate, which is exactly what this path
+/// exists to avoid.
+struct CompletionToken {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  Decision decision;
+  std::exception_ptr error;
+  void (*on_complete)(void*, void*, void*, std::uint64_t, const Decision&) = nullptr;
+  void* ctx_a = nullptr;
+  void* ctx_b = nullptr;
+  void* ctx_c = nullptr;
+  std::uint64_t ctx_id = 0;
+  /// Keeps the callback's referents alive while the request is in flight
+  /// (a shared_ptr copy is a refcount bump, not an allocation).
+  std::shared_ptr<void> keepalive;
+};
+
+/// Freelist of CompletionTokens. Tokens are created on demand (cold
+/// start) and recycled forever after; `created()` is the audit hook — in
+/// a warmed steady state it must stop growing.
+class TokenPool {
+ public:
+  ~TokenPool();
+  TokenPool() = default;
+  TokenPool(const TokenPool&) = delete;
+  TokenPool& operator=(const TokenPool&) = delete;
+
+  CompletionToken* acquire();
+  void release(CompletionToken* token);
+  std::size_t created() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<CompletionToken*> free_;
+  std::size_t created_ = 0;
+};
 }  // namespace detail
+
+/// Move-only handle to one pooled async decision. get() blocks until the
+/// batch containing the request runs, rethrows the batch's failure, and
+/// returns the token to the pool; an abandoned (destroyed un-got) handle
+/// waits for completion first, so a token is never recycled while the
+/// engine might still touch it. Must not outlive the engine it came from.
+class AsyncDecision {
+ public:
+  AsyncDecision() = default;
+  AsyncDecision(AsyncDecision&& other) noexcept;
+  AsyncDecision& operator=(AsyncDecision&& other) noexcept;
+  ~AsyncDecision();
+  AsyncDecision(const AsyncDecision&) = delete;
+  AsyncDecision& operator=(const AsyncDecision&) = delete;
+
+  bool valid() const { return token_ != nullptr; }
+  /// Wait, rethrow on failure, release the token. Single-shot.
+  Decision get();
+
+ private:
+  friend class BatchedInferenceEngine;
+  AsyncDecision(detail::CompletionToken* token, detail::TokenPool* pool)
+      : token_(token), pool_(pool) {}
+  void abandon();
+
+  detail::CompletionToken* token_ = nullptr;
+  detail::TokenPool* pool_ = nullptr;
+};
 
 class BatchedInferenceEngine {
  public:
@@ -147,6 +224,35 @@ class BatchedInferenceEngine {
   /// on a full queue, std::runtime_error when draining.
   Decision decide_blocking(std::vector<float>& observation, std::uint64_t request_id = 0);
 
+  /// Completion context for submit_pooled. `fn` runs on the engine thread
+  /// for successfully served decisions only (same contract as submit()'s
+  /// on_complete), with the three context pointers and id passed through;
+  /// `keepalive` pins whatever the pointers reference until the request
+  /// resolves.
+  struct PooledCompletion {
+    void (*fn)(void*, void*, void*, std::uint64_t, const Decision&) = nullptr;
+    void* ctx_a = nullptr;
+    void* ctx_b = nullptr;
+    void* ctx_c = nullptr;
+    std::uint64_t ctx_id = 0;
+    std::shared_ptr<void> keepalive;
+  };
+
+  /// Pooled async path: like try_decide_blocking (observation swapped into
+  /// a ring slot, zero steady-state allocations) but returns immediately
+  /// with `out` waiting on a recycled CompletionToken instead of parking
+  /// the caller. On rejection/drain `out` is untouched and the token goes
+  /// straight back to the pool.
+  SubmitResult submit_pooled(std::vector<float>& observation, AsyncDecision& out,
+                             PooledCompletion completion, std::uint64_t request_id = 0);
+  SubmitResult submit_pooled(std::vector<float>& observation, AsyncDecision& out) {
+    return submit_pooled(observation, out, PooledCompletion());
+  }
+
+  /// Completion tokens ever created (the pooled-async allocation audit:
+  /// flat in a warmed steady state).
+  std::size_t tokens_created() const { return token_pool_.created(); }
+
   /// Graceful drain: reject new requests, serve everything queued, then
   /// stop the engine thread (idempotent).
   void drain();
@@ -156,13 +262,15 @@ class BatchedInferenceEngine {
   EngineStats stats() const;
 
  private:
-  /// One ring slot / in-flight request. Exactly one of {promise, waiter}
-  /// is set: promise for the future path, waiter for the blocking path.
+  /// One ring slot / in-flight request. Exactly one of {promise, waiter,
+  /// token} is set: promise for the future path, waiter for the blocking
+  /// path, token for the pooled async path.
   struct Request {
     std::vector<float> observation;  ///< buffer owned by the slot, reused
     std::optional<std::promise<Decision>> promise;
     std::function<void(const Decision&)> on_complete;
     detail::BlockingWaiter* waiter = nullptr;
+    detail::CompletionToken* token = nullptr;
     double enqueue_seconds = 0.0;
     std::uint64_t request_id = 0;    ///< journey id (0 = untraced caller)
   };
@@ -187,6 +295,7 @@ class BatchedInferenceEngine {
   bool started_ = false;
   std::thread worker_;
   std::atomic<std::uint64_t> rejected_{0};
+  detail::TokenPool token_pool_;   ///< recycled completion tokens (async path)
 
   // Engine-thread tick scratch (no locks needed): extracted requests and
   // the reusable observation/decision buffers for the batched forward.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 
@@ -44,6 +45,15 @@ obs::Counter& sweeper_stretches_counter() {
   return *c;
 }
 
+// Session-journal record encodings (all little-endian; RecordReader
+// bounds-checks replay so a foreign or truncated payload is skipped, not
+// trusted).
+constexpr std::uint8_t kRecOpen = 1;      ///< u64 id | u32 k | u32 partitions
+constexpr std::uint8_t kRecClose = 2;     ///< u64 id
+constexpr std::uint8_t kRecFrame = 3;     ///< u64 id | u32 n | n float32
+constexpr std::uint8_t kRecDecision = 4;  ///< u64 id | u8 action
+constexpr std::uint8_t kRecEvict = 5;     ///< u64 id
+
 }  // namespace
 
 ProvisioningService::ProvisioningService(const ModelRegistry& registry, ModelKey key,
@@ -52,6 +62,7 @@ ProvisioningService::ProvisioningService(const ModelRegistry& registry, ModelKey
       engine_(registry, std::move(key), config.engine),
       shards_(resolve_shards(config.shards)) {
   init_gauges();
+  init_wal();
 }
 
 ProvisioningService::ProvisioningService(ModelSnapshot model, ServiceConfig config)
@@ -59,6 +70,7 @@ ProvisioningService::ProvisioningService(ModelSnapshot model, ServiceConfig conf
       engine_([model = std::move(model)] { return model; }, config.engine),
       shards_(resolve_shards(config.shards)) {
   init_gauges();
+  init_wal();
 }
 
 ProvisioningService::~ProvisioningService() { drain_and_stop(); }
@@ -134,8 +146,12 @@ void ProvisioningService::start() {
     obs::flight_recorder().register_provider("serve_metrics.prom",
                                              [this] { return metrics_text(); });
   }
+  // With journaling at a group-commit sync level the sweeper doubles as
+  // the commit tick: it flushes the WAL buffer (and rolls segments) every
+  // interval, bounding the un-flushed crash-exposure window.
   const bool need_sweeper = config_.session_ttl_seconds > 0.0 ||
-                            slos_configured_.load(std::memory_order_relaxed);
+                            slos_configured_.load(std::memory_order_relaxed) ||
+                            (wal_on_ && config_.wal.wal.sync != util::wal::SyncLevel::kOnCommit);
   if (need_sweeper && !sweeper_.joinable() && !sweeper_stop_) {
     sweeper_ = std::thread([this] { sweeper_loop(); });
   }
@@ -158,13 +174,26 @@ void ProvisioningService::drain_and_stop() {
     obs::flight_recorder().unregister_provider("health.txt");
     obs::flight_recorder().unregister_provider("serve_metrics.prom");
   }
+  if (wal_on_) {
+    // Engine and sweeper are stopped, so no journal appends race this
+    // final flush; close() commits buffered records before releasing fds.
+    std::lock_guard<std::mutex> lock(wal_mutex_);
+    if (wal_.is_open()) {
+      if (!wal_.commit()) wal_failed_.store(true, std::memory_order_relaxed);
+      wal_.close();
+    }
+  }
 }
 
 SessionId ProvisioningService::open_session() {
   const SessionId id = next_session_.fetch_add(1, std::memory_order_relaxed);
-  auto session = std::make_shared<Session>(config_.history_len,
+  auto session = std::make_shared<Session>(id, config_.history_len,
                                            std::max<std::size_t>(1, config_.partition_count));
   session->last_access_seconds.store(util::wall_seconds(), std::memory_order_relaxed);
+  // Journal BEFORE the map insert: nothing (not even the sweeper) can
+  // touch the id until it is in the table, so the open record is
+  // guaranteed to precede every other record for this session.
+  journal_open(id);
   Shard& shard = shard_of(id);
   std::lock_guard<std::mutex> lock(shard.mutex);
   shard.sessions.emplace(id, std::move(session));
@@ -174,8 +203,12 @@ SessionId ProvisioningService::open_session() {
 
 void ProvisioningService::close_session(SessionId id) {
   Shard& shard = shard_of(id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  shard.sessions.erase(id);
+  bool erased = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    erased = shard.sessions.erase(id) > 0;
+  }
+  if (erased) journal_close(id);
 }
 
 std::shared_ptr<ProvisioningService::Session> ProvisioningService::find_session(
@@ -194,6 +227,7 @@ std::shared_ptr<ProvisioningService::Session> ProvisioningService::find_session(
       // a zombie ring.
       shard.sessions.erase(it);
       shard.evictions.fetch_add(1, std::memory_order_relaxed);
+      journal_evict(id);
       throw_unknown_session(id);
     }
     it->second->last_access_seconds.store(now, std::memory_order_relaxed);
@@ -210,6 +244,7 @@ std::size_t ProvisioningService::sweep_shard(Shard& shard) const {
   for (auto it = shard.sessions.begin(); it != shard.sessions.end();) {
     const double last = it->second->last_access_seconds.load(std::memory_order_relaxed);
     if (now - last > config_.session_ttl_seconds) {
+      journal_evict(it->first);
       it = shard.sessions.erase(it);
       ++evicted;
     } else {
@@ -279,6 +314,12 @@ void ProvisioningService::sweeper_loop() {
     const bool slos_on = slos_configured_.load(std::memory_order_acquire);
     if (slos_on) slos_.evaluate(util::wall_seconds());
     refresh_gauges();
+    // Group commit: at sync levels below kOnCommit the sweeper tick is
+    // the journal's flush point (and segment-roll point), so a crash
+    // loses at most one tick's worth of buffered records.
+    if (wal_on_ && config_.wal.wal.sync != util::wal::SyncLevel::kOnCommit) {
+      journal_commit();
+    }
     // Quiet-table backoff, pure-TTL configurations only: with SLOs
     // configured the evaluator needs its steady base cadence. Once every
     // shard in a full rotation has declined its scan via the min-expiry
@@ -332,6 +373,12 @@ void ProvisioningService::observe(SessionId id, const sim::StateSample& sample,
   const auto session = find_session(id);
   std::lock_guard<std::mutex> lock(session->mutex);
   session->encoder.push(sample, ctx);
+  // Journaled under the session mutex so the record order matches the
+  // ring order exactly — replay reproduces the ring bit for bit.
+  if (wal_on_) {
+    const std::vector<float>& frame = session->encoder.last_frame();
+    journal_frame(id, frame.data(), frame.size());
+  }
 }
 
 void ProvisioningService::record_served(Shard& shard, Session& session,
@@ -339,6 +386,7 @@ void ProvisioningService::record_served(Shard& shard, Session& session,
   session.decisions.fetch_add(1, std::memory_order_relaxed);
   shard.decisions.fetch_add(1, std::memory_order_relaxed);
   if (d.action == 1) shard.submits.fetch_add(1, std::memory_order_relaxed);
+  journal_decision(session.id, d.action);
 }
 
 std::uint64_t ProvisioningService::begin_request_trace(SessionId id) const {
@@ -404,6 +452,236 @@ BatchedInferenceEngine::SubmitResult ProvisioningService::try_decide(SessionId i
     record_served(shard_of(id), *session, out);
   }
   return result;
+}
+
+void ProvisioningService::pooled_served_trampoline(void* ctx_a, void* ctx_b, void* ctx_c,
+                                                   std::uint64_t /*request_id*/,
+                                                   const Decision& d) {
+  auto* self = static_cast<ProvisioningService*>(ctx_a);
+  auto* shard = static_cast<Shard*>(ctx_b);
+  auto* session = static_cast<Session*>(ctx_c);
+  self->record_served(*shard, *session, d);
+}
+
+BatchedInferenceEngine::SubmitResult ProvisioningService::try_decide_async(SessionId id,
+                                                                           AsyncDecision& out) {
+  const auto session = find_session(id);
+  // Same reused flatten buffer as try_decide: the engine swaps it into a
+  // ring slot, so the pooled async path never touches the heap in steady
+  // state (the keepalive copy below is a refcount bump, not an alloc).
+  thread_local std::vector<float> observation;
+  {
+    std::lock_guard<std::mutex> lock(session->mutex);
+    session->encoder.flatten_into(observation, 0.0f);
+  }
+  BatchedInferenceEngine::PooledCompletion completion;
+  completion.fn = &pooled_served_trampoline;
+  completion.ctx_a = this;
+  completion.ctx_b = &shard_of(id);
+  completion.ctx_c = session.get();
+  completion.keepalive = session;  // pins the session until the batch runs
+  return engine_.submit_pooled(observation, out, std::move(completion),
+                               begin_request_trace(id));
+}
+
+AsyncDecision ProvisioningService::decide_async_pooled(SessionId id) {
+  AsyncDecision out;
+  switch (try_decide_async(id, out)) {
+    case BatchedInferenceEngine::SubmitResult::kOk:
+      return out;
+    case BatchedInferenceEngine::SubmitResult::kRejectedBackpressure:
+      throw BackpressureRejected();
+    case BatchedInferenceEngine::SubmitResult::kDraining:
+      break;
+  }
+  throw std::runtime_error("ProvisioningService: draining, decision rejected");
+}
+
+// ------------------------------------------------------ session journaling
+
+void ProvisioningService::init_wal() {
+  if (config_.wal.dir.empty()) return;
+  wal_on_ = true;
+  if (config_.wal.restore) replay_wal();
+  std::string error;
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  if (!wal_.open(config_.wal.dir, config_.wal.wal, &error)) {
+    throw std::runtime_error("ProvisioningService: cannot open session journal: " + error);
+  }
+}
+
+void ProvisioningService::replay_wal() {
+  namespace wal = util::wal;
+  const std::size_t partitions = std::max<std::size_t>(1, config_.partition_count);
+  const std::size_t width = rl::frame_vars(partitions);
+  std::map<SessionId, std::shared_ptr<Session>> live;
+  std::vector<float> frame(width);
+  SessionId max_id = 0;
+  std::string mismatch;  // deferred: throwing through recover would leak its FILE*
+  WalRestoreInfo& info = wal_restore_;
+
+  const auto replay = [&](const void* data, std::size_t size) {
+    wal::RecordReader r(data, size);
+    switch (r.u8()) {
+      case kRecOpen: {
+        const SessionId id = r.u64();
+        const std::uint32_t k = r.u32();
+        const std::uint32_t parts = r.u32();
+        if (!r.ok) return;
+        if (k != config_.history_len || parts != partitions) {
+          if (mismatch.empty()) {
+            mismatch = "journaled session " + std::to_string(id) + " has k=" +
+                       std::to_string(k) + "/partitions=" + std::to_string(parts) +
+                       ", service configured k=" + std::to_string(config_.history_len) +
+                       "/partitions=" + std::to_string(partitions);
+          }
+          return;
+        }
+        auto session = std::make_shared<Session>(id, config_.history_len, partitions);
+        Shard& shard = shard_of(id);
+        ++shard.total_sessions;  // single-threaded: constructor, pre-start
+        live[id] = std::move(session);
+        max_id = std::max(max_id, id);
+        ++info.sessions_opened;
+        break;
+      }
+      case kRecClose: {
+        const SessionId id = r.u64();
+        if (!r.ok) return;
+        live.erase(id);
+        ++info.closes;
+        break;
+      }
+      case kRecFrame: {
+        const SessionId id = r.u64();
+        const std::uint32_t n = r.u32();
+        if (!r.ok || n != width) return;
+        if (!r.take(frame.data(), static_cast<std::size_t>(n) * sizeof(float))) return;
+        const auto it = live.find(id);
+        // Frames for closed/evicted sessions are legal history (a late
+        // observe can race a close in the live service) — count, skip.
+        if (it != live.end()) it->second->encoder.push_encoded(frame.data(), width);
+        ++info.frames;
+        break;
+      }
+      case kRecDecision: {
+        const SessionId id = r.u64();
+        const std::uint8_t action = r.u8();
+        if (!r.ok) return;
+        Shard& shard = shard_of(id);
+        shard.decisions.fetch_add(1, std::memory_order_relaxed);
+        if (action == 1) {
+          shard.submits.fetch_add(1, std::memory_order_relaxed);
+          ++info.submits;
+        }
+        const auto it = live.find(id);
+        if (it != live.end()) it->second->decisions.fetch_add(1, std::memory_order_relaxed);
+        ++info.decisions;
+        break;
+      }
+      case kRecEvict: {
+        const SessionId id = r.u64();
+        if (!r.ok) return;
+        live.erase(id);
+        shard_of(id).evictions.fetch_add(1, std::memory_order_relaxed);
+        ++info.evictions;
+        break;
+      }
+      default:
+        break;  // future record kinds: skip, don't trust
+    }
+  };
+
+  wal::RecoveryInfo rinfo;
+  std::string error;
+  if (!wal::recover(config_.wal.dir, replay, &rinfo, &error)) {
+    throw std::runtime_error("ProvisioningService: session journal replay failed: " + error);
+  }
+  if (!mismatch.empty()) {
+    throw std::runtime_error("ProvisioningService: session journal mismatch: " + mismatch);
+  }
+  const double now = util::wall_seconds();
+  for (auto& [id, session] : live) {
+    session->last_access_seconds.store(now, std::memory_order_relaxed);
+    shard_of(id).sessions.emplace(id, std::move(session));
+  }
+  info.replayed = true;
+  info.sessions = live.size();
+  info.records = rinfo.records;
+  info.truncated_bytes = rinfo.truncated_bytes;
+  info.torn_tail = rinfo.torn_tail;
+  if (max_id >= next_session_.load(std::memory_order_relaxed)) {
+    next_session_.store(max_id + 1, std::memory_order_relaxed);
+  }
+}
+
+void ProvisioningService::journal_append(const util::wal::Chunk* chunks,
+                                         std::size_t count) const {
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  if (!wal_.is_open()) return;  // drained: durability is over, serving isn't
+  bool ok = wal_.append(chunks, count);
+  if (ok && config_.wal.wal.sync == util::wal::SyncLevel::kOnCommit) ok = wal_.commit();
+  if (!ok) wal_failed_.store(true, std::memory_order_relaxed);
+}
+
+void ProvisioningService::journal_open(SessionId id) const {
+  if (!wal_on_) return;
+  std::uint8_t head[17];
+  head[0] = kRecOpen;
+  util::wal::store_u64_le(head + 1, id);
+  util::wal::store_u32_le(head + 9, static_cast<std::uint32_t>(config_.history_len));
+  util::wal::store_u32_le(head + 13, static_cast<std::uint32_t>(std::max<std::size_t>(
+                                         1, config_.partition_count)));
+  const util::wal::Chunk chunk{head, sizeof(head)};
+  journal_append(&chunk, 1);
+}
+
+void ProvisioningService::journal_close(SessionId id) const {
+  if (!wal_on_) return;
+  std::uint8_t head[9];
+  head[0] = kRecClose;
+  util::wal::store_u64_le(head + 1, id);
+  const util::wal::Chunk chunk{head, sizeof(head)};
+  journal_append(&chunk, 1);
+}
+
+void ProvisioningService::journal_frame(SessionId id, const float* frame,
+                                        std::size_t size) const {
+  if (!wal_on_) return;
+  std::uint8_t head[13];
+  head[0] = kRecFrame;
+  util::wal::store_u64_le(head + 1, id);
+  util::wal::store_u32_le(head + 9, static_cast<std::uint32_t>(size));
+  const util::wal::Chunk chunks[] = {
+      {head, sizeof(head)},
+      {frame, size * sizeof(float)},
+  };
+  journal_append(chunks, 2);
+}
+
+void ProvisioningService::journal_decision(SessionId id, int action) const {
+  if (!wal_on_) return;
+  std::uint8_t head[10];
+  head[0] = kRecDecision;
+  util::wal::store_u64_le(head + 1, id);
+  head[9] = static_cast<std::uint8_t>(action == 1 ? 1 : 0);
+  const util::wal::Chunk chunk{head, sizeof(head)};
+  journal_append(&chunk, 1);
+}
+
+void ProvisioningService::journal_evict(SessionId id) const {
+  if (!wal_on_) return;
+  std::uint8_t head[9];
+  head[0] = kRecEvict;
+  util::wal::store_u64_le(head + 1, id);
+  const util::wal::Chunk chunk{head, sizeof(head)};
+  journal_append(&chunk, 1);
+}
+
+void ProvisioningService::journal_commit() const {
+  std::lock_guard<std::mutex> lock(wal_mutex_);
+  if (!wal_.is_open()) return;
+  if (!wal_.commit()) wal_failed_.store(true, std::memory_order_relaxed);
 }
 
 std::vector<float> ProvisioningService::session_history(SessionId id) const {

@@ -42,10 +42,46 @@
 #include "obs/slo.hpp"
 #include "rl/state_encoder.hpp"
 #include "serve/inference_engine.hpp"
+#include "util/wal.hpp"
 
 namespace mirage::serve {
 
 using SessionId = std::uint64_t;
+
+/// Session-state journaling (ISSUE 10): when `dir` is set the service
+/// appends every session-visible mutation (open, frame, decision, close,
+/// eviction) to a WAL segment store, and a restarted service replays the
+/// journal before serving — restored sessions carry their full k-frame
+/// history rings, so the first post-restart decision is bitwise identical
+/// to the decision an uninterrupted service would have made.
+struct ServiceWalConfig {
+  /// Journal directory; empty disables journaling entirely.
+  std::string dir;
+  /// Durability knobs. Default sync level is kNone — the serve hot path
+  /// trades crash-durability of the last buffer for zero fsyncs; group
+  /// commit on the sweeper tick bounds the exposure window. Use kOnCommit
+  /// for per-record durability (every decide/observe fsyncs).
+  util::wal::WalOptions wal{util::wal::SyncLevel::kNone};
+  /// Replay the existing journal at construction (warm restart). false
+  /// starts journaling into `dir` without replaying — fresh-start use
+  /// only; stale records left in `dir` will confuse a later restore.
+  bool restore = true;
+};
+
+/// What a warm restart recovered from the session journal.
+struct WalRestoreInfo {
+  bool replayed = false;          ///< a journal replay ran at construction
+  std::size_t sessions = 0;       ///< live sessions restored (open at crash)
+  std::uint64_t sessions_opened = 0;  ///< kOpen records replayed
+  std::uint64_t frames = 0;       ///< kFrame records replayed
+  std::uint64_t decisions = 0;    ///< kDecision records replayed
+  std::uint64_t submits = 0;      ///< replayed decisions that said submit
+  std::uint64_t evictions = 0;    ///< kEvict records replayed
+  std::uint64_t closes = 0;       ///< kClose records replayed
+  std::uint64_t records = 0;      ///< total WAL records scanned
+  std::uint64_t truncated_bytes = 0;  ///< torn bytes discarded by recovery
+  bool torn_tail = false;         ///< recovery truncated a torn tail
+};
 
 /// Declarative serving SLOs (ISSUE 8): when enabled, start() registers a
 /// latency-quantile objective over the process-wide decision-latency
@@ -102,6 +138,7 @@ struct ServiceConfig {
   double sweep_backoff_max_factor = 8.0;
   EngineConfig engine;
   ServiceSloConfig slo;
+  ServiceWalConfig wal;
 };
 
 struct ServiceReport {
@@ -155,6 +192,17 @@ class ProvisioningService {
   /// std::out_of_range, and a failed batch rethrows its error.
   BatchedInferenceEngine::SubmitResult try_decide(SessionId id, Decision& out);
 
+  /// Pooled async decision: like decide_async but on the engine's
+  /// recycled-completion-token path, so pipelined async decides perform
+  /// zero steady-state heap allocations (audited by bench_serve_soak).
+  /// kOk arms `out`; rejection/drain leave it invalid. Served-decision
+  /// accounting (and journaling) runs in the engine's completion hook,
+  /// exactly like decide_async.
+  BatchedInferenceEngine::SubmitResult try_decide_async(SessionId id, AsyncDecision& out);
+  /// Throwing convenience over try_decide_async (BackpressureRejected on
+  /// a full queue, std::runtime_error when draining).
+  AsyncDecision decide_async_pooled(SessionId id);
+
   /// The session's flattened history (action channel zeroed) — the exact
   /// tensor row the next decision would see. Test/debug hook.
   std::vector<float> session_history(SessionId id) const;
@@ -182,9 +230,19 @@ class ProvisioningService {
   /// Machine-readable alert states (empty when SLOs are disabled).
   std::vector<obs::SloStatus> slo_statuses() const;
 
+  /// What the constructor's journal replay restored (all-zero / replayed
+  /// == false when journaling is off or `restore` was false).
+  const WalRestoreInfo& wal_restore_info() const { return wal_restore_; }
+  /// True once any journal append/commit has failed since construction.
+  /// Journal failures never fail the decision path — durability degrades,
+  /// serving does not — but they must be observable.
+  bool wal_failed() const { return wal_failed_.load(std::memory_order_relaxed); }
+
  private:
   struct Session {
-    Session(std::size_t k, std::size_t partition_count) : encoder(k, partition_count) {}
+    Session(SessionId sid, std::size_t k, std::size_t partition_count)
+        : id(sid), encoder(k, partition_count) {}
+    const SessionId id;  ///< immutable; lets completion hooks journal by id
     mutable std::mutex mutex;
     rl::StateEncoder encoder;
     std::atomic<std::uint64_t> decisions{0};
@@ -222,6 +280,27 @@ class ProvisioningService {
   std::size_t sweep_shard_idle_aware(Shard& shard, bool* skipped = nullptr) const;
   void sweeper_loop();
   void record_served(Shard& shard, Session& session, const Decision& d) const;
+  /// Engine-thread completion hook for the pooled async path: ctx_a is
+  /// the service, ctx_b the owning shard, ctx_c the session (pinned by
+  /// the token's keepalive).
+  static void pooled_served_trampoline(void* ctx_a, void* ctx_b, void* ctx_c,
+                                       std::uint64_t request_id, const Decision& d);
+  // --- Session journaling (no-ops when ServiceWalConfig::dir is empty).
+  // Lock order: session/shard mutex -> wal_mutex_; the WAL never takes a
+  // session or shard lock. Appends are allocation-free in steady state
+  // (stack headers into the writer's preallocated buffer); failures set
+  // wal_failed_ instead of throwing — serving outlives its journal.
+  void init_wal();
+  void replay_wal();
+  void journal_append(const util::wal::Chunk* chunks, std::size_t count) const;
+  void journal_open(SessionId id) const;
+  void journal_close(SessionId id) const;
+  void journal_frame(SessionId id, const float* frame, std::size_t size) const;
+  void journal_decision(SessionId id, int action) const;
+  void journal_evict(SessionId id) const;
+  /// Group commit (sweeper tick / drain): flush + segment-roll + fsync per
+  /// the configured sync level.
+  void journal_commit() const;
   /// Mint a journey id and record kRequestBegin (0 when tracing is off).
   std::uint64_t begin_request_trace(SessionId id) const;
   /// Push live operational gauges (queue depth, per-shard sessions,
@@ -261,6 +340,16 @@ class ProvisioningService {
   std::condition_variable sweeper_cv_;
   bool sweeper_stop_ = false;
   std::size_t sweep_cursor_ = 0;  ///< next shard the background sweep scans
+
+  // Session journal (ISSUE 10). wal_on_ is set once in the constructor
+  // and never changes; the writer itself is guarded by wal_mutex_ (and
+  // closed on drain). Mutable: journaling happens on const paths too
+  // (record_served, sweeps).
+  bool wal_on_ = false;
+  mutable std::mutex wal_mutex_;
+  mutable util::wal::Writer wal_;
+  WalRestoreInfo wal_restore_;
+  mutable std::atomic<bool> wal_failed_{false};
 };
 
 }  // namespace mirage::serve

@@ -1,12 +1,14 @@
 #include "util/thread_pool.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <exception>
 
 namespace mirage::util {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads) : owner_pid_(::getpid()) {
   if (num_threads == 0) {
     num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -17,6 +19,14 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  if (orphaned_by_fork()) {
+    // The workers (and possibly a lock holder) exist only in the parent;
+    // touching the mutex or joining here could block forever. The thread
+    // handles are stale ids in this process — detach and let the object
+    // go.
+    for (auto& w : workers_) w.detach();
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
@@ -25,9 +35,15 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+bool ThreadPool::orphaned_by_fork() const { return ::getpid() != owner_pid_; }
+
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> pt(std::move(task));
   auto fut = pt.get_future();
+  if (orphaned_by_fork()) {
+    pt();  // no workers in this process — run on the caller
+    return fut;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push(std::move(pt));

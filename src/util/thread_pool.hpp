@@ -1,6 +1,16 @@
 // Fixed-size thread pool with a blocking parallel_for. Used to fan out
 // episode rollouts, forest training and evaluation sweeps across cores.
+//
+// Fork-safe: fork() copies the pool object but not its worker threads,
+// so in a forked child every dispatch would block forever on workers
+// that do not exist. The pool records its owning pid and, when called
+// from a different process, runs the work inline on the caller — the
+// crash-injection harness and serve_demo's kill -9 act fork children
+// that keep serving (results are unchanged: the deterministic GEMM
+// partition is bitwise-identical at any thread count, including 1).
 #pragma once
+
+#include <sys/types.h>
 
 #include <condition_variable>
 #include <cstddef>
@@ -48,12 +58,16 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  /// True in a process that inherited this pool via fork(): the worker
+  /// threads live only in the creating process.
+  bool orphaned_by_fork() const;
 
   std::vector<std::thread> workers_;
   std::queue<std::packaged_task<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  pid_t owner_pid_ = 0;
 };
 
 }  // namespace mirage::util

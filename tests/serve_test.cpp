@@ -465,6 +465,160 @@ TEST(InferenceEngine, TruncatedModelOutputFailsWholeBatchLoudly) {
   EXPECT_EQ(stats.latency.count, 0u);
 }
 
+// ------------------------------------------- Pooled async path (ISSUE 10)
+
+TEST(InferenceEngine, PooledAsyncMatchesBlockingAndRecyclesTokens) {
+  auto model = std::make_shared<const StubModel>(4);
+  EngineConfig cfg;
+  cfg.coalesce_wait = std::chrono::microseconds(0);
+  cfg.use_thread_pool = false;
+  BatchedInferenceEngine engine([model] { return ModelSnapshot(model); }, cfg);
+  engine.start();
+
+  // Sequential pooled decides recycle ONE completion token forever.
+  std::vector<float> obs;
+  for (int i = 0; i < 100; ++i) {
+    obs.assign(4, i % 2 ? 1.0f : -1.0f);
+    AsyncDecision handle;
+    ASSERT_EQ(engine.submit_pooled(obs, handle), BatchedInferenceEngine::SubmitResult::kOk);
+    ASSERT_TRUE(handle.valid());
+    const Decision d = handle.get();
+    EXPECT_EQ(d.action, i % 2 ? 1 : 0);
+    EXPECT_FALSE(handle.valid());  // get() is single-shot
+  }
+  EXPECT_EQ(engine.tokens_created(), 1u);
+
+  // A pipelined window grows the pool to at most the window size and then
+  // stays flat across repetitions (the allocation audit bench_serve_soak
+  // gates; here we pin the exact pool-size bound).
+  std::vector<AsyncDecision> window(8);
+  for (int rep = 0; rep < 5; ++rep) {
+    for (auto& handle : window) {
+      obs.assign(4, 1.0f);
+      ASSERT_EQ(engine.submit_pooled(obs, handle), BatchedInferenceEngine::SubmitResult::kOk);
+    }
+    for (auto& handle : window) EXPECT_EQ(handle.get().action, 1);
+  }
+  EXPECT_LE(engine.tokens_created(), 9u);  // 1 sequential + <= 8 in flight
+  engine.drain();
+  EXPECT_EQ(engine.stats().requests, 140u);
+}
+
+TEST(InferenceEngine, PooledAsyncBackpressureAndDrainLeaveHandleInvalid) {
+  auto model = std::make_shared<const StubModel>(4);
+  EngineConfig cfg;
+  cfg.max_queue = 2;
+  cfg.coalesce_wait = std::chrono::microseconds(0);
+  cfg.use_thread_pool = false;
+  BatchedInferenceEngine engine([model] { return ModelSnapshot(model); }, cfg);
+
+  // Engine not started: the ring fills deterministically.
+  std::vector<float> obs(4, 1.0f);
+  AsyncDecision a, b, over;
+  ASSERT_EQ(engine.submit_pooled(obs, a), BatchedInferenceEngine::SubmitResult::kOk);
+  obs.assign(4, 1.0f);
+  ASSERT_EQ(engine.submit_pooled(obs, b), BatchedInferenceEngine::SubmitResult::kOk);
+  obs.assign(4, 1.0f);
+  EXPECT_EQ(engine.submit_pooled(obs, over),
+            BatchedInferenceEngine::SubmitResult::kRejectedBackpressure);
+  EXPECT_FALSE(over.valid());        // rejection never arms the handle
+  EXPECT_EQ(obs.size(), 4u);         // the observation buffer came back
+  EXPECT_EQ(engine.stats().rejected, 1u);
+
+  engine.start();
+  EXPECT_EQ(a.get().action, 1);
+  EXPECT_EQ(b.get().action, 1);
+  engine.drain();
+
+  AsyncDecision after;
+  obs.assign(4, 1.0f);
+  EXPECT_EQ(engine.submit_pooled(obs, after), BatchedInferenceEngine::SubmitResult::kDraining);
+  EXPECT_FALSE(after.valid());
+}
+
+TEST(InferenceEngine, AbandonedPooledHandleReturnsItsTokenSafely) {
+  auto model = std::make_shared<const StubModel>(4);
+  EngineConfig cfg;
+  cfg.coalesce_wait = std::chrono::microseconds(0);
+  cfg.use_thread_pool = false;
+  BatchedInferenceEngine engine([model] { return ModelSnapshot(model); }, cfg);
+  engine.start();
+
+  std::vector<float> obs;
+  {
+    // Destroyed without get(): the token must drain back to the pool
+    // without blocking destruction forever or corrupting the ring.
+    obs.assign(4, 1.0f);
+    AsyncDecision abandoned;
+    ASSERT_EQ(engine.submit_pooled(obs, abandoned),
+              BatchedInferenceEngine::SubmitResult::kOk);
+  }
+  // The engine keeps serving and the recycled token pool stays bounded.
+  for (int i = 0; i < 16; ++i) {
+    obs.assign(4, -1.0f);
+    AsyncDecision handle;
+    ASSERT_EQ(engine.submit_pooled(obs, handle), BatchedInferenceEngine::SubmitResult::kOk);
+    EXPECT_EQ(handle.get().action, 0);
+  }
+  EXPECT_LE(engine.tokens_created(), 2u);
+  engine.drain();
+}
+
+TEST(InferenceEngine, PooledAsyncFailedBatchRethrowsOnGet) {
+  EngineConfig cfg;
+  cfg.coalesce_wait = std::chrono::microseconds(0);
+  cfg.use_thread_pool = false;
+  BatchedInferenceEngine engine([] { return ModelSnapshot(); }, cfg);
+  engine.start();
+  std::vector<float> obs(4, 0.0f);
+  AsyncDecision handle;
+  ASSERT_EQ(engine.submit_pooled(obs, handle), BatchedInferenceEngine::SubmitResult::kOk);
+  EXPECT_THROW(handle.get(), std::runtime_error);
+  engine.drain();
+}
+
+TEST(ProvisioningService, PooledAsyncDecidesMatchBlockingBitwise) {
+  TempDir dir("pooled");
+  auto agent = make_dqn(41);
+  ASSERT_TRUE(core::save_agent(agent, dir.file("v100__dqn.ckpt")));
+  ModelRegistry registry(test_registry_config());
+  ASSERT_TRUE(registry.load_file(dir.file("v100__dqn.ckpt"), "v100").ok);
+
+  ServiceConfig cfg;
+  cfg.history_len = test_net().history_len;
+  cfg.engine.coalesce_wait = std::chrono::microseconds(0);
+  ProvisioningService service(registry, {"v100", "dqn", "moe"}, cfg);
+  service.start();
+  const auto id = service.open_session();
+
+  // A decision never mutates the ring, so on the same history the
+  // blocking, pooled-async and throwing-pooled paths must agree bitwise.
+  for (std::uint64_t t = 0; t < 10; ++t) {
+    service.observe(id, make_sample(id, t), make_ctx(id));
+    const Decision blocking = service.decide(id);
+    AsyncDecision handle;
+    ASSERT_EQ(service.try_decide_async(id, handle),
+              BatchedInferenceEngine::SubmitResult::kOk);
+    const Decision pooled = handle.get();
+    const Decision convenience = service.decide_async_pooled(id).get();
+    EXPECT_EQ(pooled.action, blocking.action);
+    EXPECT_EQ(pooled.score_submit, blocking.score_submit);
+    EXPECT_EQ(pooled.score_wait, blocking.score_wait);
+    EXPECT_EQ(convenience.action, blocking.action);
+    EXPECT_EQ(convenience.score_submit, blocking.score_submit);
+    EXPECT_EQ(convenience.score_wait, blocking.score_wait);
+  }
+  // Served accounting counts every pooled completion exactly once.
+  EXPECT_EQ(service.report().decisions, 30u);
+
+  service.close_session(id);
+  AsyncDecision handle;
+  EXPECT_THROW((void)service.try_decide_async(id, handle), std::out_of_range);
+  EXPECT_THROW((void)service.decide_async_pooled(id), std::out_of_range);
+  service.drain_and_stop();
+  EXPECT_THROW((void)service.decide_async_pooled(service.open_session()), std::runtime_error);
+}
+
 // --------------------------------------------------------------- Hot reload
 
 TEST(ModelRegistry, HotReloadUnderConcurrentRequests) {
@@ -1036,8 +1190,8 @@ TEST(ProvisioningService, ShardedRaceStormStaysConsistent) {
   std::vector<SessionId> pool;
 
   // Workers mix every session-layer operation on a shared id pool while
-  // the TTL sweeper runs hot: open, observe, async decide, blocking
-  // decide and close all race across shards. The invariants are (a) no
+  // the TTL sweeper runs hot: open, observe, future-based and pooled
+  // async decides, blocking decide and close all race across shards. The invariants are (a) no
   // crash/UB, (b) the only session-level failure is std::out_of_range,
   // (c) served-decision accounting balances exactly.
   const auto worker = [&](unsigned seed) {
@@ -1058,8 +1212,16 @@ TEST(ProvisioningService, ShardedRaceStormStaysConsistent) {
             rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1))];
       }
       try {
-        if (pick < 6) {
+        if (pick < 5) {
           service.observe(id, make_sample(id, 0), make_ctx(id));
+        } else if (pick == 5) {
+          // Pooled async path races the future-based one below.
+          AsyncDecision handle;
+          if (service.try_decide_async(id, handle) ==
+              BatchedInferenceEngine::SubmitResult::kOk) {
+            handle.get();
+            served.fetch_add(1, std::memory_order_relaxed);
+          }
         } else if (pick < 8) {
           service.decide_async(id).get();
           served.fetch_add(1, std::memory_order_relaxed);
